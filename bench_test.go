@@ -1,0 +1,174 @@
+package thunderbolt
+
+// One testing.B benchmark per evaluation figure (paper §11–§12). Each
+// benchmark reports the figure's headline metrics via b.ReportMetric:
+// tps, latency_ms, and (for the executor-level figures) reexec/tx.
+// cmd/bench runs the full parameter sweeps; these benches pin the
+// representative points so `go test -bench=.` regenerates every
+// figure's core comparison.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"thunderbolt/internal/bench"
+)
+
+func reportRows(b *testing.B, rows []bench.Row) {
+	b.Helper()
+	if len(rows) == 0 {
+		b.Skip("no rows produced")
+	}
+	var tps, lat, re float64
+	for _, r := range rows {
+		tps += r.TPS
+		lat += r.LatencyMS
+		re += r.Reexec
+	}
+	n := float64(len(rows))
+	b.ReportMetric(tps/n, "tps")
+	b.ReportMetric(lat/n, "latency_ms")
+	b.ReportMetric(re/n, "reexec/tx")
+}
+
+// benchOnce runs fn once regardless of b.N (cluster experiments are
+// duration-based); the figure metrics go through ReportMetric.
+func benchOnce(b *testing.B, fn func(bench.Options) []bench.Row) {
+	b.Helper()
+	opt := bench.Options{Quick: true, Seed: 42}
+	var rows []bench.Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = fn(opt)
+	}
+	b.StopTimer()
+	reportRows(b, rows)
+	for _, r := range rows {
+		b.Logf("fig %s %s x=%s tps=%.0f latency=%.2fms reexec=%.3f",
+			r.Figure, r.Series, r.X, r.TPS, r.LatencyMS, r.Reexec)
+	}
+}
+
+// BenchmarkFig11_ReadWriteBalanced regenerates Figure 11a: CE vs OCC
+// vs 2PL-NoWait across executor counts at Pr=0.5, θ=0.85.
+func BenchmarkFig11_ReadWriteBalanced(b *testing.B) { benchOnce(b, bench.Fig11a) }
+
+// BenchmarkFig11_UpdateOnly regenerates Figure 11b (Pr=0).
+func BenchmarkFig11_UpdateOnly(b *testing.B) { benchOnce(b, bench.Fig11b) }
+
+// BenchmarkFig12_ThetaAndPr regenerates Figure 12: θ sweep at Pr=0.5
+// and Pr sweep at θ=0.85.
+func BenchmarkFig12_ThetaAndPr(b *testing.B) { benchOnce(b, bench.Fig12) }
+
+// BenchmarkFig13_Scale regenerates Figure 13: Thunderbolt vs
+// Thunderbolt-OCC vs Tusk over committee sizes.
+func BenchmarkFig13_Scale(b *testing.B) { benchOnce(b, bench.Fig13) }
+
+// BenchmarkFig14_CrossShard regenerates Figure 14: the cross-shard
+// percentage sweep.
+func BenchmarkFig14_CrossShard(b *testing.B) { benchOnce(b, bench.Fig14) }
+
+// BenchmarkFig15_Reconfig regenerates Figure 15: the reconfiguration
+// period (K') sweep.
+func BenchmarkFig15_Reconfig(b *testing.B) { benchOnce(b, bench.Fig15) }
+
+// BenchmarkFig16_RoundRuntime regenerates Figure 16: per-wave commit
+// runtime across periodic reconfigurations.
+func BenchmarkFig16_RoundRuntime(b *testing.B) { benchOnce(b, bench.Fig16) }
+
+// BenchmarkFig17_Failures regenerates Figure 17: the cross-shard
+// sweep under f crashed replicas.
+func BenchmarkFig17_Failures(b *testing.B) { benchOnce(b, bench.Fig17) }
+
+// BenchmarkAblation_ParallelValidation quantifies §4's design choice:
+// validating a preplayed batch with a dependency-structured parallel
+// pass versus a single worker. The paper credits parallel validation
+// for keeping replicas off the critical path; this ablation measures
+// the per-batch validation cost at 1, 4, and 16 workers.
+func BenchmarkAblation_ParallelValidation(b *testing.B) {
+	store := NewStore()
+	registry := NewRegistry()
+	RegisterSmallBank(registry)
+	InitAccounts(store, 10_000, 10_000, 10_000)
+	gen := NewGenerator(WorkloadConfig{Accounts: 10_000, Theta: 0.85, ReadRatio: 0.5, Seed: 1})
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("validators=%d", workers), func(b *testing.B) {
+			exec := NewExecutor(ExecutorConfig{
+				Executors: 8, Validators: workers, Registry: registry, Store: store,
+			})
+			start := time.Now()
+			committed := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := exec.ExecuteBatch(gen.Batch(500))
+				if err != nil {
+					b.Fatal(err)
+				}
+				committed += len(res.Schedule)
+			}
+			b.StopTimer()
+			if el := time.Since(start).Seconds(); el > 0 {
+				b.ReportMetric(float64(committed)/el, "tps")
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_BatchSize sweeps the proposer batch size (the
+// paper fixes 300/500); larger batches amortize scheduling but raise
+// intra-batch conflict pressure.
+func BenchmarkAblation_BatchSize(b *testing.B) {
+	for _, size := range []int{100, 300, 500, 1000} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			store := NewStore()
+			registry := NewRegistry()
+			RegisterSmallBank(registry)
+			InitAccounts(store, 10_000, 10_000, 10_000)
+			gen := NewGenerator(WorkloadConfig{Accounts: 10_000, Theta: 0.85, ReadRatio: 0.5, Seed: 2})
+			exec := NewExecutor(ExecutorConfig{Executors: 8, Registry: registry, Store: store})
+			start := time.Now()
+			committed := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := exec.ExecuteBatch(gen.Batch(size))
+				if err != nil {
+					b.Fatal(err)
+				}
+				committed += len(res.Schedule)
+			}
+			b.StopTimer()
+			if el := time.Since(start).Seconds(); el > 0 {
+				b.ReportMetric(float64(committed)/el, "tps")
+			}
+		})
+	}
+}
+
+// BenchmarkExecutorBatch measures the standalone public-API executor
+// on one 500-transaction SmallBank batch per iteration (the embedding
+// use case, not a paper figure).
+func BenchmarkExecutorBatch(b *testing.B) {
+	store := NewStore()
+	registry := NewRegistry()
+	RegisterSmallBank(registry)
+	InitAccounts(store, 10_000, 10_000, 10_000)
+	exec := NewExecutor(ExecutorConfig{Executors: 8, Registry: registry, Store: store})
+	gen := NewGenerator(WorkloadConfig{Accounts: 10_000, Theta: 0.85, ReadRatio: 0.5, Seed: 1})
+
+	b.ResetTimer()
+	start := time.Now()
+	committed := 0
+	for i := 0; i < b.N; i++ {
+		res, err := exec.ExecuteBatch(gen.Batch(500))
+		if err != nil {
+			b.Fatal(err)
+		}
+		committed += len(res.Schedule)
+	}
+	b.StopTimer()
+	if el := time.Since(start).Seconds(); el > 0 {
+		b.ReportMetric(float64(committed)/el, "tps")
+	}
+	b.ReportMetric(float64(committed)/float64(b.N), "tx/batch")
+}

@@ -1,0 +1,192 @@
+// Package ce implements Thunderbolt's Concurrent Executor (paper §7):
+// a pool of executor goroutines running contract code against a
+// shared concurrency controller (the dependency graph of
+// internal/depgraph).
+//
+// The CE preplays a batch of single-shard transactions and emits, for
+// each, its runtime-discovered read/write sets, execution results, and
+// a position in a serializable schedule — everything a validator needs
+// to re-check the batch without re-discovering concurrency (paper §4).
+package ce
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"thunderbolt/internal/contract"
+	"thunderbolt/internal/depgraph"
+	"thunderbolt/internal/types"
+	"thunderbolt/internal/vm"
+)
+
+// Config parameterizes a Concurrent Executor.
+type Config struct {
+	// Executors is the worker-pool size (the paper sweeps 1–16).
+	Executors int
+	// Registry resolves named contracts.
+	Registry *contract.Registry
+	// MaxRetries caps re-executions of one transaction before it is
+	// reported failed; 0 means retry without bound (batch execution
+	// terminates because writers drain).
+	MaxRetries int
+}
+
+// CE is a reusable concurrent executor. It is safe to call
+// ExecuteBatch from multiple goroutines, but each call builds its own
+// dependency graph; the intended use is one CE per shard proposer
+// executing one batch per DAG round.
+type CE struct {
+	cfg Config
+}
+
+// New creates a CE. Executors defaults to 1; Registry is required.
+func New(cfg Config) *CE {
+	if cfg.Executors <= 0 {
+		cfg.Executors = 1
+	}
+	if cfg.Registry == nil {
+		panic("ce: Registry is required")
+	}
+	return &CE{cfg: cfg}
+}
+
+// FailedTx records a transaction that ended with a terminal contract
+// failure (bad arguments, unknown contract, out of gas). Failed
+// transactions commit nothing and are excluded from the schedule.
+type FailedTx struct {
+	Tx  *types.Transaction
+	Err error
+}
+
+// BatchResult is the preplay outcome of one batch.
+type BatchResult struct {
+	// Schedule lists committed transactions in serialization order;
+	// Results is aligned index-for-index.
+	Schedule []*types.Transaction
+	Results  []types.TxResult
+	// Failed lists terminally failed transactions.
+	Failed []FailedTx
+	// Reexecutions is the total number of aborted attempts across the
+	// batch (the paper's Figure 11 abort metric).
+	Reexecutions int
+}
+
+// graphState adapts one graph transaction to contract.State.
+type graphState struct {
+	g *depgraph.Graph
+	t *depgraph.Tx
+}
+
+func (s graphState) Read(k types.Key) (types.Value, error)  { return s.g.Read(s.t, k) }
+func (s graphState) Write(k types.Key, v types.Value) error { return s.g.Write(s.t, k, v) }
+
+// ExecuteBatch preplays txs against the committed state exposed by
+// base. It blocks until every transaction has committed into the
+// schedule or failed terminally.
+func (ce *CE) ExecuteBatch(base depgraph.BaseReader, txs []*types.Transaction) *BatchResult {
+	g := depgraph.New(base)
+	type committed struct {
+		tx  *types.Transaction
+		res types.TxResult
+	}
+	var (
+		mu     sync.Mutex
+		done   []committed
+		failed []FailedTx
+		rexec  int
+	)
+	ch := make(chan *types.Transaction)
+	var wg sync.WaitGroup
+	for w := 0; w < ce.cfg.Executors; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tx := range ch {
+				res, ferr, retries := ce.runOne(g, tx)
+				mu.Lock()
+				rexec += retries
+				if ferr != nil {
+					failed = append(failed, FailedTx{Tx: tx, Err: ferr})
+				} else {
+					done = append(done, committed{tx: tx, res: res})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, tx := range txs {
+		ch <- tx
+	}
+	close(ch)
+	wg.Wait()
+
+	sort.Slice(done, func(i, j int) bool {
+		return done[i].res.ScheduleIdx < done[j].res.ScheduleIdx
+	})
+	out := &BatchResult{
+		Schedule:     make([]*types.Transaction, len(done)),
+		Results:      make([]types.TxResult, len(done)),
+		Failed:       failed,
+		Reexecutions: rexec,
+	}
+	for i, c := range done {
+		out.Schedule[i] = c.tx
+		out.Results[i] = c.res
+	}
+	return out
+}
+
+// runOne executes tx until it commits or fails terminally, returning
+// its result, a terminal error (nil on success), and the retry count.
+func (ce *CE) runOne(g *depgraph.Graph, tx *types.Transaction) (types.TxResult, error, int) {
+	id := tx.ID()
+	retries := 0
+	for {
+		h := g.Begin(id)
+		err := vm.ExecuteTx(ce.cfg.Registry, graphState{g, h}, tx)
+		switch {
+		case err == nil:
+			if ferr := g.Finish(h); ferr != nil {
+				// Aborted between last op and finish.
+				retries++
+				if ce.exhausted(retries) {
+					return types.TxResult{}, errRetriesExhausted, retries
+				}
+				continue
+			}
+			out := <-h.Done()
+			if !out.Committed {
+				retries++
+				if ce.exhausted(retries) {
+					return types.TxResult{}, errRetriesExhausted, retries
+				}
+				continue
+			}
+			return types.TxResult{
+				TxID:         id,
+				ScheduleIdx:  uint32(out.ScheduleIdx),
+				ReadSet:      h.ReadSet(),
+				WriteSet:     h.WriteSet(),
+				Reexecutions: uint32(retries),
+			}, nil, retries
+		case errors.Is(err, contract.ErrAborted):
+			retries++
+			if ce.exhausted(retries) {
+				g.Abort(h)
+				return types.TxResult{}, errRetriesExhausted, retries
+			}
+			continue
+		default:
+			// Terminal contract failure: remove any partial effects.
+			g.Abort(h)
+			return types.TxResult{}, err, retries
+		}
+	}
+}
+
+var errRetriesExhausted = errors.New("ce: retry budget exhausted")
+
+func (ce *CE) exhausted(retries int) bool {
+	return ce.cfg.MaxRetries > 0 && retries >= ce.cfg.MaxRetries
+}

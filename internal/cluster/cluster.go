@@ -1,0 +1,409 @@
+// Package cluster is the local testbed: it assembles n Thunderbolt
+// replicas over an in-process simulated network, routes client
+// transactions to shard proposers (re-routing across
+// reconfigurations), and measures the throughput and latency figures
+// the paper reports.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"thunderbolt/internal/contract"
+	"thunderbolt/internal/crypto"
+	"thunderbolt/internal/metrics"
+	"thunderbolt/internal/node"
+	"thunderbolt/internal/storage"
+	"thunderbolt/internal/transport"
+	"thunderbolt/internal/types"
+	"thunderbolt/internal/workload"
+)
+
+// Config assembles a cluster.
+type Config struct {
+	// N is the number of replicas (= shards).
+	N int
+	// Mode selects the execution pipeline for every node.
+	Mode node.ExecutionMode
+	// Latency models the network (default LAN).
+	Latency transport.LatencyModel
+	// SchemeName selects the signature scheme ("insecure" default for
+	// in-process scale; "ed25519" for realism).
+	SchemeName string
+	// Accounts and InitBalance seed the SmallBank state.
+	Accounts    int
+	InitBalance int64
+	// Executors, Validators, BatchSize, K, KPrime configure each node
+	// (see node.Config).
+	Executors  int
+	Validators int
+	BatchSize  int
+	K          int
+	KPrime     int
+	// TickInterval paces node housekeeping (default 25ms).
+	TickInterval time.Duration
+	// Seed feeds key generation and the workload.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.N <= 0 {
+		c.N = 4
+	}
+	if c.Latency == nil {
+		c.Latency = transport.LANModel()
+	}
+	if c.SchemeName == "" {
+		c.SchemeName = "insecure"
+	}
+	if c.Accounts <= 0 {
+		c.Accounts = 1000
+	}
+	if c.InitBalance == 0 {
+		c.InitBalance = 1_000_000
+	}
+	return c
+}
+
+// Cluster is a running local committee.
+type Cluster struct {
+	cfg   Config
+	net   *transport.SimNetwork
+	nodes []*node.Node
+	reg   *contract.Registry
+
+	mu          sync.Mutex
+	committedAt map[types.Digest]time.Time
+	waiters     map[types.Digest][]chan struct{}
+
+	latencies *metrics.LatencyRecorder
+	commits   metrics.Counter
+	// waveSeries records, from the observer node (replica 0), each
+	// commit wave's leader round and wall-clock time (Figure 16).
+	waveSeries *metrics.Series
+	lastWaveAt time.Time
+	reconfigs  metrics.Counter
+
+	started bool
+}
+
+// New assembles (but does not start) a cluster with SmallBank
+// registered and seeded identically on every replica.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	scheme, err := crypto.SchemeByName(cfg.SchemeName)
+	if err != nil {
+		return nil, err
+	}
+	signers, verifier, err := scheme.Committee(cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	reg := contract.NewRegistry()
+	workload.RegisterSmallBank(reg)
+
+	c := &Cluster{
+		cfg:         cfg,
+		net:         transport.NewSimNetwork(transport.SimConfig{N: cfg.N, Latency: cfg.Latency, Seed: cfg.Seed}),
+		reg:         reg,
+		committedAt: make(map[types.Digest]time.Time),
+		waiters:     make(map[types.Digest][]chan struct{}),
+		latencies:   metrics.NewLatencyRecorder(),
+		waveSeries:  &metrics.Series{},
+	}
+	for i := 0; i < cfg.N; i++ {
+		st := storage.New()
+		workload.InitAccounts(st, cfg.Accounts, cfg.InitBalance, cfg.InitBalance)
+		id := types.ReplicaID(i)
+		ncfg := node.Config{
+			ID: id, N: cfg.N,
+			Transport: c.net.Endpoint(id),
+			Signer:    signers[i], Verifier: verifier,
+			Registry: reg, Store: st,
+			Mode:      cfg.Mode,
+			Executors: cfg.Executors, Validators: cfg.Validators,
+			BatchSize: cfg.BatchSize, K: cfg.K, KPrime: cfg.KPrime,
+			TickInterval: cfg.TickInterval,
+			OnCommitTx:   c.onCommit,
+		}
+		if i == 0 {
+			ncfg.OnCommitWave = c.onWave
+			ncfg.OnReconfig = func(types.Epoch, time.Time) { c.reconfigs.Add(1) }
+		}
+		nd, err := node.New(ncfg)
+		if err != nil {
+			return nil, err
+		}
+		c.nodes = append(c.nodes, nd)
+	}
+	return c, nil
+}
+
+// Registry returns the shared contract registry.
+func (c *Cluster) Registry() *contract.Registry { return c.reg }
+
+// Network exposes the simulated network for fault injection.
+func (c *Cluster) Network() *transport.SimNetwork { return c.net }
+
+// Node returns replica i.
+func (c *Cluster) Node(i int) *node.Node { return c.nodes[i] }
+
+// N returns the committee size.
+func (c *Cluster) N() int { return c.cfg.N }
+
+// Start launches every node.
+func (c *Cluster) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	for _, n := range c.nodes {
+		n.Start()
+	}
+}
+
+// Stop tears the cluster down.
+func (c *Cluster) Stop() {
+	for _, n := range c.nodes {
+		n.Stop()
+	}
+	c.net.Close()
+}
+
+// onCommit records the first commit of each transaction anywhere in
+// the cluster (the paper's client-observed commit point).
+func (c *Cluster) onCommit(tx *types.Transaction, when time.Time) {
+	id := tx.ID()
+	c.mu.Lock()
+	if _, dup := c.committedAt[id]; dup {
+		c.mu.Unlock()
+		return
+	}
+	c.committedAt[id] = when
+	ws := c.waiters[id]
+	delete(c.waiters, id)
+	c.mu.Unlock()
+
+	c.commits.Add(1)
+	if tx.SubmitUnixNano > 0 {
+		c.latencies.Record(when.Sub(time.Unix(0, tx.SubmitUnixNano)))
+	}
+	for _, w := range ws {
+		close(w)
+	}
+}
+
+// onWave records inter-wave commit spacing on the observer node.
+func (c *Cluster) onWave(_ types.Epoch, _ types.Round, when time.Time) {
+	c.mu.Lock()
+	last := c.lastWaveAt
+	c.lastWaveAt = when
+	c.mu.Unlock()
+	if !last.IsZero() {
+		c.waveSeries.Append(when, when.Sub(last).Seconds())
+	}
+}
+
+// WaveSeries returns the per-wave commit spacing series (seconds).
+func (c *Cluster) WaveSeries() *metrics.Series { return c.waveSeries }
+
+// Reconfigurations returns the observer's reconfiguration count.
+func (c *Cluster) Reconfigurations() uint64 { return c.reconfigs.Value() }
+
+// Committed reports whether tx has committed anywhere.
+func (c *Cluster) Committed(id types.Digest) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.committedAt[id]
+	return ok
+}
+
+// watch returns a channel closed when tx id first commits.
+func (c *Cluster) watch(id types.Digest) <-chan struct{} {
+	ch := make(chan struct{})
+	c.mu.Lock()
+	if _, done := c.committedAt[id]; done {
+		c.mu.Unlock()
+		close(ch)
+		return ch
+	}
+	c.waiters[id] = append(c.waiters[id], ch)
+	c.mu.Unlock()
+	return ch
+}
+
+// route picks the node a transaction should be submitted to: the
+// proposer currently serving its (first) shard. The observer node's
+// epoch approximates the cluster epoch; a stale guess is corrected by
+// client resubmission after a timeout.
+func (c *Cluster) route(tx *types.Transaction) *node.Node {
+	epoch := c.nodes[0].Stats().Epoch
+	shard := types.ShardID(0)
+	if len(tx.Shards) > 0 {
+		shard = tx.Shards[0]
+	}
+	return c.nodes[ProposerOf(shard, epoch, c.cfg.N)]
+}
+
+// ProposerOf mirrors the protocol's shard-rotation schedule.
+func ProposerOf(s types.ShardID, epoch types.Epoch, n int) types.ReplicaID {
+	return node.ProposerOfShard(s, epoch, n)
+}
+
+// Submit stamps and routes one transaction without waiting.
+func (c *Cluster) Submit(tx *types.Transaction) error {
+	if !c.started {
+		return errors.New("cluster: not started")
+	}
+	if tx.SubmitUnixNano == 0 {
+		tx.SubmitUnixNano = time.Now().UnixNano()
+	}
+	return c.route(tx).Submit(tx)
+}
+
+// SubmitWait submits tx and blocks until it commits somewhere,
+// resubmitting (with re-routing) every retryEvery until the deadline
+// — the paper's client retransmission behaviour across
+// reconfigurations.
+func (c *Cluster) SubmitWait(tx *types.Transaction, retryEvery, timeout time.Duration) error {
+	id := tx.ID()
+	ch := c.watch(id)
+	deadline := time.Now().Add(timeout)
+	if err := c.Submit(tx); err != nil {
+		return err
+	}
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return fmt.Errorf("cluster: tx %s not committed within %v", id, timeout)
+		}
+		wait := retryEvery
+		if wait <= 0 || wait > remaining {
+			wait = remaining
+		}
+		select {
+		case <-ch:
+			return nil
+		case <-time.After(wait):
+			_ = c.Submit(tx) // re-route and retry
+		}
+	}
+}
+
+// Converged checks that every replica's store holds identical state.
+func (c *Cluster) Converged() error {
+	ref := c.nodes[0].Store()
+	keys := ref.Keys()
+	for i := 1; i < len(c.nodes); i++ {
+		st := c.nodes[i].Store()
+		for _, k := range keys {
+			a, _ := ref.Get(k)
+			b, _ := st.Get(k)
+			if !a.Equal(b) {
+				return fmt.Errorf("cluster: replica %d diverges at %s: %q vs %q", i, k, b, a)
+			}
+		}
+		if st.Len() != ref.Len() {
+			return fmt.Errorf("cluster: replica %d has %d keys, replica 0 has %d", i, st.Len(), ref.Len())
+		}
+	}
+	return nil
+}
+
+// WaitConverged polls Converged until the deadline.
+func (c *Cluster) WaitConverged(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last error
+	for time.Now().Before(deadline) {
+		if last = c.Converged(); last == nil {
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return last
+}
+
+// Report summarizes one load run.
+type Report struct {
+	Mode      node.ExecutionMode
+	N         int
+	Duration  time.Duration
+	Committed uint64
+	TPS       float64
+	Latency   metrics.Summary
+	Reconfigs uint64
+	NodeStats []node.Stats
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("%s n=%d tps=%.0f committed=%d latency{%s} reconfigs=%d",
+		r.Mode, r.N, r.TPS, r.Committed, r.Latency, r.Reconfigs)
+}
+
+// LoadConfig parameterizes RunLoad.
+type LoadConfig struct {
+	// Duration is the measurement window.
+	Duration time.Duration
+	// Clients is the number of closed-loop client goroutines.
+	Clients int
+	// Workload parameterizes the SmallBank generator (Shards and Seed
+	// are overridden by the cluster).
+	Workload workload.Config
+	// RetryEvery/Timeout bound one transaction's client-side life.
+	RetryEvery time.Duration
+	Timeout    time.Duration
+}
+
+// RunLoad drives closed-loop clients for the configured duration and
+// reports committed throughput and latency.
+func (c *Cluster) RunLoad(lc LoadConfig) Report {
+	if lc.Clients <= 0 {
+		lc.Clients = 8
+	}
+	if lc.RetryEvery <= 0 {
+		lc.RetryEvery = 2 * time.Second
+	}
+	if lc.Timeout <= 0 {
+		lc.Timeout = 30 * time.Second
+	}
+	lc.Workload.Shards = c.cfg.N
+	lc.Workload.Accounts = c.cfg.Accounts
+
+	startCommits := c.commits.Value()
+	start := time.Now()
+	deadline := start.Add(lc.Duration)
+
+	var wg sync.WaitGroup
+	for cl := 0; cl < lc.Clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			wcfg := lc.Workload
+			wcfg.Seed = c.cfg.Seed*7919 + int64(cl)
+			wcfg.Client = uint64(cl + 1)
+			gen := workload.NewGenerator(wcfg)
+			for time.Now().Before(deadline) {
+				tx := gen.Next()
+				tx.SubmitUnixNano = time.Now().UnixNano()
+				_ = c.SubmitWait(tx, lc.RetryEvery, lc.Timeout)
+			}
+		}(cl)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	committed := c.commits.Value() - startCommits
+
+	rep := Report{
+		Mode: c.cfg.Mode, N: c.cfg.N, Duration: elapsed,
+		Committed: committed,
+		TPS:       metrics.Throughput(committed, elapsed),
+		Latency:   c.latencies.Summarize(),
+		Reconfigs: c.reconfigs.Value(),
+	}
+	for _, n := range c.nodes {
+		rep.NodeStats = append(rep.NodeStats, n.Stats())
+	}
+	return rep
+}

@@ -1,0 +1,155 @@
+// Package contract defines the smart-contract execution interface.
+//
+// A contract is opaque executable logic whose data accesses go through
+// a State accessor. Nothing about its read/write set is known before
+// execution — the defining property of Turing-complete contracts that
+// Thunderbolt's Concurrent Executor is designed around. Contracts may
+// be native Go (this package) or bytecode run by internal/vm; both
+// present the same interface to the executors.
+package contract
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"thunderbolt/internal/types"
+)
+
+// State is the data accessor handed to executing contract code. Every
+// read and write flows through it, which is how the concurrency
+// controller observes access patterns at runtime.
+//
+// Read and Write may return an error to signal that the surrounding
+// transaction has been aborted by the controller; contract code must
+// stop and propagate it immediately.
+type State interface {
+	Read(k types.Key) (types.Value, error)
+	Write(k types.Key, v types.Value) error
+}
+
+// ErrAborted is returned by State accessors when the concurrency
+// controller has aborted the transaction mid-flight. The executor
+// re-runs the transaction from the start.
+var ErrAborted = errors.New("contract: transaction aborted by concurrency controller")
+
+// ErrContractFailure wraps application-level failures (e.g. malformed
+// arguments). These are terminal: the transaction commits no writes
+// and is not retried.
+var ErrContractFailure = errors.New("contract: execution failed")
+
+// Failf builds a terminal contract failure.
+func Failf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrContractFailure, fmt.Sprintf(format, args...))
+}
+
+// Contract is a deployed, callable unit of logic. Implementations must
+// be pure functions of (state, args): the paper's data model assumes
+// idempotent functions, which is what makes preplay + replay
+// validation sound.
+type Contract interface {
+	// Name is the registry key clients reference in Transaction.Contract.
+	Name() string
+	// Execute runs the contract against st with the given arguments.
+	Execute(st State, args [][]byte) error
+}
+
+// Func adapts a plain function to the Contract interface.
+type Func struct {
+	ContractName string
+	Fn           func(st State, args [][]byte) error
+}
+
+// Name implements Contract.
+func (f Func) Name() string { return f.ContractName }
+
+// Execute implements Contract.
+func (f Func) Execute(st State, args [][]byte) error { return f.Fn(st, args) }
+
+// Registry maps contract names to implementations. It is safe for
+// concurrent use; registration normally happens at node startup.
+type Registry struct {
+	mu        sync.RWMutex
+	contracts map[string]Contract
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{contracts: make(map[string]Contract)}
+}
+
+// Register adds c; it returns an error if the name is already taken.
+func (r *Registry) Register(c Contract) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.contracts[c.Name()]; dup {
+		return fmt.Errorf("contract: %q already registered", c.Name())
+	}
+	r.contracts[c.Name()] = c
+	return nil
+}
+
+// MustRegister is Register that panics on duplicates (startup use).
+func (r *Registry) MustRegister(c Contract) {
+	if err := r.Register(c); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup resolves a contract by name.
+func (r *Registry) Lookup(name string) (Contract, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.contracts[name]
+	return c, ok
+}
+
+// Names returns the registered contract names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.contracts))
+	for n := range r.contracts {
+		out = append(out, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// --- Value helpers ---
+
+// EncodeInt64 renders v as the canonical 8-byte big-endian value used
+// for balances and counters.
+func EncodeInt64(v int64) types.Value {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(v))
+	return b[:]
+}
+
+// DecodeInt64 parses a value written by EncodeInt64. Missing (nil)
+// values decode to zero, so uninitialized balances read as 0.
+func DecodeInt64(v types.Value) (int64, error) {
+	if len(v) == 0 {
+		return 0, nil
+	}
+	if len(v) != 8 {
+		return 0, fmt.Errorf("contract: int64 value has %d bytes", len(v))
+	}
+	return int64(binary.BigEndian.Uint64(v)), nil
+}
+
+// ReadInt64 reads and decodes an integer cell.
+func ReadInt64(st State, k types.Key) (int64, error) {
+	v, err := st.Read(k)
+	if err != nil {
+		return 0, err
+	}
+	return DecodeInt64(v)
+}
+
+// WriteInt64 encodes and writes an integer cell.
+func WriteInt64(st State, k types.Key, v int64) error {
+	return st.Write(k, EncodeInt64(v))
+}

@@ -1,0 +1,105 @@
+package contract
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"thunderbolt/internal/types"
+)
+
+type mapState map[types.Key]types.Value
+
+func (m mapState) Read(k types.Key) (types.Value, error)  { return m[k], nil }
+func (m mapState) Write(k types.Key, v types.Value) error { m[k] = v.Clone(); return nil }
+
+func TestRegistryRegisterAndLookup(t *testing.T) {
+	r := NewRegistry()
+	c := Func{ContractName: "a.b", Fn: func(State, [][]byte) error { return nil }}
+	if err := r.Register(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(c); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	got, ok := r.Lookup("a.b")
+	if !ok || got.Name() != "a.b" {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := r.Lookup("missing"); ok {
+		t.Fatal("phantom contract")
+	}
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"c", "a", "b"} {
+		r.MustRegister(Func{ContractName: n, Fn: func(State, [][]byte) error { return nil }})
+	}
+	names := r.Names()
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Fatalf("names not sorted: %v", names)
+	}
+}
+
+func TestMustRegisterPanics(t *testing.T) {
+	r := NewRegistry()
+	c := Func{ContractName: "x", Fn: func(State, [][]byte) error { return nil }}
+	r.MustRegister(c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.MustRegister(c)
+}
+
+func TestInt64Codec(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 1 << 40, -(1 << 40)} {
+		got, err := DecodeInt64(EncodeInt64(v))
+		if err != nil || got != v {
+			t.Fatalf("roundtrip %d -> %d err=%v", v, got, err)
+		}
+	}
+	if v, err := DecodeInt64(nil); err != nil || v != 0 {
+		t.Fatal("nil should decode as 0")
+	}
+	if _, err := DecodeInt64(types.Value("abc")); err == nil {
+		t.Fatal("short value accepted")
+	}
+}
+
+func TestInt64CodecQuick(t *testing.T) {
+	f := func(v int64) bool {
+		got, err := DecodeInt64(EncodeInt64(v))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadWriteInt64Helpers(t *testing.T) {
+	st := mapState{}
+	if err := WriteInt64(st, "k", 42); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ReadInt64(st, "k")
+	if err != nil || v != 42 {
+		t.Fatalf("got %d err=%v", v, err)
+	}
+	// Missing key reads as zero.
+	if v, err := ReadInt64(st, "missing"); err != nil || v != 0 {
+		t.Fatalf("missing: %d err=%v", v, err)
+	}
+}
+
+func TestFailf(t *testing.T) {
+	err := Failf("boom %d", 7)
+	if !errors.Is(err, ErrContractFailure) {
+		t.Fatal("Failf must wrap ErrContractFailure")
+	}
+	if errors.Is(err, ErrAborted) {
+		t.Fatal("contract failure must not look like a controller abort")
+	}
+}

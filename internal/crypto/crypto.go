@@ -1,0 +1,158 @@
+// Package crypto provides the signing primitives Thunderbolt's DAG
+// layer uses to certify vertices: per-replica signers, verifiers, and
+// quorum certificates over block digests.
+//
+// Two schemes are provided behind one interface. Ed25519Scheme uses
+// stdlib crypto/ed25519 and is the default for real deployments.
+// InsecureScheme replaces signatures with keyed digests; it preserves
+// message sizes and protocol structure while removing asymmetric-crypto
+// cost, which is what large-scale simulations (64+ replicas in one
+// process) need. The paper's evaluation reports relative speedups, so
+// the choice of scheme does not change any figure's shape.
+package crypto
+
+import (
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"thunderbolt/internal/types"
+)
+
+// Signer produces signatures on behalf of one replica.
+type Signer interface {
+	// Sign signs the digest d.
+	Sign(d types.Digest) []byte
+	// ID returns the replica this signer belongs to.
+	ID() types.ReplicaID
+}
+
+// Verifier checks signatures from any replica in the committee.
+type Verifier interface {
+	// Verify reports whether sig is a valid signature on d by replica r.
+	Verify(r types.ReplicaID, d types.Digest, sig []byte) bool
+}
+
+// Scheme bundles key generation for a whole committee.
+type Scheme interface {
+	// Committee creates signers for n replicas plus a verifier that
+	// recognizes all of them. The seed makes key generation
+	// reproducible across processes (required so that independently
+	// started replicas of a local testbed agree on public keys without
+	// a key-exchange phase).
+	Committee(n int, seed int64) ([]Signer, Verifier, error)
+	// Name identifies the scheme for logs and configs.
+	Name() string
+}
+
+// --- Ed25519 ---
+
+// Ed25519Scheme signs with stdlib ed25519 keys derived from the seed.
+type Ed25519Scheme struct{}
+
+// Name implements Scheme.
+func (Ed25519Scheme) Name() string { return "ed25519" }
+
+// Committee implements Scheme.
+func (Ed25519Scheme) Committee(n int, seed int64) ([]Signer, Verifier, error) {
+	if n <= 0 {
+		return nil, nil, errors.New("crypto: committee size must be positive")
+	}
+	signers := make([]Signer, n)
+	pubs := make([]ed25519.PublicKey, n)
+	for i := 0; i < n; i++ {
+		var kseed [ed25519.SeedSize]byte
+		binary.BigEndian.PutUint64(kseed[:8], uint64(seed))
+		binary.BigEndian.PutUint32(kseed[8:12], uint32(i))
+		h := sha256.Sum256(kseed[:])
+		priv := ed25519.NewKeyFromSeed(h[:])
+		signers[i] = &edSigner{id: types.ReplicaID(i), priv: priv}
+		pubs[i] = priv.Public().(ed25519.PublicKey)
+	}
+	return signers, &edVerifier{pubs: pubs}, nil
+}
+
+type edSigner struct {
+	id   types.ReplicaID
+	priv ed25519.PrivateKey
+}
+
+func (s *edSigner) Sign(d types.Digest) []byte { return ed25519.Sign(s.priv, d[:]) }
+func (s *edSigner) ID() types.ReplicaID        { return s.id }
+
+type edVerifier struct {
+	pubs []ed25519.PublicKey
+}
+
+func (v *edVerifier) Verify(r types.ReplicaID, d types.Digest, sig []byte) bool {
+	if int(r) >= len(v.pubs) {
+		return false
+	}
+	return ed25519.Verify(v.pubs[r], d[:], sig)
+}
+
+// --- Insecure (simulation) ---
+
+// InsecureScheme produces HMAC-SHA256 tags under per-replica keys that
+// every party knows. It provides no security against a real adversary
+// but exercises the same code paths (signature bytes on the wire,
+// verification on receipt, quorum assembly) at a fraction of the cost.
+type InsecureScheme struct{}
+
+// Name implements Scheme.
+func (InsecureScheme) Name() string { return "insecure" }
+
+// Committee implements Scheme.
+func (InsecureScheme) Committee(n int, seed int64) ([]Signer, Verifier, error) {
+	if n <= 0 {
+		return nil, nil, errors.New("crypto: committee size must be positive")
+	}
+	keys := make([][]byte, n)
+	signers := make([]Signer, n)
+	for i := 0; i < n; i++ {
+		k := sha256.Sum256([]byte(fmt.Sprintf("insecure-key-%d-%d", seed, i)))
+		keys[i] = k[:]
+		signers[i] = &macSigner{id: types.ReplicaID(i), key: k[:]}
+	}
+	return signers, &macVerifier{keys: keys}, nil
+}
+
+type macSigner struct {
+	id  types.ReplicaID
+	key []byte
+}
+
+func (s *macSigner) Sign(d types.Digest) []byte {
+	m := hmac.New(sha256.New, s.key)
+	m.Write(d[:])
+	return m.Sum(nil)
+}
+func (s *macSigner) ID() types.ReplicaID { return s.id }
+
+type macVerifier struct {
+	keys [][]byte
+}
+
+func (v *macVerifier) Verify(r types.ReplicaID, d types.Digest, sig []byte) bool {
+	if int(r) >= len(v.keys) {
+		return false
+	}
+	m := hmac.New(sha256.New, v.keys[r])
+	m.Write(d[:])
+	return hmac.Equal(m.Sum(nil), sig)
+}
+
+// SchemeByName resolves a scheme from its configuration name.
+func SchemeByName(name string) (Scheme, error) {
+	switch name {
+	case "", "ed25519":
+		return Ed25519Scheme{}, nil
+	case "insecure":
+		return InsecureScheme{}, nil
+	default:
+		return nil, fmt.Errorf("crypto: unknown scheme %q", name)
+	}
+}

@@ -1,0 +1,172 @@
+package crypto
+
+import (
+	"testing"
+
+	"thunderbolt/internal/types"
+)
+
+func schemes() []Scheme { return []Scheme{Ed25519Scheme{}, InsecureScheme{}} }
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	for _, s := range schemes() {
+		t.Run(s.Name(), func(t *testing.T) {
+			signers, verifier, err := s.Committee(4, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := types.HashBytes([]byte("block"))
+			for _, sg := range signers {
+				sig := sg.Sign(d)
+				if !verifier.Verify(sg.ID(), d, sig) {
+					t.Fatalf("replica %d: valid signature rejected", sg.ID())
+				}
+				// Wrong digest must fail.
+				if verifier.Verify(sg.ID(), types.HashBytes([]byte("other")), sig) {
+					t.Fatal("signature accepted for wrong digest")
+				}
+				// Wrong signer must fail.
+				other := (sg.ID() + 1) % 4
+				if verifier.Verify(other, d, sig) {
+					t.Fatal("signature accepted for wrong signer")
+				}
+			}
+		})
+	}
+}
+
+func TestCommitteeDeterministicBySeed(t *testing.T) {
+	for _, s := range schemes() {
+		t.Run(s.Name(), func(t *testing.T) {
+			s1, _, _ := s.Committee(4, 42)
+			s2, _, _ := s.Committee(4, 42)
+			d := types.HashBytes([]byte("x"))
+			if string(s1[2].Sign(d)) != string(s2[2].Sign(d)) {
+				t.Fatal("same seed produced different keys")
+			}
+			s3, _, _ := s.Committee(4, 43)
+			if string(s1[2].Sign(d)) == string(s3[2].Sign(d)) {
+				t.Fatal("different seeds produced identical keys")
+			}
+		})
+	}
+}
+
+func TestCommitteeRejectsNonPositive(t *testing.T) {
+	for _, s := range schemes() {
+		if _, _, err := s.Committee(0, 1); err == nil {
+			t.Fatalf("%s: expected error for n=0", s.Name())
+		}
+	}
+}
+
+func TestQuorumSize(t *testing.T) {
+	cases := []struct{ n, q, f int }{
+		{4, 3, 1}, {7, 5, 2}, {10, 7, 3}, {16, 11, 5}, {64, 43, 21}, {1, 1, 0},
+	}
+	for _, c := range cases {
+		if QuorumSize(c.n) != c.q {
+			t.Errorf("QuorumSize(%d)=%d want %d", c.n, QuorumSize(c.n), c.q)
+		}
+		if FaultBound(c.n) != c.f {
+			t.Errorf("FaultBound(%d)=%d want %d", c.n, FaultBound(c.n), c.f)
+		}
+	}
+}
+
+func TestQuorumCollectorEmitsOnce(t *testing.T) {
+	signers, verifier, _ := InsecureScheme{}.Committee(4, 1)
+	d := types.HashBytes([]byte("blk"))
+	q := NewQuorumCollector(4, verifier, d, 1, 2, 3)
+
+	if c, err := q.Add(0, signers[0].Sign(d)); err != nil || c != nil {
+		t.Fatalf("vote 1: cert=%v err=%v", c, err)
+	}
+	// Duplicate is ignored.
+	if c, err := q.Add(0, signers[0].Sign(d)); err != nil || c != nil {
+		t.Fatalf("duplicate vote: cert=%v err=%v", c, err)
+	}
+	if q.Count() != 1 {
+		t.Fatalf("count=%d want 1", q.Count())
+	}
+	if c, _ := q.Add(1, signers[1].Sign(d)); c != nil {
+		t.Fatal("cert emitted below quorum")
+	}
+	cert, err := q.Add(2, signers[2].Sign(d))
+	if err != nil || cert == nil {
+		t.Fatalf("quorum vote: cert=%v err=%v", cert, err)
+	}
+	if cert.Round != 2 || cert.Proposer != 3 || cert.Epoch != 1 {
+		t.Fatalf("certificate fields wrong: %+v", cert)
+	}
+	if len(cert.Sigs) != 3 {
+		t.Fatalf("certificate carries %d sigs, want 3", len(cert.Sigs))
+	}
+	// A fourth vote after emission must not emit again.
+	if c, _ := q.Add(3, signers[3].Sign(d)); c != nil {
+		t.Fatal("certificate emitted twice")
+	}
+	if err := VerifyCertificate(cert, 4, verifier); err != nil {
+		t.Fatalf("emitted certificate does not verify: %v", err)
+	}
+}
+
+func TestQuorumCollectorRejectsBadVotes(t *testing.T) {
+	signers, verifier, _ := Ed25519Scheme{}.Committee(4, 1)
+	d := types.HashBytes([]byte("blk"))
+	q := NewQuorumCollector(4, verifier, d, 0, 1, 0)
+	if _, err := q.Add(1, []byte("garbage")); err != ErrBadSignature {
+		t.Fatalf("want ErrBadSignature, got %v", err)
+	}
+	// Signature by the wrong replica.
+	if _, err := q.Add(1, signers[2].Sign(d)); err != ErrBadSignature {
+		t.Fatalf("want ErrBadSignature for mismatched signer, got %v", err)
+	}
+	if _, err := q.Add(9, signers[0].Sign(d)); err == nil {
+		t.Fatal("out-of-committee vote accepted")
+	}
+	if q.Count() != 0 {
+		t.Fatalf("bad votes counted: %d", q.Count())
+	}
+}
+
+func TestVerifyCertificateRejectsForgery(t *testing.T) {
+	signers, verifier, _ := InsecureScheme{}.Committee(4, 1)
+	d := types.HashBytes([]byte("blk"))
+	cert := &types.Certificate{BlockDigest: d, Round: 1}
+	// Too few signatures.
+	cert.Sigs = []types.Signature{{Signer: 0, Sig: signers[0].Sign(d)}}
+	if err := VerifyCertificate(cert, 4, verifier); err == nil {
+		t.Fatal("undersized certificate accepted")
+	}
+	// Duplicated signer must not count twice.
+	cert.Sigs = []types.Signature{
+		{Signer: 0, Sig: signers[0].Sign(d)},
+		{Signer: 0, Sig: signers[0].Sign(d)},
+		{Signer: 1, Sig: signers[1].Sign(d)},
+	}
+	if err := VerifyCertificate(cert, 4, verifier); err == nil {
+		t.Fatal("certificate with duplicate signer accepted")
+	}
+	// Invalid signature must not count.
+	cert.Sigs = []types.Signature{
+		{Signer: 0, Sig: signers[0].Sign(d)},
+		{Signer: 1, Sig: []byte("bad")},
+		{Signer: 2, Sig: signers[2].Sign(d)},
+	}
+	if err := VerifyCertificate(cert, 4, verifier); err == nil {
+		t.Fatal("certificate with invalid signature accepted")
+	}
+}
+
+func TestSchemeByName(t *testing.T) {
+	if s, err := SchemeByName(""); err != nil || s.Name() != "ed25519" {
+		t.Fatal("default scheme should be ed25519")
+	}
+	if s, err := SchemeByName("insecure"); err != nil || s.Name() != "insecure" {
+		t.Fatal("insecure scheme not resolved")
+	}
+	if _, err := SchemeByName("rsa"); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}

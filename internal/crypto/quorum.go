@@ -1,0 +1,102 @@
+package crypto
+
+import (
+	"errors"
+	"fmt"
+
+	"thunderbolt/internal/types"
+)
+
+// QuorumSize returns 2f+1 for a committee of n = 3f+1 replicas. For n
+// not of the form 3f+1 it returns the smallest count guaranteeing
+// intersection in an honest majority: n - f where f = (n-1)/3.
+func QuorumSize(n int) int {
+	f := (n - 1) / 3
+	return n - f
+}
+
+// FaultBound returns f, the maximum number of Byzantine replicas a
+// committee of n tolerates.
+func FaultBound(n int) int { return (n - 1) / 3 }
+
+// QuorumCollector accumulates signatures over one block digest until a
+// 2f+1 quorum forms, then emits a certificate. It is not safe for
+// concurrent use; the DAG core serializes access.
+type QuorumCollector struct {
+	n        int
+	block    types.Digest
+	epoch    types.Epoch
+	round    types.Round
+	proposer types.ReplicaID
+	verifier Verifier
+	sigs     map[types.ReplicaID][]byte
+	done     bool
+}
+
+// NewQuorumCollector starts collecting signatures for the block with
+// the given identity fields in a committee of n replicas.
+func NewQuorumCollector(n int, v Verifier, block types.Digest, epoch types.Epoch, round types.Round, proposer types.ReplicaID) *QuorumCollector {
+	return &QuorumCollector{
+		n: n, block: block, epoch: epoch, round: round, proposer: proposer,
+		verifier: v, sigs: make(map[types.ReplicaID][]byte, QuorumSize(n)),
+	}
+}
+
+// ErrBadSignature reports a vote that failed verification.
+var ErrBadSignature = errors.New("crypto: signature verification failed")
+
+// Add records replica r's signature. It returns a certificate exactly
+// once: on the call that completes the quorum. Duplicate votes are
+// ignored; invalid votes return ErrBadSignature.
+func (q *QuorumCollector) Add(r types.ReplicaID, sig []byte) (*types.Certificate, error) {
+	if int(r) >= q.n {
+		return nil, fmt.Errorf("crypto: vote from out-of-committee replica %d", r)
+	}
+	if _, dup := q.sigs[r]; dup {
+		return nil, nil
+	}
+	if !q.verifier.Verify(r, q.block, sig) {
+		return nil, ErrBadSignature
+	}
+	q.sigs[r] = append([]byte(nil), sig...)
+	if q.done || len(q.sigs) < QuorumSize(q.n) {
+		return nil, nil
+	}
+	q.done = true
+	cert := &types.Certificate{
+		BlockDigest: q.block, Epoch: q.epoch, Round: q.round, Proposer: q.proposer,
+	}
+	// Deterministic signer order keeps certificates comparable in tests.
+	for id := types.ReplicaID(0); int(id) < q.n; id++ {
+		if s, ok := q.sigs[id]; ok {
+			cert.Sigs = append(cert.Sigs, types.Signature{Signer: id, Sig: s})
+		}
+	}
+	return cert, nil
+}
+
+// Count returns the number of valid votes collected so far.
+func (q *QuorumCollector) Count() int { return len(q.sigs) }
+
+// VerifyCertificate checks that cert carries 2f+1 valid signatures
+// from distinct committee members over its block digest.
+func VerifyCertificate(cert *types.Certificate, n int, v Verifier) error {
+	if len(cert.Sigs) < QuorumSize(n) {
+		return fmt.Errorf("crypto: certificate has %d signatures, need %d", len(cert.Sigs), QuorumSize(n))
+	}
+	seen := make(map[types.ReplicaID]bool, len(cert.Sigs))
+	valid := 0
+	for _, s := range cert.Sigs {
+		if int(s.Signer) >= n || seen[s.Signer] {
+			continue
+		}
+		seen[s.Signer] = true
+		if v.Verify(s.Signer, cert.BlockDigest, s.Sig) {
+			valid++
+		}
+	}
+	if valid < QuorumSize(n) {
+		return fmt.Errorf("crypto: certificate has %d valid signatures, need %d", valid, QuorumSize(n))
+	}
+	return nil
+}

@@ -1,0 +1,217 @@
+// Package dag maintains one epoch's directed acyclic graph of
+// certified blocks (paper §2).
+//
+// Each vertex pairs a block with its 2f+1-signature certificate.
+// Parent references point at certificate digests of the previous
+// round, so holding a vertex transitively guarantees availability of
+// its entire causal history (the DAG Validity property). The store
+// answers the queries the Tusk commit rule needs: quorum detection per
+// round, leader support counting, and deterministic linearization of
+// causal histories.
+package dag
+
+import (
+	"fmt"
+	"sort"
+
+	"thunderbolt/internal/types"
+)
+
+// Vertex is one certified DAG position.
+type Vertex struct {
+	Block *types.Block
+	Cert  *types.Certificate
+}
+
+// Round returns the vertex's round.
+func (v *Vertex) Round() types.Round { return v.Block.Round }
+
+// Proposer returns the vertex's proposing replica.
+func (v *Vertex) Proposer() types.ReplicaID { return v.Block.Proposer }
+
+// Store holds one epoch's DAG. It is not safe for concurrent use; the
+// node serializes access on its event loop.
+type Store struct {
+	epoch types.Epoch
+	n     int
+
+	byCert  map[types.Digest]*Vertex
+	byBlock map[types.Digest]*Vertex
+	rounds  map[types.Round]map[types.ReplicaID]*Vertex
+}
+
+// NewStore creates an empty DAG for one epoch and committee size n.
+func NewStore(epoch types.Epoch, n int) *Store {
+	return &Store{
+		epoch:   epoch,
+		n:       n,
+		byCert:  make(map[types.Digest]*Vertex),
+		byBlock: make(map[types.Digest]*Vertex),
+		rounds:  make(map[types.Round]map[types.ReplicaID]*Vertex),
+	}
+}
+
+// Epoch returns the epoch this DAG belongs to.
+func (s *Store) Epoch() types.Epoch { return s.epoch }
+
+// Add inserts a certified vertex. It rejects epoch mismatches,
+// duplicate (round, proposer) slots with different blocks (Byzantine
+// equivocation caught at certification), and vertices whose parents
+// are not yet present — callers buffer those until the causal history
+// arrives (Validity property).
+func (s *Store) Add(v *Vertex) error {
+	b := v.Block
+	if b.Epoch != s.epoch {
+		return fmt.Errorf("dag: vertex epoch %d, store epoch %d", b.Epoch, s.epoch)
+	}
+	if v.Cert.BlockDigest != b.Digest() {
+		return fmt.Errorf("dag: certificate does not cover block")
+	}
+	if existing, ok := s.rounds[b.Round][b.Proposer]; ok {
+		if existing.Block.Digest() == b.Digest() {
+			return nil // idempotent
+		}
+		return fmt.Errorf("dag: slot (%d,%d) already filled with a different block", b.Round, b.Proposer)
+	}
+	if b.Round > 1 {
+		for _, p := range b.Parents {
+			if _, ok := s.byCert[p]; !ok {
+				return &MissingParentError{Parent: p, Round: b.Round}
+			}
+		}
+	}
+	s.byCert[v.Cert.Digest()] = v
+	s.byBlock[b.Digest()] = v
+	rm, ok := s.rounds[b.Round]
+	if !ok {
+		rm = make(map[types.ReplicaID]*Vertex)
+		s.rounds[b.Round] = rm
+	}
+	rm[b.Proposer] = v
+	return nil
+}
+
+// MissingParentError reports that a vertex references a certificate
+// the store has not seen; the caller should buffer and retry.
+type MissingParentError struct {
+	Parent types.Digest
+	Round  types.Round
+}
+
+func (e *MissingParentError) Error() string {
+	return fmt.Sprintf("dag: missing parent %s for round %d", e.Parent, e.Round)
+}
+
+// ByCert returns the vertex whose certificate digest is d.
+func (s *Store) ByCert(d types.Digest) (*Vertex, bool) {
+	v, ok := s.byCert[d]
+	return v, ok
+}
+
+// ByBlock returns the vertex whose block digest is d.
+func (s *Store) ByBlock(d types.Digest) (*Vertex, bool) {
+	v, ok := s.byBlock[d]
+	return v, ok
+}
+
+// AtRound returns the vertices of one round keyed by proposer.
+func (s *Store) AtRound(r types.Round) map[types.ReplicaID]*Vertex {
+	return s.rounds[r]
+}
+
+// Get returns the vertex proposed by p in round r.
+func (s *Store) Get(r types.Round, p types.ReplicaID) (*Vertex, bool) {
+	v, ok := s.rounds[r][p]
+	return v, ok
+}
+
+// CountAtRound returns how many vertices round r holds.
+func (s *Store) CountAtRound(r types.Round) int { return len(s.rounds[r]) }
+
+// CertsAtRound returns the certificate digests of round r in
+// proposer order (deterministic parent lists).
+func (s *Store) CertsAtRound(r types.Round) []types.Digest {
+	rm := s.rounds[r]
+	ids := make([]types.ReplicaID, 0, len(rm))
+	for id := range rm {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]types.Digest, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, rm[id].Cert.Digest())
+	}
+	return out
+}
+
+// SupportFor counts round r+1 vertices that reference the vertex v
+// (round r) as a parent — the Tusk commit threshold input.
+func (s *Store) SupportFor(v *Vertex) int {
+	target := v.Cert.Digest()
+	support := 0
+	for _, w := range s.rounds[v.Round()+1] {
+		for _, p := range w.Block.Parents {
+			if p == target {
+				support++
+				break
+			}
+		}
+	}
+	return support
+}
+
+// HighestRound returns the largest round holding any vertex.
+func (s *Store) HighestRound() types.Round {
+	var hi types.Round
+	for r := range s.rounds {
+		if r > hi {
+			hi = r
+		}
+	}
+	return hi
+}
+
+// CausalHistory returns every ancestor of v (excluding v) reachable
+// through parent references.
+func (s *Store) CausalHistory(v *Vertex) []*Vertex {
+	seen := map[types.Digest]bool{v.Cert.Digest(): true}
+	var out []*Vertex
+	stack := []*Vertex{v}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range cur.Block.Parents {
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			if pv, ok := s.byCert[p]; ok {
+				out = append(out, pv)
+				stack = append(stack, pv)
+			}
+		}
+	}
+	return out
+}
+
+// Linearize returns v's causal history plus v itself, excluding
+// vertices for which skip reports true (already committed), in the
+// canonical deterministic order: ascending round, then ascending
+// proposer. Every honest replica computes the identical sequence for
+// the same leader vertex (DAG Completeness).
+func (s *Store) Linearize(v *Vertex, skip func(types.Digest) bool) []*Vertex {
+	all := append(s.CausalHistory(v), v)
+	out := all[:0]
+	for _, w := range all {
+		if skip == nil || !skip(w.Cert.Digest()) {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Round() != out[j].Round() {
+			return out[i].Round() < out[j].Round()
+		}
+		return out[i].Proposer() < out[j].Proposer()
+	})
+	return out
+}

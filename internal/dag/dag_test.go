@@ -1,0 +1,154 @@
+package dag_test
+
+import (
+	"errors"
+	"testing"
+
+	"thunderbolt/internal/dag"
+	"thunderbolt/internal/dag/dagtest"
+	"thunderbolt/internal/types"
+)
+
+func TestAddAndLookup(t *testing.T) {
+	c := dagtest.NewCommittee(4)
+	b := dagtest.NewBuilder(c, 0)
+	r1 := b.NextRound(nil, nil)
+
+	v, ok := b.Store.Get(1, 2)
+	if !ok || v != r1[2] {
+		t.Fatal("Get(1,2) failed")
+	}
+	if _, ok := b.Store.ByBlock(r1[0].Block.Digest()); !ok {
+		t.Fatal("ByBlock lookup failed")
+	}
+	if _, ok := b.Store.ByCert(r1[0].Cert.Digest()); !ok {
+		t.Fatal("ByCert lookup failed")
+	}
+	if b.Store.CountAtRound(1) != 4 || b.Store.CountAtRound(2) != 0 {
+		t.Fatal("round counts wrong")
+	}
+	// Idempotent re-add.
+	if err := b.Store.Add(r1[0]); err != nil {
+		t.Fatalf("idempotent add failed: %v", err)
+	}
+}
+
+func TestAddRejectsEquivocation(t *testing.T) {
+	c := dagtest.NewCommittee(4)
+	b := dagtest.NewBuilder(c, 0)
+	b.NextRound(nil, nil)
+	// A second, different block for slot (1, 0).
+	dup := c.Vertex(&types.Block{Epoch: 0, Round: 1, Proposer: 0, Kind: types.NormalBlock, ProposedUnixNano: 999})
+	if err := b.Store.Add(dup); err == nil {
+		t.Fatal("equivocating block accepted")
+	}
+}
+
+func TestAddRejectsWrongEpochAndBadCert(t *testing.T) {
+	c := dagtest.NewCommittee(4)
+	st := dag.NewStore(1, 4)
+	blk := &types.Block{Epoch: 0, Round: 1, Proposer: 0, Kind: types.NormalBlock}
+	if err := st.Add(c.Vertex(blk)); err == nil {
+		t.Fatal("wrong-epoch vertex accepted")
+	}
+	// Certificate covering a different block.
+	blk2 := &types.Block{Epoch: 1, Round: 1, Proposer: 0, Kind: types.NormalBlock}
+	other := &types.Block{Epoch: 1, Round: 1, Proposer: 0, Kind: types.SkipBlock}
+	v := &dag.Vertex{Block: blk2, Cert: c.Certify(other)}
+	if err := st.Add(v); err == nil {
+		t.Fatal("mismatched certificate accepted")
+	}
+}
+
+func TestAddRequiresParents(t *testing.T) {
+	c := dagtest.NewCommittee(4)
+	st := dag.NewStore(0, 4)
+	orphan := c.Vertex(&types.Block{
+		Epoch: 0, Round: 2, Proposer: 0, Kind: types.NormalBlock,
+		Parents: []types.Digest{types.HashBytes([]byte("nowhere"))},
+	})
+	err := st.Add(orphan)
+	var mpe *dag.MissingParentError
+	if !errors.As(err, &mpe) {
+		t.Fatalf("want MissingParentError, got %v", err)
+	}
+}
+
+func TestSupportFor(t *testing.T) {
+	c := dagtest.NewCommittee(4)
+	b := dagtest.NewBuilder(c, 0)
+	r1 := b.NextRound(nil, nil)
+	// Round 2 from only 3 proposers; all reference all of round 1.
+	b.NextRound([]types.ReplicaID{0, 1, 2}, nil)
+	if got := b.Store.SupportFor(r1[3]); got != 3 {
+		t.Fatalf("support=%d want 3", got)
+	}
+}
+
+func TestCausalHistoryComplete(t *testing.T) {
+	c := dagtest.NewCommittee(4)
+	b := dagtest.NewBuilder(c, 0)
+	b.NextRound(nil, nil)
+	b.NextRound(nil, nil)
+	r3 := b.NextRound(nil, nil)
+	hist := b.Store.CausalHistory(r3[0])
+	// Full connectivity: history of a round-3 vertex is all 8 earlier vertices.
+	if len(hist) != 8 {
+		t.Fatalf("history size %d want 8", len(hist))
+	}
+}
+
+func TestLinearizeDeterministicOrder(t *testing.T) {
+	c := dagtest.NewCommittee(4)
+	b := dagtest.NewBuilder(c, 0)
+	b.NextRound(nil, nil)
+	b.NextRound(nil, nil)
+	r3 := b.NextRound(nil, nil)
+
+	got := b.Store.Linearize(r3[2], nil)
+	if len(got) != 9 {
+		t.Fatalf("linearized %d vertices, want 9", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		a, bb := got[i-1], got[i]
+		if a.Round() > bb.Round() || (a.Round() == bb.Round() && a.Proposer() >= bb.Proposer()) {
+			t.Fatalf("order violated at %d: (%d,%d) then (%d,%d)",
+				i, a.Round(), a.Proposer(), bb.Round(), bb.Proposer())
+		}
+	}
+	// Skip filter removes vertices.
+	skipped := b.Store.Linearize(r3[2], func(d types.Digest) bool {
+		return d == got[0].Cert.Digest()
+	})
+	if len(skipped) != 8 {
+		t.Fatalf("skip filter ignored: %d", len(skipped))
+	}
+}
+
+func TestCertsAtRoundSorted(t *testing.T) {
+	c := dagtest.NewCommittee(4)
+	b := dagtest.NewBuilder(c, 0)
+	r1 := b.NextRound(nil, nil)
+	certs := b.Store.CertsAtRound(1)
+	if len(certs) != 4 {
+		t.Fatalf("%d certs", len(certs))
+	}
+	for i, p := range []types.ReplicaID{0, 1, 2, 3} {
+		if certs[i] != r1[p].Cert.Digest() {
+			t.Fatalf("cert %d not in proposer order", i)
+		}
+	}
+}
+
+func TestHighestRound(t *testing.T) {
+	c := dagtest.NewCommittee(4)
+	b := dagtest.NewBuilder(c, 0)
+	if b.Store.HighestRound() != 0 {
+		t.Fatal("empty store should report round 0")
+	}
+	b.NextRound(nil, nil)
+	b.NextRound(nil, nil)
+	if b.Store.HighestRound() != 2 {
+		t.Fatalf("highest=%d want 2", b.Store.HighestRound())
+	}
+}

@@ -1,0 +1,99 @@
+// Package dagtest provides fixtures for building valid certified DAGs
+// in tests of the dag, tusk, and node packages.
+package dagtest
+
+import (
+	"fmt"
+
+	"thunderbolt/internal/crypto"
+	"thunderbolt/internal/dag"
+	"thunderbolt/internal/types"
+)
+
+// Committee bundles a test committee's signers and verifier.
+type Committee struct {
+	N       int
+	Signers []crypto.Signer
+	Ver     crypto.Verifier
+}
+
+// NewCommittee builds an insecure-scheme committee of n replicas.
+func NewCommittee(n int) *Committee {
+	signers, ver, err := crypto.InsecureScheme{}.Committee(n, 1)
+	if err != nil {
+		panic(err)
+	}
+	return &Committee{N: n, Signers: signers, Ver: ver}
+}
+
+// Certify produces a 2f+1 certificate over the block.
+func (c *Committee) Certify(b *types.Block) *types.Certificate {
+	d := b.Digest()
+	q := crypto.NewQuorumCollector(c.N, c.Ver, d, b.Epoch, b.Round, b.Proposer)
+	for i := 0; i < crypto.QuorumSize(c.N); i++ {
+		cert, err := q.Add(types.ReplicaID(i), c.Signers[i].Sign(d))
+		if err != nil {
+			panic(err)
+		}
+		if cert != nil {
+			return cert
+		}
+	}
+	panic("dagtest: quorum never formed")
+}
+
+// Vertex builds a certified vertex.
+func (c *Committee) Vertex(b *types.Block) *dag.Vertex {
+	return &dag.Vertex{Block: b, Cert: c.Certify(b)}
+}
+
+// Builder incrementally grows a DAG round by round.
+type Builder struct {
+	C     *Committee
+	Store *dag.Store
+	Epoch types.Epoch
+	// prev holds last round's certificate digests.
+	prev []types.Digest
+	// Round is the next round to emit.
+	Round types.Round
+}
+
+// NewBuilder starts an empty DAG at round 1 of the given epoch.
+func NewBuilder(c *Committee, epoch types.Epoch) *Builder {
+	return &Builder{C: c, Store: dag.NewStore(epoch, c.N), Epoch: epoch, Round: 1}
+}
+
+// NextRound emits one full round: a vertex from every proposer in
+// include (nil = all), each referencing all of the previous round's
+// certificates. Blocks are empty normal blocks unless customize
+// mutates them. It returns the emitted vertices by proposer.
+func (b *Builder) NextRound(include []types.ReplicaID, customize func(*types.Block)) map[types.ReplicaID]*dag.Vertex {
+	if include == nil {
+		include = make([]types.ReplicaID, b.C.N)
+		for i := range include {
+			include[i] = types.ReplicaID(i)
+		}
+	}
+	out := make(map[types.ReplicaID]*dag.Vertex, len(include))
+	var certs []types.Digest
+	for _, p := range include {
+		blk := &types.Block{
+			Epoch: b.Epoch, Round: b.Round, Proposer: p,
+			Shard: types.ShardID(p), Kind: types.NormalBlock,
+			Parents:          append([]types.Digest(nil), b.prev...),
+			ProposedUnixNano: int64(b.Round)*1000 + int64(p),
+		}
+		if customize != nil {
+			customize(blk)
+		}
+		v := b.C.Vertex(blk)
+		if err := b.Store.Add(v); err != nil {
+			panic(fmt.Sprintf("dagtest: add round %d proposer %d: %v", b.Round, p, err))
+		}
+		out[p] = v
+		certs = append(certs, v.Cert.Digest())
+	}
+	b.prev = certs
+	b.Round++
+	return out
+}

@@ -1,0 +1,611 @@
+// Package depgraph implements the dependency graph at the core of
+// Thunderbolt's concurrency controller (paper §8).
+//
+// The graph tracks causal relationships between in-flight transactions
+// as their operations arrive, with no prior knowledge of read/write
+// sets. Each node is a transaction; an edge u→v on key K means v must
+// serialize after u because of an access to K. Nodes retain at most
+// two operations per key — the first read and the last write — which
+// is sufficient to preserve every causal constraint (§8.1).
+//
+// Ordering is nondeterministic: it is fixed by runtime events (which
+// write lands first, which reader observes whom), not by arrival
+// order. Reads are served from the latest uncommitted write on the key
+// (read of uncommitted data), falling back to earlier chain positions
+// or the committed store when the newest position would create a
+// cycle (§8.4, Figure 10a). Conflicts trigger aborts: a reader that
+// cannot be placed aborts alone; a writer invalidating observed values
+// cascades aborts through its readers (§8.4, Figure 10b).
+//
+// The emitted commit sequence is a topological order of the graph, and
+// replaying it serially reproduces every observed read and final state
+// — the serializability property proved in paper §10 and checked by
+// this package's property tests.
+package depgraph
+
+import (
+	"fmt"
+	"sync"
+
+	"thunderbolt/internal/contract"
+	"thunderbolt/internal/types"
+)
+
+// BaseReader supplies committed values: the graph's root node. A nil
+// result means the key is absent (reads as empty value).
+type BaseReader func(k types.Key) types.Value
+
+// Outcome reports how a finished transaction ended.
+type Outcome struct {
+	// Committed is true when the transaction entered the schedule;
+	// false means it was aborted after finishing and must re-execute.
+	Committed bool
+	// ScheduleIdx is the position in the serialized execution order
+	// (valid only when Committed).
+	ScheduleIdx int
+}
+
+// Tx is one execution attempt of a transaction against the graph. A
+// re-executed transaction gets a fresh Tx from Begin.
+type Tx struct {
+	id   types.Digest
+	n    *node
+	done chan Outcome
+}
+
+// ID returns the transaction identity this attempt belongs to.
+func (t *Tx) ID() types.Digest { return t.id }
+
+// Done delivers the final outcome after Finish succeeded.
+func (t *Tx) Done() <-chan Outcome { return t.done }
+
+type opRecord struct {
+	key types.Key
+	val types.Value
+}
+
+type node struct {
+	tx  *Tx
+	seq uint64 // creation order, for deterministic iteration
+
+	// firstRead / lastWrite hold the two retained operations per key.
+	firstRead  map[types.Key]types.Value
+	lastWrite  map[types.Key]types.Value
+	readOrder  []types.Key // keys in first-read order
+	writeOrder []types.Key // keys in first-write order
+
+	// readSrc maps each read key to the writer node the value came
+	// from (nil = root/committed store).
+	readSrc map[types.Key]*node
+	// readersOf lists, per key this node wrote, the nodes that
+	// observed the written value; they cascade-abort if it changes.
+	readersOf map[types.Key]map[*node]struct{}
+	// prior lists, per key this node wrote, the readers serialized
+	// immediately before this write (they read the previous version).
+	// If this writer aborts, those readers must be re-ordered before
+	// the next writer — otherwise the next writer could serialize
+	// ahead of them and invalidate their reads silently.
+	prior map[types.Key]map[*node]struct{}
+
+	in  map[*node]struct{}
+	out map[*node]struct{}
+
+	finished  bool
+	committed bool
+	aborted   bool
+}
+
+// keyState tracks the per-key version chain.
+type keyState struct {
+	// chain is the ordered list of uncommitted-or-committed writer
+	// nodes for this key; the order is the serialization order of the
+	// writes.
+	chain []*node
+	// readTips are nodes that read the newest version (the last chain
+	// element, or the root when the chain is empty) and are not yet
+	// ordered before any writer; the next writer serializes after
+	// them (Figure 9a).
+	readTips map[*node]struct{}
+}
+
+// Graph is the concurrency controller state. All methods are safe for
+// concurrent use by executor goroutines.
+type Graph struct {
+	mu   sync.Mutex
+	base BaseReader
+	keys map[types.Key]*keyState
+
+	nodes   map[*node]struct{}
+	nextSeq uint64
+
+	schedule    []*Tx
+	commitCount int
+
+	// counters for metrics
+	aborts uint64
+}
+
+// New creates an empty graph over the given committed-state reader.
+func New(base BaseReader) *Graph {
+	if base == nil {
+		base = func(types.Key) types.Value { return nil }
+	}
+	return &Graph{
+		base:  base,
+		keys:  make(map[types.Key]*keyState),
+		nodes: make(map[*node]struct{}),
+	}
+}
+
+// Aborts returns the total number of abort events so far.
+func (g *Graph) Aborts() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.aborts
+}
+
+// Live returns the number of live (uncommitted, unaborted) nodes.
+func (g *Graph) Live() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	live := 0
+	for n := range g.nodes {
+		if !n.committed && !n.aborted {
+			live++
+		}
+	}
+	return live
+}
+
+// Schedule returns the committed transactions in serialization order.
+func (g *Graph) Schedule() []*Tx {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]*Tx(nil), g.schedule...)
+}
+
+// Begin registers a new execution attempt for transaction id.
+func (g *Graph) Begin(id types.Digest) *Tx {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	t := &Tx{id: id, done: make(chan Outcome, 1)}
+	g.nextSeq++
+	t.n = &node{
+		tx:        t,
+		seq:       g.nextSeq,
+		firstRead: make(map[types.Key]types.Value),
+		lastWrite: make(map[types.Key]types.Value),
+		readSrc:   make(map[types.Key]*node),
+		readersOf: make(map[types.Key]map[*node]struct{}),
+		prior:     make(map[types.Key]map[*node]struct{}),
+		in:        make(map[*node]struct{}),
+		out:       make(map[*node]struct{}),
+	}
+	g.nodes[t.n] = struct{}{}
+	return t
+}
+
+func (g *Graph) key(k types.Key) *keyState {
+	ks, ok := g.keys[k]
+	if !ok {
+		ks = &keyState{readTips: make(map[*node]struct{})}
+		g.keys[k] = ks
+	}
+	return ks
+}
+
+// hasPath reports whether dst is reachable from src via out-edges.
+func hasPath(src, dst *node) bool {
+	if src == dst {
+		return true
+	}
+	seen := map[*node]struct{}{src: {}}
+	stack := []*node{src}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for m := range n.out {
+			if m == dst {
+				return true
+			}
+			if _, ok := seen[m]; !ok {
+				seen[m] = struct{}{}
+				stack = append(stack, m)
+			}
+		}
+	}
+	return false
+}
+
+// addEdge links u→v. Caller must have verified acyclicity.
+func addEdge(u, v *node) {
+	if u == v {
+		return
+	}
+	u.out[v] = struct{}{}
+	v.in[u] = struct{}{}
+}
+
+// Read serves <Read, K> for t. It returns contract.ErrAborted when the
+// transaction has been aborted (the executor restarts it).
+func (g *Graph) Read(t *Tx, k types.Key) (types.Value, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := t.n
+	if n.aborted {
+		return nil, contract.ErrAborted
+	}
+	// Read-your-writes: a key we wrote is served from our own record
+	// and does not join the read set.
+	if v, ok := n.lastWrite[k]; ok {
+		return v.Clone(), nil
+	}
+	// Repeatable read: the first read is retained (§8.1).
+	if v, ok := n.firstRead[k]; ok {
+		return v.Clone(), nil
+	}
+	ks := g.key(k)
+	// Walk the version chain newest-first looking for a serializable
+	// position (§8.4: on a cycle, retry from an ancestor).
+	for i := len(ks.chain) - 1; i >= -1; i-- {
+		var src *node
+		if i >= 0 {
+			src = ks.chain[i]
+		}
+		// Reading version i places n between chain[i] and chain[i+1].
+		if i+1 < len(ks.chain) && ks.chain[i+1].committed {
+			// The successor writer already committed: n can no longer
+			// serialize before it, nor before anything older (commits
+			// are monotone along the chain).
+			break
+		}
+		if src != nil && hasPath(n, src) {
+			continue // edge src→n would close a cycle
+		}
+		if i+1 < len(ks.chain) && hasPath(ks.chain[i+1], n) {
+			continue // edge n→chain[i+1] would close a cycle
+		}
+		var v types.Value
+		if src != nil {
+			v = src.lastWrite[k].Clone()
+			addEdge(src, n)
+			src.readers(k)[n] = struct{}{}
+		} else {
+			v = g.base(k).Clone()
+		}
+		if i+1 < len(ks.chain) {
+			next := ks.chain[i+1]
+			addEdge(n, next)
+			next.priorSet(k)[n] = struct{}{}
+		} else {
+			// n observed the newest version: the next writer must
+			// serialize after it.
+			ks.readTips[n] = struct{}{}
+		}
+		n.firstRead[k] = v.Clone()
+		n.readOrder = append(n.readOrder, k)
+		n.readSrc[k] = src
+		return v, nil
+	}
+	// No serializable position exists: abort the reader (§8.4 rule 1).
+	g.abort(n)
+	return nil, contract.ErrAborted
+}
+
+func (n *node) readers(k types.Key) map[*node]struct{} {
+	m, ok := n.readersOf[k]
+	if !ok {
+		m = make(map[*node]struct{})
+		n.readersOf[k] = m
+	}
+	return m
+}
+
+func (n *node) priorSet(k types.Key) map[*node]struct{} {
+	m, ok := n.prior[k]
+	if !ok {
+		m = make(map[*node]struct{})
+		n.prior[k] = m
+	}
+	return m
+}
+
+// Write serves <Write, K, V> for t.
+func (g *Graph) Write(t *Tx, k types.Key, v types.Value) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := t.n
+	if n.aborted {
+		return contract.ErrAborted
+	}
+	if _, wroteBefore := n.lastWrite[k]; wroteBefore {
+		// Rewriting a value other transactions already observed
+		// invalidates their reads: cascading abort (§8.4 rule 2,
+		// Figure 10b; Table 1 time 5). Snapshot the reader set first:
+		// cascades mutate it.
+		for _, r := range snapshotNodes(n.readersOf[k]) {
+			g.abort(r)
+		}
+		delete(n.readersOf, k)
+		if n.aborted { // a cascade cycled back through another key
+			return contract.ErrAborted
+		}
+		n.lastWrite[k] = v.Clone()
+		return nil
+	}
+	ks := g.key(k)
+	tip := ks.tipWriter()
+	if src, read := n.readSrc[k]; read && src != tip {
+		// We read a version that is no longer the newest; writing now
+		// would have to splice into the middle of the chain, which
+		// invalidates later blind writers' readers. Abort self and
+		// re-execute against the newest version.
+		g.abort(n)
+		return contract.ErrAborted
+	}
+	// Serialize after everyone who observed the current newest
+	// version (Figure 9a): readTips → n.
+	for _, r := range snapshotNodes(ks.readTips) {
+		if r == n || r.aborted {
+			continue
+		}
+		if hasPath(n, r) {
+			// r transitively follows n yet read the version n is
+			// about to supersede: r's read is doomed. Abort r.
+			g.abort(r)
+			if n.aborted {
+				return contract.ErrAborted
+			}
+			continue
+		}
+		addEdge(r, n)
+		n.priorSet(k)[r] = struct{}{}
+	}
+	if tip != nil && tip != n {
+		if hasPath(n, tip) {
+			// n already precedes the newest writer; appending after it
+			// would cycle. Abort self (blind-write conflict).
+			g.abort(n)
+			return contract.ErrAborted
+		}
+		addEdge(tip, n)
+	}
+	ks.chain = append(ks.chain, n)
+	ks.readTips = make(map[*node]struct{})
+	n.lastWrite[k] = v.Clone()
+	n.writeOrder = append(n.writeOrder, k)
+	return nil
+}
+
+// snapshotNodes copies a node set into a slice so callers can iterate
+// while cascaded aborts mutate the underlying map.
+func snapshotNodes(set map[*node]struct{}) []*node {
+	out := make([]*node, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	return out
+}
+
+func (ks *keyState) tipWriter() *node {
+	if len(ks.chain) == 0 {
+		return nil
+	}
+	return ks.chain[len(ks.chain)-1]
+}
+
+// Finish declares that t's contract code completed. The outcome
+// arrives on t.Done(): either a commit with a schedule position, or an
+// abort requiring re-execution. Finish returns contract.ErrAborted
+// immediately if the transaction is already dead.
+func (g *Graph) Finish(t *Tx) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if t.n.aborted {
+		return contract.ErrAborted
+	}
+	t.n.finished = true
+	g.tryCommit(t.n)
+	return nil
+}
+
+// Abort removes t from the graph (used for terminal contract
+// failures: the transaction will not be retried, and anything that
+// observed its writes cascades).
+func (g *Graph) Abort(t *Tx) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !t.n.aborted && !t.n.committed {
+		g.abort(t.n)
+	}
+}
+
+// abort removes n and cascades through readers of its writes.
+// Committed nodes are never aborted (commit requires all predecessors
+// committed, so no observed value can become stale afterwards).
+func (g *Graph) abort(n *node) {
+	if n.aborted || n.committed {
+		return
+	}
+	n.aborted = true
+	g.aborts++
+
+	// Cascade first: everyone who read one of n's writes holds a value
+	// that will no longer exist.
+	for _, readers := range n.readersOf {
+		for _, r := range snapshotNodes(readers) {
+			g.abort(r)
+		}
+	}
+	// Unlink edges first so chain splicing below sees the graph
+	// without n; successors may become commit-eligible.
+	var succs []*node
+	for m := range n.out {
+		delete(m.in, n)
+		succs = append(succs, m)
+	}
+	for m := range n.in {
+		delete(m.out, n)
+	}
+	n.out = make(map[*node]struct{})
+	n.in = make(map[*node]struct{})
+	// Detach from version chains, splicing write order across the gap.
+	// Aborts discovered during reattachment are deferred until the
+	// splice completes so recursion never mutates a chain mid-walk.
+	var toAbort []*node
+	for _, k := range n.writeOrder {
+		ks := g.keys[k]
+		for i, w := range ks.chain {
+			if w != n {
+				continue
+			}
+			ks.chain = append(ks.chain[:i], ks.chain[i+1:]...)
+			// Preserve ordering between the neighbours.
+			if i > 0 && i < len(ks.chain) {
+				prev, next := ks.chain[i-1], ks.chain[i]
+				if !hasPath(prev, next) {
+					addEdge(prev, next)
+				}
+			}
+			// Re-order n's prior readers before whatever now occupies
+			// n's position; without this a later writer could
+			// serialize ahead of readers of the older version.
+			var next *node
+			if i < len(ks.chain) {
+				next = ks.chain[i]
+			}
+			for r := range n.prior[k] {
+				if r.aborted || r == next {
+					continue
+				}
+				if next == nil {
+					ks.readTips[r] = struct{}{}
+					continue
+				}
+				if hasPath(next, r) {
+					// next already precedes r transitively; ordering r
+					// before next is impossible — r's read can no
+					// longer hold.
+					toAbort = append(toAbort, r)
+					continue
+				}
+				addEdge(r, next)
+				next.priorSet(k)[r] = struct{}{}
+			}
+			break
+		}
+	}
+	// Remove from read-tip sets.
+	for _, ks := range g.keys {
+		delete(ks.readTips, n)
+	}
+	// Drop our reader registrations.
+	for k, src := range n.readSrc {
+		if src != nil {
+			delete(src.readersOf[k], n)
+		}
+	}
+	delete(g.nodes, n)
+
+	if n.finished {
+		n.tx.done <- Outcome{Committed: false}
+	}
+	for _, r := range toAbort {
+		g.abort(r)
+	}
+	for _, m := range succs {
+		g.tryCommit(m)
+	}
+}
+
+// tryCommit commits n if it is finished and all predecessors have
+// committed, then re-examines its successors.
+func (g *Graph) tryCommit(n *node) {
+	if n.aborted || n.committed || !n.finished {
+		return
+	}
+	for p := range n.in {
+		if !p.committed {
+			return
+		}
+	}
+	n.committed = true
+	idx := g.commitCount
+	g.commitCount++
+	g.schedule = append(g.schedule, n.tx)
+	n.tx.done <- Outcome{Committed: true, ScheduleIdx: idx}
+	for m := range n.out {
+		g.tryCommit(m)
+	}
+}
+
+// ReadSet returns t's retained first-reads in access order. Valid
+// after commit.
+func (t *Tx) ReadSet() []types.RWRecord {
+	out := make([]types.RWRecord, 0, len(t.n.readOrder))
+	for _, k := range t.n.readOrder {
+		out = append(out, types.RWRecord{Key: k, Value: t.n.firstRead[k].Clone()})
+	}
+	return out
+}
+
+// WriteSet returns t's retained last-writes in access order. Valid
+// after commit.
+func (t *Tx) WriteSet() []types.RWRecord {
+	out := make([]types.RWRecord, 0, len(t.n.writeOrder))
+	for _, k := range t.n.writeOrder {
+		out = append(out, types.RWRecord{Key: k, Value: t.n.lastWrite[k].Clone()})
+	}
+	return out
+}
+
+// CheckInvariants verifies internal consistency (acyclicity among live
+// nodes, chain/edge agreement). It is exported for tests and returns
+// a descriptive error when a structural invariant is violated.
+func (g *Graph) CheckInvariants() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	// Acyclicity via DFS coloring.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[*node]int, len(g.nodes))
+	var visit func(n *node) error
+	visit = func(n *node) error {
+		color[n] = gray
+		for m := range n.out {
+			switch color[m] {
+			case gray:
+				return fmt.Errorf("depgraph: cycle through %v", m.tx.id)
+			case white:
+				if err := visit(m); err != nil {
+					return err
+				}
+			}
+		}
+		color[n] = black
+		return nil
+	}
+	for n := range g.nodes {
+		if color[n] == white {
+			if err := visit(n); err != nil {
+				return err
+			}
+		}
+	}
+	// Chains contain only live nodes and successive writers are
+	// path-ordered.
+	for k, ks := range g.keys {
+		for i, w := range ks.chain {
+			if w.aborted {
+				return fmt.Errorf("depgraph: aborted node in chain of %q", k)
+			}
+			if i > 0 && !ks.chain[i-1].committed && !hasPath(ks.chain[i-1], w) {
+				return fmt.Errorf("depgraph: chain of %q not path-ordered at %d", k, i)
+			}
+		}
+	}
+	return nil
+}

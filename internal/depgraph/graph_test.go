@@ -1,0 +1,433 @@
+package depgraph
+
+import (
+	"errors"
+	"testing"
+
+	"thunderbolt/internal/contract"
+	"thunderbolt/internal/storage"
+	"thunderbolt/internal/types"
+)
+
+func baseOf(st *storage.Store) BaseReader {
+	return func(k types.Key) types.Value {
+		v, _ := st.Get(k)
+		return v
+	}
+}
+
+func id(s string) types.Digest { return types.HashBytes([]byte(s)) }
+
+func val(s string) types.Value { return types.Value(s) }
+
+// outcomeNow returns the outcome if one is ready, without blocking.
+func outcomeNow(t *Tx) (Outcome, bool) {
+	select {
+	case o := <-t.Done():
+		return o, true
+	default:
+		return Outcome{}, false
+	}
+}
+
+func mustRead(t *testing.T, g *Graph, tx *Tx, k types.Key) types.Value {
+	t.Helper()
+	v, err := g.Read(tx, k)
+	if err != nil {
+		t.Fatalf("read %s for %v: %v", k, tx.ID(), err)
+	}
+	return v
+}
+
+func mustWrite(t *testing.T, g *Graph, tx *Tx, k types.Key, v types.Value) {
+	t.Helper()
+	if err := g.Write(tx, k, v); err != nil {
+		t.Fatalf("write %s for %v: %v", k, tx.ID(), err)
+	}
+}
+
+func TestReadFromBaseAndWriters(t *testing.T) {
+	st := storage.New()
+	st.Set("D", val("base"))
+	g := New(baseOf(st))
+
+	t1 := g.Begin(id("t1"))
+	if got := mustRead(t, g, t1, "D"); string(got) != "base" {
+		t.Fatalf("read %q want base", got)
+	}
+	mustWrite(t, g, t1, "D", val("v1"))
+	t2 := g.Begin(id("t2"))
+	if got := mustRead(t, g, t2, "D"); string(got) != "v1" {
+		t.Fatalf("t2 must read uncommitted v1, got %q", got)
+	}
+}
+
+func TestReadYourWritesAndRepeatableRead(t *testing.T) {
+	g := New(nil)
+	t1 := g.Begin(id("t1"))
+	mustWrite(t, g, t1, "K", val("mine"))
+	if got := mustRead(t, g, t1, "K"); string(got) != "mine" {
+		t.Fatalf("read-your-writes broken: %q", got)
+	}
+	// Own reads do not enter the read set.
+	if err := g.Finish(t1); err != nil {
+		t.Fatal(err)
+	}
+	<-t1.Done()
+	if len(t1.ReadSet()) != 0 {
+		t.Fatalf("own-write read leaked into read set: %+v", t1.ReadSet())
+	}
+
+	g2 := New(func(types.Key) types.Value { return val("a") })
+	t2 := g2.Begin(id("t2"))
+	if got := mustRead(t, g2, t2, "K"); string(got) != "a" {
+		t.Fatal("first read wrong")
+	}
+	// Even after another tx writes, t2's read stays repeatable.
+	t3 := g2.Begin(id("t3"))
+	mustWrite(t, g2, t3, "K", val("b"))
+	if got := mustRead(t, g2, t2, "K"); string(got) != "a" {
+		t.Fatalf("repeatable read broken: %q", got)
+	}
+}
+
+// TestTable1Scenario replays the paper's Table 1 step by step.
+func TestTable1Scenario(t *testing.T) {
+	st := storage.New()
+	st.Set("D", contractInt(3))
+	g := New(baseOf(st))
+
+	t1 := g.Begin(id("T1"))
+	t2 := g.Begin(id("T2"))
+	t3 := g.Begin(id("T3"))
+
+	// Time 1: T1 writes D=3.
+	mustWrite(t, g, t1, "D", contractInt(3))
+	// Time 2-3: T2 and T3 read D from T1.
+	if got := mustRead(t, g, t2, "D"); !got.Equal(contractInt(3)) {
+		t.Fatal("T2 read wrong")
+	}
+	if got := mustRead(t, g, t3, "D"); !got.Equal(contractInt(3)) {
+		t.Fatal("T3 read wrong")
+	}
+	// Time 4: T3 commits -> must wait for T1.
+	if err := g.Finish(t3); err != nil {
+		t.Fatal(err)
+	}
+	if _, ready := outcomeNow(t3); ready {
+		t.Fatal("T3 committed before its dependency T1")
+	}
+	// Time 5: T1 writes D=5 -> aborts T2 and T3.
+	mustWrite(t, g, t1, "D", contractInt(5))
+	if o, ready := outcomeNow(t3); !ready || o.Committed {
+		t.Fatal("T3 was not aborted by T1's rewrite")
+	}
+	if _, err := g.Read(t2, "X"); !errors.Is(err, contract.ErrAborted) {
+		t.Fatal("T2's next operation should observe the abort")
+	}
+	// Time 6: T3 re-executes, reads D=5.
+	t3b := g.Begin(id("T3"))
+	if got := mustRead(t, g, t3b, "D"); !got.Equal(contractInt(5)) {
+		t.Fatal("T3 re-execution read wrong value")
+	}
+	// Time 7: T1 commits.
+	if err := g.Finish(t1); err != nil {
+		t.Fatal(err)
+	}
+	o1, ready := outcomeNow(t1)
+	if !ready || !o1.Committed || o1.ScheduleIdx != 0 {
+		t.Fatalf("T1 outcome wrong: %+v ready=%v", o1, ready)
+	}
+	// Time 8: T3 commits.
+	if err := g.Finish(t3b); err != nil {
+		t.Fatal(err)
+	}
+	o3, ready := outcomeNow(t3b)
+	if !ready || !o3.Committed || o3.ScheduleIdx != 1 {
+		t.Fatalf("T3 outcome wrong: %+v", o3)
+	}
+	// Time 10-12: T2 re-executes, reads 5, writes 2, commits.
+	t2b := g.Begin(id("T2"))
+	if got := mustRead(t, g, t2b, "D"); !got.Equal(contractInt(5)) {
+		t.Fatal("T2 re-execution read wrong value")
+	}
+	mustWrite(t, g, t2b, "D", contractInt(2))
+	if err := g.Finish(t2b); err != nil {
+		t.Fatal(err)
+	}
+	o2, ready := outcomeNow(t2b)
+	if !ready || !o2.Committed || o2.ScheduleIdx != 2 {
+		t.Fatalf("T2 outcome wrong: %+v", o2)
+	}
+	// Final schedule [T1, T3, T2].
+	sched := g.Schedule()
+	if len(sched) != 3 || sched[0].ID() != id("T1") || sched[1].ID() != id("T3") || sched[2].ID() != id("T2") {
+		t.Fatalf("schedule wrong: %v", sched)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Aborts() != 2 {
+		t.Fatalf("aborts=%d want 2", g.Aborts())
+	}
+}
+
+func contractInt(v int64) types.Value {
+	return types.Value{byte(v >> 56), byte(v >> 48), byte(v >> 40), byte(v >> 32),
+		byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+}
+
+func TestWriteWriteOrderFollowsArrival(t *testing.T) {
+	g := New(nil)
+	t1 := g.Begin(id("t1"))
+	t2 := g.Begin(id("t2"))
+	mustWrite(t, g, t1, "K", val("1"))
+	mustWrite(t, g, t2, "K", val("2"))
+	// t2 appended after t1: t2 cannot commit before t1.
+	if err := g.Finish(t2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ready := outcomeNow(t2); ready {
+		t.Fatal("t2 committed before preceding writer t1")
+	}
+	if err := g.Finish(t1); err != nil {
+		t.Fatal(err)
+	}
+	o1, _ := outcomeNow(t1)
+	o2, _ := outcomeNow(t2)
+	if !o1.Committed || !o2.Committed || !(o1.ScheduleIdx < o2.ScheduleIdx) {
+		t.Fatalf("write order not preserved: %+v %+v", o1, o2)
+	}
+}
+
+func TestReadOnlyCommitsImmediately(t *testing.T) {
+	g := New(func(types.Key) types.Value { return val("x") })
+	t1 := g.Begin(id("t1"))
+	mustRead(t, g, t1, "A")
+	if err := g.Finish(t1); err != nil {
+		t.Fatal(err)
+	}
+	if o, ready := outcomeNow(t1); !ready || !o.Committed {
+		t.Fatal("independent read-only tx should commit instantly")
+	}
+}
+
+func TestBlindWriterAfterBaseReaders(t *testing.T) {
+	g := New(func(types.Key) types.Value { return val("base") })
+	r1 := g.Begin(id("r1"))
+	r2 := g.Begin(id("r2"))
+	mustRead(t, g, r1, "K")
+	mustRead(t, g, r2, "K")
+	w := g.Begin(id("w"))
+	mustWrite(t, g, w, "K", val("new"))
+	// Writer must wait for both readers (Figure 9a).
+	if err := g.Finish(w); err != nil {
+		t.Fatal(err)
+	}
+	if _, ready := outcomeNow(w); ready {
+		t.Fatal("writer committed before base readers")
+	}
+	g.Finish(r1)
+	if _, ready := outcomeNow(w); ready {
+		t.Fatal("writer committed before all base readers")
+	}
+	g.Finish(r2)
+	if o, ready := outcomeNow(w); !ready || !o.Committed {
+		t.Fatal("writer did not commit after readers")
+	}
+	sched := g.Schedule()
+	if len(sched) != 3 || sched[2].ID() != id("w") {
+		t.Fatalf("schedule wrong: %v", sched)
+	}
+}
+
+func TestStaleReadUpgradeAborts(t *testing.T) {
+	g := New(func(types.Key) types.Value { return val("0") })
+	r := g.Begin(id("r"))
+	mustRead(t, g, r, "K") // reads base
+	w := g.Begin(id("w"))
+	mustWrite(t, g, w, "K", val("1")) // appends after r
+	// r now upgrades to a write: its read is stale -> abort self.
+	err := g.Write(r, "K", val("2"))
+	if !errors.Is(err, contract.ErrAborted) {
+		t.Fatalf("stale upgrade should abort, got %v", err)
+	}
+	// Retry reads the new tip and succeeds.
+	r2 := g.Begin(id("r"))
+	if got := mustRead(t, g, r2, "K"); string(got) != "1" {
+		t.Fatalf("retry read %q", got)
+	}
+	mustWrite(t, g, r2, "K", val("2"))
+	g.Finish(w)
+	g.Finish(r2)
+	if o, ready := outcomeNow(r2); !ready || !o.Committed {
+		t.Fatal("upgrade retry did not commit")
+	}
+}
+
+func TestRewriteCascadesThroughChainOfReaders(t *testing.T) {
+	// Figure 10b: T1 writes A; T2 reads A and writes B; T3 reads B.
+	// T1 rewriting A must abort both T2 and T3.
+	g := New(nil)
+	t1 := g.Begin(id("T1"))
+	mustWrite(t, g, t1, "A", val("5"))
+	t2 := g.Begin(id("T2"))
+	mustRead(t, g, t2, "A")
+	mustWrite(t, g, t2, "B", val("3"))
+	t3 := g.Begin(id("T3"))
+	mustRead(t, g, t3, "B")
+	g.Finish(t3)
+
+	mustWrite(t, g, t1, "A", val("3")) // rewrite
+	if _, err := g.Read(t2, "C"); !errors.Is(err, contract.ErrAborted) {
+		t.Fatal("T2 not aborted by rewrite")
+	}
+	if o, ready := outcomeNow(t3); !ready || o.Committed {
+		t.Fatal("T3 not cascade-aborted")
+	}
+	if g.Aborts() != 2 {
+		t.Fatalf("aborts=%d want 2", g.Aborts())
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCycleFallbackReadsAncestor(t *testing.T) {
+	// Figure 10a: T1 and T3 conflict on A so that T1 -> T3 exists;
+	// T1 then reads B written by T3. Reading T3's B would cycle, so
+	// T1 falls back to the root value of B and stays alive.
+	g := New(func(k types.Key) types.Value {
+		if k == "B" {
+			return val("rootB")
+		}
+		return nil
+	})
+	t1 := g.Begin(id("T1"))
+	mustRead(t, g, t1, "A") // T1 reads base A; becomes read tip
+	t3 := g.Begin(id("T3"))
+	mustWrite(t, g, t3, "A", val("3")) // edge T1 -> T3
+	mustWrite(t, g, t3, "B", val("3"))
+	got := mustRead(t, g, t1, "B")
+	if string(got) != "rootB" {
+		t.Fatalf("T1 should fall back to root B, got %q", got)
+	}
+	// Both must still be able to commit, T1 first.
+	g.Finish(t1)
+	g.Finish(t3)
+	o1, _ := outcomeNow(t1)
+	o3, _ := outcomeNow(t3)
+	if !o1.Committed || !o3.Committed || !(o1.ScheduleIdx < o3.ScheduleIdx) {
+		t.Fatalf("fallback order wrong: %+v %+v", o1, o3)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderCannotSlotBeforeCommittedWriter(t *testing.T) {
+	g := New(func(types.Key) types.Value { return val("base") })
+	w := g.Begin(id("w"))
+	mustWrite(t, g, w, "K", val("1"))
+	g.Finish(w)
+	if o, ready := outcomeNow(w); !ready || !o.Committed {
+		t.Fatal("writer should commit")
+	}
+	// A new reader must observe the committed writer's value (it can
+	// no longer serialize before it), even though the base still holds
+	// the old value.
+	r := g.Begin(id("r"))
+	if got := mustRead(t, g, r, "K"); string(got) != "1" {
+		t.Fatalf("reader got %q, want committed 1", got)
+	}
+}
+
+func TestTerminalAbortRemovesNode(t *testing.T) {
+	g := New(nil)
+	t1 := g.Begin(id("t1"))
+	mustWrite(t, g, t1, "K", val("dirty"))
+	t2 := g.Begin(id("t2"))
+	mustRead(t, g, t2, "K") // reads dirty value
+	g.Abort(t1)             // terminal failure of t1
+	// t2 read doomed data: must be cascade-aborted.
+	if _, err := g.Read(t2, "Z"); !errors.Is(err, contract.ErrAborted) {
+		t.Fatal("t2 survived its source's terminal abort")
+	}
+	// Fresh reader sees base again.
+	t3 := g.Begin(id("t3"))
+	if got := mustRead(t, g, t3, "K"); got != nil {
+		t.Fatalf("t3 read %q, want base nil", got)
+	}
+	if g.Live() != 1 {
+		t.Fatalf("live=%d want 1", g.Live())
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMidChainAbortSplicesOrder(t *testing.T) {
+	g := New(nil)
+	w1 := g.Begin(id("w1"))
+	w2 := g.Begin(id("w2"))
+	w3 := g.Begin(id("w3"))
+	mustWrite(t, g, w1, "K", val("1"))
+	mustWrite(t, g, w2, "K", val("2"))
+	mustWrite(t, g, w3, "K", val("3"))
+	g.Abort(w2)
+	// w3 must still wait for w1.
+	g.Finish(w3)
+	if _, ready := outcomeNow(w3); ready {
+		t.Fatal("w3 committed before w1 after splice")
+	}
+	g.Finish(w1)
+	if o, ready := outcomeNow(w3); !ready || !o.Committed {
+		t.Fatal("w3 did not commit after w1")
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteSetRecordsLastWriteOnly(t *testing.T) {
+	g := New(nil)
+	t1 := g.Begin(id("t1"))
+	mustWrite(t, g, t1, "K", val("first"))
+	mustWrite(t, g, t1, "K", val("last"))
+	mustWrite(t, g, t1, "J", val("j"))
+	g.Finish(t1)
+	<-t1.Done()
+	ws := t1.WriteSet()
+	if len(ws) != 2 || ws[0].Key != "K" || string(ws[0].Value) != "last" || ws[1].Key != "J" {
+		t.Fatalf("write set wrong: %+v", ws)
+	}
+}
+
+func TestReadSetRecordsFirstReadOnly(t *testing.T) {
+	g := New(func(types.Key) types.Value { return val("v0") })
+	t1 := g.Begin(id("t1"))
+	mustRead(t, g, t1, "A")
+	mustRead(t, g, t1, "A")
+	mustRead(t, g, t1, "B")
+	g.Finish(t1)
+	<-t1.Done()
+	rs := t1.ReadSet()
+	if len(rs) != 2 || rs[0].Key != "A" || rs[1].Key != "B" {
+		t.Fatalf("read set wrong: %+v", rs)
+	}
+}
+
+func TestFinishAfterAbortErrors(t *testing.T) {
+	g := New(nil)
+	t1 := g.Begin(id("t1"))
+	mustWrite(t, g, t1, "K", val("1"))
+	g.Abort(t1)
+	if err := g.Finish(t1); !errors.Is(err, contract.ErrAborted) {
+		t.Fatalf("finish after abort: %v", err)
+	}
+	// Double abort is a no-op.
+	g.Abort(t1)
+	if g.Aborts() != 1 {
+		t.Fatalf("aborts=%d want 1", g.Aborts())
+	}
+}

@@ -1,0 +1,222 @@
+package depgraph
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"thunderbolt/internal/contract"
+	"thunderbolt/internal/types"
+)
+
+// scriptOp is one step of a scripted transaction.
+type scriptOp struct {
+	write bool
+	key   types.Key
+	val   int
+}
+
+// scriptTx is a deterministic transaction over small key/value spaces.
+type scriptTx struct {
+	id  types.Digest
+	ops []scriptOp
+}
+
+// randomScript generates a transaction touching up to 4 of `keys`.
+func randomScript(rng *rand.Rand, idx int, keys []types.Key) scriptTx {
+	n := 1 + rng.Intn(4)
+	tx := scriptTx{id: types.HashBytes([]byte(fmt.Sprintf("script-%d", idx)))}
+	for i := 0; i < n; i++ {
+		tx.ops = append(tx.ops, scriptOp{
+			write: rng.Intn(2) == 0,
+			key:   keys[rng.Intn(len(keys))],
+			val:   rng.Intn(1000),
+		})
+	}
+	return tx
+}
+
+// runScripted executes scripted transactions against the graph in a
+// randomized interleaving (single goroutine, explicit scheduler),
+// retrying aborted transactions. Returns the commit schedule.
+func runScripted(t *testing.T, g *Graph, rng *rand.Rand, txs []scriptTx) []*Tx {
+	t.Helper()
+	type liveTx struct {
+		script  scriptTx
+		handle  *Tx
+		pc      int
+		reads   map[types.Key]types.Value
+		waiting bool
+	}
+	var live []*liveTx
+	for _, s := range txs {
+		live = append(live, &liveTx{script: s, handle: g.Begin(s.id)})
+	}
+	pending := len(live)
+	for pending > 0 {
+		lt := live[rng.Intn(len(live))]
+		if lt.handle == nil {
+			continue
+		}
+		if lt.waiting {
+			// Check the outcome without blocking.
+			select {
+			case o := <-lt.handle.Done():
+				if o.Committed {
+					lt.handle = nil
+					pending--
+				} else {
+					// Aborted after finish: restart.
+					lt.handle = g.Begin(lt.script.id)
+					lt.pc = 0
+					lt.waiting = false
+				}
+			default:
+			}
+			continue
+		}
+		if lt.pc >= len(lt.script.ops) {
+			if err := g.Finish(lt.handle); err != nil {
+				lt.handle = g.Begin(lt.script.id)
+				lt.pc = 0
+				continue
+			}
+			lt.waiting = true
+			continue
+		}
+		op := lt.script.ops[lt.pc]
+		var err error
+		if op.write {
+			err = g.Write(lt.handle, op.key, types.Value(fmt.Sprintf("%d", op.val)))
+		} else {
+			_, err = g.Read(lt.handle, op.key)
+		}
+		if errors.Is(err, contract.ErrAborted) {
+			lt.handle = g.Begin(lt.script.id)
+			lt.pc = 0
+			continue
+		}
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		lt.pc++
+	}
+	return g.Schedule()
+}
+
+// TestScriptedSerializability drives many random scripted workloads
+// through randomized interleavings and verifies serializability by
+// replaying the schedule serially (the §10 property).
+func TestScriptedSerializability(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		nKeys := 1 + rng.Intn(5)
+		var keys []types.Key
+		for i := 0; i < nKeys; i++ {
+			keys = append(keys, types.Key(fmt.Sprintf("k%d", i)))
+		}
+		base := map[types.Key]types.Value{}
+		for _, k := range keys {
+			base[k] = types.Value("init")
+		}
+		nTxs := 3 + rng.Intn(15)
+		var scripts []scriptTx
+		for i := 0; i < nTxs; i++ {
+			scripts = append(scripts, randomScript(rng, trial*100+i, keys))
+		}
+
+		g := New(func(k types.Key) types.Value { return base[k] })
+		sched := runScripted(t, g, rng, scripts)
+		if len(sched) != nTxs {
+			t.Fatalf("trial %d: scheduled %d/%d", trial, len(sched), nTxs)
+		}
+		if err := g.CheckInvariants(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		// Serial replay: walk the schedule, apply last-writes, and
+		// check every declared read against the replayed state.
+		state := map[types.Key]types.Value{}
+		for k, v := range base {
+			state[k] = v
+		}
+		byID := map[types.Digest]scriptTx{}
+		for _, s := range scripts {
+			byID[s.id] = s
+		}
+		for pos, h := range sched {
+			for _, r := range h.ReadSet() {
+				if !state[r.Key].Equal(r.Value) {
+					t.Fatalf("trial %d pos %d: read %s=%q but serial state has %q",
+						trial, pos, r.Key, r.Value, state[r.Key])
+				}
+			}
+			for _, w := range h.WriteSet() {
+				state[w.Key] = w.Value
+			}
+		}
+	}
+}
+
+// TestScheduleIsTopologicalOrder verifies the commit order never
+// contradicts an observed read dependency.
+func TestScheduleIsTopologicalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	keys := []types.Key{"a", "b"}
+	var scripts []scriptTx
+	for i := 0; i < 12; i++ {
+		scripts = append(scripts, randomScript(rng, 9000+i, keys))
+	}
+	g := New(nil)
+	sched := runScripted(t, g, rng, scripts)
+
+	// Position index per tx.
+	pos := map[types.Digest]int{}
+	for i, h := range sched {
+		pos[h.ID()] = i
+	}
+	// Every read value must have been produced by an earlier write
+	// in the schedule (or be the base value).
+	lastWriter := map[types.Key]int{}
+	for i, h := range sched {
+		for _, r := range h.ReadSet() {
+			if w, ok := lastWriter[r.Key]; ok {
+				if w >= i {
+					t.Fatalf("tx %d reads %s written at %d", i, r.Key, w)
+				}
+			}
+		}
+		for _, w := range h.WriteSet() {
+			lastWriter[w.Key] = i
+		}
+	}
+}
+
+// TestGraphStressManyKeysNoLeak checks bookkeeping stays consistent
+// through a large randomized run.
+func TestGraphStressManyKeysNoLeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]types.Key, 20)
+	for i := range keys {
+		keys[i] = types.Key(fmt.Sprintf("k%02d", i))
+	}
+	var scripts []scriptTx
+	for i := 0; i < 150; i++ {
+		scripts = append(scripts, randomScript(rng, 50_000+i, keys))
+	}
+	g := New(nil)
+	sched := runScripted(t, g, rng, scripts)
+	if len(sched) != 150 {
+		t.Fatalf("scheduled %d/150", len(sched))
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Live() != 0 {
+		// Everything committed: no uncommitted/unaborted node may
+		// linger.
+		t.Fatalf("live=%d want 0 after full commit", g.Live())
+	}
+	t.Logf("aborts across stress run: %d", g.Aborts())
+}

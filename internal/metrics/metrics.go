@@ -1,0 +1,157 @@
+// Package metrics collects the throughput and latency measurements
+// the benchmark harness reports: commit counts, latency samples with
+// percentiles, and time-series of per-round commit runtimes
+// (Figure 16).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencyRecorder accumulates duration samples.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// NewLatencyRecorder returns an empty recorder.
+func NewLatencyRecorder() *LatencyRecorder { return &LatencyRecorder{} }
+
+// Record adds one sample.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (r *LatencyRecorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Summary reduces the samples to the statistics reported in the
+// paper's figures.
+type Summary struct {
+	Count int
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Summarize computes the summary (zero value if empty).
+func (r *LatencyRecorder) Summarize() Summary {
+	r.mu.Lock()
+	samples := append([]time.Duration(nil), r.samples...)
+	r.mu.Unlock()
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var total time.Duration
+	for _, s := range samples {
+		total += s
+	}
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(samples)-1))
+		return samples[i]
+	}
+	return Summary{
+		Count: len(samples),
+		Mean:  total / time.Duration(len(samples)),
+		P50:   pct(0.50),
+		P95:   pct(0.95),
+		P99:   pct(0.99),
+		Max:   samples[len(samples)-1],
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+}
+
+// Counter is a monotonically increasing, thread-safe counter.
+type Counter struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+// Add increments by d.
+func (c *Counter) Add(d uint64) {
+	c.mu.Lock()
+	c.v += d
+	c.mu.Unlock()
+}
+
+// Value reads the counter.
+func (c *Counter) Value() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Throughput converts a count over a window into transactions/second.
+func Throughput(count uint64, window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(count) / window.Seconds()
+}
+
+// Series is a time series of (time, value) points, used for the
+// per-round runtime plot (Figure 16).
+type Series struct {
+	mu     sync.Mutex
+	points []Point
+}
+
+// Point is one sample in a Series.
+type Point struct {
+	At    time.Time
+	Value float64
+}
+
+// Append adds a point.
+func (s *Series) Append(at time.Time, v float64) {
+	s.mu.Lock()
+	s.points = append(s.points, Point{At: at, Value: v})
+	s.mu.Unlock()
+}
+
+// Points returns a copy of the series.
+func (s *Series) Points() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Point(nil), s.points...)
+}
+
+// BucketMeans groups consecutive points into buckets of size n and
+// returns each bucket's mean value — the paper's "average latency per
+// 100 rounds" reduction.
+func (s *Series) BucketMeans(n int) []float64 {
+	pts := s.Points()
+	if n <= 0 || len(pts) == 0 {
+		return nil
+	}
+	var out []float64
+	for i := 0; i < len(pts); i += n {
+		end := i + n
+		if end > len(pts) {
+			end = len(pts)
+		}
+		var sum float64
+		for _, p := range pts[i:end] {
+			sum += p.Value
+		}
+		out = append(out, sum/float64(end-i))
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencySummary(t *testing.T) {
+	r := NewLatencyRecorder()
+	if s := r.Summarize(); s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+	for i := 1; i <= 100; i++ {
+		r.Record(time.Duration(i) * time.Millisecond)
+	}
+	s := r.Summarize()
+	if s.Count != 100 {
+		t.Fatalf("count=%d", s.Count)
+	}
+	if s.Mean != 50500*time.Microsecond {
+		t.Fatalf("mean=%v", s.Mean)
+	}
+	if s.P50 != 50*time.Millisecond {
+		t.Fatalf("p50=%v", s.P50)
+	}
+	if s.P99 != 99*time.Millisecond {
+		t.Fatalf("p99=%v", s.P99)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Fatalf("max=%v", s.Max)
+	}
+	if r.Count() != 100 {
+		t.Fatalf("Count=%d", r.Count())
+	}
+	if s.String() == "" {
+		t.Fatal("empty string rendering")
+	}
+}
+
+func TestLatencyRecorderConcurrent(t *testing.T) {
+	r := NewLatencyRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Record(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Count() != 4000 {
+		t.Fatalf("lost samples: %d", r.Count())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter=%d", c.Value())
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if tps := Throughput(1000, time.Second); tps != 1000 {
+		t.Fatalf("tps=%f", tps)
+	}
+	if tps := Throughput(500, 2*time.Second); tps != 250 {
+		t.Fatalf("tps=%f", tps)
+	}
+	if tps := Throughput(10, 0); tps != 0 {
+		t.Fatal("zero window should yield zero")
+	}
+}
+
+func TestSeriesBucketMeans(t *testing.T) {
+	var s Series
+	base := time.Now()
+	for i := 0; i < 25; i++ {
+		s.Append(base.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	if got := len(s.Points()); got != 25 {
+		t.Fatalf("points=%d", got)
+	}
+	means := s.BucketMeans(10)
+	if len(means) != 3 {
+		t.Fatalf("buckets=%d", len(means))
+	}
+	if means[0] != 4.5 {
+		t.Fatalf("bucket 0 mean=%f", means[0])
+	}
+	// Final partial bucket: values 20..24 -> mean 22.
+	if means[2] != 22 {
+		t.Fatalf("bucket 2 mean=%f", means[2])
+	}
+	if BucketEmpty := (&Series{}).BucketMeans(10); BucketEmpty != nil {
+		t.Fatal("empty series should yield nil")
+	}
+	if s.BucketMeans(0) != nil {
+		t.Fatal("non-positive bucket size should yield nil")
+	}
+}

@@ -1,0 +1,220 @@
+package node
+
+import (
+	"time"
+
+	"thunderbolt/internal/crypto"
+	"thunderbolt/internal/tusk"
+	"thunderbolt/internal/types"
+	"thunderbolt/internal/validate"
+)
+
+// processCommits drains the Tusk committer and executes every newly
+// committed wave. If a wave pushes the epoch's committed Shift count
+// to 2f+1, the node transitions to a new DAG immediately and discards
+// any later waves of the old epoch (they are re-derived by the new
+// DAG; the paper's "ending round" semantics).
+func (n *Node) processCommits() {
+	waves := n.committer.Advance()
+	for _, w := range waves {
+		n.executeWave(w)
+		if len(n.committedShift) >= crypto.QuorumSize(n.n) {
+			n.reconfigure()
+			return
+		}
+	}
+}
+
+// executeWave applies one commit wave: validated single-shard preplay
+// results first (rules G1/P2), then consensus-ordered cross-shard
+// transactions (OE model), all deterministically.
+func (n *Node) executeWave(w tusk.CommitWave) {
+	now := time.Now()
+	var crossTxs []*types.Transaction
+	for _, v := range w.Vertices {
+		b := v.Block
+		switch b.Kind {
+		case types.ShiftBlock:
+			n.committedShift[b.Proposer] = true
+			continue
+		case types.SkipBlock:
+			continue
+		}
+		if n.cfg.Mode == ModeSerial {
+			n.executeSerial(b, now)
+			continue
+		}
+		// Single-shard preplay results: validate in parallel against
+		// the declared read/write sets, then apply (paper §4). The
+		// block must carry only its own shard's transactions; anything
+		// else is a Byzantine proposer and the block is discarded.
+		if len(b.SingleTxs) > 0 {
+			if !n.validateAndApply(b, now) {
+				n.bump(func(s *Stats) { s.ValidationFailures++ })
+				// A proposer whose own block was discarded (typically a
+				// cross-shard transaction raced its preplay — the hazard
+				// rules P3/P4 bound but cannot fully eliminate under
+				// eager preplay) rolls back its speculative overlay and
+				// requeues the transactions for a fresh preplay.
+				if b.Proposer == n.cfg.ID {
+					n.dropOwnBlock(b.Round)
+					for _, tx := range b.SingleTxs {
+						if !n.applied[tx.ID()] {
+							n.txQueue = append(n.txQueue, tx)
+						}
+					}
+				}
+			}
+		}
+		for _, tx := range b.CrossTxs {
+			id := tx.ID()
+			if n.applied[id] {
+				// Duplicate inclusion (client retransmission races):
+				// executed once already; make sure it cannot wedge the
+				// preplay-recovery tracker.
+				delete(n.pendingCross, id)
+				continue
+			}
+			crossTxs = append(crossTxs, tx)
+		}
+	}
+	// Cross-shard transactions execute after the wave's single-shard
+	// results (rule G1), in consensus order, parallelized over
+	// disjoint shard sets (§5.2).
+	if len(crossTxs) > 0 && n.cfg.Mode != ModeSerial {
+		outs := validate.ExecuteCrossOrdered(n.cfg.Registry, n.baseRead, crossTxs, n.cfg.Validators)
+		for _, out := range outs {
+			id := out.Tx.ID()
+			delete(n.pendingCross, id)
+			if out.Err != nil {
+				// Deterministic failure: every replica drops it.
+				n.applied[id] = true
+				continue
+			}
+			n.cfg.Store.Apply(out.Writes)
+			n.markCommitted(out.Tx, now)
+			n.bump(func(s *Stats) { s.CommittedCross++ })
+		}
+	}
+	if n.cfg.OnCommitWave != nil {
+		n.cfg.OnCommitWave(n.epoch, w.Leader.Round(), now)
+	}
+}
+
+// baseRead reads committed state.
+func (n *Node) baseRead(k types.Key) types.Value {
+	v, _ := n.cfg.Store.Get(k)
+	return v
+}
+
+// validateAndApply checks a block's preplay results and applies the
+// delta. Returns false if the block is invalid (it is then discarded
+// wholesale, as in §4).
+func (n *Node) validateAndApply(b *types.Block, now time.Time) bool {
+	for _, tx := range b.SingleTxs {
+		if len(tx.Shards) != 1 || tx.Shards[0] != b.Shard {
+			return false // foreign-shard transaction smuggled in
+		}
+		if n.applied[tx.ID()] {
+			// Duplicate commit attempt (e.g. resubmission raced a
+			// reconfiguration): the whole block is stale.
+			return false
+		}
+	}
+	res, err := validate.ValidateBatch(n.cfg.Registry, n.baseRead, b.SingleTxs, b.Results, n.cfg.Validators)
+	if err != nil {
+		return false
+	}
+	n.cfg.Store.Apply(res.Writes)
+	for _, tx := range b.SingleTxs {
+		n.markCommitted(tx, now)
+	}
+	n.bump(func(s *Stats) { s.CommittedSingle += uint64(len(b.SingleTxs)) })
+	// If this was our own block, its preplay writes are now durable:
+	// shrink the speculative overlay to the remaining pending blocks.
+	if b.Proposer == n.cfg.ID {
+		n.dropOwnBlock(b.Round)
+	}
+	return true
+}
+
+// executeSerial is the Tusk baseline: run the block's transactions
+// one by one in commit order (no preplay, no parallel validation).
+func (n *Node) executeSerial(b *types.Block, now time.Time) {
+	all := make([]*types.Transaction, 0, len(b.SingleTxs)+len(b.CrossTxs))
+	all = append(all, b.SingleTxs...)
+	all = append(all, b.CrossTxs...)
+	for _, tx := range all {
+		if n.applied[tx.ID()] {
+			continue
+		}
+		outs := validate.ExecuteCrossOrdered(n.cfg.Registry, n.baseRead, []*types.Transaction{tx}, 1)
+		if outs[0].Err != nil {
+			n.applied[tx.ID()] = true
+			continue
+		}
+		n.cfg.Store.Apply(outs[0].Writes)
+		n.markCommitted(tx, now)
+	}
+}
+
+func (n *Node) markCommitted(tx *types.Transaction, now time.Time) {
+	id := tx.ID()
+	n.applied[id] = true
+	delete(n.seen, id)
+	n.bump(func(s *Stats) { s.CommittedTxs++ })
+	if n.cfg.OnCommitTx != nil {
+		n.cfg.OnCommitTx(tx, now)
+	}
+}
+
+// dropOwnBlock removes a committed (or abandoned) own block from the
+// pending list and rebuilds the speculative overlay from what remains.
+func (n *Node) dropOwnBlock(round types.Round) {
+	keep := n.ownBlocks[:0]
+	for _, ob := range n.ownBlocks {
+		if ob.round != round {
+			keep = append(keep, ob)
+		}
+	}
+	n.ownBlocks = keep
+	n.spec = make(map[types.Key]types.Value, len(n.spec))
+	for _, ob := range n.ownBlocks {
+		for _, w := range ob.writes {
+			n.spec[w.Key] = w.Value
+		}
+	}
+}
+
+// reconfigure performs the non-blocking DAG transition (§6): a new
+// DAG starts at the deterministic ending round every honest replica
+// derives from the same committed Shift quorum; shard assignments
+// rotate; uncommitted transactions are dropped for clients to
+// resubmit.
+func (n *Node) reconfigure() {
+	dropped := uint64(len(n.txQueue))
+	oldEpoch := n.epoch
+	// Unclaim every uncommitted transaction — queued or already
+	// proposed into the dying DAG — so client resubmissions are
+	// accepted by whichever proposer now owns the shard. Committed
+	// IDs stay deduplicated via n.applied.
+	n.seen = make(map[types.Digest]time.Time)
+	n.txQueue = nil
+	n.resetEpochState(oldEpoch + 1)
+
+	n.bump(func(s *Stats) {
+		s.Reconfigurations++
+		s.DroppedAtReconfig += dropped
+		s.Epoch = n.epoch
+	})
+	if n.cfg.OnReconfig != nil {
+		n.cfg.OnReconfig(n.epoch, time.Now())
+	}
+	// Replay messages that arrived early for the new epoch.
+	future := n.futureMsgs
+	n.futureMsgs = nil
+	n.propose()
+	for _, m := range future {
+		n.handle(m)
+	}
+}

@@ -1,0 +1,82 @@
+package node
+
+import (
+	"fmt"
+
+	"thunderbolt/internal/transport"
+	"thunderbolt/internal/types"
+)
+
+// Protocol message types carried over the transport.
+const (
+	// MsgBlock broadcasts a proposed block (also used as the response
+	// to MsgBlockReq).
+	MsgBlock transport.MsgType = iota + 1
+	// MsgVote carries one replica's signature over a block digest back
+	// to its proposer.
+	MsgVote
+	// MsgCert broadcasts an assembled 2f+1 certificate.
+	MsgCert
+	// MsgBlockReq asks a peer for the block with a given digest (sent
+	// when a certificate arrives before its block).
+	MsgBlockReq
+	// MsgTx submits a client transaction to a shard proposer.
+	MsgTx
+)
+
+// vote is the payload of MsgVote.
+type vote struct {
+	Epoch       types.Epoch
+	Round       types.Round
+	Proposer    types.ReplicaID
+	BlockDigest types.Digest
+	Sig         []byte
+}
+
+func (v *vote) marshal() []byte {
+	e := types.NewEncoder()
+	e.U64(uint64(v.Epoch))
+	e.U64(uint64(v.Round))
+	e.U32(uint32(v.Proposer))
+	e.Digest(v.BlockDigest)
+	e.Bytes(v.Sig)
+	return e.Sum()
+}
+
+func (v *vote) unmarshal(b []byte) error {
+	d := types.NewDecoder(b)
+	v.Epoch = types.Epoch(d.U64())
+	v.Round = types.Round(d.U64())
+	v.Proposer = types.ReplicaID(d.U32())
+	v.BlockDigest = d.Digest()
+	v.Sig = d.Bytes()
+	return d.Finish()
+}
+
+// blockReq is the payload of MsgBlockReq.
+type blockReq struct {
+	BlockDigest types.Digest
+}
+
+func (r *blockReq) marshal() []byte {
+	e := types.NewEncoder()
+	e.Digest(r.BlockDigest)
+	return e.Sum()
+}
+
+func (r *blockReq) unmarshal(b []byte) error {
+	d := types.NewDecoder(b)
+	r.BlockDigest = d.Digest()
+	return d.Finish()
+}
+
+// inboundMsg is one transport delivery queued for the event loop.
+type inboundMsg struct {
+	from    types.ReplicaID
+	mt      transport.MsgType
+	payload []byte
+}
+
+func (m inboundMsg) String() string {
+	return fmt.Sprintf("msg{from=%d type=%d len=%d}", m.from, m.mt, len(m.payload))
+}

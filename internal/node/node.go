@@ -1,0 +1,676 @@
+// Package node assembles a full Thunderbolt replica: DAG
+// dissemination and certification, Tusk commitment, the shard
+// proposer with its Concurrent Executor, parallel validation,
+// deterministic cross-shard execution, and non-blocking shard
+// reconfiguration (paper §3–§6).
+//
+// A node plays the paper's three roles at once: shard proposer for
+// its currently assigned shard, replica in the common DAG, and
+// (periodically) consensus leader. All protocol state is owned by a
+// single event-loop goroutine; transports, clients, and executor
+// pools interact with it through channels.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"thunderbolt/internal/contract"
+	"thunderbolt/internal/crypto"
+	"thunderbolt/internal/dag"
+	"thunderbolt/internal/storage"
+	"thunderbolt/internal/transport"
+	"thunderbolt/internal/tusk"
+	"thunderbolt/internal/types"
+)
+
+// ExecutionMode selects how a node executes transactions; the paper's
+// three evaluated systems (§12).
+type ExecutionMode int
+
+const (
+	// ModeCE is Thunderbolt proper: Concurrent Executor preplay plus
+	// parallel validation.
+	ModeCE ExecutionMode = iota
+	// ModeOCC is Thunderbolt-OCC: preplay through the OCC baseline
+	// plus parallel validation.
+	ModeOCC
+	// ModeSerial is the Tusk baseline: order first, then execute
+	// serially in commit order.
+	ModeSerial
+)
+
+func (m ExecutionMode) String() string {
+	switch m {
+	case ModeCE:
+		return "thunderbolt"
+	case ModeOCC:
+		return "thunderbolt-occ"
+	case ModeSerial:
+		return "tusk-serial"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config assembles a replica.
+type Config struct {
+	// ID is this replica; N the committee size (n = 3f+1).
+	ID types.ReplicaID
+	N  int
+	// Transport connects the committee.
+	Transport transport.Transport
+	// Signer/Verifier certify DAG vertices.
+	Signer   crypto.Signer
+	Verifier crypto.Verifier
+	// Registry resolves contracts; Store holds this replica's copy of
+	// the state (genesis contents must match across the committee).
+	Registry *contract.Registry
+	Store    *storage.Store
+
+	// Mode selects the execution pipeline (default ModeCE).
+	Mode ExecutionMode
+	// Executors sizes the preplay pool; Validators the validation
+	// pool (defaults 16 and 16, the paper's system configuration).
+	Executors  int
+	Validators int
+	// BatchSize caps transactions per block (default 500).
+	BatchSize int
+
+	// K triggers a Shift vote when a proposer has been silent for K
+	// rounds (0 disables). KPrime forces a Shift vote every KPrime
+	// proposed rounds (0 disables) — the paper's reconfiguration knobs.
+	K      int
+	KPrime int
+
+	// TickInterval paces housekeeping (block re-requests); default 25ms.
+	TickInterval time.Duration
+	// MinRoundInterval throttles round advancement (a batch timer):
+	// a node proposes at most one block per interval, preventing
+	// empty rounds from spinning the network. Default 1ms.
+	MinRoundInterval time.Duration
+
+	// OnCommitTx, if set, fires for every committed transaction.
+	OnCommitTx func(tx *types.Transaction, when time.Time)
+	// OnCommitWave, if set, fires after each commit wave with the
+	// leader round (Figure 16's per-round runtime series).
+	OnCommitWave func(epoch types.Epoch, leaderRound types.Round, when time.Time)
+	// OnReconfig, if set, fires after each DAG transition.
+	OnReconfig func(newEpoch types.Epoch, when time.Time)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Executors <= 0 {
+		c.Executors = 16
+	}
+	if c.Validators <= 0 {
+		c.Validators = 16
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 500
+	}
+	if c.TickInterval <= 0 {
+		c.TickInterval = 25 * time.Millisecond
+	}
+	if c.MinRoundInterval <= 0 {
+		c.MinRoundInterval = time.Millisecond
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of a node's counters.
+type Stats struct {
+	Epoch              types.Epoch
+	Round              types.Round
+	CommittedTxs       uint64
+	CommittedSingle    uint64
+	CommittedCross     uint64
+	ConvertedToCross   uint64
+	Reexecutions       uint64
+	RoundsProposed     uint64
+	SkipBlocks         uint64
+	ShiftBlocks        uint64
+	Reconfigurations   uint64
+	ValidationFailures uint64
+	DroppedAtReconfig  uint64
+	// PendingCross is the current number of observed-but-unexecuted
+	// cross-shard transactions touching this node's shard.
+	PendingCross uint64
+	// QueueLen is the current proposer queue length.
+	QueueLen uint64
+}
+
+// Node is one Thunderbolt replica.
+type Node struct {
+	cfg Config
+	n   int
+	f   int
+
+	// inbox is an unbounded queue so the transport delivery goroutine
+	// never blocks on a busy event loop (bounded queues here can close
+	// a circular wait across nodes and deadlock the whole committee).
+	inboxMu  sync.Mutex
+	inboxQ   []inboundMsg
+	inboxSig chan struct{}
+
+	txCh   chan *types.Transaction
+	inspCh chan func(*Node)
+	done   chan struct{}
+	wg     sync.WaitGroup
+	once   sync.Once
+
+	lastProposal time.Time
+
+	// --- event-loop-owned protocol state ---
+	epoch     types.Epoch
+	dagStore  *dag.Store
+	committer *tusk.Committer
+	// nextRound is the next round this node will propose.
+	nextRound types.Round
+
+	pendingBlocks map[types.Digest]*types.Block       // by block digest
+	certWait      map[types.Digest]*types.Certificate // certs waiting for blocks
+	orphans       []*dag.Vertex                       // vertices waiting for parents
+	collectors    map[types.Digest]*crypto.QuorumCollector
+	voted         map[voteKey]types.Digest
+	lastSeen      map[types.ReplicaID]types.Round // latest round proposed per replica
+	futureMsgs    []inboundMsg                    // messages from future epochs
+
+	// proposer state
+	txQueue []*types.Transaction
+	// seen deduplicates client retransmissions (§6). Entries carry
+	// their enqueue time and expire after seenTTL so a transaction
+	// lost to a discarded block is accepted again on retransmission
+	// instead of being swallowed forever.
+	seen      map[types.Digest]time.Time
+	preplayer preplayer
+	spec      map[types.Key]types.Value // own uncommitted preplay writes
+	ownBlocks []ownBlock                // uncommitted own normal blocks
+	// pendingCross holds cross-shard transactions observed in the DAG,
+	// not yet executed, that touch this node's shard (drives rules
+	// P3/P4 conversions and §5.4 skip blocks).
+	pendingCross map[types.Digest]*types.Transaction
+
+	// reconfiguration state
+	shiftSent      bool
+	roundsProposed int
+	committedShift map[types.ReplicaID]bool
+
+	// commit state
+	applied map[types.Digest]bool // committed transaction IDs
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+type voteKey struct {
+	round    types.Round
+	proposer types.ReplicaID
+}
+
+type ownBlock struct {
+	round  types.Round
+	writes []types.RWRecord
+}
+
+// New builds (but does not start) a node.
+func New(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Transport == nil || cfg.Signer == nil || cfg.Verifier == nil {
+		return nil, errors.New("node: transport, signer and verifier are required")
+	}
+	if cfg.Registry == nil || cfg.Store == nil {
+		return nil, errors.New("node: registry and store are required")
+	}
+	if cfg.N < 1 {
+		return nil, errors.New("node: committee size must be positive")
+	}
+	n := &Node{
+		cfg:      cfg,
+		n:        cfg.N,
+		f:        crypto.FaultBound(cfg.N),
+		inboxSig: make(chan struct{}, 1),
+		txCh:     make(chan *types.Transaction, 16384),
+		inspCh:   make(chan func(*Node)),
+		done:     make(chan struct{}),
+	}
+	n.resetEpochState(0)
+	n.applied = make(map[types.Digest]bool)
+	n.seen = make(map[types.Digest]time.Time)
+	n.preplayer = n.newPreplayer()
+	cfg.Transport.SetHandler(func(from types.ReplicaID, mt transport.MsgType, payload []byte) {
+		n.inboxMu.Lock()
+		n.inboxQ = append(n.inboxQ, inboundMsg{from: from, mt: mt, payload: payload})
+		n.inboxMu.Unlock()
+		select {
+		case n.inboxSig <- struct{}{}:
+		default:
+		}
+	})
+	return n, nil
+}
+
+// resetEpochState initializes per-epoch protocol state.
+func (n *Node) resetEpochState(epoch types.Epoch) {
+	n.epoch = epoch
+	n.dagStore = dag.NewStore(epoch, n.n)
+	n.committer = tusk.NewCommitter(n.dagStore, n.n)
+	n.nextRound = 1
+	n.pendingBlocks = make(map[types.Digest]*types.Block)
+	n.certWait = make(map[types.Digest]*types.Certificate)
+	n.orphans = nil
+	n.collectors = make(map[types.Digest]*crypto.QuorumCollector)
+	n.voted = make(map[voteKey]types.Digest)
+	n.lastSeen = make(map[types.ReplicaID]types.Round)
+	n.spec = make(map[types.Key]types.Value)
+	n.ownBlocks = nil
+	n.pendingCross = make(map[types.Digest]*types.Transaction)
+	n.shiftSent = false
+	n.roundsProposed = 0
+	n.committedShift = make(map[types.ReplicaID]bool)
+}
+
+// ID returns the replica ID.
+func (n *Node) ID() types.ReplicaID { return n.cfg.ID }
+
+// MyShard returns the shard this replica proposes for in the given
+// epoch: shard ownership rotates round-robin each reconfiguration
+// (proposer of shard x in epoch e is replica (x+e) mod n).
+func MyShard(id types.ReplicaID, epoch types.Epoch, n int) types.ShardID {
+	e := uint64(epoch) % uint64(n)
+	return types.ShardID((uint64(id) + uint64(n) - e) % uint64(n))
+}
+
+// ProposerOfShard returns the replica serving shard s in epoch e.
+func ProposerOfShard(s types.ShardID, epoch types.Epoch, n int) types.ReplicaID {
+	return types.ReplicaID((uint64(s) + uint64(epoch)) % uint64(n))
+}
+
+func (n *Node) myShard() types.ShardID {
+	return MyShard(n.cfg.ID, n.epoch, n.n)
+}
+
+// Store returns this replica's state store (authoritative, committed
+// state only).
+func (n *Node) Store() *storage.Store { return n.cfg.Store }
+
+// Stats returns a snapshot of the node's counters. PendingCross and
+// QueueLen are sampled at the last proposal.
+func (n *Node) Stats() Stats {
+	n.statsMu.Lock()
+	defer n.statsMu.Unlock()
+	return n.stats
+}
+
+func (n *Node) bump(f func(*Stats)) {
+	n.statsMu.Lock()
+	f(&n.stats)
+	n.statsMu.Unlock()
+}
+
+// Start launches the event loop and proposes the first block.
+func (n *Node) Start() {
+	n.wg.Add(1)
+	go n.run()
+}
+
+// Stop terminates the node. It is idempotent.
+func (n *Node) Stop() {
+	n.once.Do(func() { close(n.done) })
+	n.wg.Wait()
+}
+
+// Inspect runs f on the event-loop goroutine with exclusive access to
+// all protocol state and blocks until it returns. Intended for tests
+// and debugging tooling only.
+func (n *Node) Inspect(f func(*DebugView)) error {
+	donec := make(chan struct{})
+	g := func(n *Node) {
+		f(&DebugView{
+			Epoch:     n.epoch,
+			NextRound: n.nextRound,
+			QueueLen:  len(n.txQueue),
+			Pending:   pendingIDs(n),
+			Applied:   func(d types.Digest) bool { return n.applied[d] },
+			Seen:      func(d types.Digest) bool { _, ok := n.seen[d]; return ok },
+		})
+		close(donec)
+	}
+	select {
+	case n.inspCh <- g:
+		<-donec
+		return nil
+	case <-n.done:
+		return errors.New("node: stopped")
+	}
+}
+
+// DebugView is a snapshot of event-loop state handed to Inspect.
+type DebugView struct {
+	Epoch     types.Epoch
+	NextRound types.Round
+	QueueLen  int
+	Pending   []types.Digest
+	Applied   func(types.Digest) bool
+	Seen      func(types.Digest) bool
+}
+
+func pendingIDs(n *Node) []types.Digest {
+	out := make([]types.Digest, 0, len(n.pendingCross))
+	for id := range n.pendingCross {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Submit enqueues a client transaction. Single-shard transactions
+// must be routed to the proposer currently serving their shard;
+// misrouted ones are rejected so the client layer can re-route.
+func (n *Node) Submit(tx *types.Transaction) error {
+	select {
+	case n.txCh <- tx:
+		return nil
+	case <-n.done:
+		return errors.New("node: stopped")
+	}
+}
+
+func (n *Node) run() {
+	defer n.wg.Done()
+	tick := time.NewTicker(n.cfg.TickInterval)
+	defer tick.Stop()
+	pace := time.NewTicker(n.cfg.MinRoundInterval)
+	defer pace.Stop()
+	n.propose()
+	for {
+		select {
+		case <-n.inboxSig:
+			n.drainInbox()
+		case tx := <-n.txCh:
+			n.enqueueTx(tx)
+		case f := <-n.inspCh:
+			f(n)
+		case <-pace.C:
+			n.maybeAdvance()
+		case <-tick.C:
+			n.housekeeping()
+		case <-n.done:
+			return
+		}
+	}
+}
+
+func (n *Node) drainInbox() {
+	for {
+		n.inboxMu.Lock()
+		q := n.inboxQ
+		n.inboxQ = nil
+		n.inboxMu.Unlock()
+		if len(q) == 0 {
+			return
+		}
+		for _, m := range q {
+			n.handle(m)
+		}
+	}
+}
+
+// seenTTL bounds how long a non-committed transaction suppresses
+// retransmissions. Long enough to cover normal commit latency, short
+// enough that a transaction lost to a discarded block recovers.
+const seenTTL = 5 * time.Second
+
+func (n *Node) enqueueTx(tx *types.Transaction) {
+	id := tx.ID()
+	if n.applied[id] {
+		return
+	}
+	if at, ok := n.seen[id]; ok && time.Since(at) < seenTTL {
+		return // local deduplication (§6)
+	}
+	n.seen[id] = time.Now()
+	// Clone: the client retains its pointer for retransmission, and
+	// the proposer may promote the transaction (P3/P4/P6).
+	n.txQueue = append(n.txQueue, tx.Clone())
+}
+
+// housekeeping re-requests blocks for dangling certificates and
+// purges self-healing caches.
+func (n *Node) housekeeping() {
+	for bd, cert := range n.certWait {
+		req := (&blockReq{BlockDigest: bd}).marshal()
+		_ = n.cfg.Transport.Send(cert.Proposer, MsgBlockReq, req)
+	}
+	for id := range n.pendingCross {
+		if n.applied[id] {
+			delete(n.pendingCross, id)
+		}
+	}
+	for id, at := range n.seen {
+		if time.Since(at) >= seenTTL {
+			delete(n.seen, id)
+		}
+	}
+}
+
+func (n *Node) handle(m inboundMsg) {
+	switch m.mt {
+	case MsgBlock:
+		var b types.Block
+		if err := b.UnmarshalBinary(m.payload); err != nil {
+			return
+		}
+		n.handleBlock(m.from, &b)
+	case MsgVote:
+		var v vote
+		if err := v.unmarshal(m.payload); err != nil {
+			return
+		}
+		n.handleVote(m.from, &v)
+	case MsgCert:
+		var c types.Certificate
+		if err := c.UnmarshalBinary(m.payload); err != nil {
+			return
+		}
+		n.handleCert(m.from, &c)
+	case MsgBlockReq:
+		var r blockReq
+		if err := r.unmarshal(m.payload); err != nil {
+			return
+		}
+		n.handleBlockReq(m.from, &r)
+	case MsgTx:
+		var tx types.Transaction
+		if err := tx.UnmarshalBinary(m.payload); err != nil {
+			return
+		}
+		n.enqueueTx(&tx)
+	}
+}
+
+func (n *Node) handleBlock(from types.ReplicaID, b *types.Block) {
+	if b.Epoch > n.epoch {
+		n.futureMsgs = append(n.futureMsgs, inboundMsg{from: from, mt: MsgBlock, payload: mustMarshal(b)})
+		return
+	}
+	if b.Epoch < n.epoch || int(b.Proposer) >= n.n {
+		return
+	}
+	d := b.Digest()
+	if _, ok := n.pendingBlocks[d]; !ok {
+		n.pendingBlocks[d] = b
+	}
+	if b.Round > n.lastSeen[b.Proposer] {
+		n.lastSeen[b.Proposer] = b.Round
+	}
+	// Vote only for blocks received from their proposer, once per
+	// (round, proposer) slot — the anti-equivocation guard.
+	if from == b.Proposer {
+		k := voteKey{round: b.Round, proposer: b.Proposer}
+		if prev, ok := n.voted[k]; !ok || prev == d {
+			n.voted[k] = d
+			v := &vote{
+				Epoch: b.Epoch, Round: b.Round, Proposer: b.Proposer,
+				BlockDigest: d, Sig: n.cfg.Signer.Sign(d),
+			}
+			_ = n.cfg.Transport.Send(b.Proposer, MsgVote, v.marshal())
+		}
+	}
+	// A certificate may have arrived first.
+	if cert, ok := n.certWait[d]; ok {
+		delete(n.certWait, d)
+		n.addVertex(&dag.Vertex{Block: b, Cert: cert})
+	}
+}
+
+func (n *Node) handleVote(from types.ReplicaID, v *vote) {
+	if v.Epoch > n.epoch {
+		// A peer already transitioned to the next DAG; keep its vote
+		// for replay after our own transition.
+		n.futureMsgs = append(n.futureMsgs, inboundMsg{from: from, mt: MsgVote, payload: v.marshal()})
+		return
+	}
+	if v.Epoch < n.epoch || v.Proposer != n.cfg.ID {
+		return
+	}
+	col, ok := n.collectors[v.BlockDigest]
+	if !ok {
+		return
+	}
+	cert, err := col.Add(from, v.Sig)
+	if err != nil || cert == nil {
+		return
+	}
+	delete(n.collectors, v.BlockDigest)
+	_ = n.cfg.Transport.Broadcast(MsgCert, mustMarshal(cert))
+}
+
+func (n *Node) handleCert(from types.ReplicaID, c *types.Certificate) {
+	if c.Epoch > n.epoch {
+		n.futureMsgs = append(n.futureMsgs, inboundMsg{from: from, mt: MsgCert, payload: mustMarshal(c)})
+		return
+	}
+	if c.Epoch < n.epoch {
+		return
+	}
+	if _, ok := n.dagStore.ByCert(c.Digest()); ok {
+		return // already placed
+	}
+	if err := crypto.VerifyCertificate(c, n.n, n.cfg.Verifier); err != nil {
+		return
+	}
+	b, ok := n.pendingBlocks[c.BlockDigest]
+	if !ok {
+		n.certWait[c.BlockDigest] = c
+		req := (&blockReq{BlockDigest: c.BlockDigest}).marshal()
+		_ = n.cfg.Transport.Send(from, MsgBlockReq, req)
+		return
+	}
+	n.addVertex(&dag.Vertex{Block: b, Cert: c})
+}
+
+func (n *Node) handleBlockReq(from types.ReplicaID, r *blockReq) {
+	if b, ok := n.pendingBlocks[r.BlockDigest]; ok {
+		_ = n.cfg.Transport.Send(from, MsgBlock, mustMarshal(b))
+		return
+	}
+	if v, ok := n.dagStore.ByBlock(r.BlockDigest); ok {
+		_ = n.cfg.Transport.Send(from, MsgBlock, mustMarshal(v.Block))
+	}
+}
+
+// addVertex inserts a certified vertex, drains any orphans that
+// become insertable, advances the round, and processes commits.
+func (n *Node) addVertex(v *dag.Vertex) {
+	if !n.insertVertex(v) {
+		return
+	}
+	// Orphans may now have parents.
+	progress := true
+	for progress {
+		progress = false
+		keep := n.orphans[:0]
+		for _, o := range n.orphans {
+			if n.inserted(o) {
+				continue
+			}
+			if n.insertVertex(o) {
+				progress = true
+			} else {
+				keep = append(keep, o)
+			}
+		}
+		n.orphans = keep
+	}
+	n.maybeAdvance()
+	n.processCommits()
+}
+
+func (n *Node) inserted(v *dag.Vertex) bool {
+	_, ok := n.dagStore.ByCert(v.Cert.Digest())
+	return ok
+}
+
+// insertVertex adds to the DAG store, parking vertices with missing
+// parents on the orphan list. Returns true if the vertex landed.
+func (n *Node) insertVertex(v *dag.Vertex) bool {
+	err := n.dagStore.Add(v)
+	var missing *dag.MissingParentError
+	switch {
+	case err == nil:
+		n.onVertexAdded(v)
+		return true
+	case errors.As(err, &missing):
+		n.orphans = append(n.orphans, v)
+		return false
+	default:
+		return false // equivocation or garbage
+	}
+}
+
+// onVertexAdded tracks proposer liveness and pending cross-shard
+// transactions touching this node's shard (rules P3/P4 input).
+func (n *Node) onVertexAdded(v *dag.Vertex) {
+	if v.Round() > n.lastSeen[v.Proposer()] {
+		n.lastSeen[v.Proposer()] = v.Round()
+	}
+	mine := n.myShard()
+	for _, tx := range v.Block.CrossTxs {
+		if tx.TouchesShard(mine) && !n.applied[tx.ID()] {
+			n.pendingCross[tx.ID()] = tx
+		}
+	}
+}
+
+// maybeAdvance proposes the next round when the previous round holds
+// a 2f+1 certificate quorum — including this node's own certificate,
+// so every block links to its proposer's previous block (paper §4:
+// "this vertex links to all prior vertices, including those proposed
+// by R in round r−1"; without the self-link a slow certificate would
+// orphan the block and lose its transactions) — and the batch timer
+// has elapsed.
+func (n *Node) maybeAdvance() {
+	if n.nextRound <= 1 {
+		return
+	}
+	prev := n.nextRound - 1
+	if n.dagStore.CountAtRound(prev) < crypto.QuorumSize(n.n) {
+		return
+	}
+	if _, ok := n.dagStore.Get(prev, n.cfg.ID); !ok {
+		return // wait for our own certificate
+	}
+	if time.Since(n.lastProposal) >= n.cfg.MinRoundInterval {
+		n.propose()
+	}
+}
+
+func mustMarshal(m interface{ MarshalBinary() ([]byte, error) }) []byte {
+	b, err := m.MarshalBinary()
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

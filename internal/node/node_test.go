@@ -1,0 +1,293 @@
+package node_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"thunderbolt/internal/cluster"
+	"thunderbolt/internal/contract"
+	"thunderbolt/internal/node"
+	"thunderbolt/internal/transport"
+	"thunderbolt/internal/types"
+	"thunderbolt/internal/workload"
+)
+
+// fastCluster builds a small low-latency cluster for protocol tests.
+func fastCluster(t *testing.T, cfg cluster.Config) *cluster.Cluster {
+	t.Helper()
+	if cfg.N == 0 {
+		cfg.N = 4
+	}
+	if cfg.Latency == nil {
+		cfg.Latency = transport.UniformLatency(100*time.Microsecond, 500*time.Microsecond)
+	}
+	if cfg.Accounts == 0 {
+		cfg.Accounts = 64
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.Executors == 0 {
+		cfg.Executors = 4
+	}
+	if cfg.Validators == 0 {
+		cfg.Validators = 4
+	}
+	if cfg.TickInterval == 0 {
+		cfg.TickInterval = 5 * time.Millisecond
+	}
+	c, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func submitBatch(t *testing.T, c *cluster.Cluster, txs []*types.Transaction) {
+	t.Helper()
+	errs := make(chan error, len(txs))
+	for _, tx := range txs {
+		go func(tx *types.Transaction) {
+			errs <- c.SubmitWait(tx, 2*time.Second, 30*time.Second)
+		}(tx)
+	}
+	for range txs {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSingleShardCommitsAndConverges(t *testing.T) {
+	c := fastCluster(t, cluster.Config{Seed: 1})
+	gen := workload.NewGenerator(workload.Config{
+		Accounts: 64, Shards: 4, Theta: 0.7, ReadRatio: 0.3, Seed: 1, Client: 1,
+	})
+	txs := gen.Batch(120)
+	submitBatch(t, c, txs)
+	for _, tx := range txs {
+		if !c.Committed(tx.ID()) {
+			t.Fatal("committed wait returned but commit not recorded")
+		}
+	}
+	if err := c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Every node executed through the CE pipeline: no validation
+	// failures in an honest run.
+	for i := 0; i < c.N(); i++ {
+		st := c.Node(i).Stats()
+		if st.ValidationFailures != 0 {
+			t.Fatalf("replica %d saw %d validation failures", i, st.ValidationFailures)
+		}
+	}
+}
+
+func TestCrossShardAtomicityAndConservation(t *testing.T) {
+	c := fastCluster(t, cluster.Config{Seed: 2, Accounts: 40})
+	// Pure cross-shard transfers: total balance is conserved only if
+	// every transfer executes exactly once on every replica.
+	gen := workload.NewGenerator(workload.Config{
+		Accounts: 40, Shards: 4, Theta: 0.5, ReadRatio: 0, CrossPct: 1.0, Seed: 2, Client: 1,
+	})
+	var txs []*types.Transaction
+	for len(txs) < 80 {
+		tx := gen.Next()
+		if tx.Kind == types.CrossShard && tx.Contract == workload.ContractSendPayment {
+			txs = append(txs, tx)
+		}
+	}
+	before, err := workload.TotalBalance(c.Node(0).Store(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitBatch(t, c, txs)
+	if err := c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	after, err := workload.TotalBalance(c.Node(0).Store(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Fatalf("cross-shard transfers broke conservation: %d -> %d", before, after)
+	}
+}
+
+func TestMixedWorkloadConverges(t *testing.T) {
+	c := fastCluster(t, cluster.Config{Seed: 3})
+	gen := workload.NewGenerator(workload.Config{
+		Accounts: 64, Shards: 4, Theta: 0.8, ReadRatio: 0.4, CrossPct: 0.2, Seed: 3, Client: 1,
+	})
+	submitBatch(t, c, gen.Batch(150))
+	if err := c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerialTuskMode(t *testing.T) {
+	c := fastCluster(t, cluster.Config{Seed: 4, Mode: node.ModeSerial})
+	gen := workload.NewGenerator(workload.Config{
+		Accounts: 64, Shards: 4, Theta: 0.7, ReadRatio: 0.5, CrossPct: 0.1, Seed: 4, Client: 1,
+	})
+	submitBatch(t, c, gen.Batch(80))
+	if err := c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOCCMode(t *testing.T) {
+	c := fastCluster(t, cluster.Config{Seed: 5, Mode: node.ModeOCC})
+	gen := workload.NewGenerator(workload.Config{
+		Accounts: 64, Shards: 4, Theta: 0.7, ReadRatio: 0.5, Seed: 5, Client: 1,
+	})
+	submitBatch(t, c, gen.Batch(80))
+	if err := c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeriodicReconfigurationIsNonBlocking(t *testing.T) {
+	// KPrime forces Shift votes every few dozen rounds; commits must
+	// keep flowing across DAG transitions.
+	c := fastCluster(t, cluster.Config{Seed: 6, KPrime: 30})
+	gen := workload.NewGenerator(workload.Config{
+		Accounts: 64, Shards: 4, Theta: 0.7, ReadRatio: 0.3, Seed: 6, Client: 1,
+	})
+	// Keep load flowing until at least two reconfigurations have
+	// happened, proving commits continue across DAG transitions.
+	deadline := time.Now().Add(60 * time.Second)
+	for c.Reconfigurations() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d reconfigurations despite KPrime", c.Reconfigurations())
+		}
+		submitBatch(t, c, gen.Batch(20))
+	}
+	// And liveness persists after the rotations.
+	submitBatch(t, c, gen.Batch(40))
+	if err := c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("reconfigurations: %d", c.Reconfigurations())
+}
+
+func TestCensorshipTriggersReconfiguration(t *testing.T) {
+	// Crash one proposer; K-round silence must trigger Shift votes and
+	// a shard rotation, restoring liveness for the censored shard.
+	c := fastCluster(t, cluster.Config{Seed: 7, K: 6})
+	victim := types.ReplicaID(2)
+	c.Network().Crash(victim)
+
+	gen := workload.NewGenerator(workload.Config{
+		Accounts: 64, Shards: 4, Theta: 0.5, ReadRatio: 0.3, Seed: 7, Client: 1,
+	})
+	// Submit transactions for every shard, including the crashed
+	// proposer's; client retries route them to the rotated proposer.
+	var txs []*types.Transaction
+	perShard := map[types.ShardID]int{}
+	for len(txs) < 60 {
+		tx := gen.Next()
+		txs = append(txs, tx)
+		perShard[tx.Shards[0]]++
+	}
+	for _, s := range []types.ShardID{0, 1, 2, 3} {
+		if perShard[s] == 0 {
+			t.Fatalf("workload produced no transactions for shard %d", s)
+		}
+	}
+	errs := make(chan error, len(txs))
+	for _, tx := range txs {
+		go func(tx *types.Transaction) {
+			errs <- c.SubmitWait(tx, 500*time.Millisecond, 60*time.Second)
+		}(tx)
+	}
+	for range txs {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Reconfigurations() == 0 {
+		t.Fatal("censored shard never rotated")
+	}
+	// Convergence among the live replicas (poll: replicas commit the
+	// same sequence but not at the same instant).
+	live := []int{0, 1, 3}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		diverged := ""
+		ref := c.Node(live[0]).Store()
+		for _, i := range live[1:] {
+			st := c.Node(i).Store()
+			for _, k := range ref.Keys() {
+				a, _ := ref.Get(k)
+				b, _ := st.Get(k)
+				if !a.Equal(b) {
+					diverged = fmt.Sprintf("replica %d at %s", i, k)
+				}
+			}
+		}
+		if diverged == "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("live replicas diverge: %s", diverged)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Logf("reconfigurations after censorship: %d", c.Reconfigurations())
+}
+
+func TestCommitOrderIdenticalAcrossReplicas(t *testing.T) {
+	// Per-replica commit logs must be identical (safety §9): use the
+	// storage commit log retained by each node... the stores don't
+	// retain logs by default, so compare final state plus per-node
+	// committed counts after quiescence.
+	c := fastCluster(t, cluster.Config{Seed: 8})
+	gen := workload.NewGenerator(workload.Config{
+		Accounts: 64, Shards: 4, Theta: 0.9, ReadRatio: 0.2, CrossPct: 0.3, Seed: 8, Client: 1,
+	})
+	submitBatch(t, c, gen.Batch(100))
+	if err := c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// After convergence every live replica must have committed the
+	// same transaction count.
+	base := c.Node(0).Stats().CommittedTxs
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 1; i < c.N(); i++ {
+		for c.Node(i).Stats().CommittedTxs != base && time.Now().Before(deadline) {
+			time.Sleep(20 * time.Millisecond)
+			base = c.Node(0).Stats().CommittedTxs
+		}
+		if got := c.Node(i).Stats().CommittedTxs; got != base {
+			t.Fatalf("replica %d committed %d txs, replica 0 committed %d", i, got, base)
+		}
+	}
+}
+
+func TestVMContractsThroughCluster(t *testing.T) {
+	c := fastCluster(t, cluster.Config{Seed: 9, Accounts: 8})
+	code, err := workload.SendPaymentProgram().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	smap := types.NewShardMap(4)
+	var txs []*types.Transaction
+	for i := 0; i < 12; i++ {
+		src := workload.AccountName(i % 8)
+		shard := smap.ShardOf(types.Key(src))
+		// Self transfer keeps it single-shard regardless of pairing.
+		txs = append(txs, &types.Transaction{
+			Client: 9, Nonce: uint64(i + 1), Kind: types.SingleShard,
+			Shards: []types.ShardID{shard}, Code: code,
+			Args: [][]byte{[]byte(src), []byte(src), contract.EncodeInt64(1)},
+		})
+	}
+	submitBatch(t, c, txs)
+	if err := c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

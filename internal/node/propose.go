@@ -1,0 +1,299 @@
+package node
+
+import (
+	"sync"
+	"time"
+
+	"thunderbolt/internal/ce"
+	"thunderbolt/internal/crypto"
+	"thunderbolt/internal/depgraph"
+	"thunderbolt/internal/occ"
+	"thunderbolt/internal/tusk"
+	"thunderbolt/internal/types"
+)
+
+// preplayer abstracts the preplay engine so Thunderbolt (CE) and
+// Thunderbolt-OCC share the proposer pipeline.
+type preplayer interface {
+	// preplay executes txs against the given speculative reader and
+	// returns the CE-shaped batch result.
+	preplay(read func(types.Key) types.Value, txs []*types.Transaction) *ce.BatchResult
+}
+
+func (n *Node) newPreplayer() preplayer {
+	switch n.cfg.Mode {
+	case ModeOCC:
+		return &occPreplayer{
+			exec: occ.New(occ.Config{Executors: n.cfg.Executors, Registry: n.cfg.Registry}),
+		}
+	default:
+		return &cePreplayer{
+			exec: ce.New(ce.Config{Executors: n.cfg.Executors, Registry: n.cfg.Registry}),
+		}
+	}
+}
+
+type cePreplayer struct{ exec *ce.CE }
+
+func (p *cePreplayer) preplay(read func(types.Key) types.Value, txs []*types.Transaction) *ce.BatchResult {
+	return p.exec.ExecuteBatch(depgraph.BaseReader(read), txs)
+}
+
+// occPreplayer adapts the OCC baseline to the proposer pipeline (the
+// paper's Thunderbolt-OCC configuration): OCC validates against a
+// lazily materialized versioned view over the speculative reader.
+type occPreplayer struct{ exec *occ.OCC }
+
+func (p *occPreplayer) preplay(read func(types.Key) types.Value, txs []*types.Transaction) *ce.BatchResult {
+	return p.exec.ExecuteBatch(newSpecVersioned(read), txs)
+}
+
+// specVersioned implements occ.VersionedStore over a read-through
+// base. Keys written during the batch carry real versions; untouched
+// keys read from the base at version 0 (the base is immutable for the
+// duration of one preplay, so version 0 is stable).
+type specVersioned struct {
+	read func(types.Key) types.Value
+
+	mu   sync.Mutex
+	data map[types.Key]specEntry
+	seq  uint64
+}
+
+type specEntry struct {
+	val types.Value
+	ver uint64
+}
+
+func newSpecVersioned(read func(types.Key) types.Value) *specVersioned {
+	return &specVersioned{read: read, data: make(map[types.Key]specEntry)}
+}
+
+func (s *specVersioned) GetVersioned(k types.Key) (types.Value, uint64, bool) {
+	s.mu.Lock()
+	e, ok := s.data[k]
+	s.mu.Unlock()
+	if ok {
+		return e.val, e.ver, true
+	}
+	v := s.read(k)
+	return v, 0, v != nil
+}
+
+func (s *specVersioned) Version(k types.Key) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.data[k].ver
+}
+
+func (s *specVersioned) Apply(writes []types.RWRecord) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	for _, w := range writes {
+		s.data[w.Key] = specEntry{val: w.Value.Clone(), ver: s.seq}
+	}
+	return s.seq
+}
+
+// propose builds and broadcasts this node's block for n.nextRound,
+// then advances nextRound. Called once at start (round 1) and from
+// maybeAdvance as certificate quorums form.
+func (n *Node) propose() {
+	r := n.nextRound
+	n.nextRound++
+	n.roundsProposed++
+	n.lastProposal = time.Now()
+
+	var parents []types.Digest
+	if r > 1 {
+		parents = n.dagStore.CertsAtRound(r - 1)
+	}
+	blk := &types.Block{
+		Epoch: n.epoch, Round: r, Proposer: n.cfg.ID, Shard: n.myShard(),
+		Kind: types.NormalBlock, Parents: parents,
+		ProposedUnixNano: time.Now().UnixNano(),
+	}
+
+	switch {
+	case n.shouldShift(r):
+		blk.Kind = types.ShiftBlock
+		n.shiftSent = true
+		n.bump(func(s *Stats) { s.ShiftBlocks++ })
+	default:
+		n.fillBlock(blk, r)
+	}
+
+	n.bump(func(s *Stats) {
+		s.RoundsProposed++
+		s.Epoch = n.epoch
+		s.Round = r
+		s.PendingCross = uint64(len(n.pendingCross))
+		s.QueueLen = uint64(len(n.txQueue))
+	})
+	// Register the quorum collector before broadcasting so even the
+	// self-vote lands in it.
+	d := blk.Digest()
+	n.collectors[d] = crypto.NewQuorumCollector(n.n, n.cfg.Verifier, d, blk.Epoch, blk.Round, blk.Proposer)
+	_ = n.cfg.Transport.Broadcast(MsgBlock, mustMarshal(blk))
+}
+
+// shouldShift evaluates the paper's four Shift-block conditions (§6).
+func (n *Node) shouldShift(r types.Round) bool {
+	if n.shiftSent { // condition (4): at most one Shift per epoch
+		return false
+	}
+	// Condition (1): some proposer silent for K rounds.
+	if n.cfg.K > 0 && r > types.Round(n.cfg.K)+1 {
+		for p := types.ReplicaID(0); int(p) < n.n; p++ {
+			if p == n.cfg.ID {
+				continue
+			}
+			if n.lastSeen[p]+types.Round(n.cfg.K) < r {
+				return true
+			}
+		}
+	}
+	// Condition (2): periodic rotation after K' proposed rounds.
+	if n.cfg.KPrime > 0 && n.roundsProposed > n.cfg.KPrime {
+		return true
+	}
+	// Condition (3): f+1 Shift blocks observed in the previous round.
+	if r > 1 {
+		shifts := 0
+		for _, v := range n.dagStore.AtRound(r - 1) {
+			if v.Block.Kind == types.ShiftBlock {
+				shifts++
+			}
+		}
+		if shifts >= n.f+1 {
+			return true
+		}
+	}
+	return false
+}
+
+// fillBlock populates a normal block with this round's transactions,
+// applying the proposal rules:
+//
+//	P1: cross-shard transactions go straight into the block.
+//	P3/P4: while unfinalized cross-shard transactions touching this
+//	       shard exist, single-shard transactions are converted to
+//	       cross-shard (identity preserved) instead of preplayed; if
+//	       there is nothing to carry, the block becomes a skip block
+//	       (§5.4) so the DAG keeps advancing.
+//	P6: if the previous leader's vertex is missing from the local
+//	    DAG, conversions apply as well (leader delay).
+//
+// Otherwise single-shard transactions are preplayed by the CE and the
+// block carries their results.
+func (n *Node) fillBlock(blk *types.Block, r types.Round) {
+	singles, cross := n.drainQueue()
+	blk.CrossTxs = cross
+
+	if n.cfg.Mode == ModeSerial {
+		// Tusk baseline: order everything, execute after commit.
+		blk.SingleTxs = singles
+		return
+	}
+
+	mustConvert := len(n.pendingCross) > 0 || n.missingLeader(r)
+	if mustConvert {
+		if len(singles) == 0 && len(cross) == 0 {
+			blk.Kind = types.SkipBlock
+			n.bump(func(s *Stats) { s.SkipBlocks++ })
+			return
+		}
+		for _, tx := range singles {
+			tx.Promote()
+			blk.CrossTxs = append(blk.CrossTxs, tx)
+		}
+		n.bump(func(s *Stats) { s.ConvertedToCross += uint64(len(singles)) })
+		return
+	}
+	if len(singles) == 0 {
+		return
+	}
+	res := n.preplayer.preplay(n.specRead, singles)
+	blk.SingleTxs = res.Schedule
+	blk.Results = res.Results
+	n.bump(func(s *Stats) { s.Reexecutions += uint64(res.Reexecutions) })
+	// Fold the preplay outcome into the speculative view so the next
+	// round's batch builds on it.
+	var writes []types.RWRecord
+	for i := range res.Results {
+		for _, w := range res.Results[i].WriteSet {
+			n.spec[w.Key] = w.Value
+			writes = append(writes, w)
+		}
+	}
+	n.ownBlocks = append(n.ownBlocks, ownBlock{round: r, writes: writes})
+	// Terminal failures are dropped permanently (they can never
+	// commit); unqueue them from dedup so a corrected resubmission
+	// with a different nonce is unaffected.
+	_ = res.Failed
+}
+
+// missingLeader reports whether a leader vertex is overdue (rule P6's
+// "leader proposal delayed beyond a timeout"). The newest leader round
+// is legitimately still in flight, so the check applies to the leader
+// two rounds back: by then an honest leader's certificate has had a
+// full round-trip to arrive.
+func (n *Node) missingLeader(r types.Round) bool {
+	if r < 4 {
+		return false
+	}
+	lr := r - 3
+	for lr > 0 && !tusk.LeaderRound(lr) {
+		lr--
+	}
+	if lr == 0 {
+		return false
+	}
+	_, ok := n.dagStore.Get(lr, tusk.LeaderOf(n.epoch, lr, n.n))
+	return !ok
+}
+
+// specRead is the speculative state: committed store overlaid with
+// this proposer's own uncommitted preplay writes.
+func (n *Node) specRead(k types.Key) types.Value {
+	if v, ok := n.spec[k]; ok {
+		return v
+	}
+	v, _ := n.cfg.Store.Get(k)
+	return v
+}
+
+// drainQueue pulls up to BatchSize transactions, splitting them into
+// single-shard (for this node's current shard) and cross-shard.
+// Misrouted singles (wrong shard, e.g. queued before a
+// reconfiguration) are dropped; clients resubmit to the new proposer.
+func (n *Node) drainQueue() (singles, cross []*types.Transaction) {
+	mine := n.myShard()
+	taken := 0
+	rest := n.txQueue[:0]
+	for _, tx := range n.txQueue {
+		if taken >= n.cfg.BatchSize {
+			rest = append(rest, tx)
+			continue
+		}
+		if n.applied[tx.ID()] {
+			continue
+		}
+		switch {
+		case tx.IsCross():
+			cross = append(cross, tx)
+			taken++
+		case len(tx.Shards) == 1 && tx.Shards[0] == mine:
+			singles = append(singles, tx)
+			taken++
+		default:
+			// Wrong shard after rotation: drop; the client layer
+			// resubmits to the right proposer.
+			delete(n.seen, tx.ID())
+			n.bump(func(s *Stats) { s.DroppedAtReconfig++ })
+		}
+	}
+	n.txQueue = rest
+	return singles, cross
+}

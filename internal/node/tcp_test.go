@@ -1,0 +1,123 @@
+package node_test
+
+import (
+	"testing"
+	"time"
+
+	"thunderbolt/internal/contract"
+	"thunderbolt/internal/crypto"
+	"thunderbolt/internal/node"
+	"thunderbolt/internal/storage"
+	"thunderbolt/internal/transport"
+	"thunderbolt/internal/types"
+	"thunderbolt/internal/workload"
+)
+
+// TestTCPCommittee runs a full 4-replica committee over real TCP
+// sockets on loopback — the multi-process testbed path — and checks
+// commits and state convergence.
+func TestTCPCommittee(t *testing.T) {
+	const n = 4
+	signers, verifier, err := crypto.InsecureScheme{}.Committee(n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bind ephemeral listeners first, then distribute the address
+	// book — the pattern a deployment script would follow.
+	trs := make([]*transport.TCPTransport, n)
+	peers := map[types.ReplicaID]string{}
+	for i := 0; i < n; i++ {
+		tr, err := transport.NewTCPTransport(transport.TCPConfig{
+			Self: types.ReplicaID(i), Listen: "127.0.0.1:0",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		trs[i] = tr
+		peers[types.ReplicaID(i)] = tr.Addr()
+	}
+
+	var (
+		nodes  []*node.Node
+		commit = make(chan types.Digest, 4096)
+	)
+	for i := 0; i < n; i++ {
+		tr := trs[i]
+		tr.SetPeers(peers)
+		reg := contract.NewRegistry()
+		workload.RegisterSmallBank(reg)
+		st := storage.New()
+		workload.InitAccounts(st, 16, 1000, 1000)
+		cfg := node.Config{
+			ID: types.ReplicaID(i), N: n, Transport: tr,
+			Signer: signers[i], Verifier: verifier,
+			Registry: reg, Store: st,
+			Executors: 2, Validators: 2, BatchSize: 16,
+			TickInterval: 5 * time.Millisecond,
+		}
+		if i == 0 {
+			cfg.OnCommitTx = func(tx *types.Transaction, _ time.Time) {
+				commit <- tx.ID()
+			}
+		}
+		nd, err := node.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, nd)
+	}
+	for _, nd := range nodes {
+		nd.Start()
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	}()
+
+	// Submit one deposit per shard, routed to the owning proposer.
+	smap := types.NewShardMap(n)
+	want := map[types.Digest]bool{}
+	for i := 0; i < 16; i++ {
+		acct := workload.AccountName(i)
+		shard := smap.ShardOf(types.Key(acct))
+		tx := &types.Transaction{
+			Client: 1, Nonce: uint64(i + 1), Kind: types.SingleShard,
+			Shards:   []types.ShardID{shard},
+			Contract: workload.ContractDepositChecking,
+			Args:     [][]byte{[]byte(acct), contract.EncodeInt64(int64(i + 1))},
+		}
+		want[tx.ID()] = true
+		proposer := node.ProposerOfShard(shard, 0, n)
+		if err := nodes[proposer].Submit(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.After(60 * time.Second)
+	for len(want) > 0 {
+		select {
+		case id := <-commit:
+			delete(want, id)
+		case <-deadline:
+			t.Fatalf("%d transactions never committed over TCP", len(want))
+		}
+	}
+	// Convergence: node 0's balances must eventually appear everywhere.
+	ref := nodes[0].Store()
+	deadlineT := time.Now().Add(20 * time.Second)
+	for i := 1; i < n; i++ {
+	retry:
+		for _, k := range ref.Keys() {
+			a, _ := ref.Get(k)
+			b, _ := nodes[i].Store().Get(k)
+			if !a.Equal(b) {
+				if time.Now().After(deadlineT) {
+					t.Fatalf("replica %d diverges at %s: %q vs %q", i, k, b, a)
+				}
+				time.Sleep(50 * time.Millisecond)
+				goto retry
+			}
+		}
+	}
+}

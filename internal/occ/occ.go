@@ -1,0 +1,218 @@
+// Package occ implements the Optimistic Concurrency Control baseline
+// the paper compares the Concurrent Executor against (§11.1, after
+// Kung & Robinson).
+//
+// Each executor runs a transaction locally: reads fetch versioned
+// values from the store (first read per key pins the version), writes
+// are buffered. On completion the read versions and write buffer go to
+// a central verifier, which atomically revalidates every read version
+// against the store and either applies the writes or rejects the
+// transaction for re-execution.
+package occ
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"thunderbolt/internal/ce"
+	"thunderbolt/internal/contract"
+	"thunderbolt/internal/storage"
+	"thunderbolt/internal/types"
+	"thunderbolt/internal/vm"
+)
+
+// Config parameterizes the OCC executor pool.
+type Config struct {
+	// Executors is the worker-pool size.
+	Executors int
+	// Registry resolves named contracts.
+	Registry *contract.Registry
+	// MaxRetries caps re-executions (0 = unbounded).
+	MaxRetries int
+}
+
+// VersionedStore is the storage interface OCC validates against.
+// *storage.Store implements it; the node layer also provides a
+// speculative view that reads through to committed state.
+type VersionedStore interface {
+	// GetVersioned returns the value under k, the version that
+	// installed it, and whether the key exists.
+	GetVersioned(k types.Key) (types.Value, uint64, bool)
+	// Version returns the install version of k (0 if absent).
+	Version(k types.Key) uint64
+	// Apply installs a write batch atomically.
+	Apply(writes []types.RWRecord) uint64
+}
+
+var _ VersionedStore = (*storage.Store)(nil)
+
+// OCC is the baseline executor. Unlike the CE it mutates the store it
+// executes against (version validation requires committing into it);
+// callers benchmark against a scratch store.
+type OCC struct {
+	cfg Config
+
+	mu       sync.Mutex // the central verifier
+	schedule int
+}
+
+// New creates an OCC executor pool.
+func New(cfg Config) *OCC {
+	if cfg.Executors <= 0 {
+		cfg.Executors = 1
+	}
+	if cfg.Registry == nil {
+		panic("occ: Registry is required")
+	}
+	return &OCC{cfg: cfg}
+}
+
+// execState is the per-attempt local context.
+type execState struct {
+	store VersionedStore
+
+	reads     map[types.Key]uint64 // first-read versions
+	readVals  map[types.Key]types.Value
+	readOrder []types.Key
+
+	writes     map[types.Key]types.Value
+	writeOrder []types.Key
+}
+
+func newExecState(store VersionedStore) *execState {
+	return &execState{
+		store:    store,
+		reads:    make(map[types.Key]uint64),
+		readVals: make(map[types.Key]types.Value),
+		writes:   make(map[types.Key]types.Value),
+	}
+}
+
+// Read implements contract.State: local writes win, otherwise the
+// store value is fetched and its version pinned.
+func (s *execState) Read(k types.Key) (types.Value, error) {
+	if v, ok := s.writes[k]; ok {
+		return v.Clone(), nil
+	}
+	if v, ok := s.readVals[k]; ok {
+		return v.Clone(), nil
+	}
+	v, ver, _ := s.store.GetVersioned(k)
+	s.reads[k] = ver
+	s.readVals[k] = v.Clone()
+	s.readOrder = append(s.readOrder, k)
+	return v.Clone(), nil
+}
+
+// Write implements contract.State by buffering locally.
+func (s *execState) Write(k types.Key, v types.Value) error {
+	if _, ok := s.writes[k]; !ok {
+		s.writeOrder = append(s.writeOrder, k)
+	}
+	s.writes[k] = v.Clone()
+	return nil
+}
+
+var errValidation = errors.New("occ: version validation failed")
+
+// verify revalidates the read versions and applies the writes under
+// the central verifier lock. It returns the schedule index.
+func (o *OCC) verify(store VersionedStore, s *execState) (int, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for k, ver := range s.reads {
+		if store.Version(k) != ver {
+			return 0, errValidation
+		}
+	}
+	recs := make([]types.RWRecord, 0, len(s.writeOrder))
+	for _, k := range s.writeOrder {
+		recs = append(recs, types.RWRecord{Key: k, Value: s.writes[k]})
+	}
+	store.Apply(recs)
+	idx := o.schedule
+	o.schedule++
+	return idx, nil
+}
+
+// ExecuteBatch runs txs to completion against store, which it
+// mutates. The result shape matches the Concurrent Executor's.
+// Schedule indices restart at zero for every batch; do not run two
+// batches on one OCC concurrently.
+func (o *OCC) ExecuteBatch(store VersionedStore, txs []*types.Transaction) *ce.BatchResult {
+	o.mu.Lock()
+	o.schedule = 0
+	o.mu.Unlock()
+	type committed struct {
+		tx  *types.Transaction
+		res types.TxResult
+	}
+	var (
+		mu     sync.Mutex
+		done   []committed
+		failed []ce.FailedTx
+		rexec  int
+	)
+	ch := make(chan *types.Transaction)
+	var wg sync.WaitGroup
+	for w := 0; w < o.cfg.Executors; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tx := range ch {
+				res, ferr, retries := o.runOne(store, tx)
+				mu.Lock()
+				rexec += retries
+				if ferr != nil {
+					failed = append(failed, ce.FailedTx{Tx: tx, Err: ferr})
+				} else {
+					done = append(done, committed{tx: tx, res: res})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, tx := range txs {
+		ch <- tx
+	}
+	close(ch)
+	wg.Wait()
+
+	sort.Slice(done, func(i, j int) bool {
+		return done[i].res.ScheduleIdx < done[j].res.ScheduleIdx
+	})
+	out := &ce.BatchResult{Failed: failed, Reexecutions: rexec}
+	for _, c := range done {
+		out.Schedule = append(out.Schedule, c.tx)
+		out.Results = append(out.Results, c.res)
+	}
+	return out
+}
+
+func (o *OCC) runOne(store VersionedStore, tx *types.Transaction) (types.TxResult, error, int) {
+	id := tx.ID()
+	retries := 0
+	for {
+		s := newExecState(store)
+		if err := vm.ExecuteTx(o.cfg.Registry, s, tx); err != nil {
+			return types.TxResult{}, err, retries
+		}
+		idx, err := o.verify(store, s)
+		if err != nil {
+			retries++
+			if o.cfg.MaxRetries > 0 && retries >= o.cfg.MaxRetries {
+				return types.TxResult{}, err, retries
+			}
+			continue
+		}
+		res := types.TxResult{TxID: id, ScheduleIdx: uint32(idx), Reexecutions: uint32(retries)}
+		for _, k := range s.readOrder {
+			res.ReadSet = append(res.ReadSet, types.RWRecord{Key: k, Value: s.readVals[k]})
+		}
+		for _, k := range s.writeOrder {
+			res.WriteSet = append(res.WriteSet, types.RWRecord{Key: k, Value: s.writes[k]})
+		}
+		return res, nil, retries
+	}
+}

@@ -1,0 +1,226 @@
+// Package storage provides the replica-local state store: a versioned
+// in-memory key/value map with an append-only commit log.
+//
+// The paper's implementation used LevelDB to hold SmallBank balances;
+// the evaluation stresses concurrency control rather than the disk, so
+// this reproduction keeps state in memory but preserves the two
+// properties the protocols rely on:
+//
+//   - per-key versions, which the OCC baseline validates against, and
+//   - atomic batch commits in a total order, which is how committed
+//     DAG blocks are applied.
+package storage
+
+import (
+	"sort"
+	"sync"
+
+	"thunderbolt/internal/types"
+)
+
+type entry struct {
+	val types.Value
+	ver uint64
+}
+
+// Store is a thread-safe versioned key/value store. The zero value is
+// not usable; call New.
+type Store struct {
+	mu   sync.RWMutex
+	data map[types.Key]entry
+	seq  uint64
+
+	logMu sync.Mutex
+	log   []CommitRecord
+	// keepLog bounds commit-log retention; 0 disables logging.
+	keepLog int
+}
+
+// CommitRecord is one atomically applied write batch.
+type CommitRecord struct {
+	Seq    uint64
+	Writes []types.RWRecord
+}
+
+// New returns an empty store that retains no commit log.
+func New() *Store { return NewWithLog(0) }
+
+// NewWithLog returns an empty store retaining the last keep commit
+// records (keep <= 0 disables retention).
+func NewWithLog(keep int) *Store {
+	return &Store{data: make(map[types.Key]entry), keepLog: keep}
+}
+
+// Get returns the current value under k and whether the key exists.
+// The returned value must not be mutated.
+func (s *Store) Get(k types.Key) (types.Value, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.data[k]
+	return e.val, ok
+}
+
+// GetVersioned returns the value under k together with the commit
+// sequence number that installed it. Missing keys report version 0.
+func (s *Store) GetVersioned(k types.Key) (types.Value, uint64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.data[k]
+	return e.val, e.ver, ok
+}
+
+// Version returns the install version of k (0 if absent).
+func (s *Store) Version(k types.Key) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data[k].ver
+}
+
+// Seq returns the sequence number of the latest commit.
+func (s *Store) Seq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seq
+}
+
+// Set installs a single value outside any batch (used for workload
+// initialization). It consumes one commit sequence number.
+func (s *Store) Set(k types.Key, v types.Value) {
+	s.Apply([]types.RWRecord{{Key: k, Value: v}})
+}
+
+// Apply installs a write batch atomically, stamping every key with the
+// new commit sequence number, and returns that number.
+func (s *Store) Apply(writes []types.RWRecord) uint64 {
+	s.mu.Lock()
+	s.seq++
+	seq := s.seq
+	for _, w := range writes {
+		s.data[w.Key] = entry{val: w.Value.Clone(), ver: seq}
+	}
+	s.mu.Unlock()
+
+	if s.keepLog > 0 && len(writes) > 0 {
+		rec := CommitRecord{Seq: seq, Writes: cloneRecords(writes)}
+		s.logMu.Lock()
+		s.log = append(s.log, rec)
+		if len(s.log) > s.keepLog {
+			s.log = s.log[len(s.log)-s.keepLog:]
+		}
+		s.logMu.Unlock()
+	}
+	return seq
+}
+
+// Log returns a copy of the retained commit records, oldest first.
+func (s *Store) Log() []CommitRecord {
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	return append([]CommitRecord(nil), s.log...)
+}
+
+// Len returns the number of keys present.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Snapshot returns an immutable copy of the current state, suitable
+// for serial replay during validation and testing.
+func (s *Store) Snapshot() map[types.Key]types.Value {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[types.Key]types.Value, len(s.data))
+	for k, e := range s.data {
+		out[k] = e.val.Clone()
+	}
+	return out
+}
+
+// Keys returns every key, sorted, for deterministic iteration.
+func (s *Store) Keys() []types.Key {
+	s.mu.RLock()
+	ks := make([]types.Key, 0, len(s.data))
+	for k := range s.data {
+		ks = append(ks, k)
+	}
+	s.mu.RUnlock()
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+func cloneRecords(recs []types.RWRecord) []types.RWRecord {
+	out := make([]types.RWRecord, len(recs))
+	for i, r := range recs {
+		out[i] = types.RWRecord{Key: r.Key, Value: r.Value.Clone()}
+	}
+	return out
+}
+
+// Overlay is a write buffer layered over a base store. Reads see the
+// overlay's own writes first, then the base; Flush applies the buffer
+// atomically. It is the execution context for serial replay (Tusk's
+// in-order execution, block validation, and test oracles) and is not
+// safe for concurrent use.
+type Overlay struct {
+	base   *Store
+	writes map[types.Key]types.Value
+	// reads records the first observed value per key, forming the
+	// read set of whatever ran against the overlay.
+	reads map[types.Key]types.Value
+	order []types.Key
+}
+
+// NewOverlay creates an empty overlay over base.
+func NewOverlay(base *Store) *Overlay {
+	return &Overlay{
+		base:   base,
+		writes: make(map[types.Key]types.Value),
+		reads:  make(map[types.Key]types.Value),
+	}
+}
+
+// Get reads k, preferring buffered writes.
+func (o *Overlay) Get(k types.Key) (types.Value, bool) {
+	if v, ok := o.writes[k]; ok {
+		return v, true
+	}
+	v, ok := o.base.Get(k)
+	if _, seen := o.reads[k]; !seen {
+		o.reads[k] = v.Clone()
+	}
+	return v, ok
+}
+
+// Set buffers a write to k.
+func (o *Overlay) Set(k types.Key, v types.Value) {
+	if _, ok := o.writes[k]; !ok {
+		o.order = append(o.order, k)
+	}
+	o.writes[k] = v.Clone()
+}
+
+// Writes returns the buffered writes in first-write order.
+func (o *Overlay) Writes() []types.RWRecord {
+	out := make([]types.RWRecord, 0, len(o.order))
+	for _, k := range o.order {
+		out = append(out, types.RWRecord{Key: k, Value: o.writes[k].Clone()})
+	}
+	return out
+}
+
+// Flush applies the buffered writes to the base store atomically and
+// clears the buffer. It returns the commit sequence number.
+func (o *Overlay) Flush() uint64 {
+	seq := o.base.Apply(o.Writes())
+	o.Reset()
+	return seq
+}
+
+// Reset discards buffered state.
+func (o *Overlay) Reset() {
+	o.writes = make(map[types.Key]types.Value)
+	o.reads = make(map[types.Key]types.Value)
+	o.order = o.order[:0]
+}

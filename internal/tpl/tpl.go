@@ -1,0 +1,283 @@
+// Package tpl implements the 2PL-No-Wait baseline the paper compares
+// the Concurrent Executor against (§11.1).
+//
+// Executors access storage through a central lock controller. A read
+// takes a shared lock, a write an exclusive lock; any conflict aborts
+// the requesting transaction immediately (no waiting, hence no
+// deadlocks), releasing all of its locks before re-execution. On
+// completion the write buffer is applied to storage and the locks
+// drop.
+package tpl
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"thunderbolt/internal/ce"
+	"thunderbolt/internal/contract"
+	"thunderbolt/internal/storage"
+	"thunderbolt/internal/types"
+	"thunderbolt/internal/vm"
+)
+
+// Config parameterizes the 2PL executor pool.
+type Config struct {
+	// Executors is the worker-pool size.
+	Executors int
+	// Registry resolves named contracts.
+	Registry *contract.Registry
+	// MaxRetries caps re-executions (0 = unbounded).
+	MaxRetries int
+}
+
+// TPL is the 2PL-No-Wait executor. Like the OCC baseline it commits
+// into the store it executes against.
+type TPL struct {
+	cfg Config
+
+	mu       sync.Mutex
+	locks    map[types.Key]*lockState
+	schedule int
+}
+
+type lockState struct {
+	// exclusive holds the owner of an X lock (nil if none).
+	exclusive *txCtx
+	// shared holds S-lock owners.
+	shared map[*txCtx]struct{}
+}
+
+// New creates a 2PL-No-Wait executor pool.
+func New(cfg Config) *TPL {
+	if cfg.Executors <= 0 {
+		cfg.Executors = 1
+	}
+	if cfg.Registry == nil {
+		panic("tpl: Registry is required")
+	}
+	return &TPL{cfg: cfg, locks: make(map[types.Key]*lockState)}
+}
+
+// txCtx is one execution attempt holding locks.
+type txCtx struct {
+	t     *TPL
+	store *storage.Store
+
+	held      map[types.Key]bool // key -> exclusive?
+	readVals  map[types.Key]types.Value
+	readOrder []types.Key
+
+	writes     map[types.Key]types.Value
+	writeOrder []types.Key
+}
+
+// errLockConflict wraps contract.ErrAborted so that both native
+// contracts and the VM classify it as a retryable controller abort
+// rather than a terminal contract failure.
+var errLockConflict = fmt.Errorf("%w: lock conflict (no-wait)", contract.ErrAborted)
+
+func (t *TPL) newCtx(store *storage.Store) *txCtx {
+	return &txCtx{
+		t: t, store: store,
+		held:     make(map[types.Key]bool),
+		readVals: make(map[types.Key]types.Value),
+		writes:   make(map[types.Key]types.Value),
+	}
+}
+
+func (t *TPL) lock(k types.Key) *lockState {
+	ls, ok := t.locks[k]
+	if !ok {
+		ls = &lockState{shared: make(map[*txCtx]struct{})}
+		t.locks[k] = ls
+	}
+	return ls
+}
+
+// acquire takes the lock on k in the requested mode or fails
+// immediately. Caller holds t.mu.
+func (c *txCtx) acquire(k types.Key, exclusive bool) error {
+	ls := c.t.lock(k)
+	if heldX, ok := c.held[k]; ok {
+		if !exclusive || heldX {
+			return nil // already sufficient
+		}
+		// Upgrade S -> X: only if we are the sole reader.
+		if ls.exclusive == nil && len(ls.shared) == 1 {
+			delete(ls.shared, c)
+			ls.exclusive = c
+			c.held[k] = true
+			return nil
+		}
+		return errLockConflict
+	}
+	if exclusive {
+		if ls.exclusive != nil || len(ls.shared) > 0 {
+			return errLockConflict
+		}
+		ls.exclusive = c
+	} else {
+		if ls.exclusive != nil {
+			return errLockConflict
+		}
+		ls.shared[c] = struct{}{}
+	}
+	c.held[k] = exclusive
+	return nil
+}
+
+// releaseAll drops every lock held. Caller holds t.mu.
+func (c *txCtx) releaseAll() {
+	for k := range c.held {
+		ls := c.t.locks[k]
+		if ls == nil {
+			continue
+		}
+		if ls.exclusive == c {
+			ls.exclusive = nil
+		}
+		delete(ls.shared, c)
+		if ls.exclusive == nil && len(ls.shared) == 0 {
+			delete(c.t.locks, k)
+		}
+	}
+	c.held = make(map[types.Key]bool)
+}
+
+// Read implements contract.State under an S lock.
+func (c *txCtx) Read(k types.Key) (types.Value, error) {
+	if v, ok := c.writes[k]; ok {
+		return v.Clone(), nil
+	}
+	if v, ok := c.readVals[k]; ok {
+		return v.Clone(), nil
+	}
+	c.t.mu.Lock()
+	err := c.acquire(k, false)
+	c.t.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	v, _ := c.store.Get(k)
+	c.readVals[k] = v.Clone()
+	c.readOrder = append(c.readOrder, k)
+	return v.Clone(), nil
+}
+
+// Write implements contract.State under an X lock, buffering the
+// value until commit.
+func (c *txCtx) Write(k types.Key, v types.Value) error {
+	c.t.mu.Lock()
+	err := c.acquire(k, true)
+	c.t.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if _, ok := c.writes[k]; !ok {
+		c.writeOrder = append(c.writeOrder, k)
+	}
+	c.writes[k] = v.Clone()
+	return nil
+}
+
+// commit applies the write buffer and releases all locks.
+func (c *txCtx) commit() int {
+	recs := make([]types.RWRecord, 0, len(c.writeOrder))
+	for _, k := range c.writeOrder {
+		recs = append(recs, types.RWRecord{Key: k, Value: c.writes[k]})
+	}
+	c.t.mu.Lock()
+	defer c.t.mu.Unlock()
+	c.store.Apply(recs)
+	idx := c.t.schedule
+	c.t.schedule++
+	c.releaseAll()
+	return idx
+}
+
+// abort releases all locks without applying anything.
+func (c *txCtx) abort() {
+	c.t.mu.Lock()
+	c.releaseAll()
+	c.t.mu.Unlock()
+}
+
+// ExecuteBatch runs txs to completion against store, which it
+// mutates. The result shape matches the Concurrent Executor's.
+func (t *TPL) ExecuteBatch(store *storage.Store, txs []*types.Transaction) *ce.BatchResult {
+	type committed struct {
+		tx  *types.Transaction
+		res types.TxResult
+	}
+	var (
+		mu     sync.Mutex
+		done   []committed
+		failed []ce.FailedTx
+		rexec  int
+	)
+	ch := make(chan *types.Transaction)
+	var wg sync.WaitGroup
+	for w := 0; w < t.cfg.Executors; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tx := range ch {
+				res, ferr, retries := t.runOne(store, tx)
+				mu.Lock()
+				rexec += retries
+				if ferr != nil {
+					failed = append(failed, ce.FailedTx{Tx: tx, Err: ferr})
+				} else {
+					done = append(done, committed{tx: tx, res: res})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, tx := range txs {
+		ch <- tx
+	}
+	close(ch)
+	wg.Wait()
+
+	sort.Slice(done, func(i, j int) bool {
+		return done[i].res.ScheduleIdx < done[j].res.ScheduleIdx
+	})
+	out := &ce.BatchResult{Failed: failed, Reexecutions: rexec}
+	for _, c := range done {
+		out.Schedule = append(out.Schedule, c.tx)
+		out.Results = append(out.Results, c.res)
+	}
+	return out
+}
+
+func (t *TPL) runOne(store *storage.Store, tx *types.Transaction) (types.TxResult, error, int) {
+	id := tx.ID()
+	retries := 0
+	for {
+		c := t.newCtx(store)
+		err := vm.ExecuteTx(t.cfg.Registry, c, tx)
+		if err != nil {
+			c.abort()
+			if errors.Is(err, contract.ErrAborted) {
+				retries++
+				if t.cfg.MaxRetries > 0 && retries >= t.cfg.MaxRetries {
+					return types.TxResult{}, err, retries
+				}
+				continue
+			}
+			return types.TxResult{}, err, retries
+		}
+		idx := c.commit()
+		res := types.TxResult{TxID: id, ScheduleIdx: uint32(idx), Reexecutions: uint32(retries)}
+		for _, k := range c.readOrder {
+			res.ReadSet = append(res.ReadSet, types.RWRecord{Key: k, Value: c.readVals[k]})
+		}
+		for _, k := range c.writeOrder {
+			res.WriteSet = append(res.WriteSet, types.RWRecord{Key: k, Value: c.writes[k]})
+		}
+		return res, nil, retries
+	}
+}

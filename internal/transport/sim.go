@@ -1,0 +1,251 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"thunderbolt/internal/types"
+)
+
+// LatencyModel returns the one-way delay for a message from one
+// replica to another. Jitter, asymmetry, and locality are all up to
+// the model.
+type LatencyModel func(from, to types.ReplicaID) time.Duration
+
+// LANModel approximates a same-datacenter network: ~0.2ms ± jitter.
+func LANModel() LatencyModel {
+	return UniformLatency(150*time.Microsecond, 300*time.Microsecond)
+}
+
+// WANModel approximates a geo-distributed network: ~40ms ± jitter.
+func WANModel() LatencyModel {
+	return UniformLatency(30*time.Millisecond, 50*time.Millisecond)
+}
+
+// ZeroLatency delivers instantly (protocol-logic tests).
+func ZeroLatency() LatencyModel {
+	return func(types.ReplicaID, types.ReplicaID) time.Duration { return 0 }
+}
+
+// UniformLatency draws each delay uniformly from [lo, hi].
+func UniformLatency(lo, hi time.Duration) LatencyModel {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(1))
+	return func(types.ReplicaID, types.ReplicaID) time.Duration {
+		if hi <= lo {
+			return lo
+		}
+		mu.Lock()
+		d := lo + time.Duration(rng.Int63n(int64(hi-lo)))
+		mu.Unlock()
+		return d
+	}
+}
+
+// SimConfig parameterizes an in-process network.
+type SimConfig struct {
+	// N is the number of endpoints.
+	N int
+	// Latency models one-way link delay; nil means ZeroLatency.
+	Latency LatencyModel
+	// DropRate is the probability a message is silently lost.
+	DropRate float64
+	// Seed feeds the loss process.
+	Seed int64
+	// QueueLen bounds each link's in-flight queue (default 4096);
+	// overflow blocks the sender, modelling backpressure.
+	QueueLen int
+}
+
+// SimNetwork is a set of in-process endpoints joined by per-link FIFO
+// queues with simulated delay.
+type SimNetwork struct {
+	cfg       SimConfig
+	endpoints []*simEndpoint
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	blocked map[[2]types.ReplicaID]bool // severed links
+	crashed map[types.ReplicaID]bool
+}
+
+type simMsg struct {
+	from    types.ReplicaID
+	mt      MsgType
+	payload []byte
+	release time.Time
+}
+
+type simEndpoint struct {
+	net  *SimNetwork
+	id   types.ReplicaID
+	mu   sync.Mutex
+	h    Handler
+	outs []chan simMsg // one queue per destination, owned by sender
+	done chan struct{}
+	once sync.Once
+}
+
+// NewSimNetwork builds the network and starts its delivery goroutines.
+func NewSimNetwork(cfg SimConfig) *SimNetwork {
+	if cfg.Latency == nil {
+		cfg.Latency = ZeroLatency()
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 4096
+	}
+	n := &SimNetwork{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		blocked: make(map[[2]types.ReplicaID]bool),
+		crashed: make(map[types.ReplicaID]bool),
+	}
+	n.endpoints = make([]*simEndpoint, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		ep := &simEndpoint{
+			net:  n,
+			id:   types.ReplicaID(i),
+			outs: make([]chan simMsg, cfg.N),
+			done: make(chan struct{}),
+		}
+		n.endpoints[i] = ep
+	}
+	// Start one delivery pump per (sender, receiver) link: FIFO order
+	// with per-message release times.
+	for i := 0; i < cfg.N; i++ {
+		for j := 0; j < cfg.N; j++ {
+			ch := make(chan simMsg, cfg.QueueLen)
+			n.endpoints[i].outs[j] = ch
+			go n.pump(ch, n.endpoints[j])
+		}
+	}
+	return n
+}
+
+// pump delivers one link's messages in order, honoring release times.
+func (n *SimNetwork) pump(ch chan simMsg, dst *simEndpoint) {
+	for m := range ch {
+		if wait := time.Until(m.release); wait > 0 {
+			timer := time.NewTimer(wait)
+			select {
+			case <-timer.C:
+			case <-dst.done:
+				timer.Stop()
+				return
+			}
+		}
+		select {
+		case <-dst.done:
+			return
+		default:
+		}
+		dst.mu.Lock()
+		h := dst.h
+		dst.mu.Unlock()
+		if h != nil {
+			h(m.from, m.mt, m.payload)
+		}
+	}
+}
+
+// Endpoint returns replica id's transport.
+func (n *SimNetwork) Endpoint(id types.ReplicaID) Transport { return n.endpoints[id] }
+
+// Sever cuts the directed link from a to b (messages dropped) until
+// Heal is called.
+func (n *SimNetwork) Sever(a, b types.ReplicaID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked[[2]types.ReplicaID{a, b}] = true
+}
+
+// Heal restores the directed link from a to b.
+func (n *SimNetwork) Heal(a, b types.ReplicaID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.blocked, [2]types.ReplicaID{a, b})
+}
+
+// Crash makes a replica unreachable (all inbound and outbound traffic
+// dropped); used for the paper's failure experiments (Figure 17).
+func (n *SimNetwork) Crash(id types.ReplicaID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.crashed[id] = true
+}
+
+// Restart undoes Crash.
+func (n *SimNetwork) Restart(id types.ReplicaID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.crashed, id)
+}
+
+// lose decides whether to drop a message on link (from, to).
+func (n *SimNetwork) lose(from, to types.ReplicaID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.crashed[from] || n.crashed[to] || n.blocked[[2]types.ReplicaID{from, to}] {
+		return true
+	}
+	return n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate
+}
+
+// Close shuts down every endpoint.
+func (n *SimNetwork) Close() {
+	for _, ep := range n.endpoints {
+		_ = ep.Close()
+	}
+}
+
+// --- simEndpoint (implements Transport) ---
+
+func (e *simEndpoint) Self() types.ReplicaID { return e.id }
+
+func (e *simEndpoint) SetHandler(h Handler) {
+	e.mu.Lock()
+	e.h = h
+	e.mu.Unlock()
+}
+
+func (e *simEndpoint) Send(to types.ReplicaID, mt MsgType, payload []byte) error {
+	select {
+	case <-e.done:
+		return ErrClosed
+	default:
+	}
+	if int(to) >= len(e.net.endpoints) {
+		return fmt.Errorf("transport: unknown peer %d", to)
+	}
+	if e.net.lose(e.id, to) {
+		return nil // silently lost, like the wire
+	}
+	m := simMsg{
+		from:    e.id,
+		mt:      mt,
+		payload: append([]byte(nil), payload...),
+		release: time.Now().Add(e.net.cfg.Latency(e.id, to)),
+	}
+	select {
+	case e.outs[to] <- m:
+	case <-e.done:
+		return ErrClosed
+	}
+	return nil
+}
+
+func (e *simEndpoint) Broadcast(mt MsgType, payload []byte) error {
+	for i := range e.net.endpoints {
+		if err := e.Send(types.ReplicaID(i), mt, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *simEndpoint) Close() error {
+	e.once.Do(func() { close(e.done) })
+	return nil
+}

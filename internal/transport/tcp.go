@@ -1,0 +1,269 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"thunderbolt/internal/types"
+)
+
+// TCPConfig describes one replica's view of a TCP committee.
+type TCPConfig struct {
+	// Self is this replica's ID.
+	Self types.ReplicaID
+	// Listen is the local address to accept peer connections on.
+	Listen string
+	// Peers maps every replica ID (including self) to its address.
+	Peers map[types.ReplicaID]string
+	// DialTimeout bounds connection attempts (default 2s).
+	DialTimeout time.Duration
+	// RetryInterval spaces reconnection attempts (default 200ms).
+	RetryInterval time.Duration
+}
+
+// TCPTransport implements Transport over real sockets with
+// length-prefixed frames:
+//
+//	[4B big-endian frame length][1B msg type][4B sender id][payload]
+//
+// Outbound connections are dialed lazily and re-dialed on failure;
+// inbound frames are dispatched to the handler from per-connection
+// reader goroutines. Message authenticity is the protocol layer's
+// responsibility (signatures), as with SimNetwork.
+type TCPTransport struct {
+	cfg TCPConfig
+	ln  net.Listener
+
+	mu      sync.Mutex
+	h       Handler
+	conns   map[types.ReplicaID]net.Conn
+	inbound map[net.Conn]struct{}
+	done    chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+}
+
+// NewTCPTransport starts listening immediately.
+func NewTCPTransport(cfg TCPConfig) (*TCPTransport, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = 200 * time.Millisecond
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
+	}
+	t := &TCPTransport{
+		cfg:     cfg,
+		ln:      ln,
+		conns:   make(map[types.ReplicaID]net.Conn),
+		inbound: make(map[net.Conn]struct{}),
+		done:    make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+// SetPeers installs (or replaces) the peer address book. Useful when
+// a committee binds ephemeral ports first and exchanges addresses
+// afterwards; call before any Send/Broadcast traffic.
+func (t *TCPTransport) SetPeers(peers map[types.ReplicaID]string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cfg.Peers = peers
+}
+
+// Self implements Transport.
+func (t *TCPTransport) Self() types.ReplicaID { return t.cfg.Self }
+
+// SetHandler implements Transport.
+func (t *TCPTransport) SetHandler(h Handler) {
+	t.mu.Lock()
+	t.h = h
+	t.mu.Unlock()
+}
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+				continue
+			}
+		}
+		t.mu.Lock()
+		t.inbound[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCPTransport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+		conn.Close()
+	}()
+	var hdr [4]byte
+	for {
+		select {
+		case <-t.done:
+			return
+		default:
+		}
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n < 5 || n > 64<<20 {
+			return // malformed frame; drop the connection
+		}
+		frame := make([]byte, n)
+		if _, err := io.ReadFull(conn, frame); err != nil {
+			return
+		}
+		mt := MsgType(frame[0])
+		from := types.ReplicaID(binary.BigEndian.Uint32(frame[1:5]))
+		t.mu.Lock()
+		h := t.h
+		t.mu.Unlock()
+		if h != nil {
+			h(from, mt, frame[5:])
+		}
+	}
+}
+
+// conn returns (dialing if necessary) the outbound connection to a peer.
+func (t *TCPTransport) conn(to types.ReplicaID) (net.Conn, error) {
+	t.mu.Lock()
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := t.cfg.Peers[to]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown peer %d", to)
+	}
+	c, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if existing, ok := t.conns[to]; ok {
+		// Lost the dial race; keep the established one.
+		_ = c.Close()
+		return existing, nil
+	}
+	t.conns[to] = c
+	return c, nil
+}
+
+func (t *TCPTransport) dropConn(to types.ReplicaID, c net.Conn) {
+	t.mu.Lock()
+	if t.conns[to] == c {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+	_ = c.Close()
+}
+
+// Send implements Transport. A failed write drops the cached
+// connection; one immediate retry covers the common stale-socket case.
+func (t *TCPTransport) Send(to types.ReplicaID, mt MsgType, payload []byte) error {
+	select {
+	case <-t.done:
+		return ErrClosed
+	default:
+	}
+	if to == t.cfg.Self {
+		t.mu.Lock()
+		h := t.h
+		t.mu.Unlock()
+		if h != nil {
+			h(t.cfg.Self, mt, append([]byte(nil), payload...))
+		}
+		return nil
+	}
+	frame := make([]byte, 4+1+4+len(payload))
+	binary.BigEndian.PutUint32(frame[:4], uint32(1+4+len(payload)))
+	frame[4] = byte(mt)
+	binary.BigEndian.PutUint32(frame[5:9], uint32(t.cfg.Self))
+	copy(frame[9:], payload)
+
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		c, err := t.conn(to)
+		if err != nil {
+			lastErr = err
+			time.Sleep(t.cfg.RetryInterval)
+			continue
+		}
+		if _, err := c.Write(frame); err != nil {
+			t.dropConn(to, c)
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// Broadcast implements Transport. Unreachable peers are skipped (the
+// protocol tolerates f faults); the first error is reported after all
+// sends are attempted.
+func (t *TCPTransport) Broadcast(mt MsgType, payload []byte) error {
+	t.mu.Lock()
+	ids := make([]types.ReplicaID, 0, len(t.cfg.Peers))
+	for id := range t.cfg.Peers {
+		ids = append(ids, id)
+	}
+	t.mu.Unlock()
+	var firstErr error
+	for _, id := range ids {
+		if err := t.Send(id, mt, payload); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.once.Do(func() {
+		close(t.done)
+		_ = t.ln.Close()
+		t.mu.Lock()
+		for id, c := range t.conns {
+			_ = c.Close()
+			delete(t.conns, id)
+		}
+		// Close inbound connections too, or their readLoops would
+		// block in ReadFull until the remote side also closes —
+		// deadlocking committees that tear down sequentially.
+		for c := range t.inbound {
+			_ = c.Close()
+		}
+		t.mu.Unlock()
+	})
+	t.wg.Wait()
+	return nil
+}

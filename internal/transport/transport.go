@@ -1,0 +1,46 @@
+// Package transport provides replica-to-replica messaging.
+//
+// Two implementations share one interface: SimNetwork delivers
+// messages in-process through per-link FIFO queues with a configurable
+// latency/jitter/loss model (the reproduction's stand-in for the
+// paper's AWS LAN/WAN testbeds), and TCPTransport speaks
+// length-prefixed frames over real sockets for multi-process local
+// testbeds.
+//
+// Channels are point-to-point and ordered per link. Authenticity of
+// protocol payloads comes from the signature scheme in
+// internal/crypto, not from the transport.
+package transport
+
+import (
+	"errors"
+
+	"thunderbolt/internal/types"
+)
+
+// MsgType tags the protocol meaning of a payload. The node layer
+// defines the concrete values; transport treats them opaquely.
+type MsgType uint8
+
+// Handler receives inbound messages. Handlers run on the transport's
+// delivery goroutine and must not block for long.
+type Handler func(from types.ReplicaID, mt MsgType, payload []byte)
+
+// Transport sends opaque payloads between committee members.
+type Transport interface {
+	// Self returns this endpoint's replica ID.
+	Self() types.ReplicaID
+	// Send delivers to one peer. Sending to self is legal and loops
+	// back through the handler.
+	Send(to types.ReplicaID, mt MsgType, payload []byte) error
+	// Broadcast delivers to every peer including self.
+	Broadcast(mt MsgType, payload []byte) error
+	// SetHandler installs the inbound message callback. Must be
+	// called before any traffic arrives.
+	SetHandler(h Handler)
+	// Close tears the endpoint down; further sends fail.
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")

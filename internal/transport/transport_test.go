@@ -1,0 +1,267 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"thunderbolt/internal/types"
+)
+
+type recorder struct {
+	mu   sync.Mutex
+	msgs []string
+	ch   chan string
+}
+
+func newRecorder() *recorder { return &recorder{ch: make(chan string, 1024)} }
+
+func (r *recorder) handler() Handler {
+	return func(from types.ReplicaID, mt MsgType, payload []byte) {
+		s := fmt.Sprintf("%d/%d/%s", from, mt, payload)
+		r.mu.Lock()
+		r.msgs = append(r.msgs, s)
+		r.mu.Unlock()
+		r.ch <- s
+	}
+}
+
+func (r *recorder) wait(t *testing.T, want string) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case got := <-r.ch:
+			if got == want {
+				return
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for %q", want)
+		}
+	}
+}
+
+func TestSimSendAndBroadcast(t *testing.T) {
+	net := NewSimNetwork(SimConfig{N: 3})
+	defer net.Close()
+	recs := make([]*recorder, 3)
+	for i := range recs {
+		recs[i] = newRecorder()
+		net.Endpoint(types.ReplicaID(i)).SetHandler(recs[i].handler())
+	}
+	if err := net.Endpoint(0).Send(1, 7, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	recs[1].wait(t, "0/7/hi")
+
+	if err := net.Endpoint(2).Broadcast(9, []byte("all")); err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		recs[i].wait(t, "2/9/all")
+	}
+}
+
+func TestSimFIFOPerLink(t *testing.T) {
+	net := NewSimNetwork(SimConfig{N: 2, Latency: UniformLatency(0, 2*time.Millisecond)})
+	defer net.Close()
+	rec := newRecorder()
+	net.Endpoint(1).SetHandler(rec.handler())
+	const count = 50
+	for i := 0; i < count; i++ {
+		if err := net.Endpoint(0).Send(1, 1, []byte(fmt.Sprintf("m%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec.wait(t, fmt.Sprintf("0/1/m%03d", count-1))
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	for i, s := range rec.msgs {
+		if s != fmt.Sprintf("0/1/m%03d", i) {
+			t.Fatalf("order violated at %d: %s", i, s)
+		}
+	}
+}
+
+func TestSimLatencyApplied(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	net := NewSimNetwork(SimConfig{N: 2, Latency: UniformLatency(delay, delay)})
+	defer net.Close()
+	rec := newRecorder()
+	net.Endpoint(1).SetHandler(rec.handler())
+	start := time.Now()
+	net.Endpoint(0).Send(1, 1, []byte("x"))
+	rec.wait(t, "0/1/x")
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Fatalf("delivered in %v, want >= %v", elapsed, delay)
+	}
+}
+
+func TestSimCrashAndSever(t *testing.T) {
+	net := NewSimNetwork(SimConfig{N: 3})
+	defer net.Close()
+	var got atomic.Int32
+	net.Endpoint(1).SetHandler(func(types.ReplicaID, MsgType, []byte) { got.Add(1) })
+
+	net.Crash(1)
+	net.Endpoint(0).Send(1, 1, []byte("dropped"))
+	time.Sleep(20 * time.Millisecond)
+	if got.Load() != 0 {
+		t.Fatal("crashed replica received a message")
+	}
+	net.Restart(1)
+	net.Sever(0, 1)
+	net.Endpoint(0).Send(1, 1, []byte("dropped"))
+	// Reverse direction unaffected: 2 -> 1 works.
+	net.Endpoint(2).Send(1, 1, []byte("ok"))
+	time.Sleep(20 * time.Millisecond)
+	if got.Load() != 1 {
+		t.Fatalf("got %d messages, want exactly 1", got.Load())
+	}
+	net.Heal(0, 1)
+	net.Endpoint(0).Send(1, 1, []byte("ok2"))
+	time.Sleep(20 * time.Millisecond)
+	if got.Load() != 2 {
+		t.Fatal("healed link did not deliver")
+	}
+}
+
+func TestSimDropRate(t *testing.T) {
+	net := NewSimNetwork(SimConfig{N: 2, DropRate: 1.0})
+	defer net.Close()
+	var got atomic.Int32
+	net.Endpoint(1).SetHandler(func(types.ReplicaID, MsgType, []byte) { got.Add(1) })
+	for i := 0; i < 20; i++ {
+		net.Endpoint(0).Send(1, 1, []byte("x"))
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got.Load() != 0 {
+		t.Fatal("DropRate=1 delivered messages")
+	}
+}
+
+func TestSimClosedEndpointErrors(t *testing.T) {
+	net := NewSimNetwork(SimConfig{N: 2})
+	ep := net.Endpoint(0)
+	ep.Close()
+	if err := ep.Send(1, 1, nil); err != ErrClosed {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	net.Close()
+}
+
+func TestSimPayloadCopied(t *testing.T) {
+	net := NewSimNetwork(SimConfig{N: 2, Latency: UniformLatency(5*time.Millisecond, 5*time.Millisecond)})
+	defer net.Close()
+	rec := newRecorder()
+	net.Endpoint(1).SetHandler(rec.handler())
+	buf := []byte("orig")
+	net.Endpoint(0).Send(1, 1, buf)
+	buf[0] = 'X' // mutate after send
+	rec.wait(t, "0/1/orig")
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	// Bring up a 3-replica TCP committee on loopback.
+	cfgs := make([]TCPConfig, 3)
+	trs := make([]*TCPTransport, 3)
+	peers := map[types.ReplicaID]string{}
+	for i := range trs {
+		cfgs[i] = TCPConfig{Self: types.ReplicaID(i), Listen: "127.0.0.1:0"}
+		tr, err := NewTCPTransport(cfgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		trs[i] = tr
+		peers[types.ReplicaID(i)] = tr.Addr()
+	}
+	for i := range trs {
+		trs[i].cfg.Peers = peers
+	}
+	recs := make([]*recorder, 3)
+	for i := range recs {
+		recs[i] = newRecorder()
+		trs[i].SetHandler(recs[i].handler())
+	}
+
+	if err := trs[0].Send(1, 5, []byte("tcp-hello")); err != nil {
+		t.Fatal(err)
+	}
+	recs[1].wait(t, "0/5/tcp-hello")
+
+	// Self-send loops back.
+	if err := trs[2].Send(2, 6, []byte("me")); err != nil {
+		t.Fatal(err)
+	}
+	recs[2].wait(t, "2/6/me")
+
+	// Broadcast reaches everyone.
+	if err := trs[1].Broadcast(7, []byte("fan")); err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		recs[i].wait(t, "1/7/fan")
+	}
+}
+
+func TestTCPLargeFrame(t *testing.T) {
+	a, err := NewTCPTransport(TCPConfig{Self: 0, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewTCPTransport(TCPConfig{Self: 1, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.cfg.Peers = map[types.ReplicaID]string{1: b.Addr()}
+
+	got := make(chan int, 1)
+	b.SetHandler(func(from types.ReplicaID, mt MsgType, payload []byte) {
+		got <- len(payload)
+	})
+	payload := make([]byte, 1<<20)
+	if err := a.Send(1, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-got:
+		if n != 1<<20 {
+			t.Fatalf("payload truncated: %d", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("large frame not delivered")
+	}
+}
+
+func TestTCPUnknownPeer(t *testing.T) {
+	a, err := NewTCPTransport(TCPConfig{Self: 0, Listen: "127.0.0.1:0",
+		Peers: map[types.ReplicaID]string{}, RetryInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send(9, 1, nil); err == nil {
+		t.Fatal("send to unknown peer succeeded")
+	}
+}
+
+func TestTCPCloseIdempotent(t *testing.T) {
+	a, err := NewTCPTransport(TCPConfig{Self: 0, Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(0, 1, nil); err != ErrClosed {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}

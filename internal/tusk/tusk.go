@@ -1,0 +1,136 @@
+// Package tusk implements the Tusk commit rule over a DAG store
+// (paper §2, after Danezis et al.).
+//
+// Leaders live on odd rounds, chosen round-robin (the paper's
+// predetermined-leader property that Thunderbolt's proposal rules
+// lean on). A leader vertex of round r commits once f+1 vertices of
+// round r+1 reference it. Committing a leader first commits every
+// earlier uncommitted leader found in its causal history (in round
+// order), and each leader commit linearizes its uncommitted causal
+// history deterministically — so all honest replicas derive the same
+// total block order from their (eventually identical) DAGs.
+package tusk
+
+import (
+	"thunderbolt/internal/crypto"
+	"thunderbolt/internal/dag"
+	"thunderbolt/internal/types"
+)
+
+// LeaderRound reports whether r carries a leader (odd rounds: 1, 3,
+// 5, ... — one leader every two rounds as in Tusk).
+func LeaderRound(r types.Round) bool { return r%2 == 1 }
+
+// LeaderOf returns the leader replica for an odd round. The epoch
+// offsets the rotation so shard reconfigurations also rotate leader
+// duty.
+func LeaderOf(epoch types.Epoch, r types.Round, n int) types.ReplicaID {
+	if !LeaderRound(r) {
+		panic("tusk: leader requested for a non-leader round")
+	}
+	idx := (uint64(r)/2 + uint64(epoch)) % uint64(n)
+	return types.ReplicaID(idx)
+}
+
+// CommitWave is the outcome of one leader commit: the leader vertex
+// and the newly committed vertices of its causal history (leader
+// included, deterministic order).
+type CommitWave struct {
+	Leader   *dag.Vertex
+	Vertices []*dag.Vertex
+}
+
+// Committer applies the commit rule incrementally as vertices arrive.
+// It is not safe for concurrent use; the node's event loop owns it.
+type Committer struct {
+	store *dag.Store
+	n     int
+	f     int
+
+	committed map[types.Digest]bool // by certificate digest
+	// lastLeaderRound is the highest leader round already committed.
+	lastLeaderRound types.Round
+}
+
+// NewCommitter builds a committer for one epoch's store.
+func NewCommitter(store *dag.Store, n int) *Committer {
+	return &Committer{
+		store:     store,
+		n:         n,
+		f:         crypto.FaultBound(n),
+		committed: make(map[types.Digest]bool),
+	}
+}
+
+// Committed reports whether the vertex with certificate digest d has
+// been committed.
+func (c *Committer) Committed(d types.Digest) bool { return c.committed[d] }
+
+// LastLeaderRound returns the highest committed leader round.
+func (c *Committer) LastLeaderRound() types.Round { return c.lastLeaderRound }
+
+// Advance re-evaluates the commit rule after new vertices landed in
+// the store, returning zero or more commit waves in order. upTo is
+// the highest round worth checking (typically the store's highest).
+func (c *Committer) Advance() []CommitWave {
+	var waves []CommitWave
+	hi := c.store.HighestRound()
+	for r := c.lastLeaderRound + 1; r+1 <= hi; r++ {
+		if !LeaderRound(r) {
+			continue
+		}
+		leader, ok := c.store.Get(r, LeaderOf(c.store.Epoch(), r, c.n))
+		if !ok {
+			// Leader missing: it can never commit directly, but a
+			// later leader may commit it via causal history; keep
+			// scanning.
+			continue
+		}
+		if c.committed[leader.Cert.Digest()] {
+			c.lastLeaderRound = r
+			continue
+		}
+		if c.store.SupportFor(leader) < c.f+1 {
+			continue
+		}
+		// Commit earlier uncommitted leaders reachable from this one
+		// first, in ascending round order.
+		for _, lv := range c.uncommittedLeadersIn(leader) {
+			waves = append(waves, c.commitLeader(lv))
+		}
+		waves = append(waves, c.commitLeader(leader))
+		c.lastLeaderRound = r
+	}
+	return waves
+}
+
+// uncommittedLeadersIn finds earlier leader vertices inside leader's
+// causal history that have not committed, ascending by round.
+func (c *Committer) uncommittedLeadersIn(leader *dag.Vertex) []*dag.Vertex {
+	history := c.store.CausalHistory(leader)
+	inHistory := make(map[types.Digest]bool, len(history))
+	for _, v := range history {
+		inHistory[v.Cert.Digest()] = true
+	}
+	var out []*dag.Vertex
+	for r := types.Round(1); r < leader.Round(); r++ {
+		if !LeaderRound(r) {
+			continue
+		}
+		lv, ok := c.store.Get(r, LeaderOf(c.store.Epoch(), r, c.n))
+		if !ok || c.committed[lv.Cert.Digest()] || !inHistory[lv.Cert.Digest()] {
+			continue
+		}
+		out = append(out, lv)
+	}
+	return out
+}
+
+// commitLeader linearizes one leader's uncommitted causal history.
+func (c *Committer) commitLeader(leader *dag.Vertex) CommitWave {
+	vs := c.store.Linearize(leader, func(d types.Digest) bool { return c.committed[d] })
+	for _, v := range vs {
+		c.committed[v.Cert.Digest()] = true
+	}
+	return CommitWave{Leader: leader, Vertices: vs}
+}

@@ -1,0 +1,210 @@
+package types
+
+// BlockKind tags the role a DAG vertex plays.
+type BlockKind uint8
+
+const (
+	// NormalBlock carries transactions and preplay results.
+	NormalBlock BlockKind = iota + 1
+	// SkipBlock keeps the DAG advancing while the proposer waits for
+	// conflicting cross-shard transactions to finalize (paper §5.4).
+	SkipBlock
+	// ShiftBlock votes for a shard reconfiguration (paper §6). Once
+	// 2f+1 Shift blocks appear in a committed causal history, every
+	// replica transitions to a new DAG at the same ending round.
+	ShiftBlock
+)
+
+func (k BlockKind) String() string {
+	switch k {
+	case NormalBlock:
+		return "normal"
+	case SkipBlock:
+		return "skip"
+	case ShiftBlock:
+		return "shift"
+	default:
+		return "invalid"
+	}
+}
+
+// Block is the data payload of one DAG vertex: the transactions a
+// shard proposer contributes in one round, plus references (by
+// certificate digest) to at least 2f+1 vertices of the previous round.
+type Block struct {
+	Epoch    Epoch
+	Round    Round
+	Proposer ReplicaID
+	// Shard is the shard this proposer currently serves; it changes
+	// across reconfigurations while Proposer stays fixed.
+	Shard ShardID
+	Kind  BlockKind
+
+	// Parents are digests of certificates from round Round-1 (empty
+	// only in round 1 of an epoch).
+	Parents []Digest
+
+	// SingleTxs are preplayed single-shard transactions; Results holds
+	// their preplay outcomes, aligned by index.
+	SingleTxs []*Transaction
+	Results   []TxResult
+
+	// CrossTxs are cross-shard transactions submitted directly to the
+	// DAG (rule P1), in proposal order.
+	CrossTxs []*Transaction
+
+	// ProposedUnixNano timestamps block creation for metrics. It is
+	// part of the digest (a block is a unique proposal event).
+	ProposedUnixNano int64
+}
+
+// Digest returns the canonical content address of the block.
+func (b *Block) Digest() Digest {
+	enc, _ := b.MarshalBinary()
+	return HashBytes(enc)
+}
+
+// MarshalBinary encodes the block canonically.
+func (b *Block) MarshalBinary() ([]byte, error) {
+	e := NewEncoder()
+	e.U64(uint64(b.Epoch))
+	e.U64(uint64(b.Round))
+	e.U32(uint32(b.Proposer))
+	e.U32(uint32(b.Shard))
+	e.U8(uint8(b.Kind))
+	e.U32(uint32(len(b.Parents)))
+	for _, p := range b.Parents {
+		e.Digest(p)
+	}
+	e.U32(uint32(len(b.SingleTxs)))
+	for _, tx := range b.SingleTxs {
+		enc, err := tx.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		e.Bytes(enc)
+	}
+	e.U32(uint32(len(b.Results)))
+	for i := range b.Results {
+		enc, err := b.Results[i].MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		e.Bytes(enc)
+	}
+	e.U32(uint32(len(b.CrossTxs)))
+	for _, tx := range b.CrossTxs {
+		enc, err := tx.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		e.Bytes(enc)
+	}
+	e.I64(b.ProposedUnixNano)
+	return e.Sum(), nil
+}
+
+// UnmarshalBinary decodes a block encoded by MarshalBinary.
+func (b *Block) UnmarshalBinary(data []byte) error {
+	d := NewDecoder(data)
+	b.Epoch = Epoch(d.U64())
+	b.Round = Round(d.U64())
+	b.Proposer = ReplicaID(d.U32())
+	b.Shard = ShardID(d.U32())
+	b.Kind = BlockKind(d.U8())
+	np := d.U32()
+	b.Parents = make([]Digest, 0, min(int(np), 4096))
+	for i := uint32(0); i < np && d.Err() == nil; i++ {
+		b.Parents = append(b.Parents, d.Digest())
+	}
+	ns := d.U32()
+	b.SingleTxs = make([]*Transaction, 0, min(int(ns), 4096))
+	for i := uint32(0); i < ns && d.Err() == nil; i++ {
+		var tx Transaction
+		if err := tx.UnmarshalBinary(d.Bytes()); err != nil {
+			return err
+		}
+		b.SingleTxs = append(b.SingleTxs, &tx)
+	}
+	nr := d.U32()
+	b.Results = make([]TxResult, 0, min(int(nr), 4096))
+	for i := uint32(0); i < nr && d.Err() == nil; i++ {
+		var r TxResult
+		if err := r.UnmarshalBinary(d.Bytes()); err != nil {
+			return err
+		}
+		b.Results = append(b.Results, r)
+	}
+	nc := d.U32()
+	b.CrossTxs = make([]*Transaction, 0, min(int(nc), 4096))
+	for i := uint32(0); i < nc && d.Err() == nil; i++ {
+		var tx Transaction
+		if err := tx.UnmarshalBinary(d.Bytes()); err != nil {
+			return err
+		}
+		b.CrossTxs = append(b.CrossTxs, &tx)
+	}
+	b.ProposedUnixNano = d.I64()
+	return d.Finish()
+}
+
+// Signature is a signature over a block digest by one replica.
+type Signature struct {
+	Signer ReplicaID
+	Sig    []byte
+}
+
+// Certificate proves that 2f+1 replicas vouched for a block. It is the
+// unit referenced by Parents in the next round: linking to a
+// certificate transitively guarantees availability of the block and
+// its whole causal history.
+type Certificate struct {
+	BlockDigest Digest
+	Epoch       Epoch
+	Round       Round
+	Proposer    ReplicaID
+	Sigs        []Signature
+}
+
+// Digest returns the content address of the certificate. Signatures
+// are excluded: any 2f+1 quorum over the same block yields the same
+// certificate identity, so replicas assembling different quorums still
+// agree on parent references.
+func (c *Certificate) Digest() Digest {
+	e := NewEncoder()
+	e.Digest(c.BlockDigest)
+	e.U64(uint64(c.Epoch))
+	e.U64(uint64(c.Round))
+	e.U32(uint32(c.Proposer))
+	return HashBytes(e.Sum())
+}
+
+// MarshalBinary encodes the certificate.
+func (c *Certificate) MarshalBinary() ([]byte, error) {
+	e := NewEncoder()
+	e.Digest(c.BlockDigest)
+	e.U64(uint64(c.Epoch))
+	e.U64(uint64(c.Round))
+	e.U32(uint32(c.Proposer))
+	e.U32(uint32(len(c.Sigs)))
+	for _, s := range c.Sigs {
+		e.U32(uint32(s.Signer))
+		e.Bytes(s.Sig)
+	}
+	return e.Sum(), nil
+}
+
+// UnmarshalBinary decodes a certificate encoded by MarshalBinary.
+func (c *Certificate) UnmarshalBinary(data []byte) error {
+	d := NewDecoder(data)
+	c.BlockDigest = d.Digest()
+	c.Epoch = Epoch(d.U64())
+	c.Round = Round(d.U64())
+	c.Proposer = ReplicaID(d.U32())
+	n := d.U32()
+	c.Sigs = make([]Signature, 0, min(int(n), 4096))
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		c.Sigs = append(c.Sigs, Signature{Signer: ReplicaID(d.U32()), Sig: d.Bytes()})
+	}
+	return d.Finish()
+}

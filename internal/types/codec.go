@@ -1,0 +1,252 @@
+package types
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Encoder builds a canonical binary encoding. All integers are
+// big-endian and all variable-length fields are length-prefixed, so
+// encodings are unique: no two distinct logical values share bytes.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{buf: make([]byte, 0, 256)} }
+
+// Sum returns the accumulated bytes. The returned slice aliases the
+// encoder's buffer; callers must not mutate it while still appending.
+func (e *Encoder) Sum() []byte { return e.buf }
+
+// U8 appends one byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// U32 appends a big-endian uint32.
+func (e *Encoder) U32(v uint32) {
+	e.buf = binary.BigEndian.AppendUint32(e.buf, v)
+}
+
+// U64 appends a big-endian uint64.
+func (e *Encoder) U64(v uint64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, v)
+}
+
+// I64 appends a big-endian int64 (two's complement).
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// Bytes appends a length-prefixed byte string.
+func (e *Encoder) Bytes(b []byte) {
+	e.U32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Str appends a length-prefixed string.
+func (e *Encoder) Str(s string) {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Digest appends a fixed 32-byte digest.
+func (e *Encoder) Digest(d Digest) { e.buf = append(e.buf, d[:]...) }
+
+// Decoder reads back values produced by Encoder. The first decoding
+// error sticks: every subsequent call returns zero values, and Err
+// reports the failure. This keeps call sites free of per-field error
+// handling while still surfacing truncated or corrupt input.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps b for reading.
+func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
+
+// Err returns the first error encountered, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Finish returns an error if decoding failed or bytes remain.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("types: %d trailing bytes after decode", len(d.buf)-d.off)
+	}
+	return nil
+}
+
+var errShort = errors.New("types: short buffer")
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || len(d.buf)-d.off < n {
+		d.err = errShort
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U32 reads a big-endian uint32.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 reads a big-endian uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// I64 reads a big-endian int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// Bytes reads a length-prefixed byte string, returning a copy.
+func (d *Decoder) Bytes() []byte {
+	n := d.U32()
+	if d.err != nil {
+		return nil
+	}
+	if n > math.MaxInt32 {
+		d.err = fmt.Errorf("types: implausible length %d", n)
+		return nil
+	}
+	b := d.take(int(n))
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+// Str reads a length-prefixed string.
+func (d *Decoder) Str() string { return string(d.Bytes()) }
+
+// Digest reads a fixed 32-byte digest.
+func (d *Decoder) Digest() Digest {
+	var out Digest
+	b := d.take(32)
+	if b != nil {
+		copy(out[:], b)
+	}
+	return out
+}
+
+// --- Transaction wire format ---
+
+// MarshalBinary encodes the transaction, including mutable routing
+// fields (Kind) and the latency timestamp, for network transfer.
+func (tx *Transaction) MarshalBinary() ([]byte, error) {
+	e := NewEncoder()
+	e.U64(tx.Client)
+	e.U64(tx.Nonce)
+	e.U8(uint8(tx.Kind))
+	e.U8(uint8(tx.OrigKind))
+	e.U32(uint32(len(tx.Shards)))
+	for _, s := range tx.Shards {
+		e.U32(uint32(s))
+	}
+	e.Str(tx.Contract)
+	e.U32(uint32(len(tx.Args)))
+	for _, a := range tx.Args {
+		e.Bytes(a)
+	}
+	e.Bytes(tx.Code)
+	e.I64(tx.SubmitUnixNano)
+	return e.Sum(), nil
+}
+
+// UnmarshalBinary decodes a transaction encoded by MarshalBinary.
+func (tx *Transaction) UnmarshalBinary(b []byte) error {
+	d := NewDecoder(b)
+	tx.Client = d.U64()
+	tx.Nonce = d.U64()
+	tx.Kind = TxKind(d.U8())
+	tx.OrigKind = TxKind(d.U8())
+	ns := d.U32()
+	if d.Err() == nil && int(ns) > len(b) {
+		return fmt.Errorf("types: implausible shard count %d", ns)
+	}
+	tx.Shards = make([]ShardID, 0, ns)
+	for i := uint32(0); i < ns && d.Err() == nil; i++ {
+		tx.Shards = append(tx.Shards, ShardID(d.U32()))
+	}
+	tx.Contract = d.Str()
+	na := d.U32()
+	if d.Err() == nil && int(na) > len(b) {
+		return fmt.Errorf("types: implausible arg count %d", na)
+	}
+	tx.Args = make([][]byte, 0, na)
+	for i := uint32(0); i < na && d.Err() == nil; i++ {
+		tx.Args = append(tx.Args, d.Bytes())
+	}
+	tx.Code = d.Bytes()
+	tx.SubmitUnixNano = d.I64()
+	return d.Finish()
+}
+
+// --- TxResult wire format ---
+
+func encodeRecords(e *Encoder, recs []RWRecord) {
+	e.U32(uint32(len(recs)))
+	for _, r := range recs {
+		e.Str(string(r.Key))
+		e.Bytes(r.Value)
+	}
+}
+
+func decodeRecords(d *Decoder) []RWRecord {
+	n := d.U32()
+	if d.Err() != nil {
+		return nil
+	}
+	recs := make([]RWRecord, 0, min(int(n), 1024))
+	for i := uint32(0); i < n && d.Err() == nil; i++ {
+		recs = append(recs, RWRecord{Key: Key(d.Str()), Value: d.Bytes()})
+	}
+	return recs
+}
+
+// MarshalBinary encodes the preplay result.
+func (r *TxResult) MarshalBinary() ([]byte, error) {
+	e := NewEncoder()
+	e.Digest(r.TxID)
+	e.U32(r.ScheduleIdx)
+	e.U32(r.Reexecutions)
+	encodeRecords(e, r.ReadSet)
+	encodeRecords(e, r.WriteSet)
+	return e.Sum(), nil
+}
+
+// UnmarshalBinary decodes a TxResult encoded by MarshalBinary.
+func (r *TxResult) UnmarshalBinary(b []byte) error {
+	d := NewDecoder(b)
+	r.TxID = d.Digest()
+	r.ScheduleIdx = d.U32()
+	r.Reexecutions = d.U32()
+	r.ReadSet = decodeRecords(d)
+	r.WriteSet = decodeRecords(d)
+	return d.Finish()
+}

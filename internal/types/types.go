@@ -1,0 +1,284 @@
+// Package types defines the core data model shared by every Thunderbolt
+// subsystem: keys and values, transaction operations, transactions,
+// DAG blocks and certificates, and their canonical binary encodings.
+//
+// All encodings are deterministic: two honest replicas computing the
+// digest of the same logical object always obtain the same bytes. This
+// is load-bearing for the DAG layer, where digests name vertices and
+// certificates sign them.
+package types
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// Key identifies a datum in the partitioned store. Keys are mapped to
+// shards by ShardOf; the mapping is fixed and known to every replica
+// (the paper's predefined SIDs).
+type Key string
+
+// Value is the uninterpreted payload stored under a Key.
+type Value []byte
+
+// Clone returns a copy of v that does not alias its backing array.
+func (v Value) Clone() Value {
+	if v == nil {
+		return nil
+	}
+	c := make(Value, len(v))
+	copy(c, v)
+	return c
+}
+
+// Equal reports whether two values hold identical bytes. Two nil
+// values are equal; nil and empty are also considered equal because
+// the store does not distinguish them.
+func (v Value) Equal(o Value) bool {
+	if len(v) != len(o) {
+		return false
+	}
+	for i := range v {
+		if v[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ShardID names a shard. Thunderbolt assigns exactly one shard per
+// replica, so ShardIDs and replica indices share the range [0, n).
+type ShardID uint32
+
+// ReplicaID names a replica participating in consensus.
+type ReplicaID uint32
+
+// Round is a DAG round number within one DAG epoch.
+type Round uint64
+
+// Epoch numbers successive DAGs created by non-blocking reconfiguration.
+type Epoch uint64
+
+// Digest is a 32-byte SHA-256 content address.
+type Digest [32]byte
+
+// String renders the first 8 bytes of the digest in hex, enough to be
+// unambiguous in logs.
+func (d Digest) String() string { return hex.EncodeToString(d[:8]) }
+
+// IsZero reports whether d is the all-zero digest.
+func (d Digest) IsZero() bool { return d == Digest{} }
+
+// HashBytes computes the SHA-256 digest of b.
+func HashBytes(b []byte) Digest { return sha256.Sum256(b) }
+
+// OpType distinguishes the two operations contract code may perform.
+type OpType uint8
+
+const (
+	// OpRead is <Read, K>: observe the value under K.
+	OpRead OpType = iota + 1
+	// OpWrite is <Write, K, V>: replace the value under K.
+	OpWrite
+)
+
+func (t OpType) String() string {
+	switch t {
+	case OpRead:
+		return "R"
+	case OpWrite:
+		return "W"
+	default:
+		return fmt.Sprintf("OpType(%d)", uint8(t))
+	}
+}
+
+// Op records a single data access made by a transaction, together with
+// the value observed (for reads) or installed (for writes). Preplay
+// emits these records so that validators can replay and check them.
+type Op struct {
+	Type  OpType
+	Key   Key
+	Value Value
+}
+
+func (o Op) String() string {
+	return fmt.Sprintf("(%s,%s,%q)", o.Type, o.Key, string(o.Value))
+}
+
+// TxKind separates the two execution models.
+type TxKind uint8
+
+const (
+	// SingleShard transactions touch keys of exactly one shard and are
+	// preplayed by the shard proposer's Concurrent Executor (EOV).
+	SingleShard TxKind = iota + 1
+	// CrossShard transactions touch several shards and are ordered by
+	// consensus before execution (OE).
+	CrossShard
+)
+
+func (k TxKind) String() string {
+	switch k {
+	case SingleShard:
+		return "single-shard"
+	case CrossShard:
+		return "cross-shard"
+	default:
+		return fmt.Sprintf("TxKind(%d)", uint8(k))
+	}
+}
+
+// Transaction is a client-submitted contract invocation. The contract
+// code is opaque: its read/write set is unknown until executed, which
+// is the property Thunderbolt's Concurrent Executor exploits.
+type Transaction struct {
+	// Client identifies the submitting client; Nonce de-duplicates
+	// retransmissions from the same client.
+	Client uint64
+	Nonce  uint64
+
+	// Kind tags the execution model. Proposers may promote a
+	// SingleShard transaction to CrossShard (rules P3/P4/P6); the
+	// original kind is preserved in OrigKind for accounting.
+	Kind     TxKind
+	OrigKind TxKind
+
+	// Shards lists every shard the transaction may touch. For
+	// SingleShard transactions it has exactly one element. The list is
+	// the paper's SID metadata used for parallel cross-shard execution.
+	Shards []ShardID
+
+	// Contract names a registered contract; Args are its parameters.
+	Contract string
+	Args     [][]byte
+
+	// Code optionally carries a VM program instead of a named
+	// contract. When non-empty it takes precedence over Contract.
+	Code []byte
+
+	// SubmitUnixNano is the client submission time used for latency
+	// accounting only; it is excluded from the digest so that
+	// retransmissions keep their identity.
+	SubmitUnixNano int64
+}
+
+// ID returns the content digest identifying the transaction. The
+// digest covers identity fields only (client, nonce, contract, args,
+// code, shard list, original kind) so promotion between kinds and
+// retransmission do not change it.
+func (tx *Transaction) ID() Digest {
+	e := NewEncoder()
+	e.U64(tx.Client)
+	e.U64(tx.Nonce)
+	e.U8(uint8(tx.origKind()))
+	e.U32(uint32(len(tx.Shards)))
+	for _, s := range tx.Shards {
+		e.U32(uint32(s))
+	}
+	e.Str(tx.Contract)
+	e.U32(uint32(len(tx.Args)))
+	for _, a := range tx.Args {
+		e.Bytes(a)
+	}
+	e.Bytes(tx.Code)
+	return HashBytes(e.Sum())
+}
+
+func (tx *Transaction) origKind() TxKind {
+	if tx.OrigKind != 0 {
+		return tx.OrigKind
+	}
+	return tx.Kind
+}
+
+// IsCross reports whether the transaction currently follows the
+// cross-shard (OE) path.
+func (tx *Transaction) IsCross() bool { return tx.Kind == CrossShard }
+
+// Promote converts a single-shard transaction to a cross-shard one
+// (rules P3/P4/P6), preserving its identity.
+func (tx *Transaction) Promote() {
+	if tx.OrigKind == 0 {
+		tx.OrigKind = tx.Kind
+	}
+	tx.Kind = CrossShard
+}
+
+// Clone returns a deep copy of the transaction.
+func (tx *Transaction) Clone() *Transaction {
+	c := *tx
+	c.Shards = append([]ShardID(nil), tx.Shards...)
+	c.Args = make([][]byte, len(tx.Args))
+	for i, a := range tx.Args {
+		c.Args[i] = append([]byte(nil), a...)
+	}
+	c.Code = append([]byte(nil), tx.Code...)
+	return &c
+}
+
+// TouchesShard reports whether shard s appears in the SID list.
+func (tx *Transaction) TouchesShard(s ShardID) bool {
+	for _, x := range tx.Shards {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// SharesShard reports whether the two transactions declare any shard
+// in common — the conflict predicate used by rules P3/P4.
+func (tx *Transaction) SharesShard(o *Transaction) bool {
+	for _, a := range tx.Shards {
+		for _, b := range o.Shards {
+			if a == b {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RWRecord is one observed access inside a preplay result.
+type RWRecord struct {
+	Key   Key
+	Value Value
+}
+
+// TxResult is the preplay outcome of one single-shard transaction: the
+// read set with observed values, the write set with installed values,
+// and the position in the CE's serialized schedule. Validators replay
+// the schedule and require every read to reproduce ReadSet.
+type TxResult struct {
+	TxID        Digest
+	ScheduleIdx uint32
+	ReadSet     []RWRecord
+	WriteSet    []RWRecord
+	// Reexecutions counts how many times the CE had to restart the
+	// transaction before it committed (abort accounting).
+	Reexecutions uint32
+}
+
+// ShardMap assigns every key to a shard. The partitioning method is
+// orthogonal to the protocol (paper §3.1); we use a stable hash.
+type ShardMap struct {
+	NumShards uint32
+}
+
+// NewShardMap builds a map over n shards. n must be positive.
+func NewShardMap(n int) ShardMap {
+	if n <= 0 {
+		panic("types: shard map needs at least one shard")
+	}
+	return ShardMap{NumShards: uint32(n)}
+}
+
+// ShardOf returns the shard owning key k. The function is a pure
+// deterministic hash so every replica agrees without coordination.
+func (m ShardMap) ShardOf(k Key) ShardID {
+	h := sha256.Sum256([]byte(k))
+	return ShardID(binary.BigEndian.Uint32(h[:4]) % m.NumShards)
+}

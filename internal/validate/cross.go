@@ -1,0 +1,152 @@
+package validate
+
+import (
+	"sync"
+
+	"thunderbolt/internal/contract"
+	"thunderbolt/internal/types"
+	"thunderbolt/internal/vm"
+)
+
+// CrossOutcome reports one cross-shard transaction's execution.
+type CrossOutcome struct {
+	Tx *types.Transaction
+	// Err is non-nil for terminal contract failures; the transaction
+	// then contributed no writes. Failures are deterministic (pure
+	// functions of ordered state), so replicas agree on them.
+	Err error
+	// Writes is the transaction's state delta.
+	Writes []types.RWRecord
+}
+
+// ExecuteCrossOrdered runs consensus-ordered cross-shard transactions
+// under the OE model: the total order is fixed, and parallelism is
+// recovered from the declared shard IDs (QueCC-style): transactions
+// whose shard sets are disjoint execute concurrently within a wave;
+// waves respect the total order. The returned outcomes are in input
+// order and the aggregate write delta equals serial in-order
+// execution.
+//
+// overlay semantics: each transaction sees base state plus the writes
+// of every earlier transaction in the order.
+func ExecuteCrossOrdered(reg *contract.Registry, base BaseReader,
+	txs []*types.Transaction, workers int) []CrossOutcome {
+	outcomes := make([]CrossOutcome, len(txs))
+	if len(txs) == 0 {
+		return outcomes
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	// Greedy wave construction: a transaction joins the earliest wave
+	// after the last wave containing a shard it touches.
+	waveOf := make([]int, len(txs))
+	lastWave := make(map[types.ShardID]int)
+	maxWave := 0
+	for i, tx := range txs {
+		w := 0
+		for _, s := range tx.Shards {
+			if lw, ok := lastWave[s]; ok && lw+1 > w {
+				w = lw + 1
+			}
+		}
+		waveOf[i] = w
+		for _, s := range tx.Shards {
+			lastWave[s] = w
+		}
+		if w > maxWave {
+			maxWave = w
+		}
+	}
+	// accumulated holds the state delta applied so far (all earlier
+	// waves); within a wave, shard-disjoint transactions cannot
+	// conflict, so they read it concurrently.
+	accumulated := make(map[types.Key]types.Value)
+	readThrough := func(k types.Key) types.Value {
+		if v, ok := accumulated[k]; ok {
+			return v
+		}
+		return base(k)
+	}
+	for wave := 0; wave <= maxWave; wave++ {
+		var idxs []int
+		for i := range txs {
+			if waveOf[i] == wave {
+				idxs = append(idxs, i)
+			}
+		}
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for _, i := range idxs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				st := &crossState{read: readThrough}
+				err := vm.ExecuteTx(reg, st, txs[i])
+				if err != nil {
+					outcomes[i] = CrossOutcome{Tx: txs[i], Err: err}
+					return
+				}
+				outcomes[i] = CrossOutcome{Tx: txs[i], Writes: st.writeRecords()}
+			}(i)
+		}
+		wg.Wait()
+		// Fold the wave's writes into the accumulated delta in input
+		// order (same-wave transactions are shard-disjoint, so order
+		// among them cannot matter; input order keeps it canonical).
+		for _, i := range idxs {
+			for _, w := range outcomes[i].Writes {
+				accumulated[w.Key] = w.Value
+			}
+		}
+	}
+	return outcomes
+}
+
+// crossState executes one cross-shard transaction against a frozen
+// read-through view, buffering writes.
+type crossState struct {
+	read func(types.Key) types.Value
+
+	reads  map[types.Key]types.Value
+	writes map[types.Key]types.Value
+	wOrder []types.Key
+}
+
+func (s *crossState) Read(k types.Key) (types.Value, error) {
+	if s.writes != nil {
+		if v, ok := s.writes[k]; ok {
+			return v.Clone(), nil
+		}
+	}
+	if s.reads == nil {
+		s.reads = make(map[types.Key]types.Value)
+	}
+	if v, ok := s.reads[k]; ok {
+		return v.Clone(), nil
+	}
+	v := s.read(k).Clone()
+	s.reads[k] = v
+	return v, nil
+}
+
+func (s *crossState) Write(k types.Key, v types.Value) error {
+	if s.writes == nil {
+		s.writes = make(map[types.Key]types.Value)
+	}
+	if _, ok := s.writes[k]; !ok {
+		s.wOrder = append(s.wOrder, k)
+	}
+	s.writes[k] = v.Clone()
+	return nil
+}
+
+func (s *crossState) writeRecords() []types.RWRecord {
+	out := make([]types.RWRecord, 0, len(s.wOrder))
+	for _, k := range s.wOrder {
+		out = append(out, types.RWRecord{Key: k, Value: s.writes[k]})
+	}
+	return out
+}

@@ -1,0 +1,218 @@
+// Package validate implements the two post-consensus execution paths
+// every replica runs on committed blocks:
+//
+//   - ValidateBatch (paper §4): checks a shard proposer's preplay
+//     results in parallel. The declared read/write sets — unknown at
+//     submission time, discovered by the CE — induce a dependency
+//     structure that lets each transaction be re-executed and checked
+//     independently against a versioned view, rather than serially.
+//
+//   - ExecuteCrossOrdered (paper §5.2): deterministically executes
+//     consensus-ordered cross-shard transactions, extracting
+//     parallelism from the shard metadata (SIDs): transactions with
+//     disjoint shard sets run concurrently, in QueCC-style waves.
+//
+// Both paths are pure functions of (base state, inputs) so every
+// honest replica materializes identical state.
+package validate
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"thunderbolt/internal/contract"
+	"thunderbolt/internal/types"
+	"thunderbolt/internal/vm"
+)
+
+// BaseReader supplies committed values (nil = absent).
+type BaseReader func(k types.Key) types.Value
+
+// ErrInvalidBlock reports that a block's preplay results failed
+// validation; the block must be discarded (paper §4).
+var ErrInvalidBlock = errors.New("validate: block failed validation")
+
+// Result is a successfully validated batch.
+type Result struct {
+	// Writes is the state delta to apply: the last declared write per
+	// key, in schedule order of first write.
+	Writes []types.RWRecord
+}
+
+// versionedView indexes declared writes by key and schedule position,
+// giving each transaction the exact state it should have observed.
+type versionedView struct {
+	base BaseReader
+	// versions[k] lists (scheduleIdx, value) in ascending order.
+	versions map[types.Key][]versionEntry
+}
+
+type versionEntry struct {
+	idx int
+	val types.Value
+}
+
+func buildView(base BaseReader, results []types.TxResult) *versionedView {
+	v := &versionedView{base: base, versions: make(map[types.Key][]versionEntry)}
+	for i := range results {
+		for _, w := range results[i].WriteSet {
+			v.versions[w.Key] = append(v.versions[w.Key], versionEntry{idx: i, val: w.Value})
+		}
+	}
+	// Results arrive in schedule order, so each key's version list is
+	// already ascending; sort defensively for malformed inputs.
+	for k := range v.versions {
+		vs := v.versions[k]
+		sort.Slice(vs, func(a, b int) bool { return vs[a].idx < vs[b].idx })
+	}
+	return v
+}
+
+// at returns the value of k visible to the transaction at schedule
+// position idx: the last declared write before idx, else base.
+func (v *versionedView) at(k types.Key, idx int) types.Value {
+	vs := v.versions[k]
+	lo := sort.Search(len(vs), func(i int) bool { return vs[i].idx >= idx })
+	if lo == 0 {
+		return v.base(k)
+	}
+	return vs[lo-1].val
+}
+
+// checkState is the contract.State used to re-execute one transaction
+// during validation; it records observations for comparison.
+type checkState struct {
+	view *versionedView
+	idx  int
+
+	reads  map[types.Key]types.Value
+	writes map[types.Key]types.Value
+	wOrder []types.Key
+}
+
+func (s *checkState) Read(k types.Key) (types.Value, error) {
+	if v, ok := s.writes[k]; ok {
+		return v.Clone(), nil
+	}
+	if v, ok := s.reads[k]; ok {
+		return v.Clone(), nil
+	}
+	v := s.view.at(k, s.idx).Clone()
+	s.reads[k] = v
+	return v, nil
+}
+
+func (s *checkState) Write(k types.Key, v types.Value) error {
+	if _, ok := s.writes[k]; !ok {
+		s.wOrder = append(s.wOrder, k)
+	}
+	s.writes[k] = v.Clone()
+	return nil
+}
+
+// ValidateBatch re-executes the scheduled transactions in parallel
+// against the versioned view induced by the declared write sets and
+// verifies that every observed read and write matches the block's
+// declaration. workers <= 0 means one worker.
+func ValidateBatch(reg *contract.Registry, base BaseReader, txs []*types.Transaction,
+	results []types.TxResult, workers int) (*Result, error) {
+	if len(txs) != len(results) {
+		return nil, fmt.Errorf("%w: %d transactions but %d results", ErrInvalidBlock, len(txs), len(results))
+	}
+	if base == nil {
+		base = func(types.Key) types.Value { return nil }
+	}
+	for i := range results {
+		if int(results[i].ScheduleIdx) != i {
+			return nil, fmt.Errorf("%w: schedule indices not dense at %d", ErrInvalidBlock, i)
+		}
+		if results[i].TxID != txs[i].ID() {
+			return nil, fmt.Errorf("%w: result %d does not match its transaction", ErrInvalidBlock, i)
+		}
+	}
+	view := buildView(base, results)
+
+	if workers <= 0 {
+		workers = 1
+	}
+	errs := make([]error, len(txs))
+	var wg sync.WaitGroup
+	idxCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				errs[i] = validateOne(reg, view, txs[i], &results[i], i)
+			}
+		}()
+	}
+	for i := range txs {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Final delta: last writer per key, ordered by first appearance.
+	last := make(map[types.Key]types.Value)
+	var order []types.Key
+	for i := range results {
+		for _, w := range results[i].WriteSet {
+			if _, seen := last[w.Key]; !seen {
+				order = append(order, w.Key)
+			}
+			last[w.Key] = w.Value
+		}
+	}
+	out := &Result{Writes: make([]types.RWRecord, 0, len(order))}
+	for _, k := range order {
+		out.Writes = append(out.Writes, types.RWRecord{Key: k, Value: last[k]})
+	}
+	return out, nil
+}
+
+func validateOne(reg *contract.Registry, view *versionedView, tx *types.Transaction,
+	res *types.TxResult, idx int) error {
+	st := &checkState{
+		view:   view,
+		idx:    idx,
+		reads:  make(map[types.Key]types.Value),
+		writes: make(map[types.Key]types.Value),
+	}
+	if err := vm.ExecuteTx(reg, st, tx); err != nil {
+		return fmt.Errorf("%w: tx %d re-execution failed: %v", ErrInvalidBlock, idx, err)
+	}
+	// Observed reads must match declared reads exactly.
+	if len(st.reads) != len(res.ReadSet) {
+		return fmt.Errorf("%w: tx %d read %d keys, declared %d", ErrInvalidBlock, idx, len(st.reads), len(res.ReadSet))
+	}
+	for _, r := range res.ReadSet {
+		got, ok := st.reads[r.Key]
+		if !ok {
+			return fmt.Errorf("%w: tx %d declared read of %s never happened", ErrInvalidBlock, idx, r.Key)
+		}
+		if !got.Equal(r.Value) {
+			return fmt.Errorf("%w: tx %d read %s=%q, declared %q", ErrInvalidBlock, idx, r.Key, got, r.Value)
+		}
+	}
+	// Observed writes must match declared writes exactly.
+	if len(st.writes) != len(res.WriteSet) {
+		return fmt.Errorf("%w: tx %d wrote %d keys, declared %d", ErrInvalidBlock, idx, len(st.writes), len(res.WriteSet))
+	}
+	for _, w := range res.WriteSet {
+		got, ok := st.writes[w.Key]
+		if !ok {
+			return fmt.Errorf("%w: tx %d declared write of %s never happened", ErrInvalidBlock, idx, w.Key)
+		}
+		if !got.Equal(w.Value) {
+			return fmt.Errorf("%w: tx %d wrote %s=%q, declared %q", ErrInvalidBlock, idx, w.Key, got, w.Value)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble compiles a textual program into a Program. The syntax is
+// line-oriented:
+//
+//	; comment
+//	.const prefix "checking:"   define a named string constant
+//	label:                      define a jump target
+//	push 42                     integer immediate
+//	sconst prefix               push named constant
+//	sarg 0                      push call argument by index
+//	jz done                     conditional jump to label
+//	...
+//
+// Assemble exists so tests and examples can express contracts
+// legibly; production callers typically build Programs directly.
+func Assemble(src string) (*Program, error) {
+	type patch struct {
+		offset int
+		label  string
+		line   int
+	}
+	p := &Program{}
+	consts := map[string]uint16{}
+	labels := map[string]int{}
+	var patches []patch
+
+	emitU16 := func(v uint16) {
+		p.Code = binary.BigEndian.AppendUint16(p.Code, v)
+	}
+	emitU32 := func(v uint32) {
+		p.Code = binary.BigEndian.AppendUint32(p.Code, v)
+	}
+	emitU64 := func(v uint64) {
+		p.Code = binary.BigEndian.AppendUint64(p.Code, v)
+	}
+
+	nameToOp := make(map[string]Opcode, len(opNames))
+	for op, n := range opNames {
+		nameToOp[n] = op
+	}
+
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Constant definition.
+		if strings.HasPrefix(line, ".const") {
+			rest := strings.TrimSpace(strings.TrimPrefix(line, ".const"))
+			sp := strings.IndexAny(rest, " \t")
+			if sp < 0 {
+				return nil, fmt.Errorf("vm: line %d: .const needs a name and a value", ln+1)
+			}
+			name := rest[:sp]
+			valTok := strings.TrimSpace(rest[sp+1:])
+			val, err := strconv.Unquote(valTok)
+			if err != nil {
+				return nil, fmt.Errorf("vm: line %d: bad const literal %s: %v", ln+1, valTok, err)
+			}
+			if _, dup := consts[name]; dup {
+				return nil, fmt.Errorf("vm: line %d: duplicate const %q", ln+1, name)
+			}
+			consts[name] = uint16(len(p.Consts))
+			p.Consts = append(p.Consts, []byte(val))
+			continue
+		}
+		// Label definition.
+		if strings.HasSuffix(line, ":") {
+			name := strings.TrimSuffix(line, ":")
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("vm: line %d: duplicate label %q", ln+1, name)
+			}
+			labels[name] = len(p.Code)
+			continue
+		}
+		fields := strings.Fields(line)
+		op, ok := nameToOp[fields[0]]
+		if !ok {
+			return nil, fmt.Errorf("vm: line %d: unknown mnemonic %q", ln+1, fields[0])
+		}
+		p.Code = append(p.Code, byte(op))
+		needsOperand := func() error {
+			if len(fields) != 2 {
+				return fmt.Errorf("vm: line %d: %s takes exactly one operand", ln+1, fields[0])
+			}
+			return nil
+		}
+		switch op {
+		case OpPush:
+			if err := needsOperand(); err != nil {
+				return nil, err
+			}
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("vm: line %d: bad integer %q", ln+1, fields[1])
+			}
+			emitU64(uint64(v))
+		case OpJmp, OpJz:
+			if err := needsOperand(); err != nil {
+				return nil, err
+			}
+			patches = append(patches, patch{offset: len(p.Code), label: fields[1], line: ln + 1})
+			emitU32(0)
+		case OpSConst:
+			if err := needsOperand(); err != nil {
+				return nil, err
+			}
+			idx, ok := consts[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("vm: line %d: unknown const %q", ln+1, fields[1])
+			}
+			emitU16(idx)
+		case OpSArg, OpArgI:
+			if err := needsOperand(); err != nil {
+				return nil, err
+			}
+			v, err := strconv.ParseUint(fields[1], 10, 16)
+			if err != nil {
+				return nil, fmt.Errorf("vm: line %d: bad arg index %q", ln+1, fields[1])
+			}
+			emitU16(uint16(v))
+		default:
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("vm: line %d: %s takes no operand", ln+1, fields[0])
+			}
+		}
+	}
+	for _, pt := range patches {
+		target, ok := labels[pt.label]
+		if !ok {
+			return nil, fmt.Errorf("vm: line %d: undefined label %q", pt.line, pt.label)
+		}
+		binary.BigEndian.PutUint32(p.Code[pt.offset:], uint32(target))
+	}
+	return p, nil
+}
+
+// MustAssemble is Assemble that panics on error (for package-level
+// program definitions).
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,27 @@
+package vm
+
+import (
+	"thunderbolt/internal/contract"
+	"thunderbolt/internal/types"
+)
+
+// ExecuteTx runs a transaction's contract against st: embedded
+// bytecode (Transaction.Code) takes precedence, otherwise the named
+// contract is resolved from reg. This is the single execution entry
+// point shared by the Concurrent Executor, the baselines, validators,
+// and serial replay — guaranteeing all of them interpret a
+// transaction identically.
+func ExecuteTx(reg *contract.Registry, st contract.State, tx *types.Transaction) error {
+	if len(tx.Code) > 0 {
+		var p Program
+		if err := p.UnmarshalBinary(tx.Code); err != nil {
+			return contract.Failf("vm: undecodable program: %v", err)
+		}
+		return Run(&p, st, tx.Args, Limits{})
+	}
+	c, ok := reg.Lookup(tx.Contract)
+	if !ok {
+		return contract.Failf("vm: unknown contract %q", tx.Contract)
+	}
+	return c.Execute(st, tx.Args)
+}

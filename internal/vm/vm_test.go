@@ -1,0 +1,326 @@
+package vm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"thunderbolt/internal/contract"
+	"thunderbolt/internal/types"
+)
+
+// mapState is a trivial contract.State over a map.
+type mapState struct {
+	m   map[types.Key]types.Value
+	err error // when set, every access fails with it
+}
+
+func newMapState() *mapState { return &mapState{m: map[types.Key]types.Value{}} }
+
+func (s *mapState) Read(k types.Key) (types.Value, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	return s.m[k], nil
+}
+
+func (s *mapState) Write(k types.Key, v types.Value) error {
+	if s.err != nil {
+		return s.err
+	}
+	s.m[k] = v.Clone()
+	return nil
+}
+
+func (s *mapState) int(k types.Key) int64 {
+	v, _ := contract.DecodeInt64(s.m[k])
+	return v
+}
+
+func run(t *testing.T, src string, st contract.State, args ...[]byte) error {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return Run(p, st, args, Limits{})
+}
+
+func TestArithmetic(t *testing.T) {
+	st := newMapState()
+	err := run(t, `
+		.const out "out"
+		push 6
+		push 7
+		mul
+		push 2
+		sub      ; 40
+		push 4
+		div      ; 10
+		neg      ; -10
+		sconst out
+		store
+	`, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.int("out"); got != -10 {
+		t.Fatalf("out=%d want -10", got)
+	}
+}
+
+func TestComparisonsAndStackOps(t *testing.T) {
+	st := newMapState()
+	err := run(t, `
+		.const out "out"
+		push 3
+		push 5
+		lt        ; 1
+		push 5
+		push 3
+		gt        ; 1
+		add       ; 2
+		push 2
+		eq        ; 1
+		not       ; 0
+		not       ; 1
+		dup
+		add       ; 2
+		push 9
+		swap
+		pop       ; drop the 9's swap result: stack now [2]? verify via store
+		sconst out
+		store
+	`, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.int("out"); got != 9 {
+		t.Fatalf("out=%d want 9 (swap/pop semantics)", got)
+	}
+}
+
+// TestLoopSum proves the VM supports bounded iteration: sum 1..n via a
+// backward conditional jump, the core of Turing-completeness.
+func TestLoopSum(t *testing.T) {
+	st := newMapState()
+	err := run(t, `
+		.const sum "sum"
+		.const i   "i"
+		push 10
+		sconst i
+		store          ; i = 10
+	loop:
+		sconst i
+		load           ; i
+		jz done        ; while i != 0
+		sconst sum
+		load
+		sconst i
+		load
+		add
+		sconst sum
+		store          ; sum += i
+		sconst i
+		load
+		push 1
+		sub
+		sconst i
+		store          ; i--
+		jmp loop
+	done:
+		halt
+	`, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.int("sum"); got != 55 {
+		t.Fatalf("sum=%d want 55", got)
+	}
+}
+
+func TestDynamicKeysFromArgs(t *testing.T) {
+	st := newMapState()
+	st.m["checking:alice"] = contract.EncodeInt64(100)
+	err := run(t, `
+		.const prefix "checking:"
+		sconst prefix
+		sarg 0
+		scat
+		load          ; read checking:<arg0>
+		argi 1
+		add
+		sconst prefix
+		sarg 0
+		scat
+		store         ; write it back + amount
+	`, st, []byte("alice"), contract.EncodeInt64(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.int("checking:alice"); got != 125 {
+		t.Fatalf("balance=%d want 125", got)
+	}
+}
+
+func TestInfiniteLoopExhaustsGas(t *testing.T) {
+	st := newMapState()
+	err := run(t, `
+	spin:
+		jmp spin
+	`, st)
+	if !errors.Is(err, contract.ErrContractFailure) {
+		t.Fatalf("want contract failure, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "step budget") {
+		t.Fatalf("want out-of-gas, got %v", err)
+	}
+}
+
+func TestAbortOpcode(t *testing.T) {
+	err := run(t, `abort`, newMapState())
+	if !errors.Is(err, contract.ErrContractFailure) {
+		t.Fatalf("want contract failure, got %v", err)
+	}
+}
+
+func TestControllerAbortPropagates(t *testing.T) {
+	st := newMapState()
+	st.err = contract.ErrAborted
+	err := run(t, `
+		.const k "k"
+		sconst k
+		load
+	`, st)
+	if !errors.Is(err, contract.ErrAborted) {
+		t.Fatalf("controller abort must pass through unchanged, got %v", err)
+	}
+	if errors.Is(err, contract.ErrContractFailure) {
+		t.Fatal("controller abort must not be classified as contract failure")
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"underflow", "add"},
+		{"div-by-zero", "push 1\npush 0\ndiv"},
+		{"bad-arg-index", "sarg 7"},
+		{"bad-argi-index", "argi 7"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := run(t, c.src, newMapState())
+			if !errors.Is(err, contract.ErrContractFailure) {
+				t.Fatalf("want contract failure, got %v", err)
+			}
+		})
+	}
+}
+
+func TestStackOverflow(t *testing.T) {
+	p := &Program{}
+	for i := 0; i < DefaultMaxStack+1; i++ {
+		p.Code = append(p.Code, byte(OpPush), 0, 0, 0, 0, 0, 0, 0, 1)
+	}
+	err := Run(p, newMapState(), nil, Limits{})
+	if !errors.Is(err, contract.ErrContractFailure) || !strings.Contains(err.Error(), "overflow") {
+		t.Fatalf("want stack overflow, got %v", err)
+	}
+}
+
+func TestTruncatedImmediate(t *testing.T) {
+	p := &Program{Code: []byte{byte(OpPush), 0, 0}}
+	if err := Run(p, newMapState(), nil, Limits{}); err == nil {
+		t.Fatal("truncated immediate accepted")
+	}
+}
+
+func TestUnknownOpcode(t *testing.T) {
+	p := &Program{Code: []byte{0xEE}}
+	if err := Run(p, newMapState(), nil, Limits{}); err == nil {
+		t.Fatal("unknown opcode accepted")
+	}
+}
+
+func TestFallOffEndHalts(t *testing.T) {
+	p := MustAssemble("push 1\npop")
+	if err := Run(p, newMapState(), nil, Limits{}); err != nil {
+		t.Fatalf("program without halt should finish cleanly: %v", err)
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"unknown-mnemonic", "frobnicate"},
+		{"undefined-label", "jmp nowhere"},
+		{"duplicate-label", "a:\na:\nhalt"},
+		{"duplicate-const", ".const x \"1\"\n.const x \"2\""},
+		{"bad-const", ".const x notquoted"},
+		{"missing-operand", "push"},
+		{"extra-operand", "add 3"},
+		{"bad-integer", "push abc"},
+		{"unknown-const", "sconst nope"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Assemble(c.src); err == nil {
+				t.Fatalf("assembled invalid source %q", c.src)
+			}
+		})
+	}
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	p := MustAssemble(`
+		.const a "alpha"
+		.const b "beta"
+		sconst a
+		sconst b
+		scat
+		load
+		push 1
+		add
+		sconst a
+		store
+	`)
+	enc, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Program
+	if err := got.UnmarshalBinary(enc); err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Code) != string(p.Code) || len(got.Consts) != 2 || string(got.Consts[1]) != "beta" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestVMContractAdapter(t *testing.T) {
+	st := newMapState()
+	c := &VMContract{
+		ContractName: "counter.bump",
+		Prog: MustAssemble(`
+			.const k "counter"
+			sconst k
+			load
+			push 1
+			add
+			sconst k
+			store
+		`),
+	}
+	if c.Name() != "counter.bump" {
+		t.Fatal("name mismatch")
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Execute(st, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := st.int("counter"); got != 3 {
+		t.Fatalf("counter=%d want 3", got)
+	}
+}

@@ -1,0 +1,257 @@
+package workload
+
+import (
+	"math/rand"
+
+	"thunderbolt/internal/contract"
+	"thunderbolt/internal/types"
+)
+
+// Config parameterizes the SmallBank transaction generator with the
+// knobs the paper's evaluation sweeps.
+type Config struct {
+	// Accounts is the account pool size (10,000 for the CE evaluation,
+	// 1,000 for the system evaluation).
+	Accounts int
+	// Shards is the number of shards; accounts are assigned to shards
+	// by the protocol's hash partitioner.
+	Shards int
+	// Theta is the Zipfian skew θ; 0.85 is the paper's default
+	// high-contention setting.
+	Theta float64
+	// ReadRatio is Pr, the probability of a read-only GetBalance; the
+	// remainder are SendPayment transfers.
+	ReadRatio float64
+	// CrossPct is P, the fraction of transactions spanning two shards.
+	CrossPct float64
+	// Mix selects the full six-type SmallBank mix instead of the
+	// focal GetBalance/SendPayment pair.
+	Mix bool
+	// Seed makes the stream reproducible.
+	Seed int64
+	// Client is stamped on generated transactions.
+	Client uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Accounts <= 0 {
+		c.Accounts = 1000
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	return c
+}
+
+// Generator produces SmallBank transactions. Not safe for concurrent
+// use; each client goroutine should own one (see Split).
+type Generator struct {
+	cfg   Config
+	rng   *rand.Rand
+	zipf  *Zipf
+	smap  types.ShardMap
+	nonce uint64
+
+	// shardOf maps account index to its shard; byShard buckets
+	// account indices per shard; shardZipf samples within one shard's
+	// bucket with the same skew.
+	shardOf   []types.ShardID
+	byShard   [][]int
+	shardZipf []*Zipf
+}
+
+// NewGenerator builds a generator; the account→shard assignment is
+// derived from the protocol's hash partitioner so clients and replicas
+// agree on routing.
+func NewGenerator(cfg Config) *Generator {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &Generator{
+		cfg:     cfg,
+		rng:     rng,
+		zipf:    NewZipf(rng, cfg.Accounts, cfg.Theta),
+		smap:    types.NewShardMap(cfg.Shards),
+		shardOf: make([]types.ShardID, cfg.Accounts),
+		byShard: make([][]int, cfg.Shards),
+	}
+	for i := 0; i < cfg.Accounts; i++ {
+		s := g.smap.ShardOf(types.Key(AccountName(i)))
+		g.shardOf[i] = s
+		g.byShard[s] = append(g.byShard[s], i)
+	}
+	g.shardZipf = make([]*Zipf, cfg.Shards)
+	for s := range g.shardZipf {
+		if len(g.byShard[s]) > 0 {
+			g.shardZipf[s] = NewZipf(rng, len(g.byShard[s]), cfg.Theta)
+		}
+	}
+	return g
+}
+
+// Split derives an independent generator with the same configuration
+// but a decorrelated stream, for concurrent clients.
+func (g *Generator) Split(client uint64) *Generator {
+	cfg := g.cfg
+	cfg.Seed = g.cfg.Seed*1_000_003 + int64(client) + 1
+	cfg.Client = client
+	return NewGenerator(cfg)
+}
+
+// ShardOfAccount returns the shard owning account index i.
+func (g *Generator) ShardOfAccount(i int) types.ShardID { return g.shardOf[i] }
+
+// AccountsInShard returns how many accounts shard s owns.
+func (g *Generator) AccountsInShard(s types.ShardID) int { return len(g.byShard[s]) }
+
+// pickGlobal draws an account index with Zipfian skew over the whole
+// pool.
+func (g *Generator) pickGlobal() int { return int(g.zipf.Next()) }
+
+// pickInShard draws an account index within shard s with Zipfian skew.
+func (g *Generator) pickInShard(s types.ShardID) (int, bool) {
+	bucket := g.byShard[s]
+	if len(bucket) == 0 {
+		return 0, false
+	}
+	return bucket[g.shardZipf[s].Next()], true
+}
+
+// pickOtherShard returns a uniformly random shard different from s
+// that owns at least one account.
+func (g *Generator) pickOtherShard(s types.ShardID) (types.ShardID, bool) {
+	if g.cfg.Shards < 2 {
+		return 0, false
+	}
+	for tries := 0; tries < 4*g.cfg.Shards; tries++ {
+		o := types.ShardID(g.rng.Intn(g.cfg.Shards))
+		if o != s && len(g.byShard[o]) > 0 {
+			return o, true
+		}
+	}
+	return 0, false
+}
+
+func (g *Generator) amount() int64 { return int64(1 + g.rng.Intn(100)) }
+
+func (g *Generator) newTx(kind types.TxKind, shards []types.ShardID, name string, args ...[]byte) *types.Transaction {
+	g.nonce++
+	return &types.Transaction{
+		Client:   g.cfg.Client,
+		Nonce:    g.nonce,
+		Kind:     kind,
+		Shards:   shards,
+		Contract: name,
+		Args:     args,
+	}
+}
+
+// Next produces the next transaction of the configured mix. With
+// probability CrossPct it spans two shards (kind CrossShard);
+// otherwise it is confined to a single shard.
+func (g *Generator) Next() *types.Transaction {
+	a := g.pickGlobal()
+	s := g.shardOf[a]
+	if g.cfg.CrossPct > 0 && g.rng.Float64() < g.cfg.CrossPct {
+		if tx := g.crossTx(a, s); tx != nil {
+			return tx
+		}
+	}
+	return g.singleTx(a, s)
+}
+
+// NextForShard produces a single-shard transaction confined to shard
+// s, as submitted by clients that route to s's proposer.
+func (g *Generator) NextForShard(s types.ShardID) *types.Transaction {
+	a, ok := g.pickInShard(s)
+	if !ok {
+		// Shard owns no accounts (tiny pools); fall back to any.
+		a = g.pickGlobal()
+		s = g.shardOf[a]
+	}
+	return g.singleTx(a, s)
+}
+
+func (g *Generator) singleTx(a int, s types.ShardID) *types.Transaction {
+	name := AccountName(a)
+	if g.cfg.Mix {
+		return g.mixedSingleTx(a, s)
+	}
+	if g.rng.Float64() < g.cfg.ReadRatio {
+		return g.newTx(types.SingleShard, []types.ShardID{s}, ContractGetBalance, []byte(name))
+	}
+	// Same-shard transfer partner.
+	b, ok := g.pickInShard(s)
+	if !ok || b == a {
+		return g.newTx(types.SingleShard, []types.ShardID{s}, ContractDepositChecking,
+			[]byte(name), contract.EncodeInt64(g.amount()))
+	}
+	return g.newTx(types.SingleShard, []types.ShardID{s}, ContractSendPayment,
+		[]byte(name), []byte(AccountName(b)), contract.EncodeInt64(g.amount()))
+}
+
+func (g *Generator) mixedSingleTx(a int, s types.ShardID) *types.Transaction {
+	name := AccountName(a)
+	switch g.rng.Intn(6) {
+	case 0:
+		return g.newTx(types.SingleShard, []types.ShardID{s}, ContractGetBalance, []byte(name))
+	case 1:
+		return g.newTx(types.SingleShard, []types.ShardID{s}, ContractDepositChecking,
+			[]byte(name), contract.EncodeInt64(g.amount()))
+	case 2:
+		return g.newTx(types.SingleShard, []types.ShardID{s}, ContractTransactSavings,
+			[]byte(name), contract.EncodeInt64(g.amount()))
+	case 3:
+		return g.newTx(types.SingleShard, []types.ShardID{s}, ContractWriteCheck,
+			[]byte(name), contract.EncodeInt64(g.amount()))
+	case 4:
+		if b, ok := g.pickInShard(s); ok && b != a {
+			return g.newTx(types.SingleShard, []types.ShardID{s}, ContractAmalgamate,
+				[]byte(name), []byte(AccountName(b)))
+		}
+		fallthrough
+	default:
+		if b, ok := g.pickInShard(s); ok && b != a {
+			return g.newTx(types.SingleShard, []types.ShardID{s}, ContractSendPayment,
+				[]byte(name), []byte(AccountName(b)), contract.EncodeInt64(g.amount()))
+		}
+		return g.newTx(types.SingleShard, []types.ShardID{s}, ContractDepositChecking,
+			[]byte(name), contract.EncodeInt64(g.amount()))
+	}
+}
+
+// crossTx builds a two-shard SendPayment from account a (shard s) to
+// an account in another shard. Returns nil if no second shard exists.
+func (g *Generator) crossTx(a int, s types.ShardID) *types.Transaction {
+	o, ok := g.pickOtherShard(s)
+	if !ok {
+		return nil
+	}
+	b, ok := g.pickInShard(o)
+	if !ok {
+		return nil
+	}
+	shards := []types.ShardID{s, o}
+	if o < s {
+		shards = []types.ShardID{o, s}
+	}
+	return g.newTx(types.CrossShard, shards, ContractSendPayment,
+		[]byte(AccountName(a)), []byte(AccountName(b)), contract.EncodeInt64(g.amount()))
+}
+
+// Batch produces n transactions via Next.
+func (g *Generator) Batch(n int) []*types.Transaction {
+	out := make([]*types.Transaction, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// BatchForShard produces n single-shard transactions for shard s.
+func (g *Generator) BatchForShard(s types.ShardID, n int) []*types.Transaction {
+	out := make([]*types.Transaction, n)
+	for i := range out {
+		out[i] = g.NextForShard(s)
+	}
+	return out
+}

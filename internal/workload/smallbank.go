@@ -1,0 +1,236 @@
+// Package workload implements the SmallBank benchmark the paper
+// evaluates with (§11.2): six transaction types over per-account
+// checking and savings balances, a Zipfian account sampler with skew
+// parameter θ, a read ratio Pr selecting GetBalance vs SendPayment,
+// and a cross-shard mixing percentage P.
+package workload
+
+import (
+	"fmt"
+
+	"thunderbolt/internal/contract"
+	"thunderbolt/internal/storage"
+	"thunderbolt/internal/types"
+)
+
+// Contract names registered by RegisterSmallBank.
+const (
+	ContractGetBalance      = "smallbank.get_balance"
+	ContractSendPayment     = "smallbank.send_payment"
+	ContractDepositChecking = "smallbank.deposit_checking"
+	ContractTransactSavings = "smallbank.transact_savings"
+	ContractWriteCheck      = "smallbank.write_check"
+	ContractAmalgamate      = "smallbank.amalgamate"
+)
+
+// CheckingKey returns the storage key of an account's checking balance.
+func CheckingKey(account string) types.Key { return types.Key("c:" + account) }
+
+// SavingsKey returns the storage key of an account's savings balance.
+func SavingsKey(account string) types.Key { return types.Key("s:" + account) }
+
+// AccountName formats the i-th benchmark account.
+func AccountName(i int) string { return fmt.Sprintf("acct%06d", i) }
+
+func arg(args [][]byte, i int) ([]byte, error) {
+	if i >= len(args) {
+		return nil, contract.Failf("smallbank: missing argument %d", i)
+	}
+	return args[i], nil
+}
+
+func strArg(args [][]byte, i int) (string, error) {
+	b, err := arg(args, i)
+	return string(b), err
+}
+
+func intArg(args [][]byte, i int) (int64, error) {
+	b, err := arg(args, i)
+	if err != nil {
+		return 0, err
+	}
+	v, err := contract.DecodeInt64(b)
+	if err != nil {
+		return 0, contract.Failf("smallbank: argument %d is not an amount: %v", i, err)
+	}
+	return v, nil
+}
+
+// getBalance reads both balances of one account (the read-only query).
+func getBalance(st contract.State, args [][]byte) error {
+	acct, err := strArg(args, 0)
+	if err != nil {
+		return err
+	}
+	if _, err := contract.ReadInt64(st, CheckingKey(acct)); err != nil {
+		return err
+	}
+	_, err = contract.ReadInt64(st, SavingsKey(acct))
+	return err
+}
+
+// sendPayment moves amount from one checking account to another. As in
+// the paper's description ("balances are updated by reading the
+// current balance and then writing the new values back") the transfer
+// always applies; overdrafts go negative rather than failing, keeping
+// the workload write-heavy under contention.
+func sendPayment(st contract.State, args [][]byte) error {
+	src, err := strArg(args, 0)
+	if err != nil {
+		return err
+	}
+	dst, err := strArg(args, 1)
+	if err != nil {
+		return err
+	}
+	amount, err := intArg(args, 2)
+	if err != nil {
+		return err
+	}
+	sb, err := contract.ReadInt64(st, CheckingKey(src))
+	if err != nil {
+		return err
+	}
+	if err := contract.WriteInt64(st, CheckingKey(src), sb-amount); err != nil {
+		return err
+	}
+	db, err := contract.ReadInt64(st, CheckingKey(dst))
+	if err != nil {
+		return err
+	}
+	return contract.WriteInt64(st, CheckingKey(dst), db+amount)
+}
+
+// depositChecking adds amount to a checking balance.
+func depositChecking(st contract.State, args [][]byte) error {
+	acct, err := strArg(args, 0)
+	if err != nil {
+		return err
+	}
+	amount, err := intArg(args, 1)
+	if err != nil {
+		return err
+	}
+	b, err := contract.ReadInt64(st, CheckingKey(acct))
+	if err != nil {
+		return err
+	}
+	return contract.WriteInt64(st, CheckingKey(acct), b+amount)
+}
+
+// transactSavings adds amount (possibly negative) to a savings balance.
+func transactSavings(st contract.State, args [][]byte) error {
+	acct, err := strArg(args, 0)
+	if err != nil {
+		return err
+	}
+	amount, err := intArg(args, 1)
+	if err != nil {
+		return err
+	}
+	b, err := contract.ReadInt64(st, SavingsKey(acct))
+	if err != nil {
+		return err
+	}
+	return contract.WriteInt64(st, SavingsKey(acct), b+amount)
+}
+
+// writeCheck cashes a check against the combined balance: if the total
+// is insufficient, an extra penalty of 1 is deducted (classic
+// SmallBank semantics).
+func writeCheck(st contract.State, args [][]byte) error {
+	acct, err := strArg(args, 0)
+	if err != nil {
+		return err
+	}
+	amount, err := intArg(args, 1)
+	if err != nil {
+		return err
+	}
+	ck, err := contract.ReadInt64(st, CheckingKey(acct))
+	if err != nil {
+		return err
+	}
+	sv, err := contract.ReadInt64(st, SavingsKey(acct))
+	if err != nil {
+		return err
+	}
+	if ck+sv < amount {
+		return contract.WriteInt64(st, CheckingKey(acct), ck-amount-1)
+	}
+	return contract.WriteInt64(st, CheckingKey(acct), ck-amount)
+}
+
+// amalgamate moves the full balance (savings + checking) of one
+// account into another's checking, zeroing the source.
+func amalgamate(st contract.State, args [][]byte) error {
+	src, err := strArg(args, 0)
+	if err != nil {
+		return err
+	}
+	dst, err := strArg(args, 1)
+	if err != nil {
+		return err
+	}
+	sv, err := contract.ReadInt64(st, SavingsKey(src))
+	if err != nil {
+		return err
+	}
+	ck, err := contract.ReadInt64(st, CheckingKey(src))
+	if err != nil {
+		return err
+	}
+	if err := contract.WriteInt64(st, SavingsKey(src), 0); err != nil {
+		return err
+	}
+	if err := contract.WriteInt64(st, CheckingKey(src), 0); err != nil {
+		return err
+	}
+	db, err := contract.ReadInt64(st, CheckingKey(dst))
+	if err != nil {
+		return err
+	}
+	return contract.WriteInt64(st, CheckingKey(dst), db+sv+ck)
+}
+
+// RegisterSmallBank installs the six SmallBank contracts into reg.
+func RegisterSmallBank(reg *contract.Registry) {
+	reg.MustRegister(contract.Func{ContractName: ContractGetBalance, Fn: getBalance})
+	reg.MustRegister(contract.Func{ContractName: ContractSendPayment, Fn: sendPayment})
+	reg.MustRegister(contract.Func{ContractName: ContractDepositChecking, Fn: depositChecking})
+	reg.MustRegister(contract.Func{ContractName: ContractTransactSavings, Fn: transactSavings})
+	reg.MustRegister(contract.Func{ContractName: ContractWriteCheck, Fn: writeCheck})
+	reg.MustRegister(contract.Func{ContractName: ContractAmalgamate, Fn: amalgamate})
+}
+
+// InitAccounts seeds n accounts with the given starting balances in
+// both checking and savings.
+func InitAccounts(store *storage.Store, n int, checking, savings int64) {
+	recs := make([]types.RWRecord, 0, 2*n)
+	for i := 0; i < n; i++ {
+		name := AccountName(i)
+		recs = append(recs,
+			types.RWRecord{Key: CheckingKey(name), Value: contract.EncodeInt64(checking)},
+			types.RWRecord{Key: SavingsKey(name), Value: contract.EncodeInt64(savings)},
+		)
+	}
+	store.Apply(recs)
+}
+
+// TotalBalance sums every checking and savings balance in the store —
+// the conservation invariant tests assert after running transfers.
+func TotalBalance(store *storage.Store, n int) (int64, error) {
+	var total int64
+	for i := 0; i < n; i++ {
+		name := AccountName(i)
+		for _, k := range []types.Key{CheckingKey(name), SavingsKey(name)} {
+			v, _ := store.Get(k)
+			x, err := contract.DecodeInt64(v)
+			if err != nil {
+				return 0, err
+			}
+			total += x
+		}
+	}
+	return total, nil
+}

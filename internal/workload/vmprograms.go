@@ -1,0 +1,57 @@
+package workload
+
+import "thunderbolt/internal/vm"
+
+// SendPaymentProgram is the SendPayment contract compiled for the
+// bytecode VM: args are (source account, destination account, amount).
+// It is behaviorally identical to the native contract, demonstrating
+// that the Concurrent Executor needs no knowledge of contract
+// internals — only the State accesses it observes at runtime.
+func SendPaymentProgram() *vm.Program {
+	return vm.MustAssemble(`
+		.const ck "c:"
+		; src.checking -= amount
+		sconst ck
+		sarg 0
+		scat
+		load
+		argi 2
+		sub
+		sconst ck
+		sarg 0
+		scat
+		store
+		; dst.checking += amount
+		sconst ck
+		sarg 1
+		scat
+		load
+		argi 2
+		add
+		sconst ck
+		sarg 1
+		scat
+		store
+		halt
+	`)
+}
+
+// GetBalanceProgram is GetBalance compiled for the bytecode VM: it
+// reads both balances of args[0] and discards them.
+func GetBalanceProgram() *vm.Program {
+	return vm.MustAssemble(`
+		.const ck "c:"
+		.const sv "s:"
+		sconst ck
+		sarg 0
+		scat
+		load
+		pop
+		sconst sv
+		sarg 0
+		scat
+		load
+		pop
+		halt
+	`)
+}

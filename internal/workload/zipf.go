@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipf samples integers in [0, n) with the YCSB Zipfian distribution:
+// item rank r is drawn with probability proportional to 1/r^theta.
+// Unlike math/rand's Zipf it supports theta < 1, the range the paper
+// sweeps (0.75 ≤ θ ≤ 0.9). theta = 0 degenerates to uniform.
+//
+// Zipf is not safe for concurrent use; give each client goroutine its
+// own instance.
+type Zipf struct {
+	rng   *rand.Rand
+	n     uint64
+	theta float64
+
+	alpha, zetan, eta float64
+	zeta2             float64
+}
+
+// NewZipf builds a sampler over [0, n) with skew theta in [0, 1).
+func NewZipf(rng *rand.Rand, n int, theta float64) *Zipf {
+	if n <= 0 {
+		panic("workload: zipf needs n > 0")
+	}
+	if theta < 0 || theta >= 1 {
+		panic("workload: zipf skew must be in [0,1)")
+	}
+	z := &Zipf{rng: rng, n: uint64(n), theta: theta}
+	z.zetan = zeta(uint64(n), theta)
+	z.zeta2 = zeta(2, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+// zeta computes the generalized harmonic number H_{n,theta}.
+func zeta(n uint64, theta float64) float64 {
+	var sum float64
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws the next sample.
+func (z *Zipf) Next() uint64 {
+	if z.n == 1 {
+		return 0
+	}
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1.0, z.alpha))
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}

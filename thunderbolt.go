@@ -1,0 +1,224 @@
+// Package thunderbolt is the public facade of the Thunderbolt
+// reproduction: a sharded DAG-BFT execution engine that runs smart
+// contracts concurrently without prior knowledge of their read/write
+// sets and rotates shard ownership without blocking consensus.
+//
+// Three entry points cover the common uses:
+//
+//   - NewExecutor: the standalone Concurrent Executor (paper §7–8) for
+//     embedding optimistic, serializable batch execution in a single
+//     process.
+//   - NewCluster: a local multi-replica testbed running the full
+//     protocol (DAG dissemination, Tusk commitment, preplay,
+//     validation, cross-shard execution, reconfiguration).
+//   - NewGenerator: the SmallBank workload the paper evaluates with.
+//
+// See the examples/ directory for runnable end-to-end programs and
+// DESIGN.md for the architecture.
+package thunderbolt
+
+import (
+	"thunderbolt/internal/ce"
+	"thunderbolt/internal/cluster"
+	"thunderbolt/internal/contract"
+	"thunderbolt/internal/depgraph"
+	"thunderbolt/internal/node"
+	"thunderbolt/internal/storage"
+	"thunderbolt/internal/transport"
+	"thunderbolt/internal/types"
+	"thunderbolt/internal/validate"
+	"thunderbolt/internal/workload"
+)
+
+// Core data model re-exports.
+type (
+	// Key identifies a datum in the partitioned store.
+	Key = types.Key
+	// Value is the payload stored under a Key.
+	Value = types.Value
+	// ShardID names a shard; there is one shard per replica.
+	ShardID = types.ShardID
+	// ReplicaID names a replica.
+	ReplicaID = types.ReplicaID
+	// Digest is a 32-byte content address.
+	Digest = types.Digest
+	// Transaction is a client-submitted contract invocation.
+	Transaction = types.Transaction
+	// TxResult is a preplay outcome (read/write sets + schedule slot).
+	TxResult = types.TxResult
+	// RWRecord is one observed read or write.
+	RWRecord = types.RWRecord
+)
+
+// Transaction kinds.
+const (
+	// SingleShard transactions execute under the EOV model (preplay).
+	SingleShard = types.SingleShard
+	// CrossShard transactions execute under the OE model (order first).
+	CrossShard = types.CrossShard
+)
+
+// Contract programming surface.
+type (
+	// State is the accessor contract code uses for all data access.
+	State = contract.State
+	// Contract is a deployed, callable unit of logic.
+	Contract = contract.Contract
+	// ContractFunc adapts a Go function to Contract.
+	ContractFunc = contract.Func
+	// Registry maps contract names to implementations.
+	Registry = contract.Registry
+)
+
+// NewRegistry returns an empty contract registry.
+func NewRegistry() *Registry { return contract.NewRegistry() }
+
+// RegisterSmallBank installs the six SmallBank benchmark contracts.
+func RegisterSmallBank(r *Registry) { workload.RegisterSmallBank(r) }
+
+// EncodeInt64 and DecodeInt64 are the canonical integer cell codecs.
+var (
+	EncodeInt64 = contract.EncodeInt64
+	DecodeInt64 = contract.DecodeInt64
+)
+
+// Store is the versioned in-memory state store.
+type Store = storage.Store
+
+// NewStore returns an empty store.
+func NewStore() *Store { return storage.New() }
+
+// Execution modes (the paper's three evaluated systems).
+type Mode = node.ExecutionMode
+
+const (
+	// ModeThunderbolt: CE preplay + parallel validation (the paper's
+	// contribution).
+	ModeThunderbolt = node.ModeCE
+	// ModeThunderboltOCC: OCC preplay + parallel validation.
+	ModeThunderboltOCC = node.ModeOCC
+	// ModeTusk: serial execution after total ordering (baseline).
+	ModeTusk = node.ModeSerial
+)
+
+// --- Standalone Concurrent Executor ---
+
+// Executor wraps the Concurrent Executor for single-process use: it
+// preplays batches against a store, validates, and applies them.
+type Executor struct {
+	reg   *Registry
+	store *Store
+	ce    *ce.CE
+	// Validators sizes the parallel validation pool.
+	validators int
+}
+
+// ExecutorConfig parameterizes NewExecutor.
+type ExecutorConfig struct {
+	// Executors is the worker-pool size (default 8).
+	Executors int
+	// Validators sizes parallel validation (default = Executors).
+	Validators int
+	// Registry resolves contracts (required).
+	Registry *Registry
+	// Store holds state (required).
+	Store *Store
+}
+
+// NewExecutor builds a standalone Concurrent Executor.
+func NewExecutor(cfg ExecutorConfig) *Executor {
+	if cfg.Executors <= 0 {
+		cfg.Executors = 8
+	}
+	if cfg.Validators <= 0 {
+		cfg.Validators = cfg.Executors
+	}
+	return &Executor{
+		reg:   cfg.Registry,
+		store: cfg.Store,
+		ce: ce.New(ce.Config{
+			Executors: cfg.Executors,
+			Registry:  cfg.Registry,
+		}),
+		validators: cfg.Validators,
+	}
+}
+
+// BatchResult is the outcome of one ExecuteBatch call.
+type BatchResult struct {
+	// Schedule lists committed transactions in serialization order;
+	// Results aligns index-for-index.
+	Schedule []*Transaction
+	Results  []TxResult
+	// Reexecutions counts aborted attempts across the batch.
+	Reexecutions int
+}
+
+// ExecuteBatch preplays txs concurrently (discovering read/write sets
+// at runtime), validates the emitted schedule in parallel exactly as
+// remote replicas would, and applies the state delta. It returns the
+// serialized schedule and per-transaction results.
+func (e *Executor) ExecuteBatch(txs []*Transaction) (*BatchResult, error) {
+	base := func(k Key) Value {
+		v, _ := e.store.Get(k)
+		return v
+	}
+	res := e.ce.ExecuteBatch(depgraph.BaseReader(base), txs)
+	out, err := validate.ValidateBatch(e.reg, validate.BaseReader(base), res.Schedule, res.Results, e.validators)
+	if err != nil {
+		return nil, err
+	}
+	e.store.Apply(out.Writes)
+	return &BatchResult{
+		Schedule:     res.Schedule,
+		Results:      res.Results,
+		Reexecutions: res.Reexecutions,
+	}, nil
+}
+
+// --- Cluster testbed ---
+
+type (
+	// ClusterConfig assembles a local committee.
+	ClusterConfig = cluster.Config
+	// Cluster is a running local committee.
+	Cluster = cluster.Cluster
+	// LoadConfig parameterizes Cluster.RunLoad.
+	LoadConfig = cluster.LoadConfig
+	// Report summarizes one load run.
+	Report = cluster.Report
+	// NodeStats is a per-replica counter snapshot.
+	NodeStats = node.Stats
+)
+
+// NewCluster assembles (but does not start) a local committee with
+// SmallBank registered and seeded on every replica.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// Network latency models for ClusterConfig.Latency.
+var (
+	// LANModel approximates a same-datacenter network (~0.2ms).
+	LANModel = transport.LANModel
+	// WANModel approximates a geo-distributed network (~40ms).
+	WANModel = transport.WANModel
+)
+
+// --- Workload ---
+
+type (
+	// WorkloadConfig parameterizes the SmallBank generator.
+	WorkloadConfig = workload.Config
+	// Generator produces SmallBank transactions.
+	Generator = workload.Generator
+)
+
+// NewGenerator builds a SmallBank transaction generator.
+func NewGenerator(cfg WorkloadConfig) *Generator { return workload.NewGenerator(cfg) }
+
+// InitAccounts seeds n SmallBank accounts into a store.
+func InitAccounts(st *Store, n int, checking, savings int64) {
+	workload.InitAccounts(st, n, checking, savings)
+}
+
+// TotalBalance sums all SmallBank balances (conservation checks).
+func TotalBalance(st *Store, n int) (int64, error) { return workload.TotalBalance(st, n) }

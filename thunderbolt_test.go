@@ -1,0 +1,102 @@
+package thunderbolt
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestExecutorFacade(t *testing.T) {
+	store := NewStore()
+	registry := NewRegistry()
+	RegisterSmallBank(registry)
+	InitAccounts(store, 10, 100, 100)
+	before, err := TotalBalance(store, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exec := NewExecutor(ExecutorConfig{Executors: 4, Registry: registry, Store: store})
+	var txs []*Transaction
+	for i := 0; i < 40; i++ {
+		txs = append(txs, &Transaction{
+			Client: 1, Nonce: uint64(i + 1), Contract: "smallbank.send_payment",
+			Args: [][]byte{
+				[]byte(fmt.Sprintf("acct%06d", i%10)),
+				[]byte(fmt.Sprintf("acct%06d", (i+1)%10)),
+				EncodeInt64(3),
+			},
+		})
+	}
+	res, err := exec.ExecuteBatch(txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Schedule) != 40 || len(res.Results) != 40 {
+		t.Fatalf("scheduled %d", len(res.Schedule))
+	}
+	after, err := TotalBalance(store, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Fatalf("conservation broken: %d -> %d", before, after)
+	}
+}
+
+func TestExecutorCustomContract(t *testing.T) {
+	store := NewStore()
+	registry := NewRegistry()
+	registry.MustRegister(ContractFunc{
+		ContractName: "counter.add",
+		Fn: func(st State, args [][]byte) error {
+			v, err := st.Read("counter")
+			if err != nil {
+				return err
+			}
+			cur, err := DecodeInt64(v)
+			if err != nil {
+				return err
+			}
+			delta, err := DecodeInt64(args[0])
+			if err != nil {
+				return err
+			}
+			return st.Write("counter", EncodeInt64(cur+delta))
+		},
+	})
+	exec := NewExecutor(ExecutorConfig{Executors: 4, Registry: registry, Store: store})
+	var txs []*Transaction
+	for i := 0; i < 25; i++ {
+		txs = append(txs, &Transaction{
+			Client: 1, Nonce: uint64(i + 1), Contract: "counter.add",
+			Args: [][]byte{EncodeInt64(2)},
+		})
+	}
+	if _, err := exec.ExecuteBatch(txs); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := store.Get("counter")
+	got, _ := DecodeInt64(v)
+	if got != 50 {
+		t.Fatalf("counter=%d want 50 (lost updates under concurrency)", got)
+	}
+}
+
+func TestClusterFacadeSmoke(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{N: 4, Accounts: 32, BatchSize: 32, Executors: 2, Validators: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	gen := NewGenerator(WorkloadConfig{Accounts: 32, Shards: 4, Theta: 0.5, ReadRatio: 0.5, Seed: 1, Client: 1})
+	for _, tx := range gen.Batch(20) {
+		if err := c.SubmitWait(tx, 2*time.Second, 30*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WaitConverged(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
