@@ -1,0 +1,3 @@
+module thunderbolt
+
+go 1.22

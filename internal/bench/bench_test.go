@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"thunderbolt/internal/cluster"
+	"thunderbolt/internal/node"
+	"thunderbolt/internal/workload"
+)
+
+// TestExecutorBenchSmoke runs a miniature executor-level benchmark
+// through each of the three §11 protocols and sanity-checks the
+// reported numbers.
+func TestExecutorBenchSmoke(t *testing.T) {
+	for _, p := range []execProto{protoCE, protoOCC, protoTPL} {
+		tps, latMS, reexec := runExecutorBench(p, 2, 50, 0.85, 0.5, 1, 42)
+		if tps <= 0 {
+			t.Fatalf("%s: no throughput (tps=%f)", p, tps)
+		}
+		if latMS <= 0 {
+			t.Fatalf("%s: no latency (lat=%f)", p, latMS)
+		}
+		if reexec < 0 {
+			t.Fatalf("%s: negative re-execution rate %f", p, reexec)
+		}
+	}
+}
+
+// TestClusterBenchSmoke drives one tiny system-level run end-to-end
+// through the shared runCluster path and checks the report fields the
+// figures consume.
+func TestClusterBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster smoke skipped in -short")
+	}
+	rep, c, err := runCluster(cluster.Config{
+		N: 4, Mode: node.ModeCE, Accounts: 64,
+		BatchSize: 64, Executors: 2, Validators: 2, Seed: 42,
+	}, cluster.LoadConfig{
+		Duration: 500 * time.Millisecond, Clients: 4,
+		Workload:   workload.Config{Theta: 0.85, ReadRatio: 0.5},
+		RetryEvery: time.Second, Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if rep.Committed == 0 || rep.TPS <= 0 {
+		t.Fatalf("cluster bench produced no throughput: %+v", rep)
+	}
+	if rep.Latency.Count == 0 || rep.Latency.Mean <= 0 {
+		t.Fatalf("cluster bench produced no latency: %+v", rep.Latency)
+	}
+	if len(rep.NodeStats) != 4 {
+		t.Fatalf("node stats missing: %d", len(rep.NodeStats))
+	}
+}
+
+// TestFormatRendersPerFigureTables checks the report formatter on a
+// synthetic row set.
+func TestFormatRendersPerFigureTables(t *testing.T) {
+	rows := []Row{
+		{Figure: "13-LAN", Series: "Thunderbolt", X: "8", TPS: 1000, LatencyMS: 5},
+		{Figure: "13-LAN", Series: "Tusk", X: "8", TPS: 400, LatencyMS: 9},
+		{Figure: "11a", Series: "OCC-b300", X: "4", TPS: 700, LatencyMS: 2, Reexec: 0.25},
+	}
+	out := Format(rows)
+	for _, want := range []string{"== Figure 11a ==", "== Figure 13-LAN ==", "Thunderbolt", "OCC-b300"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+	// Figures render in sorted order.
+	if strings.Index(out, "11a") > strings.Index(out, "13-LAN") {
+		t.Fatal("figures not sorted")
+	}
+}

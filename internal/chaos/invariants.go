@@ -1,0 +1,174 @@
+// Invariant checkers. Safety invariants must hold whenever they are
+// evaluated: no replica ever commits a transaction twice, and no two
+// replicas ever disagree on the committed sequence (the slower one's
+// log is a prefix of the faster one's — Tusk linearizes waves
+// deterministically, so any mismatch inside the overlap is a safety
+// violation, not a timing artifact). Conservation holds at
+// quiescence: under a conserving workload every replica's SmallBank
+// total must equal the genesis total, or a transfer was lost,
+// duplicated, or torn across shards.
+//
+// Liveness invariants are budgets: after the network heals the
+// replicas must reconverge within a bound, commits must keep flowing,
+// and reconfigurations must complete.
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"thunderbolt/internal/node"
+	"thunderbolt/internal/types"
+	"thunderbolt/internal/workload"
+)
+
+// --- safety ---
+
+// CheckNoDoubleCommit scans every listed replica's commit log
+// (default: all) for a transaction digest committed twice.
+func (h *Harness) CheckNoDoubleCommit(replicas ...int) error {
+	for _, i := range h.replicaList(replicas) {
+		_, log := h.cluster.Node(i).CommitLog()
+		seen := make(map[types.Digest]int, len(log))
+		for pos, e := range log {
+			if prev, dup := seen[e.ID]; dup {
+				return fmt.Errorf("chaos: replica %d double-committed at positions %d and %d: %v then %v",
+					i, prev, pos, log[prev], e)
+			}
+			seen[e.ID] = pos
+		}
+	}
+	return nil
+}
+
+// CheckCommitPrefixConsistency verifies pairwise that the listed
+// replicas' commit logs agree on every position both have reached.
+func (h *Harness) CheckCommitPrefixConsistency(replicas ...int) error {
+	ids := h.replicaList(replicas)
+	type snap struct {
+		start uint64
+		log   []node.CommitEntry
+	}
+	snaps := make(map[int]snap, len(ids))
+	for _, i := range ids {
+		start, log := h.cluster.Node(i).CommitLog()
+		snaps[i] = snap{start: start, log: log}
+	}
+	for x := 0; x < len(ids); x++ {
+		for y := x + 1; y < len(ids); y++ {
+			a, b := snaps[ids[x]], snaps[ids[y]]
+			lo := max(a.start, b.start)
+			hi := min(a.start+uint64(len(a.log)), b.start+uint64(len(b.log)))
+			for s := lo; s < hi; s++ {
+				ea, eb := a.log[s-a.start], b.log[s-b.start]
+				if ea.ID != eb.ID {
+					return fmt.Errorf("chaos: commit sequences diverge at position %d: replica %d committed %v, replica %d committed %v",
+						s, ids[x], ea, ids[y], eb)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckConservation verifies that every listed replica's SmallBank
+// total equals the genesis total. Only meaningful under a conserving
+// workload (RunLoadAsync forces one) and at quiescence — call
+// WaitQuiesced first.
+func (h *Harness) CheckConservation(replicas ...int) error {
+	for _, i := range h.replicaList(replicas) {
+		total, err := workload.TotalBalance(h.cluster.Node(i).Store(), h.opt.Accounts)
+		if err != nil {
+			return fmt.Errorf("chaos: replica %d balance unreadable: %w", i, err)
+		}
+		if total != h.expectedTotal {
+			return fmt.Errorf("chaos: replica %d violates conservation: total %d, genesis %d (diff %+d)",
+				i, total, h.expectedTotal, total-h.expectedTotal)
+		}
+	}
+	return nil
+}
+
+// CheckSafety runs the always-valid safety invariants (double-commit
+// and commit-sequence divergence) over the listed replicas.
+func (h *Harness) CheckSafety(replicas ...int) error {
+	if err := h.CheckNoDoubleCommit(replicas...); err != nil {
+		return err
+	}
+	return h.CheckCommitPrefixConsistency(replicas...)
+}
+
+// --- liveness ---
+
+// WaitConverged requires the listed replicas (default: all) to hold
+// identical state within the budget.
+func (h *Harness) WaitConverged(budget time.Duration, replicas ...int) error {
+	if err := h.cluster.WaitConvergedAmong(budget, h.replicaList(replicas)...); err != nil {
+		return fmt.Errorf("chaos: no convergence within %s: %w", budget, err)
+	}
+	return nil
+}
+
+// WaitCommitGrowth requires the cluster-wide commit count to grow by
+// at least delta within the budget — commits must keep flowing (or
+// resume) under or after faults.
+func (h *Harness) WaitCommitGrowth(delta uint64, budget time.Duration) error {
+	start := h.cluster.Commits()
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		if h.cluster.Commits() >= start+delta {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("chaos: commits stalled: grew %d of %d within %s",
+		h.cluster.Commits()-start, delta, budget)
+}
+
+// WaitReconfigs requires the observer to have seen at least n
+// reconfigurations within the budget.
+func (h *Harness) WaitReconfigs(n uint64, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		if h.cluster.Reconfigurations() >= n {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("chaos: only %d of %d reconfigurations within %s",
+		h.cluster.Reconfigurations(), n, budget)
+}
+
+// WaitNoPendingClients requires every in-flight client transaction to
+// commit within the budget — the no-starvation liveness invariant
+// (client retries must eventually land even across crashes and
+// rotations). Call while SubmitWait timeouts exceed the budget, so
+// entries can only drain by committing.
+func (h *Harness) WaitNoPendingClients(budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for time.Now().Before(deadline) {
+		if len(h.cluster.PendingWaits()) == 0 {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	pend := h.cluster.PendingWaits()
+	return fmt.Errorf("chaos: %d client transactions starved beyond %s (first: %v)",
+		len(pend), budget, pend[0])
+}
+
+// WaitQuiesced waits until the listed replicas report equal, stable
+// commit counts — the point where state comparisons are meaningful.
+func (h *Harness) WaitQuiesced(budget time.Duration, replicas ...int) error {
+	if err := h.cluster.WaitCommitCountsEqual(budget, h.replicaList(replicas)...); err != nil {
+		return fmt.Errorf("chaos: no quiescence within %s: %w", budget, err)
+	}
+	return nil
+}
+
+func (h *Harness) replicaList(replicas []int) []int {
+	if len(replicas) > 0 {
+		return replicas
+	}
+	return h.cluster.Replicas()
+}

@@ -46,6 +46,10 @@ type Config struct {
 	TickInterval time.Duration
 	// Seed feeds key generation and the workload.
 	Seed int64
+	// CommitLogCap, when positive, makes every node retain its ordered
+	// commit sequence (node.Config.CommitLogCap) for the chaos
+	// harness's divergence and double-commit checkers.
+	CommitLogCap int
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +130,7 @@ func New(cfg Config) (*Cluster, error) {
 			Executors: cfg.Executors, Validators: cfg.Validators,
 			BatchSize: cfg.BatchSize, K: cfg.K, KPrime: cfg.KPrime,
 			TickInterval: cfg.TickInterval,
+			CommitLogCap: cfg.CommitLogCap,
 			OnCommitTx:   c.onCommit,
 		}
 		if i == 0 {
@@ -220,6 +225,18 @@ func (c *Cluster) Committed(id types.Digest) bool {
 	return ok
 }
 
+// PendingWaits returns the IDs of transactions some SubmitWait caller
+// is still blocked on — the chaos harness's starvation diagnostics.
+func (c *Cluster) PendingWaits() []types.Digest {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]types.Digest, 0, len(c.waiters))
+	for id := range c.waiters {
+		out = append(out, id)
+	}
+	return out
+}
+
 // watch returns a channel closed when tx id first commits.
 func (c *Cluster) watch(id types.Digest) <-chan struct{} {
 	ch := make(chan struct{})
@@ -232,6 +249,25 @@ func (c *Cluster) watch(id types.Digest) <-chan struct{} {
 	c.waiters[id] = append(c.waiters[id], ch)
 	c.mu.Unlock()
 	return ch
+}
+
+// unwatch removes one abandoned waiter channel (SubmitWait timeout)
+// so PendingWaits reflects only live clients.
+func (c *Cluster) unwatch(id types.Digest, ch <-chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws := c.waiters[id]
+	for i, w := range ws {
+		if w == ch {
+			ws = append(ws[:i], ws[i+1:]...)
+			break
+		}
+	}
+	if len(ws) == 0 {
+		delete(c.waiters, id)
+	} else {
+		c.waiters[id] = ws
+	}
 }
 
 // route picks the node a transaction should be submitted to: the
@@ -272,11 +308,13 @@ func (c *Cluster) SubmitWait(tx *types.Transaction, retryEvery, timeout time.Dur
 	ch := c.watch(id)
 	deadline := time.Now().Add(timeout)
 	if err := c.Submit(tx); err != nil {
+		c.unwatch(id, ch)
 		return err
 	}
 	for {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
+			c.unwatch(id, ch)
 			return fmt.Errorf("cluster: tx %s not committed within %v", id, timeout)
 		}
 		wait := retryEvery
@@ -294,35 +332,98 @@ func (c *Cluster) SubmitWait(tx *types.Transaction, retryEvery, timeout time.Dur
 
 // Converged checks that every replica's store holds identical state.
 func (c *Cluster) Converged() error {
-	ref := c.nodes[0].Store()
+	return c.ConvergedAmong(c.Replicas()...)
+}
+
+// ConvergedAmong checks that the listed replicas' stores hold
+// identical state. Fault scenarios use it to assert agreement among
+// the live majority while a crashed or partitioned replica lags.
+func (c *Cluster) ConvergedAmong(replicas ...int) error {
+	if len(replicas) < 2 {
+		return nil
+	}
+	ref := c.nodes[replicas[0]].Store()
 	keys := ref.Keys()
-	for i := 1; i < len(c.nodes); i++ {
+	for _, i := range replicas[1:] {
 		st := c.nodes[i].Store()
 		for _, k := range keys {
 			a, _ := ref.Get(k)
 			b, _ := st.Get(k)
 			if !a.Equal(b) {
-				return fmt.Errorf("cluster: replica %d diverges at %s: %q vs %q", i, k, b, a)
+				return fmt.Errorf("cluster: replica %d diverges from %d at %s: %q vs %q", i, replicas[0], k, b, a)
 			}
 		}
 		if st.Len() != ref.Len() {
-			return fmt.Errorf("cluster: replica %d has %d keys, replica 0 has %d", i, st.Len(), ref.Len())
+			return fmt.Errorf("cluster: replica %d has %d keys, replica %d has %d", i, st.Len(), replicas[0], ref.Len())
 		}
 	}
 	return nil
 }
 
+// Replicas returns the replica indices [0, N) — the default argument
+// for the *Among helpers.
+func (c *Cluster) Replicas() []int {
+	ids := make([]int, len(c.nodes))
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
 // WaitConverged polls Converged until the deadline.
 func (c *Cluster) WaitConverged(timeout time.Duration) error {
+	return c.WaitConvergedAmong(timeout, c.Replicas()...)
+}
+
+// WaitConvergedAmong polls ConvergedAmong until the deadline.
+func (c *Cluster) WaitConvergedAmong(timeout time.Duration, replicas ...int) error {
 	deadline := time.Now().Add(timeout)
 	var last error
 	for time.Now().Before(deadline) {
-		if last = c.Converged(); last == nil {
+		if last = c.ConvergedAmong(replicas...); last == nil {
 			return nil
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
 	return last
+}
+
+// Commits returns the number of distinct transactions committed
+// anywhere in the cluster so far (the client-observed commit count).
+func (c *Cluster) Commits() uint64 { return c.commits.Value() }
+
+// WaitCommitCountsEqual polls until every listed replica (default:
+// all) reports the same CommittedTxs count and that count is stable
+// across one poll interval — the quiescence point at which
+// commit-count and state comparisons are meaningful.
+func (c *Cluster) WaitCommitCountsEqual(timeout time.Duration, replicas ...int) error {
+	if len(replicas) == 0 {
+		replicas = c.Replicas()
+	}
+	deadline := time.Now().Add(timeout)
+	var prev uint64
+	stable := false
+	for time.Now().Before(deadline) {
+		base := c.nodes[replicas[0]].Stats().CommittedTxs
+		equal := true
+		for _, i := range replicas[1:] {
+			if c.nodes[i].Stats().CommittedTxs != base {
+				equal = false
+				break
+			}
+		}
+		if equal && stable && base == prev {
+			return nil
+		}
+		stable = equal
+		prev = base
+		time.Sleep(20 * time.Millisecond)
+	}
+	counts := make([]uint64, 0, len(replicas))
+	for _, i := range replicas {
+		counts = append(counts, c.nodes[i].Stats().CommittedTxs)
+	}
+	return fmt.Errorf("cluster: commit counts never settled: %v", counts)
 }
 
 // Report summarizes one load run.

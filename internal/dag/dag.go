@@ -194,6 +194,37 @@ func (s *Store) CausalHistory(v *Vertex) []*Vertex {
 	return out
 }
 
+// InCausalHistory reports whether target is an ancestor of from
+// (strictly: reachable through parent references). The walk prunes at
+// target's round — parents always point one round down, so no path
+// reaches target from below it.
+func (s *Store) InCausalHistory(from, target *Vertex) bool {
+	want := target.Cert.Digest()
+	floor := target.Round()
+	seen := map[types.Digest]bool{from.Cert.Digest(): true}
+	stack := []*Vertex{from}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur.Round() <= floor {
+			continue
+		}
+		for _, p := range cur.Block.Parents {
+			if p == want {
+				return true
+			}
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			if pv, ok := s.byCert[p]; ok && pv.Round() > floor {
+				stack = append(stack, pv)
+			}
+		}
+	}
+	return false
+}
+
 // Linearize returns v's causal history plus v itself, excluding
 // vertices for which skip reports true (already committed), in the
 // canonical deterministic order: ascending round, then ascending

@@ -30,7 +30,18 @@ func (n *Node) processCommits() {
 // transactions (OE model), all deterministically.
 func (n *Node) executeWave(w tusk.CommitWave) {
 	now := time.Now()
-	var crossTxs []*types.Transaction
+	type crossItem struct {
+		tx       *types.Transaction
+		round    types.Round
+		proposer types.ReplicaID
+	}
+	var crossTxs []crossItem
+	// inWave dedups cross-shard transactions included by more than one
+	// block of this wave (client retransmission to a rotated proposer,
+	// or a fast-forward re-proposal racing the abandoned block): the
+	// applied filter below only catches duplicates across waves.
+	inWave := make(map[types.Digest]bool)
+	n.commitCtx = CommitEntry{Epoch: n.epoch, Wave: w.Leader.Round()}
 	for _, v := range w.Vertices {
 		b := v.Block
 		switch b.Kind {
@@ -68,22 +79,42 @@ func (n *Node) executeWave(w tusk.CommitWave) {
 		}
 		for _, tx := range b.CrossTxs {
 			id := tx.ID()
-			if n.applied[id] {
+			if n.applied[id] || inWave[id] {
 				// Duplicate inclusion (client retransmission races):
 				// executed once already; make sure it cannot wedge the
 				// preplay-recovery tracker.
 				delete(n.pendingCross, id)
 				continue
 			}
-			crossTxs = append(crossTxs, tx)
+			inWave[id] = true
+			crossTxs = append(crossTxs, crossItem{tx: tx, round: b.Round, proposer: b.Proposer})
 		}
 	}
 	// Cross-shard transactions execute after the wave's single-shard
 	// results (rule G1), in consensus order, parallelized over
-	// disjoint shard sets (§5.2).
-	if len(crossTxs) > 0 && n.cfg.Mode != ModeSerial {
-		outs := validate.ExecuteCrossOrdered(n.cfg.Registry, n.baseRead, crossTxs, n.cfg.Validators)
-		for _, out := range outs {
+	// disjoint shard sets (§5.2); crossTxs is always empty in
+	// ModeSerial (serial blocks short-circuit above). Re-filter
+	// against applied first: a promoted copy collected from an early
+	// vertex may have committed through a single-shard block of a
+	// later vertex in this same wave, and executing it again would
+	// poison the accumulated overlay that downstream cross
+	// transactions read.
+	live := crossTxs[:0]
+	for _, it := range crossTxs {
+		if !n.applied[it.tx.ID()] {
+			live = append(live, it)
+		} else {
+			delete(n.pendingCross, it.tx.ID())
+		}
+	}
+	crossTxs = live
+	if len(crossTxs) > 0 {
+		txs := make([]*types.Transaction, len(crossTxs))
+		for i, it := range crossTxs {
+			txs[i] = it.tx
+		}
+		outs := validate.ExecuteCrossOrdered(n.cfg.Registry, n.baseRead, txs, n.cfg.Validators)
+		for i, out := range outs {
 			id := out.Tx.ID()
 			delete(n.pendingCross, id)
 			if out.Err != nil {
@@ -92,6 +123,9 @@ func (n *Node) executeWave(w tusk.CommitWave) {
 				continue
 			}
 			n.cfg.Store.Apply(out.Writes)
+			n.commitCtx.Round = crossTxs[i].round
+			n.commitCtx.Proposer = crossTxs[i].proposer
+			n.commitCtx.Cross = true
 			n.markCommitted(out.Tx, now)
 			n.bump(func(s *Stats) { s.CommittedCross++ })
 		}
@@ -111,21 +145,28 @@ func (n *Node) baseRead(k types.Key) types.Value {
 // delta. Returns false if the block is invalid (it is then discarded
 // wholesale, as in §4).
 func (n *Node) validateAndApply(b *types.Block, now time.Time) bool {
+	inBlock := make(map[types.Digest]bool, len(b.SingleTxs))
 	for _, tx := range b.SingleTxs {
 		if len(tx.Shards) != 1 || tx.Shards[0] != b.Shard {
 			return false // foreign-shard transaction smuggled in
 		}
-		if n.applied[tx.ID()] {
-			// Duplicate commit attempt (e.g. resubmission raced a
-			// reconfiguration): the whole block is stale.
+		id := tx.ID()
+		if n.applied[id] || inBlock[id] {
+			// Duplicate commit attempt (resubmission raced a
+			// reconfiguration, or a duplicate smuggled into one
+			// block): the whole block is stale.
 			return false
 		}
+		inBlock[id] = true
 	}
 	res, err := validate.ValidateBatch(n.cfg.Registry, n.baseRead, b.SingleTxs, b.Results, n.cfg.Validators)
 	if err != nil {
 		return false
 	}
 	n.cfg.Store.Apply(res.Writes)
+	n.commitCtx.Round = b.Round
+	n.commitCtx.Proposer = b.Proposer
+	n.commitCtx.Cross = false
 	for _, tx := range b.SingleTxs {
 		n.markCommitted(tx, now)
 	}
@@ -144,10 +185,13 @@ func (n *Node) executeSerial(b *types.Block, now time.Time) {
 	all := make([]*types.Transaction, 0, len(b.SingleTxs)+len(b.CrossTxs))
 	all = append(all, b.SingleTxs...)
 	all = append(all, b.CrossTxs...)
+	n.commitCtx.Round = b.Round
+	n.commitCtx.Proposer = b.Proposer
 	for _, tx := range all {
 		if n.applied[tx.ID()] {
 			continue
 		}
+		n.commitCtx.Cross = tx.IsCross()
 		outs := validate.ExecuteCrossOrdered(n.cfg.Registry, n.baseRead, []*types.Transaction{tx}, 1)
 		if outs[0].Err != nil {
 			n.applied[tx.ID()] = true
@@ -161,6 +205,7 @@ func (n *Node) executeSerial(b *types.Block, now time.Time) {
 func (n *Node) markCommitted(tx *types.Transaction, now time.Time) {
 	id := tx.ID()
 	n.applied[id] = true
+	n.recordCommit(id)
 	delete(n.seen, id)
 	n.bump(func(s *Stats) { s.CommittedTxs++ })
 	if n.cfg.OnCommitTx != nil {

@@ -22,6 +22,18 @@ const (
 	MsgBlockReq
 	// MsgTx submits a client transaction to a shard proposer.
 	MsgTx
+	// MsgCertReq asks a peer for the certified vertex whose
+	// certificate digest is given: the reply is the block (MsgBlock)
+	// followed by its certificate (MsgCert). Sent while recovering
+	// missing causal history, e.g. after a crash+restart or a healed
+	// partition (parent references are certificate digests).
+	MsgCertReq
+	// MsgRoundReq asks a peer for every certified vertex it holds at
+	// one round of the current epoch (block + certificate each).
+	// Broadcast by a node whose round advancement has stalled: lost
+	// certificate broadcasts otherwise leave no trace to re-request —
+	// no orphan references them — and can wedge the whole committee.
+	MsgRoundReq
 )
 
 // vote is the payload of MsgVote.
@@ -67,6 +79,43 @@ func (r *blockReq) marshal() []byte {
 func (r *blockReq) unmarshal(b []byte) error {
 	d := types.NewDecoder(b)
 	r.BlockDigest = d.Digest()
+	return d.Finish()
+}
+
+// certReq is the payload of MsgCertReq.
+type certReq struct {
+	CertDigest types.Digest
+}
+
+func (r *certReq) marshal() []byte {
+	e := types.NewEncoder()
+	e.Digest(r.CertDigest)
+	return e.Sum()
+}
+
+func (r *certReq) unmarshal(b []byte) error {
+	d := types.NewDecoder(b)
+	r.CertDigest = d.Digest()
+	return d.Finish()
+}
+
+// roundReq is the payload of MsgRoundReq.
+type roundReq struct {
+	Epoch types.Epoch
+	Round types.Round
+}
+
+func (r *roundReq) marshal() []byte {
+	e := types.NewEncoder()
+	e.U64(uint64(r.Epoch))
+	e.U64(uint64(r.Round))
+	return e.Sum()
+}
+
+func (r *roundReq) unmarshal(b []byte) error {
+	d := types.NewDecoder(b)
+	r.Epoch = types.Epoch(d.U64())
+	r.Round = types.Round(d.U64())
 	return d.Finish()
 }
 

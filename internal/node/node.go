@@ -85,6 +85,13 @@ type Config struct {
 	K      int
 	KPrime int
 
+	// CommitLogCap, when positive, makes the node retain its ordered
+	// sequence of committed transaction digests (up to the cap; older
+	// entries are dropped head-first with the offset preserved) for
+	// cross-replica commit-sequence auditing — see CommitLog. Zero
+	// disables retention.
+	CommitLogCap int
+
 	// TickInterval paces housekeeping (block re-requests); default 25ms.
 	TickInterval time.Duration
 	// MinRoundInterval throttles round advancement (a batch timer):
@@ -135,6 +142,9 @@ type Stats struct {
 	Reconfigurations   uint64
 	ValidationFailures uint64
 	DroppedAtReconfig  uint64
+	// FastForwards counts frontier rejoins after falling behind the
+	// certified DAG (crash recovery, healed partitions).
+	FastForwards uint64
 	// PendingCross is the current number of observed-but-unexecuted
 	// cross-shard transactions touching this node's shard.
 	PendingCross uint64
@@ -162,6 +172,13 @@ type Node struct {
 	once   sync.Once
 
 	lastProposal time.Time
+	// lastProgress is the last time this node proposed or inserted a
+	// certified vertex. Recovery traffic (lastBlock rebroadcast, round
+	// pulls) is gated on its staleness: "no progress" is the wedge
+	// signal, while "no recent proposal" is routine whenever round
+	// latency exceeds the tick (e.g. WAN models) and would spam
+	// full-block rebroadcasts every tick in steady state.
+	lastProgress time.Time
 
 	// --- event-loop-owned protocol state ---
 	epoch     types.Epoch
@@ -173,10 +190,22 @@ type Node struct {
 	pendingBlocks map[types.Digest]*types.Block       // by block digest
 	certWait      map[types.Digest]*types.Certificate // certs waiting for blocks
 	orphans       []*dag.Vertex                       // vertices waiting for parents
+	orphanSet     map[types.Digest]bool               // orphan membership by cert digest
 	collectors    map[types.Digest]*crypto.QuorumCollector
 	voted         map[voteKey]types.Digest
 	lastSeen      map[types.ReplicaID]types.Round // latest round proposed per replica
 	futureMsgs    []inboundMsg                    // messages from future epochs
+	// parentReq tracks in-flight MsgCertReq recoveries of missing
+	// parent vertices (by certificate digest) with their request time,
+	// so each missing parent is asked for at most once per tick.
+	// roundReqAt does the same for bulk MsgRoundReq round pulls.
+	parentReq  map[types.Digest]time.Time
+	roundReqAt map[types.Round]time.Time
+	// lastBlock is this node's newest proposed block; rebroadcast by
+	// housekeeping until its certificate lands in the DAG, which lets a
+	// replica whose proposal was lost (crash, partition) resume
+	// progress after recovery.
+	lastBlock *types.Block
 
 	// proposer state
 	txQueue []*types.Transaction
@@ -200,6 +229,15 @@ type Node struct {
 
 	// commit state
 	applied map[types.Digest]bool // committed transaction IDs
+
+	// clog is the ordered commit sequence (see Config.CommitLogCap);
+	// clogStart counts entries dropped from the head. commitCtx holds
+	// the wave/block provenance stamped onto entries (event-loop-owned,
+	// set by executeWave).
+	clogMu    sync.Mutex
+	clog      []CommitEntry
+	clogStart uint64
+	commitCtx CommitEntry
 
 	statsMu sync.Mutex
 	stats   Stats
@@ -261,6 +299,7 @@ func (n *Node) resetEpochState(epoch types.Epoch) {
 	n.pendingBlocks = make(map[types.Digest]*types.Block)
 	n.certWait = make(map[types.Digest]*types.Certificate)
 	n.orphans = nil
+	n.orphanSet = make(map[types.Digest]bool)
 	n.collectors = make(map[types.Digest]*crypto.QuorumCollector)
 	n.voted = make(map[voteKey]types.Digest)
 	n.lastSeen = make(map[types.ReplicaID]types.Round)
@@ -270,6 +309,64 @@ func (n *Node) resetEpochState(epoch types.Epoch) {
 	n.shiftSent = false
 	n.roundsProposed = 0
 	n.committedShift = make(map[types.ReplicaID]bool)
+	n.parentReq = make(map[types.Digest]time.Time)
+	n.roundReqAt = make(map[types.Round]time.Time)
+	n.lastBlock = nil
+}
+
+// CommitEntry is one record of a node's ordered commit sequence: the
+// transaction identity plus its provenance — which epoch and commit
+// wave (leader round) applied it, which block carried it, and through
+// which path. The provenance fields turn a cross-replica divergence
+// from a bare digest mismatch into an explainable event.
+type CommitEntry struct {
+	ID       types.Digest
+	Epoch    types.Epoch
+	Wave     types.Round // leader round of the committing wave
+	Round    types.Round // round of the block carrying the transaction
+	Proposer types.ReplicaID
+	Cross    bool // committed via the ordered cross-shard path
+}
+
+func (e CommitEntry) String() string {
+	path := "single"
+	if e.Cross {
+		path = "cross"
+	}
+	return fmt.Sprintf("%s{e%d w%d r%d p%d %s}", e.ID, e.Epoch, e.Wave, e.Round, e.Proposer, path)
+}
+
+// CommitLog returns the offset of the first retained entry and a copy
+// of the node's ordered commit sequence (enabled by
+// Config.CommitLogCap). Safe for concurrent use; the chaos harness's
+// divergence and double-commit checkers consume it.
+func (n *Node) CommitLog() (start uint64, entries []CommitEntry) {
+	n.clogMu.Lock()
+	defer n.clogMu.Unlock()
+	return n.clogStart, append([]CommitEntry(nil), n.clog...)
+}
+
+// recordCommit appends one commit, stamped with the current wave and
+// block provenance, to the retained log.
+func (n *Node) recordCommit(id types.Digest) {
+	if n.cfg.CommitLogCap <= 0 {
+		return
+	}
+	e := n.commitCtx
+	e.ID = id
+	n.clogMu.Lock()
+	n.clog = append(n.clog, e)
+	if len(n.clog) > n.cfg.CommitLogCap {
+		// Trim a quarter at a time so the shift is amortized O(1) per
+		// commit rather than a full-log memmove on every append at cap.
+		drop := n.cfg.CommitLogCap / 4
+		if drop < 1 {
+			drop = 1
+		}
+		n.clog = append(n.clog[:0], n.clog[drop:]...)
+		n.clogStart += uint64(drop)
+	}
+	n.clogMu.Unlock()
 }
 
 // ID returns the replica ID.
@@ -328,13 +425,39 @@ func (n *Node) Stop() {
 func (n *Node) Inspect(f func(*DebugView)) error {
 	donec := make(chan struct{})
 	g := func(n *Node) {
+		prev := n.nextRound - 1
+		_, ownPrev := n.dagStore.Get(prev, n.cfg.ID)
+		lastBlockRound := types.Round(0)
+		if n.lastBlock != nil {
+			lastBlockRound = n.lastBlock.Round
+		}
 		f(&DebugView{
-			Epoch:     n.epoch,
-			NextRound: n.nextRound,
-			QueueLen:  len(n.txQueue),
-			Pending:   pendingIDs(n),
-			Applied:   func(d types.Digest) bool { return n.applied[d] },
-			Seen:      func(d types.Digest) bool { _, ok := n.seen[d]; return ok },
+			Epoch:          n.epoch,
+			NextRound:      n.nextRound,
+			QueueLen:       len(n.txQueue),
+			Pending:        pendingIDs(n),
+			Applied:        func(d types.Digest) bool { return n.applied[d] },
+			Seen:           func(d types.Digest) bool { _, ok := n.seen[d]; return ok },
+			PrevRoundCerts: n.dagStore.CountAtRound(prev),
+			HasOwnPrev:     ownPrev,
+			HighestRound:   n.dagStore.HighestRound(),
+			Orphans:        len(n.orphans),
+			CertWait:       len(n.certWait),
+			Collectors:     len(n.collectors),
+			LastBlockRound: lastBlockRound,
+			FutureMsgs:     len(n.futureMsgs),
+			Vertices: func(r types.Round) []VertexInfo {
+				var out []VertexInfo
+				for _, v := range n.dagStore.AtRound(r) {
+					out = append(out, VertexInfo{
+						Round: v.Round(), Proposer: v.Proposer(),
+						Kind:       v.Block.Kind,
+						CertDigest: v.Cert.Digest(),
+						Parents:    append([]types.Digest(nil), v.Block.Parents...),
+					})
+				}
+				return out
+			},
 		})
 		close(donec)
 	}
@@ -355,6 +478,29 @@ type DebugView struct {
 	Pending   []types.Digest
 	Applied   func(types.Digest) bool
 	Seen      func(types.Digest) bool
+	// Frontier internals for liveness debugging: certificates present
+	// at nextRound-1, whether our own is among them, the highest
+	// certified round, and the sizes of the recovery queues.
+	PrevRoundCerts int
+	HasOwnPrev     bool
+	HighestRound   types.Round
+	Orphans        int
+	CertWait       int
+	Collectors     int
+	LastBlockRound types.Round
+	FutureMsgs     int
+	// Vertices returns the certified vertices at one round (valid only
+	// inside the Inspect callback).
+	Vertices func(r types.Round) []VertexInfo
+}
+
+// VertexInfo is a read-only DAG vertex summary for debugging.
+type VertexInfo struct {
+	Round      types.Round
+	Proposer   types.ReplicaID
+	Kind       types.BlockKind
+	CertDigest types.Digest
+	Parents    []types.Digest
 }
 
 func pendingIDs(n *Node) []types.Digest {
@@ -436,12 +582,60 @@ func (n *Node) enqueueTx(tx *types.Transaction) {
 	n.txQueue = append(n.txQueue, tx.Clone())
 }
 
-// housekeeping re-requests blocks for dangling certificates and
-// purges self-healing caches.
+// housekeeping re-requests blocks for dangling certificates, retries
+// recovery of missing parents, rebroadcasts this node's uncertified
+// proposal, and purges self-healing caches.
 func (n *Node) housekeeping() {
 	for bd, cert := range n.certWait {
 		req := (&blockReq{BlockDigest: bd}).marshal()
 		_ = n.cfg.Transport.Send(cert.Proposer, MsgBlockReq, req)
+	}
+	// Orphans wait for parents. Bulk-sync the missing round range
+	// first: after an outage the gap between the inserted frontier and
+	// the lowest orphan spans hundreds of rounds, and walking it one
+	// certificate-request round-trip at a time loses the race against
+	// round production. Bounded batch per tick.
+	if len(n.orphans) > 0 {
+		lowest := n.orphans[0].Round()
+		for _, o := range n.orphans[1:] {
+			if o.Round() < lowest {
+				lowest = o.Round()
+			}
+		}
+		const syncBatch = 64
+		hi := n.dagStore.HighestRound()
+		for r := hi + 1; r < lowest && r <= hi+syncBatch; r++ {
+			n.pullRound(r)
+		}
+		// Fine-grained backstop: re-request individual parents whose
+		// answers were lost.
+		for d, at := range n.parentReq {
+			if time.Since(at) >= n.cfg.TickInterval {
+				delete(n.parentReq, d)
+			}
+		}
+		for _, o := range n.orphans {
+			n.requestMissingParents(o)
+		}
+	}
+	// A proposal lost to a crash or partition wedges this node: it
+	// cannot advance past a round missing its own certificate
+	// (maybeAdvance). Rebroadcast until the vertex lands; peers revote
+	// the same digest idempotently.
+	stalled := time.Since(n.lastProgress) >= 2*n.cfg.TickInterval
+	if b := n.lastBlock; b != nil {
+		if _, ok := n.dagStore.Get(b.Round, n.cfg.ID); !ok {
+			if stalled {
+				_ = n.cfg.Transport.Broadcast(MsgBlock, mustMarshal(b))
+			}
+		} else {
+			n.lastBlock = nil
+		}
+	}
+	// Lost certificate broadcasts leave no orphan to trigger recovery;
+	// if advancement has stalled, pull the previous round from peers.
+	if stalled && n.nextRound > 1 {
+		n.pullRound(n.nextRound - 1)
 	}
 	for id := range n.pendingCross {
 		if n.applied[id] {
@@ -487,6 +681,76 @@ func (n *Node) handle(m inboundMsg) {
 			return
 		}
 		n.enqueueTx(&tx)
+	case MsgCertReq:
+		var r certReq
+		if err := r.unmarshal(m.payload); err != nil {
+			return
+		}
+		n.handleCertReq(m.from, &r)
+	case MsgRoundReq:
+		var r roundReq
+		if err := r.unmarshal(m.payload); err != nil {
+			return
+		}
+		n.handleRoundReq(m.from, &r)
+	}
+}
+
+// pullRound broadcasts a MsgRoundReq for one round unless a request
+// is already in flight (re-asked after four ticks, covering a
+// round-trip on slow links, so recovery traffic doesn't multiply by
+// latency/tick).
+func (n *Node) pullRound(r types.Round) {
+	if at, ok := n.roundReqAt[r]; ok && time.Since(at) < 4*n.cfg.TickInterval {
+		return
+	}
+	n.roundReqAt[r] = time.Now()
+	req := (&roundReq{Epoch: n.epoch, Round: r}).marshal()
+	_ = n.cfg.Transport.Broadcast(MsgRoundReq, req)
+}
+
+// handleRoundReq serves every certified vertex of one round (block
+// first, certificate second, per vertex).
+func (n *Node) handleRoundReq(from types.ReplicaID, r *roundReq) {
+	if r.Epoch != n.epoch {
+		return
+	}
+	for _, v := range n.dagStore.AtRound(r.Round) {
+		_ = n.cfg.Transport.Send(from, MsgBlock, mustMarshal(v.Block))
+		_ = n.cfg.Transport.Send(from, MsgCert, mustMarshal(v.Cert))
+	}
+}
+
+// handleCertReq serves a certified vertex from the local DAG: the
+// block first so the requester can pair it with the certificate that
+// follows (handleCert would otherwise round-trip a MsgBlockReq).
+func (n *Node) handleCertReq(from types.ReplicaID, r *certReq) {
+	v, ok := n.dagStore.ByCert(r.CertDigest)
+	if !ok {
+		return
+	}
+	_ = n.cfg.Transport.Send(from, MsgBlock, mustMarshal(v.Block))
+	_ = n.cfg.Transport.Send(from, MsgCert, mustMarshal(v.Cert))
+}
+
+// requestMissingParents broadcasts MsgCertReq for every parent of v
+// absent from the DAG, at most once per entry until housekeeping
+// retries. Recovery walks causal history backwards one round per
+// round-trip: each recovered parent that is itself an orphan triggers
+// requests for its own parents.
+func (n *Node) requestMissingParents(v *dag.Vertex) {
+	for _, p := range v.Block.Parents {
+		if _, ok := n.dagStore.ByCert(p); ok {
+			continue
+		}
+		if n.orphanSet[p] {
+			continue // received already, itself waiting for parents
+		}
+		if _, inflight := n.parentReq[p]; inflight {
+			continue
+		}
+		n.parentReq[p] = time.Now()
+		_ = n.cfg.Transport.Broadcast(MsgCertReq, (&certReq{CertDigest: p}).marshal())
 	}
 }
 
@@ -544,6 +808,12 @@ func (n *Node) handleVote(from types.ReplicaID, v *vote) {
 		return
 	}
 	delete(n.collectors, v.BlockDigest)
+	// Place the certificate locally before the (lossy) broadcast.
+	// Relying on loopback delivery here once wedged whole committees:
+	// a certificate completed while this node was network-crashed was
+	// dropped on every link including self, and with the collector
+	// already deleted it could never re-form from revotes.
+	n.handleCert(n.cfg.ID, cert)
 	_ = n.cfg.Transport.Broadcast(MsgCert, mustMarshal(cert))
 }
 
@@ -587,19 +857,33 @@ func (n *Node) addVertex(v *dag.Vertex) {
 	if !n.insertVertex(v) {
 		return
 	}
-	// Orphans may now have parents.
+	// Orphans may now have parents. Retry against the store directly:
+	// still-orphaned vertices stay parked (membership unchanged, no
+	// re-request) until the next arrival or housekeeping retry.
 	progress := true
 	for progress {
 		progress = false
 		keep := n.orphans[:0]
 		for _, o := range n.orphans {
+			d := o.Cert.Digest()
 			if n.inserted(o) {
+				delete(n.orphanSet, d)
 				continue
 			}
-			if n.insertVertex(o) {
+			err := n.dagStore.Add(o)
+			var missing *dag.MissingParentError
+			switch {
+			case err == nil:
+				delete(n.orphanSet, d)
+				delete(n.parentReq, d)
+				n.onVertexAdded(o)
 				progress = true
-			} else {
+			case errors.As(err, &missing):
 				keep = append(keep, o)
+			default:
+				// Permanent rejection (equivocation or garbage): do
+				// not park it forever.
+				delete(n.orphanSet, d)
 			}
 		}
 		n.orphans = keep
@@ -620,10 +904,19 @@ func (n *Node) insertVertex(v *dag.Vertex) bool {
 	var missing *dag.MissingParentError
 	switch {
 	case err == nil:
+		d := v.Cert.Digest()
+		delete(n.parentReq, d)
+		delete(n.orphanSet, d)
 		n.onVertexAdded(v)
 		return true
 	case errors.As(err, &missing):
-		n.orphans = append(n.orphans, v)
+		if d := v.Cert.Digest(); !n.orphanSet[d] {
+			n.orphanSet[d] = true
+			n.orphans = append(n.orphans, v)
+			// Ask peers for the missing history immediately;
+			// housekeeping retries if the answers are lost.
+			n.requestMissingParents(v)
+		}
 		return false
 	default:
 		return false // equivocation or garbage
@@ -633,6 +926,7 @@ func (n *Node) insertVertex(v *dag.Vertex) bool {
 // onVertexAdded tracks proposer liveness and pending cross-shard
 // transactions touching this node's shard (rules P3/P4 input).
 func (n *Node) onVertexAdded(v *dag.Vertex) {
+	n.lastProgress = time.Now()
 	if v.Round() > n.lastSeen[v.Proposer()] {
 		n.lastSeen[v.Proposer()] = v.Round()
 	}
@@ -655,6 +949,22 @@ func (n *Node) maybeAdvance() {
 	if n.nextRound <= 1 {
 		return
 	}
+	// A node far behind the certified frontier (crash, partition) must
+	// rejoin there: blocks proposed at long-past rounds are never
+	// referenced by anyone's parents, so they never commit and their
+	// transactions starve. The rejoin round must sit on a full
+	// certificate quorum — a thin-parent proposal on a leader round
+	// would break the quorum intersection Tusk's commit rule needs
+	// (observed as diverging commit sequences under asymmetric loss).
+	if hi := n.dagStore.HighestRound(); hi >= n.nextRound-1+fastForwardGap {
+		for r := hi; r > hi-4 && r >= n.nextRound-1+fastForwardGap; r-- {
+			if n.dagStore.CountAtRound(r) >= crypto.QuorumSize(n.n) {
+				n.fastForward(r)
+				return
+			}
+		}
+		return // frontier known but not yet quorate locally; backfill continues
+	}
 	prev := n.nextRound - 1
 	if n.dagStore.CountAtRound(prev) < crypto.QuorumSize(n.n) {
 		return
@@ -665,6 +975,50 @@ func (n *Node) maybeAdvance() {
 	if time.Since(n.lastProposal) >= n.cfg.MinRoundInterval {
 		n.propose()
 	}
+}
+
+// fastForwardGap is how many certified rounds past this node's last
+// proposal the DAG must be before the node abandons its position and
+// rejoins at the frontier. Normal jitter skews nodes by a round or
+// two; only real outages produce gaps this large.
+const fastForwardGap = 10
+
+// fastForward abandons every uncommitted own block (their rounds will
+// never be referenced), requeues their transactions, and re-proposes
+// at one past the certified frontier so the next frontier round links
+// to this node again.
+func (n *Node) fastForward(hi types.Round) {
+	// Recover transactions from own stale blocks, deduplicated against
+	// the queue and each other (a transaction can sit in several stale
+	// blocks after validation-failure requeues); committed ones stay
+	// filtered by n.applied in drainQueue.
+	queued := make(map[types.Digest]bool, len(n.txQueue))
+	for _, tx := range n.txQueue {
+		queued[tx.ID()] = true
+	}
+	for _, b := range n.pendingBlocks {
+		if b.Proposer != n.cfg.ID || b.Round > hi {
+			continue
+		}
+		for _, txs := range [][]*types.Transaction{b.SingleTxs, b.CrossTxs} {
+			for _, tx := range txs {
+				id := tx.ID()
+				if n.applied[id] || queued[id] {
+					continue
+				}
+				queued[id] = true
+				delete(n.seen, id)
+				n.txQueue = append(n.txQueue, tx)
+			}
+		}
+	}
+	// The speculative overlay describes abandoned blocks; drop it.
+	n.ownBlocks = nil
+	n.spec = make(map[types.Key]types.Value)
+	n.lastBlock = nil
+	n.nextRound = hi + 1
+	n.bump(func(s *Stats) { s.FastForwards++ })
+	n.propose()
 }
 
 func mustMarshal(m interface{ MarshalBinary() ([]byte, error) }) []byte {

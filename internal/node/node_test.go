@@ -1,7 +1,6 @@
 package node_test
 
 import (
-	"fmt"
 	"testing"
 	"time"
 
@@ -212,30 +211,10 @@ func TestCensorshipTriggersReconfiguration(t *testing.T) {
 	if c.Reconfigurations() == 0 {
 		t.Fatal("censored shard never rotated")
 	}
-	// Convergence among the live replicas (poll: replicas commit the
-	// same sequence but not at the same instant).
-	live := []int{0, 1, 3}
-	deadline := time.Now().Add(15 * time.Second)
-	for {
-		diverged := ""
-		ref := c.Node(live[0]).Store()
-		for _, i := range live[1:] {
-			st := c.Node(i).Store()
-			for _, k := range ref.Keys() {
-				a, _ := ref.Get(k)
-				b, _ := st.Get(k)
-				if !a.Equal(b) {
-					diverged = fmt.Sprintf("replica %d at %s", i, k)
-				}
-			}
-		}
-		if diverged == "" {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("live replicas diverge: %s", diverged)
-		}
-		time.Sleep(50 * time.Millisecond)
+	// Convergence among the live replicas (replicas commit the same
+	// sequence but not at the same instant).
+	if err := c.WaitConvergedAmong(15*time.Second, 0, 1, 3); err != nil {
+		t.Fatalf("live replicas diverge: %v", err)
 	}
 	t.Logf("reconfigurations after censorship: %d", c.Reconfigurations())
 }
@@ -253,18 +232,10 @@ func TestCommitOrderIdenticalAcrossReplicas(t *testing.T) {
 	if err := c.WaitConverged(10 * time.Second); err != nil {
 		t.Fatal(err)
 	}
-	// After convergence every live replica must have committed the
-	// same transaction count.
-	base := c.Node(0).Stats().CommittedTxs
-	deadline := time.Now().Add(10 * time.Second)
-	for i := 1; i < c.N(); i++ {
-		for c.Node(i).Stats().CommittedTxs != base && time.Now().Before(deadline) {
-			time.Sleep(20 * time.Millisecond)
-			base = c.Node(0).Stats().CommittedTxs
-		}
-		if got := c.Node(i).Stats().CommittedTxs; got != base {
-			t.Fatalf("replica %d committed %d txs, replica 0 committed %d", i, got, base)
-		}
+	// After convergence every replica must settle on the same
+	// committed-transaction count.
+	if err := c.WaitCommitCountsEqual(10 * time.Second); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -104,6 +104,7 @@ func (n *Node) propose() {
 	n.nextRound++
 	n.roundsProposed++
 	n.lastProposal = time.Now()
+	n.lastProgress = n.lastProposal
 
 	var parents []types.Digest
 	if r > 1 {
@@ -132,9 +133,13 @@ func (n *Node) propose() {
 		s.QueueLen = uint64(len(n.txQueue))
 	})
 	// Register the quorum collector before broadcasting so even the
-	// self-vote lands in it.
+	// self-vote lands in it. Keep the block locally too: self-delivery
+	// is lossy under injected faults, and housekeeping rebroadcasts
+	// lastBlock until its certificate lands.
 	d := blk.Digest()
 	n.collectors[d] = crypto.NewQuorumCollector(n.n, n.cfg.Verifier, d, blk.Epoch, blk.Round, blk.Proposer)
+	n.pendingBlocks[d] = blk
+	n.lastBlock = blk
 	_ = n.cfg.Transport.Broadcast(MsgBlock, mustMarshal(blk))
 }
 

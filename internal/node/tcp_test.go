@@ -105,19 +105,29 @@ func TestTCPCommittee(t *testing.T) {
 	}
 	// Convergence: node 0's balances must eventually appear everywhere.
 	ref := nodes[0].Store()
-	deadlineT := time.Now().Add(20 * time.Second)
-	for i := 1; i < n; i++ {
-	retry:
+	converged := func(i int) (types.Key, bool) {
 		for _, k := range ref.Keys() {
 			a, _ := ref.Get(k)
 			b, _ := nodes[i].Store().Get(k)
 			if !a.Equal(b) {
-				if time.Now().After(deadlineT) {
-					t.Fatalf("replica %d diverges at %s: %q vs %q", i, k, b, a)
-				}
-				time.Sleep(50 * time.Millisecond)
-				goto retry
+				return k, false
 			}
+		}
+		return "", true
+	}
+	deadlineT := time.Now().Add(20 * time.Second)
+	for i := 1; i < n; i++ {
+		for {
+			k, ok := converged(i)
+			if ok {
+				break
+			}
+			if time.Now().After(deadlineT) {
+				a, _ := ref.Get(k)
+				b, _ := nodes[i].Store().Get(k)
+				t.Fatalf("replica %d diverges at %s: %q vs %q", i, k, b, a)
+			}
+			time.Sleep(20 * time.Millisecond)
 		}
 	}
 }

@@ -60,7 +60,11 @@ type SimConfig struct {
 }
 
 // SimNetwork is a set of in-process endpoints joined by per-link FIFO
-// queues with simulated delay.
+// queues with simulated delay. Beyond the static SimConfig knobs it
+// supports runtime fault injection — link severing, replica crashes,
+// adjustable loss and duplication rates, and latency spikes — all
+// driven by the single seeded RNG so fault decisions replay
+// deterministically for a given seed and message sequence.
 type SimNetwork struct {
 	cfg       SimConfig
 	endpoints []*simEndpoint
@@ -69,6 +73,13 @@ type SimNetwork struct {
 	rng     *rand.Rand
 	blocked map[[2]types.ReplicaID]bool // severed links
 	crashed map[types.ReplicaID]bool
+
+	// runtime-adjustable fault state (chaos harness knobs)
+	lossRate   float64                              // global loss probability
+	linkLoss   map[[2]types.ReplicaID]float64       // per-link override
+	dupRate    float64                              // duplicate-delivery probability
+	extraDelay time.Duration                        // global added one-way delay
+	linkDelay  map[[2]types.ReplicaID]time.Duration // per-link added delay
 }
 
 type simMsg struct {
@@ -97,10 +108,13 @@ func NewSimNetwork(cfg SimConfig) *SimNetwork {
 		cfg.QueueLen = 4096
 	}
 	n := &SimNetwork{
-		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
-		blocked: make(map[[2]types.ReplicaID]bool),
-		crashed: make(map[types.ReplicaID]bool),
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		blocked:   make(map[[2]types.ReplicaID]bool),
+		crashed:   make(map[types.ReplicaID]bool),
+		lossRate:  cfg.DropRate,
+		linkLoss:  make(map[[2]types.ReplicaID]float64),
+		linkDelay: make(map[[2]types.ReplicaID]time.Duration),
 	}
 	n.endpoints = make([]*simEndpoint, cfg.N)
 	for i := 0; i < cfg.N; i++ {
@@ -183,14 +197,149 @@ func (n *SimNetwork) Restart(id types.ReplicaID) {
 	delete(n.crashed, id)
 }
 
-// lose decides whether to drop a message on link (from, to).
-func (n *SimNetwork) lose(from, to types.ReplicaID) bool {
+// SeverBoth cuts both directions of the link between a and b.
+func (n *SimNetwork) SeverBoth(a, b types.ReplicaID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked[[2]types.ReplicaID{a, b}] = true
+	n.blocked[[2]types.ReplicaID{b, a}] = true
+}
+
+// HealBoth restores both directions of the link between a and b.
+func (n *SimNetwork) HealBoth(a, b types.ReplicaID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.blocked, [2]types.ReplicaID{a, b})
+	delete(n.blocked, [2]types.ReplicaID{b, a})
+}
+
+// Partition severs every link that crosses group boundaries: replicas
+// within one group keep talking, replicas in different groups cannot.
+// Replicas in no group form an implicit final group. Existing severed
+// links are preserved.
+func (n *SimNetwork) Partition(groups ...[]types.ReplicaID) {
+	groupOf := make(map[types.ReplicaID]int, n.cfg.N)
+	for gi, g := range groups {
+		for _, id := range g {
+			groupOf[id] = gi + 1
+		}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i := 0; i < n.cfg.N; i++ {
+		for j := 0; j < n.cfg.N; j++ {
+			a, b := types.ReplicaID(i), types.ReplicaID(j)
+			if a != b && groupOf[a] != groupOf[b] {
+				n.blocked[[2]types.ReplicaID{a, b}] = true
+			}
+		}
+	}
+}
+
+// Isolate severs every link to and from id (a reachability crash that
+// still lets the replica talk to itself).
+func (n *SimNetwork) Isolate(id types.ReplicaID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i := 0; i < n.cfg.N; i++ {
+		o := types.ReplicaID(i)
+		if o == id {
+			continue
+		}
+		n.blocked[[2]types.ReplicaID{id, o}] = true
+		n.blocked[[2]types.ReplicaID{o, id}] = true
+	}
+}
+
+// HealAll removes every severed link and restarts every crashed
+// replica. Loss, duplication, and latency faults are untouched (see
+// ClearFaults).
+func (n *SimNetwork) HealAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked = make(map[[2]types.ReplicaID]bool)
+	n.crashed = make(map[types.ReplicaID]bool)
+}
+
+// SetLossRate adjusts the global message-loss probability at runtime
+// (packet-loss bursts). The loss process stays on the seeded RNG.
+func (n *SimNetwork) SetLossRate(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.lossRate = p
+}
+
+// SetLinkLoss overrides the loss probability of the directed link
+// from a to b (asymmetric loss). A negative p removes the override.
+func (n *SimNetwork) SetLinkLoss(a, b types.ReplicaID, p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p < 0 {
+		delete(n.linkLoss, [2]types.ReplicaID{a, b})
+		return
+	}
+	n.linkLoss[[2]types.ReplicaID{a, b}] = p
+}
+
+// SetDuplicationRate makes each surviving message be delivered twice
+// with probability p (independent delay draws, so the copies reorder).
+func (n *SimNetwork) SetDuplicationRate(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dupRate = p
+}
+
+// SetExtraLatency adds d to every one-way delay (latency spike).
+func (n *SimNetwork) SetExtraLatency(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.extraDelay = d
+}
+
+// SetLinkLatency adds d to the directed link from a to b on top of
+// the model and any global extra. d <= 0 removes the override.
+func (n *SimNetwork) SetLinkLatency(a, b types.ReplicaID, d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if d <= 0 {
+		delete(n.linkDelay, [2]types.ReplicaID{a, b})
+		return
+	}
+	n.linkDelay[[2]types.ReplicaID{a, b}] = d
+}
+
+// ClearFaults resets loss, duplication, and latency injection to the
+// configured baseline. Severed links and crashes are untouched (see
+// HealAll).
+func (n *SimNetwork) ClearFaults() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.lossRate = n.cfg.DropRate
+	n.linkLoss = make(map[[2]types.ReplicaID]float64)
+	n.dupRate = 0
+	n.extraDelay = 0
+	n.linkDelay = make(map[[2]types.ReplicaID]time.Duration)
+}
+
+// plan makes every per-send fault decision under one lock so the
+// seeded RNG's draw sequence is well-defined: drop?, extra delay, and
+// duplicate?.
+func (n *SimNetwork) plan(from, to types.ReplicaID) (drop bool, extra time.Duration, dup bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.crashed[from] || n.crashed[to] || n.blocked[[2]types.ReplicaID{from, to}] {
-		return true
+		return true, 0, false
 	}
-	return n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate
+	p := n.lossRate
+	if lp, ok := n.linkLoss[[2]types.ReplicaID{from, to}]; ok {
+		p = lp
+	}
+	if p > 0 && n.rng.Float64() < p {
+		return true, 0, false
+	}
+	extra = n.extraDelay + n.linkDelay[[2]types.ReplicaID{from, to}]
+	dup = n.dupRate > 0 && n.rng.Float64() < n.dupRate
+	return false, extra, dup
 }
 
 // Close shuts down every endpoint.
@@ -219,19 +368,29 @@ func (e *simEndpoint) Send(to types.ReplicaID, mt MsgType, payload []byte) error
 	if int(to) >= len(e.net.endpoints) {
 		return fmt.Errorf("transport: unknown peer %d", to)
 	}
-	if e.net.lose(e.id, to) {
+	drop, extra, dup := e.net.plan(e.id, to)
+	if drop {
 		return nil // silently lost, like the wire
 	}
 	m := simMsg{
 		from:    e.id,
 		mt:      mt,
 		payload: append([]byte(nil), payload...),
-		release: time.Now().Add(e.net.cfg.Latency(e.id, to)),
+		release: time.Now().Add(e.net.cfg.Latency(e.id, to) + extra),
 	}
 	select {
 	case e.outs[to] <- m:
 	case <-e.done:
 		return ErrClosed
+	}
+	if dup {
+		d := m // copies the struct; payload already cloned above
+		d.release = time.Now().Add(e.net.cfg.Latency(e.id, to) + extra)
+		select {
+		case e.outs[to] <- d:
+		case <-e.done:
+			return ErrClosed
+		}
 	}
 	return nil
 }

@@ -142,6 +142,137 @@ func TestSimDropRate(t *testing.T) {
 	}
 }
 
+func TestSimPartitionAndHealAll(t *testing.T) {
+	net := NewSimNetwork(SimConfig{N: 4})
+	defer net.Close()
+	var got [4]atomic.Int32
+	for i := 0; i < 4; i++ {
+		i := i
+		net.Endpoint(types.ReplicaID(i)).SetHandler(func(types.ReplicaID, MsgType, []byte) { got[i].Add(1) })
+	}
+	net.Partition([]types.ReplicaID{0, 1}, []types.ReplicaID{2, 3})
+	net.Endpoint(0).Send(1, 1, []byte("same-side")) // delivered
+	net.Endpoint(0).Send(2, 1, []byte("cross"))     // dropped
+	net.Endpoint(3).Send(2, 1, []byte("same-side")) // delivered
+	net.Endpoint(3).Send(1, 1, []byte("cross"))     // dropped
+	time.Sleep(20 * time.Millisecond)
+	if got[1].Load() != 1 || got[2].Load() != 1 {
+		t.Fatalf("same-side traffic lost: %d %d", got[1].Load(), got[2].Load())
+	}
+	net.HealAll()
+	net.Endpoint(0).Send(2, 1, []byte("post-heal"))
+	time.Sleep(20 * time.Millisecond)
+	if got[2].Load() != 2 {
+		t.Fatal("HealAll did not restore cross-partition links")
+	}
+}
+
+func TestSimIsolate(t *testing.T) {
+	net := NewSimNetwork(SimConfig{N: 3})
+	defer net.Close()
+	var got [3]atomic.Int32
+	for i := 0; i < 3; i++ {
+		i := i
+		net.Endpoint(types.ReplicaID(i)).SetHandler(func(types.ReplicaID, MsgType, []byte) { got[i].Add(1) })
+	}
+	net.Isolate(1)
+	net.Endpoint(0).Send(1, 1, []byte("in"))   // dropped
+	net.Endpoint(1).Send(0, 1, []byte("out"))  // dropped
+	net.Endpoint(1).Send(1, 1, []byte("self")) // self-link survives
+	net.Endpoint(0).Send(2, 1, []byte("side")) // unaffected
+	time.Sleep(20 * time.Millisecond)
+	if got[0].Load() != 0 || got[1].Load() != 1 || got[2].Load() != 1 {
+		t.Fatalf("isolation wrong: got %d %d %d", got[0].Load(), got[1].Load(), got[2].Load())
+	}
+}
+
+func TestSimRuntimeLossAndClearFaults(t *testing.T) {
+	net := NewSimNetwork(SimConfig{N: 2})
+	defer net.Close()
+	var got atomic.Int32
+	net.Endpoint(1).SetHandler(func(types.ReplicaID, MsgType, []byte) { got.Add(1) })
+	net.SetLossRate(1.0)
+	for i := 0; i < 10; i++ {
+		net.Endpoint(0).Send(1, 1, []byte("x"))
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got.Load() != 0 {
+		t.Fatal("SetLossRate(1) delivered messages")
+	}
+	net.ClearFaults() // baseline DropRate is 0
+	net.Endpoint(0).Send(1, 1, []byte("x"))
+	time.Sleep(20 * time.Millisecond)
+	if got.Load() != 1 {
+		t.Fatal("ClearFaults did not restore delivery")
+	}
+}
+
+func TestSimAsymmetricLinkLoss(t *testing.T) {
+	net := NewSimNetwork(SimConfig{N: 2})
+	defer net.Close()
+	var fwd, rev atomic.Int32
+	net.Endpoint(1).SetHandler(func(types.ReplicaID, MsgType, []byte) { fwd.Add(1) })
+	net.Endpoint(0).SetHandler(func(types.ReplicaID, MsgType, []byte) { rev.Add(1) })
+	net.SetLinkLoss(0, 1, 1.0) // forward dead, reverse healthy
+	for i := 0; i < 10; i++ {
+		net.Endpoint(0).Send(1, 1, []byte("f"))
+		net.Endpoint(1).Send(0, 1, []byte("r"))
+	}
+	time.Sleep(20 * time.Millisecond)
+	if fwd.Load() != 0 || rev.Load() != 10 {
+		t.Fatalf("asymmetric loss wrong: fwd=%d rev=%d", fwd.Load(), rev.Load())
+	}
+	net.SetLinkLoss(0, 1, -1) // remove override
+	net.Endpoint(0).Send(1, 1, []byte("f"))
+	time.Sleep(20 * time.Millisecond)
+	if fwd.Load() != 1 {
+		t.Fatal("link-loss override not removed")
+	}
+}
+
+func TestSimDuplication(t *testing.T) {
+	net := NewSimNetwork(SimConfig{N: 2, Seed: 42})
+	defer net.Close()
+	var got atomic.Int32
+	net.Endpoint(1).SetHandler(func(types.ReplicaID, MsgType, []byte) { got.Add(1) })
+	net.SetDuplicationRate(1.0)
+	const sent = 10
+	for i := 0; i < sent; i++ {
+		net.Endpoint(0).Send(1, 1, []byte("d"))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for got.Load() != 2*sent && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got.Load() != 2*sent {
+		t.Fatalf("duplication rate 1: got %d deliveries, want %d", got.Load(), 2*sent)
+	}
+}
+
+func TestSimLatencySpike(t *testing.T) {
+	net := NewSimNetwork(SimConfig{N: 2})
+	defer net.Close()
+	rec := newRecorder()
+	net.Endpoint(1).SetHandler(rec.handler())
+	// Large enough that scheduler jitter (especially under -race on a
+	// loaded runner) cannot blur the with/without-spike distinction.
+	const spike = 300 * time.Millisecond
+	net.SetExtraLatency(spike)
+	start := time.Now()
+	net.Endpoint(0).Send(1, 1, []byte("slow"))
+	rec.wait(t, "0/1/slow")
+	if elapsed := time.Since(start); elapsed < spike {
+		t.Fatalf("delivered in %v despite %v spike", elapsed, spike)
+	}
+	net.ClearFaults()
+	start = time.Now()
+	net.Endpoint(0).Send(1, 1, []byte("fast"))
+	rec.wait(t, "0/1/fast")
+	if elapsed := time.Since(start); elapsed >= spike {
+		t.Fatalf("spike persisted after ClearFaults: %v", elapsed)
+	}
+}
+
 func TestSimClosedEndpointErrors(t *testing.T) {
 	net := NewSimNetwork(SimConfig{N: 2})
 	ep := net.Endpoint(0)

@@ -70,8 +70,20 @@ func (c *Committer) Committed(d types.Digest) bool { return c.committed[d] }
 func (c *Committer) LastLeaderRound() types.Round { return c.lastLeaderRound }
 
 // Advance re-evaluates the commit rule after new vertices landed in
-// the store, returning zero or more commit waves in order. upTo is
-// the highest round worth checking (typically the store's highest).
+// the store, returning zero or more commit waves in order.
+//
+// When a leader gains f+1 support, earlier uncommitted leaders are
+// resolved by the anchor-chain walk (as in DAG-Rider/Bullshark): step
+// backward one leader round at a time, committing a leader iff it is
+// in the causal history of the current anchor and skipping it forever
+// otherwise. The chain is a pure graph property, so every replica
+// derives the same committed-leader sequence no matter when support
+// became visible locally. (The naive alternative — committing every
+// uncommitted leader found in the new leader's history — orders a
+// support-committed leader and a history-committed leader differently
+// across replicas; the chaos suite's asymmetric-loss scenario caught
+// exactly that divergence.) A skipped leader's own vertex still
+// commits through the first committed wave whose closure contains it.
 func (c *Committer) Advance() []CommitWave {
 	var waves []CommitWave
 	hi := c.store.HighestRound()
@@ -81,9 +93,9 @@ func (c *Committer) Advance() []CommitWave {
 		}
 		leader, ok := c.store.Get(r, LeaderOf(c.store.Epoch(), r, c.n))
 		if !ok {
-			// Leader missing: it can never commit directly, but a
-			// later leader may commit it via causal history; keep
-			// scanning.
+			// Leader missing: it can never commit directly, and any
+			// support it has guarantees it will join the chain of a
+			// later leader; keep scanning.
 			continue
 		}
 		if c.committed[leader.Cert.Digest()] {
@@ -93,37 +105,27 @@ func (c *Committer) Advance() []CommitWave {
 		if c.store.SupportFor(leader) < c.f+1 {
 			continue
 		}
-		// Commit earlier uncommitted leaders reachable from this one
-		// first, in ascending round order.
-		for _, lv := range c.uncommittedLeadersIn(leader) {
-			waves = append(waves, c.commitLeader(lv))
+		// Anchor chain: walk leader rounds backward; a leader joins
+		// the chain iff the current anchor causally references it.
+		chain := []*dag.Vertex{leader}
+		anchor := leader
+		for j := r; j > c.lastLeaderRound+2; {
+			j -= 2
+			lv, ok := c.store.Get(j, LeaderOf(c.store.Epoch(), j, c.n))
+			if !ok || c.committed[lv.Cert.Digest()] {
+				continue
+			}
+			if c.store.InCausalHistory(anchor, lv) {
+				chain = append(chain, lv)
+				anchor = lv
+			}
 		}
-		waves = append(waves, c.commitLeader(leader))
+		for i := len(chain) - 1; i >= 0; i-- {
+			waves = append(waves, c.commitLeader(chain[i]))
+		}
 		c.lastLeaderRound = r
 	}
 	return waves
-}
-
-// uncommittedLeadersIn finds earlier leader vertices inside leader's
-// causal history that have not committed, ascending by round.
-func (c *Committer) uncommittedLeadersIn(leader *dag.Vertex) []*dag.Vertex {
-	history := c.store.CausalHistory(leader)
-	inHistory := make(map[types.Digest]bool, len(history))
-	for _, v := range history {
-		inHistory[v.Cert.Digest()] = true
-	}
-	var out []*dag.Vertex
-	for r := types.Round(1); r < leader.Round(); r++ {
-		if !LeaderRound(r) {
-			continue
-		}
-		lv, ok := c.store.Get(r, LeaderOf(c.store.Epoch(), r, c.n))
-		if !ok || c.committed[lv.Cert.Digest()] || !inHistory[lv.Cert.Digest()] {
-			continue
-		}
-		out = append(out, lv)
-	}
-	return out
 }
 
 // commitLeader linearizes one leader's uncommitted causal history.

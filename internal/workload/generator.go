@@ -27,6 +27,12 @@ type Config struct {
 	// Mix selects the full six-type SmallBank mix instead of the
 	// focal GetBalance/SendPayment pair.
 	Mix bool
+	// Conserving restricts the stream to transactions that preserve
+	// the total balance across all accounts (GetBalance, SendPayment,
+	// and — under Mix — Amalgamate), so invariant checkers can assert
+	// conservation against the genesis total. DepositChecking
+	// fallbacks are replaced by reads.
+	Conserving bool
 	// Seed makes the stream reproducible.
 	Seed int64
 	// Client is stamped on generated transactions.
@@ -182,6 +188,9 @@ func (g *Generator) singleTx(a int, s types.ShardID) *types.Transaction {
 	// Same-shard transfer partner.
 	b, ok := g.pickInShard(s)
 	if !ok || b == a {
+		if g.cfg.Conserving {
+			return g.newTx(types.SingleShard, []types.ShardID{s}, ContractGetBalance, []byte(name))
+		}
 		return g.newTx(types.SingleShard, []types.ShardID{s}, ContractDepositChecking,
 			[]byte(name), contract.EncodeInt64(g.amount()))
 	}
@@ -191,6 +200,26 @@ func (g *Generator) singleTx(a int, s types.ShardID) *types.Transaction {
 
 func (g *Generator) mixedSingleTx(a int, s types.ShardID) *types.Transaction {
 	name := AccountName(a)
+	if g.cfg.Conserving {
+		// Conserving subset of the mix: reads, transfers, and
+		// amalgamation all preserve the total balance.
+		switch g.rng.Intn(3) {
+		case 0:
+			return g.newTx(types.SingleShard, []types.ShardID{s}, ContractGetBalance, []byte(name))
+		case 1:
+			if b, ok := g.pickInShard(s); ok && b != a {
+				return g.newTx(types.SingleShard, []types.ShardID{s}, ContractAmalgamate,
+					[]byte(name), []byte(AccountName(b)))
+			}
+			return g.newTx(types.SingleShard, []types.ShardID{s}, ContractGetBalance, []byte(name))
+		default:
+			if b, ok := g.pickInShard(s); ok && b != a {
+				return g.newTx(types.SingleShard, []types.ShardID{s}, ContractSendPayment,
+					[]byte(name), []byte(AccountName(b)), contract.EncodeInt64(g.amount()))
+			}
+			return g.newTx(types.SingleShard, []types.ShardID{s}, ContractGetBalance, []byte(name))
+		}
+	}
 	switch g.rng.Intn(6) {
 	case 0:
 		return g.newTx(types.SingleShard, []types.ShardID{s}, ContractGetBalance, []byte(name))

@@ -412,3 +412,21 @@ func TestGeneratorNoncesUnique(t *testing.T) {
 		seen[id] = true
 	}
 }
+
+func TestGeneratorConservingOnlyEmitsConservingOps(t *testing.T) {
+	conserving := map[string]bool{
+		ContractGetBalance:  true,
+		ContractSendPayment: true,
+		ContractAmalgamate:  true,
+	}
+	for _, mix := range []bool{false, true} {
+		// Tiny pool forces the partner-less fallback paths too.
+		g := NewGenerator(Config{Accounts: 8, Shards: 4, Theta: 0.9, ReadRatio: 0.2,
+			CrossPct: 0.3, Mix: mix, Conserving: true, Seed: 11})
+		for _, tx := range g.Batch(2000) {
+			if !conserving[tx.Contract] {
+				t.Fatalf("mix=%v: conserving stream emitted %s", mix, tx.Contract)
+			}
+		}
+	}
+}
