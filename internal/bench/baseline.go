@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"thunderbolt/internal/cluster"
+	"thunderbolt/internal/node"
+	"thunderbolt/internal/transport"
+	"thunderbolt/internal/workload"
+)
+
+// The baseline pipeline emits the machine-readable perf trajectory
+// (BENCH_<n>.json at the repo root): one row per scenario with
+// throughput, latency, re-execution rate, allocation rate, and heap
+// footprint. Every future performance PR regenerates the file under
+// the same quick profile and is judged against the previous one.
+
+// BaselineRow is one scenario's measurement.
+type BaselineRow struct {
+	Scenario  string  `json:"scenario"`
+	TPS       float64 `json:"tps"`
+	LatencyMS float64 `json:"latency_ms"`
+	// ReexecPerTx is mean preplay re-executions per committed
+	// transaction (abort pressure), where the scenario measures it.
+	ReexecPerTx float64 `json:"reexec_per_tx"`
+	// AllocsPerTx is heap allocations per committed transaction over
+	// the whole process during the run window (clients, network, and
+	// all replicas included — a trajectory metric, not a micro-bench).
+	AllocsPerTx float64 `json:"allocs_per_tx"`
+	// HeapInuseBytes is the scenario's post-run, post-GC live-heap
+	// growth over its pre-run baseline, sampled while the system under
+	// test is still up — the steady-state footprint the scenario adds.
+	HeapInuseBytes uint64 `json:"heap_inuse_bytes"`
+	Committed      uint64 `json:"committed"`
+}
+
+// BaselineReport is the full BENCH file payload.
+type BaselineReport struct {
+	// Version is the BENCH file sequence number (BENCH_1.json → 1).
+	Version    int           `json:"version"`
+	Created    string        `json:"created"`
+	Seed       int64         `json:"seed"`
+	Quick      bool          `json:"quick"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Scenarios  []BaselineRow `json:"scenarios"`
+}
+
+// Validate fails on rows a healthy run cannot produce; the CI bench
+// smoke job turns this into a red build.
+func (r BaselineReport) Validate() error {
+	if len(r.Scenarios) == 0 {
+		return fmt.Errorf("bench: baseline produced no scenarios")
+	}
+	for _, row := range r.Scenarios {
+		if row.TPS <= 0 || row.Committed == 0 {
+			return fmt.Errorf("bench: scenario %q reports zero throughput (tps=%.2f committed=%d)",
+				row.Scenario, row.TPS, row.Committed)
+		}
+	}
+	return nil
+}
+
+// JSON renders the report with stable field order and trailing newline.
+func (r BaselineReport) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// FormatBaseline renders the report as an aligned table.
+func FormatBaseline(r BaselineReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Baseline (BENCH_%d, quick=%v, seed=%d, gomaxprocs=%d) ==\n",
+		r.Version, r.Quick, r.Seed, r.GoMaxProcs)
+	fmt.Fprintf(&b, "%-24s %10s %12s %10s %12s %14s\n",
+		"scenario", "tps", "latency_ms", "reexec/tx", "allocs/tx", "heap_inuse")
+	for _, row := range r.Scenarios {
+		fmt.Fprintf(&b, "%-24s %10.0f %12.2f %10.3f %12.1f %14d\n",
+			row.Scenario, row.TPS, row.LatencyMS, row.ReexecPerTx, row.AllocsPerTx, row.HeapInuseBytes)
+	}
+	return b.String()
+}
+
+// memProbe samples allocation counters around a run window. Both
+// edges run a full GC first so dead state from earlier scenarios
+// cannot bleed into this one's numbers.
+type memProbe struct{ start runtime.MemStats }
+
+func startProbe() *memProbe {
+	runtime.GC()
+	p := &memProbe{}
+	runtime.ReadMemStats(&p.start)
+	return p
+}
+
+// finish returns allocations since start divided by committed, and
+// the post-GC live-heap growth since start.
+func (p *memProbe) finish(committed uint64) (allocsPerTx float64, heapGrowth uint64) {
+	runtime.GC()
+	var end runtime.MemStats
+	runtime.ReadMemStats(&end)
+	if committed > 0 {
+		allocsPerTx = float64(end.Mallocs-p.start.Mallocs) / float64(committed)
+	}
+	if end.HeapInuse > p.start.HeapInuse {
+		heapGrowth = end.HeapInuse - p.start.HeapInuse
+	}
+	return allocsPerTx, heapGrowth
+}
+
+// baselineExecutor measures one executor-level scenario.
+func baselineExecutor(name string, p execProto, opt Options) BaselineRow {
+	batches := 8
+	if opt.Quick {
+		batches = 3
+	}
+	probe := startProbe()
+	tps, lat, re, total := runExecutorBench(p, 16, 500, 0.85, 0.5, batches, opt.Seed)
+	committed := uint64(total)
+	allocs, heap := probe.finish(committed)
+	return BaselineRow{
+		Scenario: name, TPS: tps, LatencyMS: lat, ReexecPerTx: re,
+		AllocsPerTx: allocs, HeapInuseBytes: heap, Committed: committed,
+	}
+}
+
+// baselineCluster measures one system-level scenario.
+func baselineCluster(name string, cfg cluster.Config, lc cluster.LoadConfig) (BaselineRow, error) {
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return BaselineRow{}, err
+	}
+	c.Start()
+	probe := startProbe()
+	rep := c.RunLoad(lc)
+	allocs, heap := probe.finish(rep.Committed)
+	var reexec float64
+	if rep.Committed > 0 {
+		var re uint64
+		for _, st := range rep.NodeStats {
+			re += st.Reexecutions
+		}
+		reexec = float64(re) / float64(rep.Committed)
+	}
+	c.Stop()
+	return BaselineRow{
+		Scenario: name, TPS: rep.TPS,
+		LatencyMS:   rep.Latency.Mean.Seconds() * 1000,
+		ReexecPerTx: reexec, AllocsPerTx: allocs,
+		HeapInuseBytes: heap, Committed: rep.Committed,
+	}, nil
+}
+
+// BaselineVersion extracts the BENCH sequence number from an output
+// path like "BENCH_3.json"; paths without one default to 1.
+func BaselineVersion(path string) int {
+	if m := benchVersionRe.FindStringSubmatch(path); m != nil {
+		if v, err := strconv.Atoi(m[1]); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 1
+}
+
+var benchVersionRe = regexp.MustCompile(`BENCH_(\d+)\.json$`)
+
+// RunBaseline runs the scenario matrix and assembles the report with
+// the given BENCH sequence number.
+func RunBaseline(opt Options, version int) (BaselineReport, error) {
+	dur := 4 * time.Second
+	if opt.Quick {
+		dur = 1500 * time.Millisecond
+	}
+	rep := BaselineReport{
+		Version: version, Created: time.Now().UTC().Format(time.RFC3339),
+		Seed: opt.Seed, Quick: opt.Quick, GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	rep.Scenarios = append(rep.Scenarios,
+		baselineExecutor("executor-ce-b500", protoCE, opt),
+		baselineExecutor("executor-occ-b500", protoOCC, opt),
+	)
+	sys := []struct {
+		name string
+		cfg  cluster.Config
+		lc   cluster.LoadConfig
+	}{
+		{
+			name: "cluster-lan-n4-ce",
+			cfg:  cluster.Config{N: 4, Mode: node.ModeCE, Seed: opt.Seed},
+			lc:   cluster.LoadConfig{Workload: workload.Config{Theta: 0.85, ReadRatio: 0.5}},
+		},
+		{
+			name: "cluster-lan-n4-serial",
+			cfg:  cluster.Config{N: 4, Mode: node.ModeSerial, Seed: opt.Seed},
+			lc:   cluster.LoadConfig{Workload: workload.Config{Theta: 0.85, ReadRatio: 0.5}},
+		},
+		{
+			name: "cluster-wan-n4-ce",
+			cfg:  cluster.Config{N: 4, Mode: node.ModeCE, Latency: transport.WANModel(), Seed: opt.Seed},
+			lc:   cluster.LoadConfig{Workload: workload.Config{Theta: 0.85, ReadRatio: 0.5}},
+		},
+		{
+			name: "cluster-cross20-n4-ce",
+			cfg:  cluster.Config{N: 4, Mode: node.ModeCE, Seed: opt.Seed},
+			lc:   cluster.LoadConfig{Workload: workload.Config{Theta: 0.85, ReadRatio: 0.5, CrossPct: 0.2}},
+		},
+		{
+			name: "cluster-reconfig-n4-ce",
+			cfg:  cluster.Config{N: 4, Mode: node.ModeCE, KPrime: 100, Seed: opt.Seed},
+			lc:   cluster.LoadConfig{Workload: workload.Config{Theta: 0.85, ReadRatio: 0.5}},
+		},
+	}
+	for _, s := range sys {
+		s.cfg.Accounts = 1000
+		s.cfg.BatchSize = 500
+		s.cfg.Executors = 16
+		s.cfg.Validators = 16
+		s.lc.Duration = dur
+		s.lc.Clients = 32
+		s.lc.RetryEvery = 2 * time.Second
+		s.lc.Timeout = 60 * time.Second
+		row, err := baselineCluster(s.name, s.cfg, s.lc)
+		if err != nil {
+			return rep, fmt.Errorf("bench: scenario %s: %w", s.name, err)
+		}
+		rep.Scenarios = append(rep.Scenarios, row)
+	}
+	return rep, nil
+}

@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestBaselineValidateCatchesDeadRows checks the CI gate: zero
+// throughput or an empty matrix must fail validation.
+func TestBaselineValidateCatchesDeadRows(t *testing.T) {
+	if err := (BaselineReport{}).Validate(); err == nil {
+		t.Fatal("empty report validated")
+	}
+	rep := BaselineReport{Scenarios: []BaselineRow{
+		{Scenario: "ok", TPS: 100, Committed: 10},
+		{Scenario: "dead", TPS: 0, Committed: 0},
+	}}
+	err := rep.Validate()
+	if err == nil || !strings.Contains(err.Error(), "dead") {
+		t.Fatalf("zero-throughput row not flagged: %v", err)
+	}
+	rep.Scenarios = rep.Scenarios[:1]
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("healthy report rejected: %v", err)
+	}
+}
+
+// TestBaselineJSONRoundTrips checks the BENCH file schema is stable
+// under encode/decode.
+func TestBaselineJSONRoundTrips(t *testing.T) {
+	rep := BaselineReport{
+		Version: 1, Created: "2026-07-30T00:00:00Z", Seed: 42, Quick: true, GoMaxProcs: 1,
+		Scenarios: []BaselineRow{{
+			Scenario: "cluster-lan-n4-ce", TPS: 1500, LatencyMS: 19.5,
+			ReexecPerTx: 0.01, AllocsPerTx: 400, HeapInuseBytes: 1 << 20, Committed: 2250,
+		}},
+	}
+	js, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back BaselineReport
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Version != 1 || len(back.Scenarios) != 1 || back.Scenarios[0].TPS != 1500 {
+		t.Fatalf("round trip mangled the report: %+v", back)
+	}
+	for _, field := range []string{"scenario", "tps", "latency_ms", "reexec_per_tx",
+		"allocs_per_tx", "heap_inuse_bytes", "committed", "gomaxprocs"} {
+		if !strings.Contains(string(js), field) {
+			t.Fatalf("JSON missing field %q:\n%s", field, js)
+		}
+	}
+}
+
+// TestBaselineVersionFromPath checks the BENCH sequence number is
+// derived from the output filename, not hardcoded.
+func TestBaselineVersionFromPath(t *testing.T) {
+	for path, want := range map[string]int{
+		"BENCH_1.json":        1,
+		"BENCH_7.json":        7,
+		"/repo/BENCH_12.json": 12,
+		"bench-out.json":      1,
+		"BENCH_0.json":        1,
+		"prefixBENCH_3.json":  3,
+		"BENCH_3.json.bak":    1,
+	} {
+		if got := BaselineVersion(path); got != want {
+			t.Fatalf("BaselineVersion(%q) = %d, want %d", path, got, want)
+		}
+	}
+}

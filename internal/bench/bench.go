@@ -113,10 +113,11 @@ const (
 )
 
 // runExecutorBench runs `batches` batches of `batch` transactions
-// through one protocol and reports throughput, mean per-batch latency
-// and mean re-executions per transaction.
+// through one protocol and reports throughput, mean per-batch
+// latency, mean re-executions per transaction, and the committed
+// count.
 func runExecutorBench(p execProto, executors, batch int, theta, pr float64,
-	batches int, seed int64) (tps, latencyMS, reexec float64) {
+	batches int, seed int64) (tps, latencyMS, reexec float64, total int) {
 	const accounts = 10_000
 	reg := slowRegistry()
 	store := storage.New()
@@ -166,12 +167,12 @@ func runExecutorBench(p execProto, executors, batch int, theta, pr float64,
 		}
 	}
 	if committed == 0 || elapsed == 0 {
-		return 0, 0, 0
+		return 0, 0, 0, 0
 	}
 	tps = float64(committed) / elapsed.Seconds()
 	latencyMS = (elapsed / time.Duration(batches)).Seconds() * 1000
 	reexec = float64(rexecs) / float64(committed)
-	return tps, latencyMS, reexec
+	return tps, latencyMS, reexec, committed
 }
 
 func executorSweep(fig string, pr float64, opt Options) []Row {
@@ -186,7 +187,7 @@ func executorSweep(fig string, pr float64, opt Options) []Row {
 		for _, p := range []execProto{protoCE, protoOCC, protoTPL} {
 			series := fmt.Sprintf("%s-b%d", p, bsz)
 			for _, ex := range executors {
-				tps, lat, re := runExecutorBench(p, ex, bsz, 0.85, pr, batches, opt.Seed+int64(ex))
+				tps, lat, re, _ := runExecutorBench(p, ex, bsz, 0.85, pr, batches, opt.Seed+int64(ex))
 				rows = append(rows, Row{Figure: fig, Series: series,
 					X: fmt.Sprintf("%d", ex), TPS: tps, LatencyMS: lat, Reexec: re})
 			}
@@ -216,12 +217,12 @@ func Fig12(opt Options) []Row {
 		for _, p := range []execProto{protoCE, protoOCC, protoTPL} {
 			series := fmt.Sprintf("%s-b%d", p, bsz)
 			for _, th := range thetas {
-				tps, lat, re := runExecutorBench(p, executors, bsz, th, 0.5, batches, opt.Seed)
+				tps, lat, re, _ := runExecutorBench(p, executors, bsz, th, 0.5, batches, opt.Seed)
 				rows = append(rows, Row{Figure: "12ab", Series: series,
 					X: fmt.Sprintf("θ=%.2f", th), TPS: tps, LatencyMS: lat, Reexec: re})
 			}
 			for _, pr := range prs {
-				tps, lat, re := runExecutorBench(p, executors, bsz, 0.85, pr, batches, opt.Seed)
+				tps, lat, re, _ := runExecutorBench(p, executors, bsz, 0.85, pr, batches, opt.Seed)
 				rows = append(rows, Row{Figure: "12cd", Series: series,
 					X: fmt.Sprintf("Pr=%.1f", pr), TPS: tps, LatencyMS: lat, Reexec: re})
 			}

@@ -63,6 +63,13 @@ type Options struct {
 	// TickInterval paces node housekeeping — also the fault-recovery
 	// retry cadence (default 5ms, aggressive for test turnaround).
 	TickInterval time.Duration
+	// MinRoundInterval throttles round advancement (default: node's
+	// 1ms). GC scenarios raise it so an outage's missed-round count
+	// stays related to the configured horizon.
+	MinRoundInterval time.Duration
+	// GCHorizon sets each node's committed-wave GC retention horizon
+	// in rounds (0 = node default, negative disables).
+	GCHorizon int
 }
 
 func (o Options) withDefaults() Options {
@@ -117,7 +124,8 @@ func New(opt Options) (*Harness, error) {
 		Accounts: opt.Accounts, InitBalance: opt.InitBalance,
 		Executors: 2, Validators: 2,
 		BatchSize: opt.BatchSize, K: opt.K, KPrime: opt.KPrime,
-		TickInterval: opt.TickInterval, Seed: opt.Seed,
+		TickInterval: opt.TickInterval, MinRoundInterval: opt.MinRoundInterval,
+		GCHorizon: opt.GCHorizon, Seed: opt.Seed,
 		CommitLogCap: 1 << 20,
 	})
 	if err != nil {

@@ -50,6 +50,15 @@ type Config struct {
 	// commit sequence (node.Config.CommitLogCap) for the chaos
 	// harness's divergence and double-commit checkers.
 	CommitLogCap int
+	// GCHorizon is each node's committed-wave GC retention horizon in
+	// rounds (node.Config.GCHorizon): 0 = default, negative disables.
+	GCHorizon int
+	// RecoverySyncRounds caps each node's per-tick recovery round-pull
+	// batch (node.Config.RecoverySyncRounds); 0 = measured default.
+	RecoverySyncRounds int
+	// MinRoundInterval throttles each node's round advancement
+	// (node.Config.MinRoundInterval); 0 = default 1ms.
+	MinRoundInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +98,14 @@ type Cluster struct {
 	waveSeries *metrics.Series
 	lastWaveAt time.Time
 	reconfigs  metrics.Counter
+	nacks      metrics.Counter
+
+	// rejected carries proposer negative-acks to the resubmit
+	// goroutine (node event loops must never block on re-routing).
+	rejected chan *types.Transaction
+	done     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 
 	started bool
 }
@@ -116,6 +133,8 @@ func New(cfg Config) (*Cluster, error) {
 		waiters:     make(map[types.Digest][]chan struct{}),
 		latencies:   metrics.NewLatencyRecorder(),
 		waveSeries:  &metrics.Series{},
+		rejected:    make(chan *types.Transaction, 8192),
+		done:        make(chan struct{}),
 	}
 	for i := 0; i < cfg.N; i++ {
 		st := storage.New()
@@ -129,9 +148,13 @@ func New(cfg Config) (*Cluster, error) {
 			Mode:      cfg.Mode,
 			Executors: cfg.Executors, Validators: cfg.Validators,
 			BatchSize: cfg.BatchSize, K: cfg.K, KPrime: cfg.KPrime,
-			TickInterval: cfg.TickInterval,
-			CommitLogCap: cfg.CommitLogCap,
-			OnCommitTx:   c.onCommit,
+			TickInterval:       cfg.TickInterval,
+			MinRoundInterval:   cfg.MinRoundInterval,
+			CommitLogCap:       cfg.CommitLogCap,
+			GCHorizon:          cfg.GCHorizon,
+			RecoverySyncRounds: cfg.RecoverySyncRounds,
+			OnCommitTx:         c.onCommit,
+			OnRejectTx:         c.onReject,
 		}
 		if i == 0 {
 			ncfg.OnCommitWave = c.onWave
@@ -158,24 +181,78 @@ func (c *Cluster) Node(i int) *node.Node { return c.nodes[i] }
 // N returns the committee size.
 func (c *Cluster) N() int { return c.cfg.N }
 
-// Start launches every node.
+// Start launches every node and the negative-ack resubmitter.
 func (c *Cluster) Start() {
 	if c.started {
 		return
 	}
 	c.started = true
+	c.wg.Add(1)
+	go c.resubmitRejected()
 	for _, n := range c.nodes {
 		n.Start()
 	}
 }
 
-// Stop tears the cluster down.
+// Stop tears the cluster down. Idempotent and safe for concurrent use.
 func (c *Cluster) Stop() {
+	c.stopOnce.Do(func() { close(c.done) })
 	for _, n := range c.nodes {
 		n.Stop()
 	}
+	c.wg.Wait()
 	c.net.Close()
 }
+
+// onReject receives a proposer's negative-ack on that node's event
+// loop; hand the transaction to the resubmitter without blocking.
+func (c *Cluster) onReject(tx *types.Transaction) {
+	select {
+	case c.rejected <- tx:
+	default:
+		// Backlogged: the client's own retry timer is the backstop.
+	}
+}
+
+// resubmitRejected re-routes negative-acked transactions immediately,
+// cutting the fault-path tail latency from the client retry interval
+// to one round trip. Only transactions a SubmitWait caller is still
+// blocked on are resubmitted, so abandoned traffic cannot circulate.
+// Routing uses the freshest epoch any replica reports — the rejecting
+// proposer has already transitioned, so the observer node's view can
+// lag and would bounce the resubmission straight back.
+func (c *Cluster) resubmitRejected() {
+	defer c.wg.Done()
+	for {
+		select {
+		case tx := <-c.rejected:
+			c.mu.Lock()
+			_, waiting := c.waiters[tx.ID()]
+			c.mu.Unlock()
+			if !waiting {
+				continue
+			}
+			c.nacks.Add(1)
+			epoch := types.Epoch(0)
+			for _, n := range c.nodes {
+				if e := n.Stats().Epoch; e > epoch {
+					epoch = e
+				}
+			}
+			shard := types.ShardID(0)
+			if len(tx.Shards) > 0 {
+				shard = tx.Shards[0]
+			}
+			_ = c.nodes[ProposerOf(shard, epoch, c.cfg.N)].Submit(tx)
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// Nacks returns how many negative-acked transactions were immediately
+// resubmitted (observability for the fault-path latency tests).
+func (c *Cluster) Nacks() uint64 { return c.nacks.Value() }
 
 // onCommit records the first commit of each transaction anywhere in
 // the cluster (the paper's client-observed commit point).

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -134,4 +135,43 @@ func TestWaveSeriesRecorded(t *testing.T) {
 	if len(c.WaveSeries().Points()) == 0 {
 		t.Fatal("no commit-wave samples recorded")
 	}
+}
+
+// TestNegativeAckRescuesDroppedTransactions forces shard rotations
+// under load with a client retry timer far beyond the test budget:
+// transactions dropped at a reconfiguration (queue unclaimed,
+// misroutes to rotated-away proposers) can then only commit through
+// the proposer-side negative-ack's immediate re-route. Before the
+// nack existed, these clients stalled until their retry timer.
+func TestNegativeAckRescuesDroppedTransactions(t *testing.T) {
+	c := testCluster(t, Config{Seed: 9, KPrime: 25})
+	gen := workload.NewGenerator(workload.Config{
+		Accounts: 32, Shards: 4, Theta: 0.7, ReadRatio: 0.3, Seed: 9, Client: 1,
+	})
+	var wg sync.WaitGroup
+	errs := make(chan error, 512)
+	deadline := time.Now().Add(60 * time.Second)
+	for c.Reconfigurations() < 2 && time.Now().Before(deadline) {
+		for i := 0; i < 16; i++ {
+			tx := gen.Next()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// RetryEvery 5min: the client never retries on its own
+				// within the test; only the nack path can rescue a drop.
+				if err := c.SubmitWait(tx, 5*time.Minute, 30*time.Second); err != nil {
+					errs <- err
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	close(errs)
+	for err := range errs {
+		t.Fatalf("transaction starved despite negative-ack: %v", err)
+	}
+	if c.Reconfigurations() < 2 {
+		t.Fatalf("only %d reconfigurations despite KPrime", c.Reconfigurations())
+	}
+	t.Logf("reconfigurations: %d, nack resubmissions: %d", c.Reconfigurations(), c.Nacks())
 }

@@ -18,6 +18,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"thunderbolt/internal/types"
 )
@@ -34,6 +37,31 @@ type Signer interface {
 type Verifier interface {
 	// Verify reports whether sig is a valid signature on d by replica r.
 	Verify(r types.ReplicaID, d types.Digest, sig []byte) bool
+}
+
+// BatchVerifier is an optional Verifier extension for the
+// certificate-validation hot path: verify a whole signature set over
+// one digest in a single call. Implementations may amortize — the
+// ed25519 scheme fans the batch out across cores — but must return
+// exactly the same per-signature verdicts as repeated Verify calls.
+type BatchVerifier interface {
+	// VerifyBatch reports, for each i, whether sigs[i] is a valid
+	// signature on d by signers[i]. The two slices must have equal
+	// length.
+	VerifyBatch(signers []types.ReplicaID, d types.Digest, sigs [][]byte) []bool
+}
+
+// verifyBatch dispatches to the batch path when v supports it, else
+// falls back to sequential Verify calls.
+func verifyBatch(v Verifier, signers []types.ReplicaID, d types.Digest, sigs [][]byte) []bool {
+	if bv, ok := v.(BatchVerifier); ok {
+		return bv.VerifyBatch(signers, d, sigs)
+	}
+	out := make([]bool, len(signers))
+	for i, r := range signers {
+		out[i] = v.Verify(r, d, sigs[i])
+	}
+	return out
 }
 
 // Scheme bundles key generation for a whole committee.
@@ -94,6 +122,45 @@ func (v *edVerifier) Verify(r types.ReplicaID, d types.Digest, sig []byte) bool 
 	return ed25519.Verify(v.pubs[r], d[:], sig)
 }
 
+// batchParallelMin is the batch size at which fanning verification
+// out across cores beats running it inline: each ed25519 verify costs
+// tens of microseconds, dwarfing goroutine startup.
+const batchParallelMin = 3
+
+// VerifyBatch implements BatchVerifier. Certificate validation is the
+// dominant asymmetric-crypto cost on every replica (2f+1 signatures
+// per vertex); the batch is split across up to GOMAXPROCS workers.
+func (v *edVerifier) VerifyBatch(signers []types.ReplicaID, d types.Digest, sigs [][]byte) []bool {
+	out := make([]bool, len(signers))
+	workers := runtime.GOMAXPROCS(0)
+	if len(signers) < batchParallelMin || workers < 2 {
+		for i, r := range signers {
+			out[i] = v.Verify(r, d, sigs[i])
+		}
+		return out
+	}
+	if workers > len(signers) {
+		workers = len(signers)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(signers) {
+					return
+				}
+				out[i] = v.Verify(signers[i], d, sigs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
 // --- Insecure (simulation) ---
 
 // InsecureScheme produces HMAC-SHA256 tags under per-replica keys that
@@ -143,6 +210,127 @@ func (v *macVerifier) Verify(r types.ReplicaID, d types.Digest, sig []byte) bool
 	m := hmac.New(sha256.New, v.keys[r])
 	m.Write(d[:])
 	return hmac.Equal(m.Sum(nil), sig)
+}
+
+// macVerifier deliberately does not implement BatchVerifier: HMAC
+// tags are microseconds each, so verifyBatch's sequential fallback is
+// already the right batch path; the scheme's size-faithfulness lives
+// in Sign/Verify.
+
+// --- verified-signature memo ---
+
+// sigKey identifies one (signer, message, signature) triple; the
+// signature bytes enter hashed so keys stay fixed-size.
+type sigKey struct {
+	signer types.ReplicaID
+	digest types.Digest
+	sig    types.Digest
+}
+
+// CachingVerifier wraps a Verifier with a bounded FIFO memo of
+// successfully verified signatures. The DAG layer verifies the same
+// signature twice per own block: once as an incoming vote
+// (QuorumCollector) and again when validating the certificate it just
+// assembled from those votes. The memo collapses the second pass to
+// map lookups, halving a proposer's per-round asymmetric-crypto cost.
+// Only successes are cached, so a forged signature is never admitted
+// by a stale entry. Safe for concurrent use.
+type CachingVerifier struct {
+	inner Verifier
+	cap   int
+
+	mu    sync.Mutex
+	seen  map[sigKey]struct{}
+	order []sigKey // FIFO eviction queue
+	next  int      // ring cursor once order reaches cap
+}
+
+// NewCachingVerifier wraps inner with a memo of at most capEntries
+// verified signatures (default 8192 — several hundred rounds of
+// quorum signatures for common committee sizes).
+func NewCachingVerifier(inner Verifier, capEntries int) *CachingVerifier {
+	if capEntries <= 0 {
+		capEntries = 8192
+	}
+	return &CachingVerifier{
+		inner: inner,
+		cap:   capEntries,
+		seen:  make(map[sigKey]struct{}, capEntries),
+	}
+}
+
+func (c *CachingVerifier) key(r types.ReplicaID, d types.Digest, sig []byte) sigKey {
+	return sigKey{signer: r, digest: d, sig: types.HashBytes(sig)}
+}
+
+func (c *CachingVerifier) hit(k sigKey) bool {
+	c.mu.Lock()
+	_, ok := c.seen[k]
+	c.mu.Unlock()
+	return ok
+}
+
+func (c *CachingVerifier) remember(k sigKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.seen[k]; dup {
+		return
+	}
+	if len(c.order) < c.cap {
+		c.order = append(c.order, k)
+	} else {
+		delete(c.seen, c.order[c.next])
+		c.order[c.next] = k
+		c.next = (c.next + 1) % c.cap
+	}
+	c.seen[k] = struct{}{}
+}
+
+// Verify implements Verifier.
+func (c *CachingVerifier) Verify(r types.ReplicaID, d types.Digest, sig []byte) bool {
+	k := c.key(r, d, sig)
+	if c.hit(k) {
+		return true
+	}
+	if !c.inner.Verify(r, d, sig) {
+		return false
+	}
+	c.remember(k)
+	return true
+}
+
+// VerifyBatch implements BatchVerifier: cached entries are answered
+// from the memo and only the remainder goes to the inner verifier's
+// batch path.
+func (c *CachingVerifier) VerifyBatch(signers []types.ReplicaID, d types.Digest, sigs [][]byte) []bool {
+	out := make([]bool, len(signers))
+	keys := make([]sigKey, len(signers))
+	var missIdx []int
+	for i := range signers {
+		keys[i] = c.key(signers[i], d, sigs[i])
+		if c.hit(keys[i]) {
+			out[i] = true
+		} else {
+			missIdx = append(missIdx, i)
+		}
+	}
+	if len(missIdx) == 0 {
+		return out
+	}
+	ms := make([]types.ReplicaID, len(missIdx))
+	mg := make([][]byte, len(missIdx))
+	for j, i := range missIdx {
+		ms[j] = signers[i]
+		mg[j] = sigs[i]
+	}
+	for j, ok := range verifyBatch(c.inner, ms, d, mg) {
+		if ok {
+			i := missIdx[j]
+			out[i] = true
+			c.remember(keys[i])
+		}
+	}
+	return out
 }
 
 // SchemeByName resolves a scheme from its configuration name.

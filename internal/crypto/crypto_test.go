@@ -170,3 +170,94 @@ func TestSchemeByName(t *testing.T) {
 		t.Fatal("unknown scheme accepted")
 	}
 }
+
+func TestVerifyBatchMatchesSequentialVerify(t *testing.T) {
+	for _, scheme := range []Scheme{Ed25519Scheme{}, InsecureScheme{}} {
+		signers, verifier, err := scheme.Committee(8, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bv, ok := verifier.(BatchVerifier)
+		if !ok {
+			if scheme.Name() == "insecure" {
+				continue // uses verifyBatch's sequential fallback by design
+			}
+			t.Fatalf("%s verifier does not implement BatchVerifier", scheme.Name())
+		}
+		d := types.HashBytes([]byte("batch-block"))
+		ids := []types.ReplicaID{0, 3, 5, 6, 7, 200}
+		sigs := [][]byte{
+			signers[0].Sign(d),
+			signers[3].Sign(d),
+			[]byte("garbage"),
+			signers[7].Sign(d), // wrong signer for slot 6
+			signers[7].Sign(d),
+			signers[1].Sign(d), // out-of-committee replica id
+		}
+		got := bv.VerifyBatch(ids, d, sigs)
+		for i := range ids {
+			want := verifier.Verify(ids[i], d, sigs[i])
+			if got[i] != want {
+				t.Fatalf("%s: batch verdict %d = %v, sequential = %v", scheme.Name(), i, got[i], want)
+			}
+		}
+		want := []bool{true, true, false, false, true, false}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: verdicts %v, want %v", scheme.Name(), got, want)
+			}
+		}
+	}
+}
+
+func TestCachingVerifierNeverAdmitsForgery(t *testing.T) {
+	signers, verifier, _ := Ed25519Scheme{}.Committee(4, 5)
+	cv := NewCachingVerifier(verifier, 4)
+	d := types.HashBytes([]byte("blk"))
+	good := signers[1].Sign(d)
+	if !cv.Verify(1, d, good) || !cv.Verify(1, d, good) {
+		t.Fatal("valid signature rejected")
+	}
+	// Same signer and digest, different bytes: the memo must miss.
+	forged := append([]byte(nil), good...)
+	forged[0] ^= 0xff
+	if cv.Verify(1, d, forged) {
+		t.Fatal("forged signature admitted")
+	}
+	// Same bytes, different digest: the memo must miss.
+	d2 := types.HashBytes([]byte("blk2"))
+	if cv.Verify(1, d2, good) {
+		t.Fatal("signature admitted for wrong digest")
+	}
+	// Batch path mixes hits and misses.
+	got := cv.VerifyBatch(
+		[]types.ReplicaID{1, 2, 1},
+		d,
+		[][]byte{good, signers[2].Sign(d), forged},
+	)
+	want := []bool{true, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("batch verdicts %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCachingVerifierEvictsAtCapacity(t *testing.T) {
+	signers, verifier, _ := InsecureScheme{}.Committee(4, 9)
+	cv := NewCachingVerifier(verifier, 2)
+	for i := 0; i < 10; i++ {
+		d := types.HashBytes([]byte{byte(i)})
+		if !cv.Verify(0, d, signers[0].Sign(d)) {
+			t.Fatalf("signature %d rejected", i)
+		}
+	}
+	if len(cv.seen) > 2 || len(cv.order) > 2 {
+		t.Fatalf("memo exceeded capacity: %d entries, %d queued", len(cv.seen), len(cv.order))
+	}
+	// Evicted entries still verify (through the inner verifier).
+	d0 := types.HashBytes([]byte{0})
+	if !cv.Verify(0, d0, signers[0].Sign(d0)) {
+		t.Fatal("evicted signature no longer verifies")
+	}
+}

@@ -79,19 +79,28 @@ func (q *QuorumCollector) Add(r types.ReplicaID, sig []byte) (*types.Certificate
 func (q *QuorumCollector) Count() int { return len(q.sigs) }
 
 // VerifyCertificate checks that cert carries 2f+1 valid signatures
-// from distinct committee members over its block digest.
+// from distinct committee members over its block digest. Signatures
+// are checked through the verifier's batch path when it offers one
+// (BatchVerifier), which is where the ed25519 scheme parallelizes the
+// per-vertex quorum check.
 func VerifyCertificate(cert *types.Certificate, n int, v Verifier) error {
 	if len(cert.Sigs) < QuorumSize(n) {
 		return fmt.Errorf("crypto: certificate has %d signatures, need %d", len(cert.Sigs), QuorumSize(n))
 	}
 	seen := make(map[types.ReplicaID]bool, len(cert.Sigs))
-	valid := 0
+	signers := make([]types.ReplicaID, 0, len(cert.Sigs))
+	sigs := make([][]byte, 0, len(cert.Sigs))
 	for _, s := range cert.Sigs {
 		if int(s.Signer) >= n || seen[s.Signer] {
 			continue
 		}
 		seen[s.Signer] = true
-		if v.Verify(s.Signer, cert.BlockDigest, s.Sig) {
+		signers = append(signers, s.Signer)
+		sigs = append(sigs, s.Sig)
+	}
+	valid := 0
+	for _, ok := range verifyBatch(v, signers, cert.BlockDigest, sigs) {
+		if ok {
 			valid++
 		}
 	}

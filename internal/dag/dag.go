@@ -38,6 +38,13 @@ type Store struct {
 	byCert  map[types.Digest]*Vertex
 	byBlock map[types.Digest]*Vertex
 	rounds  map[types.Round]map[types.ReplicaID]*Vertex
+	// highest caches the largest round holding any vertex, so the
+	// node's per-tick frontier checks are O(1) instead of a scan over
+	// every round of the epoch.
+	highest types.Round
+	// floor is the committed-wave GC boundary: rounds below it have
+	// been pruned and can never be re-added (see PruneBelow).
+	floor types.Round
 }
 
 // NewStore creates an empty DAG for one epoch and committee size n.
@@ -48,6 +55,7 @@ func NewStore(epoch types.Epoch, n int) *Store {
 		byCert:  make(map[types.Digest]*Vertex),
 		byBlock: make(map[types.Digest]*Vertex),
 		rounds:  make(map[types.Round]map[types.ReplicaID]*Vertex),
+		floor:   1,
 	}
 }
 
@@ -63,6 +71,12 @@ func (s *Store) Add(v *Vertex) error {
 	b := v.Block
 	if b.Epoch != s.epoch {
 		return fmt.Errorf("dag: vertex epoch %d, store epoch %d", b.Epoch, s.epoch)
+	}
+	if b.Round < s.floor {
+		// The round was garbage-collected: every vertex that can still
+		// reach committed history lies at or above the floor, so a
+		// late arrival here is dead weight (see PruneBelow).
+		return fmt.Errorf("dag: round %d below GC floor %d", b.Round, s.floor)
 	}
 	if v.Cert.BlockDigest != b.Digest() {
 		return fmt.Errorf("dag: certificate does not cover block")
@@ -88,8 +102,54 @@ func (s *Store) Add(v *Vertex) error {
 		s.rounds[b.Round] = rm
 	}
 	rm[b.Proposer] = v
+	if b.Round > s.highest {
+		s.highest = b.Round
+	}
 	return nil
 }
+
+// PruneBelow removes every vertex of rounds < floor and returns the
+// certificate digests of the removed vertices (so the commit layer
+// can drop its own bookkeeping for them). The floor only advances.
+//
+// Safety: the caller prunes relative to its own committed frontier
+// (strictly more than the fast-forward gap behind it). A vertex that
+// old and still uncommitted can never join committed history — doing
+// so would need a parent reference from the next round that itself
+// joins committed history, and honest proposers only reference
+// current-round certificates — so removal never changes any future
+// commit wave. Rounds below the floor are also rejected by Add, which
+// keeps the invariant closed under late arrivals.
+func (s *Store) PruneBelow(floor types.Round) []types.Digest {
+	if floor > s.highest+1 {
+		floor = s.highest + 1
+	}
+	if floor <= s.floor {
+		return nil
+	}
+	var removed []types.Digest
+	for r := s.floor; r < floor; r++ {
+		rm, ok := s.rounds[r]
+		if !ok {
+			continue
+		}
+		for _, v := range rm {
+			cd := v.Cert.Digest()
+			removed = append(removed, cd)
+			delete(s.byCert, cd)
+			delete(s.byBlock, v.Block.Digest())
+		}
+		delete(s.rounds, r)
+	}
+	s.floor = floor
+	return removed
+}
+
+// Floor returns the GC boundary: the lowest round still retained.
+func (s *Store) Floor() types.Round { return s.floor }
+
+// Len returns the number of vertices currently retained.
+func (s *Store) Len() int { return len(s.byCert) }
 
 // MissingParentError reports that a vertex references a certificate
 // the store has not seen; the caller should buffer and retry.
@@ -161,15 +221,7 @@ func (s *Store) SupportFor(v *Vertex) int {
 }
 
 // HighestRound returns the largest round holding any vertex.
-func (s *Store) HighestRound() types.Round {
-	var hi types.Round
-	for r := range s.rounds {
-		if r > hi {
-			hi = r
-		}
-	}
-	return hi
-}
+func (s *Store) HighestRound() types.Round { return s.highest }
 
 // CausalHistory returns every ancestor of v (excluding v) reachable
 // through parent references.

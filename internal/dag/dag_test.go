@@ -152,3 +152,71 @@ func TestHighestRound(t *testing.T) {
 		t.Fatalf("highest=%d want 2", b.Store.HighestRound())
 	}
 }
+
+func TestPruneBelowRemovesRoundsAndRejectsLateArrivals(t *testing.T) {
+	c := dagtest.NewCommittee(4)
+	b := dagtest.NewBuilder(c, 0)
+	var keep *dag.Vertex
+	for r := 0; r < 10; r++ {
+		vs := b.NextRound(nil, nil)
+		if r == 2 {
+			keep = vs[1] // round 3, pruned below floor 6
+		}
+	}
+	if got := b.Store.HighestRound(); got != 10 {
+		t.Fatalf("highest round %d, want 10", got)
+	}
+	removed := b.Store.PruneBelow(6)
+	if len(removed) != 5*4 {
+		t.Fatalf("pruned %d vertices, want 20", len(removed))
+	}
+	if b.Store.Floor() != 6 {
+		t.Fatalf("floor %d, want 6", b.Store.Floor())
+	}
+	if b.Store.Len() != 5*4 {
+		t.Fatalf("retained %d vertices, want 20", b.Store.Len())
+	}
+	if _, ok := b.Store.ByCert(keep.Cert.Digest()); ok {
+		t.Fatal("pruned vertex still reachable by certificate")
+	}
+	if _, ok := b.Store.ByBlock(keep.Block.Digest()); ok {
+		t.Fatal("pruned vertex still reachable by block digest")
+	}
+	if b.Store.CountAtRound(3) != 0 {
+		t.Fatal("pruned round still counts vertices")
+	}
+	// Highest round is unaffected by pruning.
+	if got := b.Store.HighestRound(); got != 10 {
+		t.Fatalf("highest round %d after prune, want 10", got)
+	}
+	// Re-adding a pruned vertex must be rejected, and the floor is
+	// monotone: a lower prune call is a no-op.
+	if err := b.Store.Add(keep); err == nil {
+		t.Fatal("vertex below the floor re-admitted")
+	}
+	if removed := b.Store.PruneBelow(4); removed != nil {
+		t.Fatalf("floor moved backwards: pruned %d", len(removed))
+	}
+	// Vertices at the floor and above still resolve.
+	if _, ok := b.Store.Get(6, 0); !ok {
+		t.Fatal("vertex at the floor lost")
+	}
+}
+
+func TestPruneBelowClampsToFrontier(t *testing.T) {
+	c := dagtest.NewCommittee(4)
+	b := dagtest.NewBuilder(c, 0)
+	for r := 0; r < 3; r++ {
+		b.NextRound(nil, nil)
+	}
+	// A floor past the frontier prunes everything present but must
+	// not advance beyond highest+1 (which would reject the next
+	// round's legitimate vertices).
+	removed := b.Store.PruneBelow(100)
+	if len(removed) != 3*4 {
+		t.Fatalf("pruned %d, want 12", len(removed))
+	}
+	if b.Store.Floor() != 4 {
+		t.Fatalf("floor %d, want clamp at 4", b.Store.Floor())
+	}
+}

@@ -23,6 +23,9 @@ func (n *Node) processCommits() {
 			return
 		}
 	}
+	if len(waves) > 0 {
+		n.maybeGC()
+	}
 }
 
 // executeWave applies one commit wave: validated single-shard preplay
@@ -242,10 +245,34 @@ func (n *Node) reconfigure() {
 	// Unclaim every uncommitted transaction — queued or already
 	// proposed into the dying DAG — so client resubmissions are
 	// accepted by whichever proposer now owns the shard. Committed
-	// IDs stay deduplicated via n.applied.
+	// IDs stay deduplicated via n.applied. Both the queue and this
+	// node's uncommitted in-flight blocks get a negative-ack: their
+	// transactions die with the epoch, and without the ack each would
+	// stall its client until the retry timer (the ROADMAP's
+	// discarded-block tail latency).
+	rejected := n.txQueue
+	if n.cfg.OnRejectTx != nil {
+		for _, d := range n.ownPending {
+			if b, ok := n.pendingBlocks[d]; ok {
+				rejected = append(rejected, b.SingleTxs...)
+				rejected = append(rejected, b.CrossTxs...)
+			}
+		}
+	}
 	n.seen = make(map[types.Digest]time.Time)
 	n.txQueue = nil
 	n.resetEpochState(oldEpoch + 1)
+	if n.cfg.OnRejectTx != nil {
+		seen := make(map[types.Digest]bool, len(rejected))
+		for _, tx := range rejected {
+			id := tx.ID()
+			if n.applied[id] || seen[id] {
+				continue
+			}
+			seen[id] = true
+			n.cfg.OnRejectTx(tx)
+		}
+	}
 
 	n.bump(func(s *Stats) {
 		s.Reconfigurations++

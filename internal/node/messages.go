@@ -46,13 +46,14 @@ type vote struct {
 }
 
 func (v *vote) marshal() []byte {
-	e := types.NewEncoder()
+	e := types.GetEncoder()
+	defer types.PutEncoder(e)
 	e.U64(uint64(v.Epoch))
 	e.U64(uint64(v.Round))
 	e.U32(uint32(v.Proposer))
 	e.Digest(v.BlockDigest)
 	e.Bytes(v.Sig)
-	return e.Sum()
+	return e.Detach()
 }
 
 func (v *vote) unmarshal(b []byte) error {

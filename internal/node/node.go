@@ -92,6 +92,26 @@ type Config struct {
 	// disables retention.
 	CommitLogCap int
 
+	// GCHorizon is the committed-wave garbage-collection retention
+	// horizon, in rounds: after each commit wave the node prunes DAG
+	// vertices, pending blocks, vote records, and collectors below
+	// (last committed leader round − horizon), bounding steady-state
+	// memory within an epoch. The horizon also bounds in-epoch
+	// recovery: a replica that misses more rounds than the horizon
+	// cannot be served the pruned range by its peers and needs the
+	// (future) state-transfer path, like the documented cross-epoch
+	// case. Zero selects the default (2048); negative disables GC;
+	// positive values are clamped to a safe minimum well above the
+	// fast-forward gap.
+	GCHorizon int
+
+	// RecoverySyncRounds caps how many missing rounds a recovering
+	// replica bulk-requests per housekeeping tick (MsgRoundReq batch).
+	// Zero selects the default (256, measured under the WAN latency
+	// model — see README "Performance"). Larger values recover deep
+	// gaps in fewer round-trips at the cost of burstier reply traffic.
+	RecoverySyncRounds int
+
 	// TickInterval paces housekeeping (block re-requests); default 25ms.
 	TickInterval time.Duration
 	// MinRoundInterval throttles round advancement (a batch timer):
@@ -101,6 +121,15 @@ type Config struct {
 
 	// OnCommitTx, if set, fires for every committed transaction.
 	OnCommitTx func(tx *types.Transaction, when time.Time)
+	// OnRejectTx, if set, fires when this proposer permanently drops a
+	// claimed transaction without committing it — misrouted after a
+	// shard rotation, or unclaimed wholesale at a reconfiguration. The
+	// proposer-side negative-ack: the client layer can re-route and
+	// resubmit immediately instead of waiting out its retry timer (the
+	// transaction is simultaneously removed from the seen dedup, so
+	// the resubmission is accepted at once). Runs on the event loop;
+	// implementations must not block.
+	OnRejectTx func(tx *types.Transaction)
 	// OnCommitWave, if set, fires after each commit wave with the
 	// leader round (Figure 16's per-round runtime series).
 	OnCommitWave func(epoch types.Epoch, leaderRound types.Round, when time.Time)
@@ -124,8 +153,38 @@ func (c Config) withDefaults() Config {
 	if c.MinRoundInterval <= 0 {
 		c.MinRoundInterval = time.Millisecond
 	}
+	switch {
+	case c.GCHorizon == 0:
+		c.GCHorizon = defaultGCHorizon
+	case c.GCHorizon > 0 && c.GCHorizon < minGCHorizon:
+		c.GCHorizon = minGCHorizon
+	}
+	if c.RecoverySyncRounds <= 0 {
+		c.RecoverySyncRounds = defaultRecoverySyncRounds
+	}
 	return c
 }
+
+const (
+	// defaultGCHorizon keeps roughly two thousand rounds of history —
+	// far beyond any in-epoch outage the chaos suite injects — while
+	// still bounding steady-state memory.
+	defaultGCHorizon = 2048
+	// minGCHorizon is the floor on configurable horizons. The GC
+	// safety argument (see dag.Store.PruneBelow) needs the horizon to
+	// sit well above the fast-forward gap, so that any vertex old
+	// enough to prune is also too old to ever join committed history.
+	minGCHorizon = 4 * fastForwardGap
+	// defaultRecoverySyncRounds is the per-tick round-pull batch,
+	// chosen from a WAN-latency SimNetwork sweep (README
+	// "Performance"): reconvergence after a 6s crash halves from
+	// batch 16 to 64 (432ms → 206ms) and is flat beyond (216ms at
+	// 256, 197ms at 1024) because WAN round production bounds the
+	// gap. 256 keeps that flat-zone behaviour while also covering a
+	// GC-horizon-deep gap in a quarter of the ticks 64 would need,
+	// with no measured reply-burst cost.
+	defaultRecoverySyncRounds = 256
+)
 
 // Stats is a point-in-time snapshot of a node's counters.
 type Stats struct {
@@ -145,6 +204,8 @@ type Stats struct {
 	// FastForwards counts frontier rejoins after falling behind the
 	// certified DAG (crash recovery, healed partitions).
 	FastForwards uint64
+	// PrunedRounds counts rounds reclaimed by committed-wave GC.
+	PrunedRounds uint64
 	// PendingCross is the current number of observed-but-unexecuted
 	// cross-shard transactions touching this node's shard.
 	PendingCross uint64
@@ -157,6 +218,11 @@ type Node struct {
 	cfg Config
 	n   int
 	f   int
+
+	// verifier wraps cfg.Verifier with the verified-signature memo so
+	// votes checked at quorum assembly are not re-verified when the
+	// resulting certificate is validated.
+	verifier crypto.Verifier
 
 	// inbox is an unbounded queue so the transport delivery goroutine
 	// never blocks on a busy event loop (bounded queues here can close
@@ -187,14 +253,23 @@ type Node struct {
 	// nextRound is the next round this node will propose.
 	nextRound types.Round
 
-	pendingBlocks map[types.Digest]*types.Block       // by block digest
+	pendingBlocks map[types.Digest]*types.Block // by block digest
+	// pendingRounds indexes pendingBlocks by round so committed-wave
+	// GC drops whole rounds without scanning the map, and ownPending
+	// indexes this node's own proposals by round so fast-forward
+	// requeue scans only own blocks instead of every pending block.
+	pendingRounds map[types.Round][]types.Digest
+	ownPending    map[types.Round]types.Digest
 	certWait      map[types.Digest]*types.Certificate // certs waiting for blocks
 	orphans       []*dag.Vertex                       // vertices waiting for parents
 	orphanSet     map[types.Digest]bool               // orphan membership by cert digest
 	collectors    map[types.Digest]*crypto.QuorumCollector
-	voted         map[voteKey]types.Digest
-	lastSeen      map[types.ReplicaID]types.Round // latest round proposed per replica
-	futureMsgs    []inboundMsg                    // messages from future epochs
+	// collectorRound maps a round to the collector digest of the block
+	// this node proposed there (one proposal per round), for GC.
+	collectorRound map[types.Round]types.Digest
+	voted          map[voteKey]types.Digest
+	lastSeen       map[types.ReplicaID]types.Round // latest round proposed per replica
+	futureMsgs     []inboundMsg                    // messages from future epochs
 	// parentReq tracks in-flight MsgCertReq recoveries of missing
 	// parent vertices (by certificate digest) with their request time,
 	// so each missing parent is asked for at most once per tick.
@@ -269,6 +344,7 @@ func New(cfg Config) (*Node, error) {
 		cfg:      cfg,
 		n:        cfg.N,
 		f:        crypto.FaultBound(cfg.N),
+		verifier: crypto.NewCachingVerifier(cfg.Verifier, 0),
 		inboxSig: make(chan struct{}, 1),
 		txCh:     make(chan *types.Transaction, 16384),
 		inspCh:   make(chan func(*Node)),
@@ -297,10 +373,13 @@ func (n *Node) resetEpochState(epoch types.Epoch) {
 	n.committer = tusk.NewCommitter(n.dagStore, n.n)
 	n.nextRound = 1
 	n.pendingBlocks = make(map[types.Digest]*types.Block)
+	n.pendingRounds = make(map[types.Round][]types.Digest)
+	n.ownPending = make(map[types.Round]types.Digest)
 	n.certWait = make(map[types.Digest]*types.Certificate)
 	n.orphans = nil
 	n.orphanSet = make(map[types.Digest]bool)
 	n.collectors = make(map[types.Digest]*crypto.QuorumCollector)
+	n.collectorRound = make(map[types.Round]types.Digest)
 	n.voted = make(map[voteKey]types.Digest)
 	n.lastSeen = make(map[types.ReplicaID]types.Round)
 	n.spec = make(map[types.Key]types.Value)
@@ -446,6 +525,11 @@ func (n *Node) Inspect(f func(*DebugView)) error {
 			Collectors:     len(n.collectors),
 			LastBlockRound: lastBlockRound,
 			FutureMsgs:     len(n.futureMsgs),
+			GCFloor:        n.dagStore.Floor(),
+			DagVertices:    n.dagStore.Len(),
+			PendingBlocks:  len(n.pendingBlocks),
+			VotedSlots:     len(n.voted),
+			CommittedFlags: n.committer.CommittedLen(),
 			Vertices: func(r types.Round) []VertexInfo {
 				var out []VertexInfo
 				for _, v := range n.dagStore.AtRound(r) {
@@ -489,6 +573,14 @@ type DebugView struct {
 	Collectors     int
 	LastBlockRound types.Round
 	FutureMsgs     int
+	// GC observability: the retention floor, and the sizes of the
+	// per-epoch maps committed-wave GC bounds (the long-run plateau
+	// tests sample these).
+	GCFloor        types.Round
+	DagVertices    int
+	PendingBlocks  int
+	VotedSlots     int
+	CommittedFlags int
 	// Vertices returns the certified vertices at one round (valid only
 	// inside the Inspect callback).
 	Vertices func(r types.Round) []VertexInfo
@@ -590,11 +682,18 @@ func (n *Node) housekeeping() {
 		req := (&blockReq{BlockDigest: bd}).marshal()
 		_ = n.cfg.Transport.Send(cert.Proposer, MsgBlockReq, req)
 	}
+	// Stale in-flight parent requests expire every tick regardless of
+	// orphan state, so the map cannot accumulate dead entries.
+	for d, at := range n.parentReq {
+		if time.Since(at) >= n.cfg.TickInterval {
+			delete(n.parentReq, d)
+		}
+	}
 	// Orphans wait for parents. Bulk-sync the missing round range
 	// first: after an outage the gap between the inserted frontier and
 	// the lowest orphan spans hundreds of rounds, and walking it one
 	// certificate-request round-trip at a time loses the race against
-	// round production. Bounded batch per tick.
+	// round production. Batch bounded by Config.RecoverySyncRounds.
 	if len(n.orphans) > 0 {
 		lowest := n.orphans[0].Round()
 		for _, o := range n.orphans[1:] {
@@ -602,18 +701,12 @@ func (n *Node) housekeeping() {
 				lowest = o.Round()
 			}
 		}
-		const syncBatch = 64
 		hi := n.dagStore.HighestRound()
-		for r := hi + 1; r < lowest && r <= hi+syncBatch; r++ {
+		for r := hi + 1; r < lowest && r <= hi+types.Round(n.cfg.RecoverySyncRounds); r++ {
 			n.pullRound(r)
 		}
 		// Fine-grained backstop: re-request individual parents whose
 		// answers were lost.
-		for d, at := range n.parentReq {
-			if time.Since(at) >= n.cfg.TickInterval {
-				delete(n.parentReq, d)
-			}
-		}
 		for _, o := range n.orphans {
 			n.requestMissingParents(o)
 		}
@@ -762,10 +855,11 @@ func (n *Node) handleBlock(from types.ReplicaID, b *types.Block) {
 	if b.Epoch < n.epoch || int(b.Proposer) >= n.n {
 		return
 	}
-	d := b.Digest()
-	if _, ok := n.pendingBlocks[d]; !ok {
-		n.pendingBlocks[d] = b
+	if b.Round < n.dagStore.Floor() {
+		return // round garbage-collected; the vertex can never matter
 	}
+	d := b.Digest()
+	n.trackPendingBlock(b)
 	if b.Round > n.lastSeen[b.Proposer] {
 		n.lastSeen[b.Proposer] = b.Round
 	}
@@ -822,13 +916,13 @@ func (n *Node) handleCert(from types.ReplicaID, c *types.Certificate) {
 		n.futureMsgs = append(n.futureMsgs, inboundMsg{from: from, mt: MsgCert, payload: mustMarshal(c)})
 		return
 	}
-	if c.Epoch < n.epoch {
+	if c.Epoch < n.epoch || c.Round < n.dagStore.Floor() {
 		return
 	}
 	if _, ok := n.dagStore.ByCert(c.Digest()); ok {
 		return // already placed
 	}
-	if err := crypto.VerifyCertificate(c, n.n, n.cfg.Verifier); err != nil {
+	if err := crypto.VerifyCertificate(c, n.n, n.verifier); err != nil {
 		return
 	}
 	b, ok := n.pendingBlocks[c.BlockDigest]
@@ -988,28 +1082,22 @@ const fastForwardGap = 10
 // at one past the certified frontier so the next frontier round links
 // to this node again.
 func (n *Node) fastForward(hi types.Round) {
-	// Recover transactions from own stale blocks, deduplicated against
-	// the queue and each other (a transaction can sit in several stale
-	// blocks after validation-failure requeues); committed ones stay
-	// filtered by n.applied in drainQueue.
+	// Recover transactions from own stale blocks — the ownPending
+	// round index, not a scan over every pending block — deduplicated
+	// against the queue and each other (a transaction can sit in
+	// several stale blocks after validation-failure requeues);
+	// committed ones stay filtered by n.applied in drainQueue.
 	queued := make(map[types.Digest]bool, len(n.txQueue))
 	for _, tx := range n.txQueue {
 		queued[tx.ID()] = true
 	}
-	for _, b := range n.pendingBlocks {
-		if b.Proposer != n.cfg.ID || b.Round > hi {
+	for r, d := range n.ownPending {
+		if r > hi {
 			continue
 		}
-		for _, txs := range [][]*types.Transaction{b.SingleTxs, b.CrossTxs} {
-			for _, tx := range txs {
-				id := tx.ID()
-				if n.applied[id] || queued[id] {
-					continue
-				}
-				queued[id] = true
-				delete(n.seen, id)
-				n.txQueue = append(n.txQueue, tx)
-			}
+		delete(n.ownPending, r)
+		if b, ok := n.pendingBlocks[d]; ok {
+			n.requeueOwnBlock(b, queued)
 		}
 	}
 	// The speculative overlay describes abandoned blocks; drop it.
@@ -1019,6 +1107,35 @@ func (n *Node) fastForward(hi types.Round) {
 	n.nextRound = hi + 1
 	n.bump(func(s *Stats) { s.FastForwards++ })
 	n.propose()
+}
+
+// requeueOwnBlock returns an abandoned own block's transactions to
+// the proposer queue, skipping committed ones and those already
+// queued, and unclaims them from dedup so client retransmissions are
+// accepted again.
+func (n *Node) requeueOwnBlock(b *types.Block, queued map[types.Digest]bool) {
+	for _, txs := range [][]*types.Transaction{b.SingleTxs, b.CrossTxs} {
+		for _, tx := range txs {
+			id := tx.ID()
+			if n.applied[id] || queued[id] {
+				continue
+			}
+			queued[id] = true
+			delete(n.seen, id)
+			n.txQueue = append(n.txQueue, tx)
+		}
+	}
+}
+
+// trackPendingBlock stores a block by digest and indexes it by round
+// (for committed-wave GC and the own-block fast-forward scan).
+func (n *Node) trackPendingBlock(b *types.Block) {
+	d := b.Digest()
+	if _, ok := n.pendingBlocks[d]; ok {
+		return
+	}
+	n.pendingBlocks[d] = b
+	n.pendingRounds[b.Round] = append(n.pendingRounds[b.Round], d)
 }
 
 func mustMarshal(m interface{ MarshalBinary() ([]byte, error) }) []byte {

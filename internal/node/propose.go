@@ -137,8 +137,10 @@ func (n *Node) propose() {
 	// is lossy under injected faults, and housekeeping rebroadcasts
 	// lastBlock until its certificate lands.
 	d := blk.Digest()
-	n.collectors[d] = crypto.NewQuorumCollector(n.n, n.cfg.Verifier, d, blk.Epoch, blk.Round, blk.Proposer)
-	n.pendingBlocks[d] = blk
+	n.collectors[d] = crypto.NewQuorumCollector(n.n, n.verifier, d, blk.Epoch, blk.Round, blk.Proposer)
+	n.collectorRound[r] = d
+	n.trackPendingBlock(blk)
+	n.ownPending[r] = d
 	n.lastBlock = blk
 	_ = n.cfg.Transport.Broadcast(MsgBlock, mustMarshal(blk))
 }
@@ -234,9 +236,13 @@ func (n *Node) fillBlock(blk *types.Block, r types.Round) {
 	}
 	n.ownBlocks = append(n.ownBlocks, ownBlock{round: r, writes: writes})
 	// Terminal failures are dropped permanently (they can never
-	// commit); unqueue them from dedup so a corrected resubmission
-	// with a different nonce is unaffected.
-	_ = res.Failed
+	// commit); unqueue them from dedup so a retransmission is not
+	// silently swallowed for the rest of the seen TTL. No negative-ack
+	// here: a deterministic contract failure would fail again, and
+	// acking it would only tighten a futile resubmit loop.
+	for i := range res.Failed {
+		delete(n.seen, res.Failed[i].Tx.ID())
+	}
 }
 
 // missingLeader reports whether a leader vertex is overdue (rule P6's
@@ -293,10 +299,13 @@ func (n *Node) drainQueue() (singles, cross []*types.Transaction) {
 			singles = append(singles, tx)
 			taken++
 		default:
-			// Wrong shard after rotation: drop; the client layer
-			// resubmits to the right proposer.
+			// Wrong shard after rotation: drop and negative-ack so the
+			// client layer re-routes immediately.
 			delete(n.seen, tx.ID())
 			n.bump(func(s *Stats) { s.DroppedAtReconfig++ })
+			if n.cfg.OnRejectTx != nil {
+				n.cfg.OnRejectTx(tx)
+			}
 		}
 	}
 	n.txQueue = rest

@@ -66,6 +66,21 @@ func NewCommitter(store *dag.Store, n int) *Committer {
 // been committed.
 func (c *Committer) Committed(d types.Digest) bool { return c.committed[d] }
 
+// Forget drops commit bookkeeping for vertices the DAG store has
+// pruned (committed-wave GC). Once a vertex is out of the store no
+// linearization can reach it, so its committed flag is dead weight;
+// forgetting it keeps the map's size proportional to the retention
+// horizon instead of the epoch's full history.
+func (c *Committer) Forget(ds []types.Digest) {
+	for _, d := range ds {
+		delete(c.committed, d)
+	}
+}
+
+// CommittedLen returns the number of retained committed-vertex flags
+// (observability for GC tests).
+func (c *Committer) CommittedLen() int { return len(c.committed) }
+
 // LastLeaderRound returns the highest committed leader round.
 func (c *Committer) LastLeaderRound() types.Round { return c.lastLeaderRound }
 

@@ -185,3 +185,34 @@ func TestAdvanceIdempotent(t *testing.T) {
 		t.Fatal("second advance recommitted")
 	}
 }
+
+func TestForgetDropsCommittedFlags(t *testing.T) {
+	c := dagtest.NewCommittee(4)
+	b := dagtest.NewBuilder(c, 0)
+	committer := NewCommitter(b.Store, 4)
+	for r := 0; r < 6; r++ {
+		b.NextRound(nil, nil)
+	}
+	waves := committer.Advance()
+	if len(waves) == 0 {
+		t.Fatal("no waves committed")
+	}
+	before := committer.CommittedLen()
+	if before == 0 {
+		t.Fatal("no committed flags retained")
+	}
+	// Prune the first rounds out of the store and forget their flags.
+	removed := b.Store.PruneBelow(3)
+	committer.Forget(removed)
+	if got := committer.CommittedLen(); got != before-len(removed) {
+		t.Fatalf("committed flags %d after forgetting %d of %d", got, len(removed), before)
+	}
+	// Commit progress is unaffected: the DAG keeps extending and new
+	// waves keep committing past the pruned prefix.
+	for r := 0; r < 4; r++ {
+		b.NextRound(nil, nil)
+	}
+	if more := committer.Advance(); len(more) == 0 {
+		t.Fatal("no waves committed after pruning")
+	}
+}

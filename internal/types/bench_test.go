@@ -1,0 +1,129 @@
+package types
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchBlock builds a representative normal block: `txs` single-shard
+// transactions with preplay results (two reads + two writes each) and
+// a 2f+1 parent list for a 16-replica committee.
+func benchBlock(txs int) *Block {
+	b := &Block{
+		Epoch: 3, Round: 1041, Proposer: 7, Shard: 7, Kind: NormalBlock,
+		ProposedUnixNano: 1712345678901234567,
+	}
+	for i := 0; i < 11; i++ {
+		b.Parents = append(b.Parents, HashBytes([]byte{byte(i)}))
+	}
+	for i := 0; i < txs; i++ {
+		tx := &Transaction{
+			Client: uint64(i%64 + 1), Nonce: uint64(i),
+			Kind: SingleShard, Shards: []ShardID{7},
+			Contract: "send_payment",
+			Args:     [][]byte{[]byte(fmt.Sprintf("acct-%05d", i)), []byte(fmt.Sprintf("acct-%05d", i+1)), []byte("17")},
+		}
+		b.SingleTxs = append(b.SingleTxs, tx)
+		r := TxResult{TxID: tx.ID(), ScheduleIdx: uint32(i)}
+		for j := 0; j < 2; j++ {
+			k := Key(fmt.Sprintf("saving_%05d", i+j))
+			r.ReadSet = append(r.ReadSet, RWRecord{Key: k, Value: []byte("100000")})
+			r.WriteSet = append(r.WriteSet, RWRecord{Key: k, Value: []byte("99983")})
+		}
+		b.Results = append(b.Results, r)
+	}
+	return b
+}
+
+// BenchmarkBlockEncode measures the proposer's hot encode path: one
+// full block serialization per iteration.
+func BenchmarkBlockEncode(b *testing.B) {
+	for _, txs := range []int{100, 500} {
+		b.Run(fmt.Sprintf("txs=%d", txs), func(b *testing.B) {
+			blk := benchBlock(txs)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := blk.MarshalBinary(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBlockEncodeDigest measures encode plus content hashing —
+// the full cost of producing a block digest from scratch.
+func BenchmarkBlockEncodeDigest(b *testing.B) {
+	for _, txs := range []int{100, 500} {
+		b.Run(fmt.Sprintf("txs=%d", txs), func(b *testing.B) {
+			blk := benchBlock(txs)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				enc, err := blk.MarshalBinary()
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = HashBytes(enc)
+			}
+		})
+	}
+}
+
+// BenchmarkBlockDigest measures Block.Digest as the node calls it:
+// repeatedly on the same block (DAG insertion, equivocation checks,
+// vote handling all re-derive the digest of one proposal).
+func BenchmarkBlockDigest(b *testing.B) {
+	blk := benchBlock(500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = blk.Digest()
+	}
+}
+
+// BenchmarkBlockDecode measures the receive path.
+func BenchmarkBlockDecode(b *testing.B) {
+	enc, err := benchBlock(500).MarshalBinary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var blk Block
+		if err := blk.UnmarshalBinary(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTxID measures Transaction.ID as the hot paths call it:
+// repeatedly on the same transaction (queue drain, applied checks,
+// commit bookkeeping).
+func BenchmarkTxID(b *testing.B) {
+	tx := benchBlock(1).SingleTxs[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tx.ID()
+	}
+}
+
+// BenchmarkCertificateDigest measures Certificate.Digest as the DAG
+// layer calls it: repeatedly per vertex (parent lists, support
+// counting, causal walks).
+func BenchmarkCertificateDigest(b *testing.B) {
+	c := &Certificate{
+		BlockDigest: HashBytes([]byte("blk")), Epoch: 3, Round: 1041, Proposer: 7,
+	}
+	for i := 0; i < 11; i++ {
+		c.Sigs = append(c.Sigs, Signature{Signer: ReplicaID(i), Sig: make([]byte, 64)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Digest()
+	}
+}

@@ -56,17 +56,35 @@ type Block struct {
 	// ProposedUnixNano timestamps block creation for metrics. It is
 	// part of the digest (a block is a unique proposal event).
 	ProposedUnixNano int64
+
+	// dig caches the content digest. Blocks are immutable once built
+	// (propose fills them before the first Digest call; decode resets
+	// the cache) and owned by one goroutine at a time, so the cache is
+	// unsynchronized like the rest of the protocol state. The cache is
+	// invisible to the codec but visible to reflect.DeepEqual —
+	// compare blocks by Digest or marshalled bytes, not reflection.
+	dig   Digest
+	digOK bool
 }
 
-// Digest returns the canonical content address of the block.
+// Digest returns the canonical content address of the block, computed
+// once and cached (the node re-derives a proposal's digest on every
+// vote, DAG insertion, and equivocation check).
 func (b *Block) Digest() Digest {
-	enc, _ := b.MarshalBinary()
-	return HashBytes(enc)
+	if !b.digOK {
+		e := GetEncoder()
+		b.encode(e)
+		b.dig = HashBytes(e.Sum())
+		PutEncoder(e)
+		b.digOK = true
+	}
+	return b.dig
 }
 
-// MarshalBinary encodes the block canonically.
-func (b *Block) MarshalBinary() ([]byte, error) {
-	e := NewEncoder()
+// encode appends the block's canonical wire form. Nested transaction
+// and result encodings share the block's buffer; the bytes are
+// identical to the historical per-field Bytes() framing.
+func (b *Block) encode(e *Encoder) {
 	e.U64(uint64(b.Epoch))
 	e.U64(uint64(b.Round))
 	e.U32(uint32(b.Proposer))
@@ -78,34 +96,36 @@ func (b *Block) MarshalBinary() ([]byte, error) {
 	}
 	e.U32(uint32(len(b.SingleTxs)))
 	for _, tx := range b.SingleTxs {
-		enc, err := tx.MarshalBinary()
-		if err != nil {
-			return nil, err
-		}
-		e.Bytes(enc)
+		at := e.BeginLen()
+		tx.encode(e)
+		e.EndLen(at)
 	}
 	e.U32(uint32(len(b.Results)))
 	for i := range b.Results {
-		enc, err := b.Results[i].MarshalBinary()
-		if err != nil {
-			return nil, err
-		}
-		e.Bytes(enc)
+		at := e.BeginLen()
+		b.Results[i].encode(e)
+		e.EndLen(at)
 	}
 	e.U32(uint32(len(b.CrossTxs)))
 	for _, tx := range b.CrossTxs {
-		enc, err := tx.MarshalBinary()
-		if err != nil {
-			return nil, err
-		}
-		e.Bytes(enc)
+		at := e.BeginLen()
+		tx.encode(e)
+		e.EndLen(at)
 	}
 	e.I64(b.ProposedUnixNano)
-	return e.Sum(), nil
+}
+
+// MarshalBinary encodes the block canonically.
+func (b *Block) MarshalBinary() ([]byte, error) {
+	e := GetEncoder()
+	defer PutEncoder(e)
+	b.encode(e)
+	return e.Detach(), nil
 }
 
 // UnmarshalBinary decodes a block encoded by MarshalBinary.
 func (b *Block) UnmarshalBinary(data []byte) error {
+	b.digOK = false
 	d := NewDecoder(data)
 	b.Epoch = Epoch(d.U64())
 	b.Round = Round(d.U64())
@@ -121,7 +141,7 @@ func (b *Block) UnmarshalBinary(data []byte) error {
 	b.SingleTxs = make([]*Transaction, 0, min(int(ns), 4096))
 	for i := uint32(0); i < ns && d.Err() == nil; i++ {
 		var tx Transaction
-		if err := tx.UnmarshalBinary(d.Bytes()); err != nil {
+		if err := tx.UnmarshalBinary(d.view()); err != nil {
 			return err
 		}
 		b.SingleTxs = append(b.SingleTxs, &tx)
@@ -130,7 +150,7 @@ func (b *Block) UnmarshalBinary(data []byte) error {
 	b.Results = make([]TxResult, 0, min(int(nr), 4096))
 	for i := uint32(0); i < nr && d.Err() == nil; i++ {
 		var r TxResult
-		if err := r.UnmarshalBinary(d.Bytes()); err != nil {
+		if err := r.UnmarshalBinary(d.view()); err != nil {
 			return err
 		}
 		b.Results = append(b.Results, r)
@@ -139,7 +159,7 @@ func (b *Block) UnmarshalBinary(data []byte) error {
 	b.CrossTxs = make([]*Transaction, 0, min(int(nc), 4096))
 	for i := uint32(0); i < nc && d.Err() == nil; i++ {
 		var tx Transaction
-		if err := tx.UnmarshalBinary(d.Bytes()); err != nil {
+		if err := tx.UnmarshalBinary(d.view()); err != nil {
 			return err
 		}
 		b.CrossTxs = append(b.CrossTxs, &tx)
@@ -164,24 +184,37 @@ type Certificate struct {
 	Round       Round
 	Proposer    ReplicaID
 	Sigs        []Signature
+
+	// dig caches the identity digest (see Block.dig for the ownership
+	// discipline).
+	dig   Digest
+	digOK bool
 }
 
-// Digest returns the content address of the certificate. Signatures
-// are excluded: any 2f+1 quorum over the same block yields the same
-// certificate identity, so replicas assembling different quorums still
-// agree on parent references.
+// Digest returns the content address of the certificate, computed
+// once and cached — the DAG layer re-derives it on every parent
+// lookup, support count, and causal walk. Signatures are excluded:
+// any 2f+1 quorum over the same block yields the same certificate
+// identity, so replicas assembling different quorums still agree on
+// parent references.
 func (c *Certificate) Digest() Digest {
-	e := NewEncoder()
-	e.Digest(c.BlockDigest)
-	e.U64(uint64(c.Epoch))
-	e.U64(uint64(c.Round))
-	e.U32(uint32(c.Proposer))
-	return HashBytes(e.Sum())
+	if !c.digOK {
+		e := GetEncoder()
+		e.Digest(c.BlockDigest)
+		e.U64(uint64(c.Epoch))
+		e.U64(uint64(c.Round))
+		e.U32(uint32(c.Proposer))
+		c.dig = HashBytes(e.Sum())
+		PutEncoder(e)
+		c.digOK = true
+	}
+	return c.dig
 }
 
 // MarshalBinary encodes the certificate.
 func (c *Certificate) MarshalBinary() ([]byte, error) {
-	e := NewEncoder()
+	e := GetEncoder()
+	defer PutEncoder(e)
 	e.Digest(c.BlockDigest)
 	e.U64(uint64(c.Epoch))
 	e.U64(uint64(c.Round))
@@ -191,11 +224,12 @@ func (c *Certificate) MarshalBinary() ([]byte, error) {
 		e.U32(uint32(s.Signer))
 		e.Bytes(s.Sig)
 	}
-	return e.Sum(), nil
+	return e.Detach(), nil
 }
 
 // UnmarshalBinary decodes a certificate encoded by MarshalBinary.
 func (c *Certificate) UnmarshalBinary(data []byte) error {
+	c.digOK = false
 	d := NewDecoder(data)
 	c.BlockDigest = d.Digest()
 	c.Epoch = Epoch(d.U64())

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Encoder builds a canonical binary encoding. All integers are
@@ -17,9 +18,56 @@ type Encoder struct {
 // NewEncoder returns an empty encoder.
 func NewEncoder() *Encoder { return &Encoder{buf: make([]byte, 0, 256)} }
 
+// encPool recycles encoder buffers across the hot encode paths
+// (block/transaction marshalling, digest computation). Buffers that
+// grew beyond maxPooledBuf are dropped instead of pinned forever.
+var encPool = sync.Pool{New: func() any { return &Encoder{buf: make([]byte, 0, 1024)} }}
+
+const maxPooledBuf = 1 << 20
+
+// GetEncoder returns a reset encoder from the pool. Pair with
+// PutEncoder; any slice obtained via Sum must not be retained past
+// the PutEncoder call (use Detach for an owned copy).
+func GetEncoder() *Encoder {
+	e := encPool.Get().(*Encoder)
+	e.buf = e.buf[:0]
+	return e
+}
+
+// PutEncoder returns e to the pool.
+func PutEncoder(e *Encoder) {
+	if cap(e.buf) <= maxPooledBuf {
+		encPool.Put(e)
+	}
+}
+
 // Sum returns the accumulated bytes. The returned slice aliases the
 // encoder's buffer; callers must not mutate it while still appending.
 func (e *Encoder) Sum() []byte { return e.buf }
+
+// Detach returns an exact-size copy of the accumulated bytes, safe to
+// retain after the encoder goes back to the pool.
+func (e *Encoder) Detach() []byte {
+	out := make([]byte, len(e.buf))
+	copy(out, e.buf)
+	return out
+}
+
+// BeginLen reserves a u32 length slot for a nested length-prefixed
+// encoding and returns its position; close it with EndLen. This nests
+// sub-encodings (transactions inside a block) into one buffer with the
+// exact wire bytes Bytes(sub.MarshalBinary()) would produce, without
+// the intermediate allocation.
+func (e *Encoder) BeginLen() int {
+	at := len(e.buf)
+	e.buf = append(e.buf, 0, 0, 0, 0)
+	return at
+}
+
+// EndLen backfills the length slot opened at position at.
+func (e *Encoder) EndLen(at int) {
+	binary.BigEndian.PutUint32(e.buf[at:], uint32(len(e.buf)-at-4))
+}
 
 // U8 appends one byte.
 func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
@@ -141,8 +189,24 @@ func (d *Decoder) Bytes() []byte {
 	return append([]byte(nil), b...)
 }
 
+// view reads a length-prefixed byte string without copying; the
+// returned slice aliases the decoder's buffer. Internal decode paths
+// use it for nested encodings that are themselves fully copied out
+// field by field.
+func (d *Decoder) view() []byte {
+	n := d.U32()
+	if d.err != nil {
+		return nil
+	}
+	if n > math.MaxInt32 {
+		d.err = fmt.Errorf("types: implausible length %d", n)
+		return nil
+	}
+	return d.take(int(n))
+}
+
 // Str reads a length-prefixed string.
-func (d *Decoder) Str() string { return string(d.Bytes()) }
+func (d *Decoder) Str() string { return string(d.view()) }
 
 // Digest reads a fixed 32-byte digest.
 func (d *Decoder) Digest() Digest {
@@ -156,10 +220,9 @@ func (d *Decoder) Digest() Digest {
 
 // --- Transaction wire format ---
 
-// MarshalBinary encodes the transaction, including mutable routing
-// fields (Kind) and the latency timestamp, for network transfer.
-func (tx *Transaction) MarshalBinary() ([]byte, error) {
-	e := NewEncoder()
+// encode appends the transaction's wire form, including mutable
+// routing fields (Kind) and the latency timestamp.
+func (tx *Transaction) encode(e *Encoder) {
 	e.U64(tx.Client)
 	e.U64(tx.Nonce)
 	e.U8(uint8(tx.Kind))
@@ -175,11 +238,19 @@ func (tx *Transaction) MarshalBinary() ([]byte, error) {
 	}
 	e.Bytes(tx.Code)
 	e.I64(tx.SubmitUnixNano)
-	return e.Sum(), nil
+}
+
+// MarshalBinary encodes the transaction for network transfer.
+func (tx *Transaction) MarshalBinary() ([]byte, error) {
+	e := GetEncoder()
+	defer PutEncoder(e)
+	tx.encode(e)
+	return e.Detach(), nil
 }
 
 // UnmarshalBinary decodes a transaction encoded by MarshalBinary.
 func (tx *Transaction) UnmarshalBinary(b []byte) error {
+	tx.idOK = false
 	d := NewDecoder(b)
 	tx.Client = d.U64()
 	tx.Nonce = d.U64()
@@ -229,15 +300,21 @@ func decodeRecords(d *Decoder) []RWRecord {
 	return recs
 }
 
-// MarshalBinary encodes the preplay result.
-func (r *TxResult) MarshalBinary() ([]byte, error) {
-	e := NewEncoder()
+// encode appends the preplay result's wire form.
+func (r *TxResult) encode(e *Encoder) {
 	e.Digest(r.TxID)
 	e.U32(r.ScheduleIdx)
 	e.U32(r.Reexecutions)
 	encodeRecords(e, r.ReadSet)
 	encodeRecords(e, r.WriteSet)
-	return e.Sum(), nil
+}
+
+// MarshalBinary encodes the preplay result.
+func (r *TxResult) MarshalBinary() ([]byte, error) {
+	e := GetEncoder()
+	defer PutEncoder(e)
+	r.encode(e)
+	return e.Detach(), nil
 }
 
 // UnmarshalBinary decodes a TxResult encoded by MarshalBinary.

@@ -163,14 +163,26 @@ type Transaction struct {
 	// accounting only; it is excluded from the digest so that
 	// retransmissions keep their identity.
 	SubmitUnixNano int64
+
+	// id caches the identity digest. Identity fields are immutable
+	// after construction (Promote preserves identity by design), and a
+	// transaction is owned by one goroutine at a time, so the cache is
+	// unsynchronized; decode resets it.
+	id   Digest
+	idOK bool
 }
 
-// ID returns the content digest identifying the transaction. The
-// digest covers identity fields only (client, nonce, contract, args,
-// code, shard list, original kind) so promotion between kinds and
-// retransmission do not change it.
+// ID returns the content digest identifying the transaction, computed
+// once and cached (the proposer and commit paths re-derive it on
+// every dedup, routing, and applied check). The digest covers
+// identity fields only (client, nonce, contract, args, code, shard
+// list, original kind) so promotion between kinds and retransmission
+// do not change it.
 func (tx *Transaction) ID() Digest {
-	e := NewEncoder()
+	if tx.idOK {
+		return tx.id
+	}
+	e := GetEncoder()
 	e.U64(tx.Client)
 	e.U64(tx.Nonce)
 	e.U8(uint8(tx.origKind()))
@@ -184,7 +196,10 @@ func (tx *Transaction) ID() Digest {
 		e.Bytes(a)
 	}
 	e.Bytes(tx.Code)
-	return HashBytes(e.Sum())
+	tx.id = HashBytes(e.Sum())
+	PutEncoder(e)
+	tx.idOK = true
+	return tx.id
 }
 
 func (tx *Transaction) origKind() TxKind {

@@ -233,8 +233,18 @@ func TestCertificateRoundTrip(t *testing.T) {
 	if err := got.UnmarshalBinary(enc); err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(&got, c) {
-		t.Fatalf("mismatch: %+v vs %+v", got, *c)
+	// Compare semantically (identity digest + re-marshalled bytes),
+	// not with DeepEqual: the unexported digest-cache fields differ
+	// depending on whether Digest was ever called on a value.
+	if got.Digest() != c.Digest() {
+		t.Fatalf("identity mismatch: %+v vs %+v", got, *c)
+	}
+	enc2, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(enc2, enc) {
+		t.Fatalf("re-encoding differs: %x vs %x", enc2, enc)
 	}
 }
 
