@@ -70,6 +70,11 @@ type Options struct {
 	// GCHorizon sets each node's committed-wave GC retention horizon
 	// in rounds (0 = node default, negative disables).
 	GCHorizon int
+	// Headless lists replica indices to leave without a node: their
+	// SimNetwork endpoints are free for a wire-level Byzantine driver
+	// (see the equivocating-proposer scenario). Replica 0 must stay
+	// live (it is the harness observer).
+	Headless []int
 }
 
 func (o Options) withDefaults() Options {
@@ -127,6 +132,7 @@ func New(opt Options) (*Harness, error) {
 		TickInterval: opt.TickInterval, MinRoundInterval: opt.MinRoundInterval,
 		GCHorizon: opt.GCHorizon, Seed: opt.Seed,
 		CommitLogCap: 1 << 20,
+		Headless:     opt.Headless,
 	})
 	if err != nil {
 		return nil, err

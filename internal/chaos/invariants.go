@@ -157,6 +157,17 @@ func (h *Harness) WaitNoPendingClients(budget time.Duration) error {
 		len(pend), budget, pend[0])
 }
 
+// WaitReplicaEpoch requires replica i to reach epoch e within the
+// budget — the rejoin invariant for replicas stranded across a
+// reconfiguration: with cross-epoch state transfer they must jump into
+// the committee's epoch instead of idling in the old one forever.
+func (h *Harness) WaitReplicaEpoch(i int, e types.Epoch, budget time.Duration) error {
+	if err := h.cluster.WaitEpochAtLeast(i, e, budget); err != nil {
+		return fmt.Errorf("chaos: replica %d never rejoined: %w", i, err)
+	}
+	return nil
+}
+
 // WaitQuiesced waits until the listed replicas report equal, stable
 // commit counts — the point where state comparisons are meaningful.
 func (h *Harness) WaitQuiesced(budget time.Duration, replicas ...int) error {

@@ -217,9 +217,27 @@ type LatencySpikeFault struct{ Extra time.Duration }
 func (f LatencySpikeFault) apply(net *transport.SimNetwork) { net.SetExtraLatency(f.Extra) }
 func (f LatencySpikeFault) String() string                  { return fmt.Sprintf("latency +%s", f.Extra) }
 
-// ClearFaultsFault resets loss, duplication, and latency injection to
-// the baseline (partitions and crashes are healed by HealAllFault).
+// ClearFaultsFault resets loss, duplication, latency, and message
+// interception to the baseline (partitions and crashes are healed by
+// HealAllFault).
 type ClearFaultsFault struct{}
 
 func (ClearFaultsFault) apply(net *transport.SimNetwork) { net.ClearFaults() }
-func (ClearFaultsFault) String() string                  { return "clear loss/dup/latency" }
+func (ClearFaultsFault) String() string                  { return "clear loss/dup/latency/intercept" }
+
+// InterceptFault installs a SimNetwork message interceptor — the
+// Byzantine fault vocabulary entry: a "lying" replica is modelled by
+// rewriting (or dropping) its outbound payloads on the wire. Cleared
+// by ClearFaultsFault or a nil Fn.
+type InterceptFault struct {
+	Fn   transport.Interceptor
+	Desc string
+}
+
+func (f InterceptFault) apply(net *transport.SimNetwork) { net.SetInterceptor(f.Fn) }
+func (f InterceptFault) String() string {
+	if f.Desc != "" {
+		return "intercept: " + f.Desc
+	}
+	return "intercept"
+}

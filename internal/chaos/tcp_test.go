@@ -1,0 +1,258 @@
+// TCP transport chaos: the harness's SimNetwork scenarios model
+// network faults; this scenario models the fault SimNetwork cannot —
+// a real process crash. A replica's node is stopped and its transport
+// torn down mid-load, the committee reconfigures around the silence,
+// and a brand-new replica instance (fresh genesis store, same identity
+// and address) rejoins over real sockets. Its in-epoch catch-up
+// requests reference a DAG the committee has discarded, so the rejoin
+// must go through the cross-epoch snapshot protocol — exercising
+// MsgSnapshotReq/MsgSnapshot over TCP framing rather than SimNetwork.
+package chaos
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"thunderbolt/internal/contract"
+	"thunderbolt/internal/crypto"
+	"thunderbolt/internal/node"
+	"thunderbolt/internal/storage"
+	"thunderbolt/internal/transport"
+	"thunderbolt/internal/types"
+	"thunderbolt/internal/workload"
+)
+
+const tcpTestAccounts = 16
+
+// tcpCommittee is a 4-replica committee over loopback TCP whose
+// members can be killed and re-created individually.
+type tcpCommittee struct {
+	t        *testing.T
+	n        int
+	signers  []crypto.Signer
+	verifier crypto.Verifier
+	peers    map[types.ReplicaID]string
+	trs      []*transport.TCPTransport
+	nodes    []*node.Node
+
+	mu        sync.Mutex
+	committed map[types.Digest]bool
+}
+
+func newTCPCommittee(t *testing.T, n int, seed int64) *tcpCommittee {
+	t.Helper()
+	signers, verifier, err := crypto.InsecureScheme{}.Committee(n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &tcpCommittee{
+		t: t, n: n, signers: signers, verifier: verifier,
+		peers:     make(map[types.ReplicaID]string),
+		trs:       make([]*transport.TCPTransport, n),
+		nodes:     make([]*node.Node, n),
+		committed: make(map[types.Digest]bool),
+	}
+	// Bind ephemeral listeners first, then distribute the address book.
+	for i := 0; i < n; i++ {
+		c.trs[i] = c.listen(i, "127.0.0.1:0")
+		c.peers[types.ReplicaID(i)] = c.trs[i].Addr()
+	}
+	for i := 0; i < n; i++ {
+		c.trs[i].SetPeers(c.peers)
+		c.nodes[i] = c.buildNode(i, c.trs[i])
+	}
+	t.Cleanup(func() {
+		for i := 0; i < n; i++ {
+			if c.nodes[i] != nil {
+				c.nodes[i].Stop()
+			}
+			if c.trs[i] != nil {
+				_ = c.trs[i].Close()
+			}
+		}
+	})
+	return c
+}
+
+func (c *tcpCommittee) listen(i int, addr string) *transport.TCPTransport {
+	c.t.Helper()
+	var (
+		tr  *transport.TCPTransport
+		err error
+	)
+	// Re-binding a just-released port can transiently fail; retry
+	// briefly (only relevant for restarts on a fixed address).
+	for attempt := 0; attempt < 50; attempt++ {
+		tr, err = transport.NewTCPTransport(transport.TCPConfig{
+			Self: types.ReplicaID(i), Listen: addr,
+			DialTimeout: 250 * time.Millisecond, RetryInterval: 50 * time.Millisecond,
+		})
+		if err == nil {
+			return tr
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	c.t.Fatalf("replica %d could not listen on %s: %v", i, addr, err)
+	return nil
+}
+
+func (c *tcpCommittee) buildNode(i int, tr *transport.TCPTransport) *node.Node {
+	c.t.Helper()
+	reg := contract.NewRegistry()
+	workload.RegisterSmallBank(reg)
+	st := storage.New()
+	workload.InitAccounts(st, tcpTestAccounts, 1000, 1000)
+	cfg := node.Config{
+		ID: types.ReplicaID(i), N: c.n, Transport: tr,
+		Signer: c.signers[i], Verifier: c.verifier,
+		Registry: reg, Store: st,
+		Executors: 2, Validators: 2, BatchSize: 16,
+		K:            8,
+		TickInterval: 5 * time.Millisecond, MinRoundInterval: 5 * time.Millisecond,
+		CommitLogCap: 4096,
+	}
+	if i == 0 {
+		cfg.OnCommitTx = func(tx *types.Transaction, _ time.Time) {
+			c.mu.Lock()
+			c.committed[tx.ID()] = true
+			c.mu.Unlock()
+		}
+	}
+	nd, err := node.New(cfg)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return nd
+}
+
+// kill emulates a process crash: the node stops and its sockets close.
+func (c *tcpCommittee) kill(i int) {
+	c.nodes[i].Stop()
+	_ = c.trs[i].Close()
+	c.nodes[i], c.trs[i] = nil, nil
+}
+
+// restart brings replica i back as a new process: fresh transport on
+// the same address, fresh node with genesis-only state — everything it
+// knew died with the crash.
+func (c *tcpCommittee) restart(i int) {
+	tr := c.listen(i, c.peers[types.ReplicaID(i)])
+	tr.SetPeers(c.peers)
+	c.trs[i] = tr
+	c.nodes[i] = c.buildNode(i, tr)
+	c.nodes[i].Start()
+}
+
+// submitUntilCommitted drives one deposit to commitment, re-routing by
+// the observer's epoch on every retry (the client behaviour across
+// reconfigurations).
+func (c *tcpCommittee) submitUntilCommitted(tx *types.Transaction, timeout time.Duration) {
+	c.t.Helper()
+	id := tx.ID()
+	smap := types.NewShardMap(c.n)
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		done := c.committed[id]
+		c.mu.Unlock()
+		if done {
+			return
+		}
+		if time.Now().After(deadline) {
+			c.t.Fatalf("tx %s never committed over TCP within %v", id, timeout)
+		}
+		epoch := c.nodes[0].Stats().Epoch
+		shard := smap.ShardOf(workload.CheckingKey(string(tx.Args[0])))
+		if nd := c.nodes[node.ProposerOfShard(shard, epoch, c.n)]; nd != nil {
+			_ = nd.Submit(tx)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func depositTx(n int, nonce uint64, account int, amount int64) *types.Transaction {
+	acct := workload.AccountName(account)
+	shard := types.NewShardMap(n).ShardOf(workload.CheckingKey(acct))
+	return &types.Transaction{
+		Client: 99, Nonce: nonce, Kind: types.SingleShard,
+		Shards:   []types.ShardID{shard},
+		Contract: workload.ContractDepositChecking,
+		Args:     [][]byte{[]byte(acct), contract.EncodeInt64(amount)},
+	}
+}
+
+func TestScenarioTCPCrashRestartEpochJump(t *testing.T) {
+	const n = 4
+	c := newTCPCommittee(t, n, 42)
+	for _, nd := range c.nodes {
+		nd.Start()
+	}
+
+	// Phase 1: a healthy baseline burst.
+	nonce := uint64(1)
+	for i := 0; i < 8; i++ {
+		c.submitUntilCommitted(depositTx(n, nonce, i, 1), 30*time.Second)
+		nonce++
+	}
+
+	// Phase 2: kill replica 2 (process-level: node + sockets), keep
+	// committing. Its silence must drive a K-rule reconfiguration that
+	// rotates its shard to a live proposer.
+	c.kill(2)
+	for i := 0; i < 8; i++ {
+		c.submitUntilCommitted(depositTx(n, nonce, i, 1), 30*time.Second)
+		nonce++
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for c.nodes[0].Stats().Epoch == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no reconfiguration while replica 2 was down")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Phase 3: restart replica 2 from genesis. It wakes in epoch 0,
+	// the committee has discarded that DAG — only a snapshot epoch-jump
+	// over TCP can bring it back.
+	c.restart(2)
+	deadline = time.Now().Add(30 * time.Second)
+	for {
+		st := c.nodes[2].Stats()
+		if st.Epoch >= 1 && st.EpochJumps >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica 2 never epoch-jumped over TCP: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Phase 4: post-rejoin commits, then full state convergence.
+	for i := 0; i < 8; i++ {
+		c.submitUntilCommitted(depositTx(n, nonce, i, 1), 30*time.Second)
+		nonce++
+	}
+	ref := c.nodes[0].Store()
+	deadline = time.Now().Add(30 * time.Second)
+	for i := 1; i < n; i++ {
+		for {
+			diverged := ""
+			for _, k := range ref.Keys() {
+				a, _ := ref.Get(k)
+				b, _ := c.nodes[i].Store().Get(k)
+				if !a.Equal(b) {
+					diverged = string(k)
+					break
+				}
+			}
+			if diverged == "" {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %d never converged (diverges at %s)", i, diverged)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+}

@@ -59,6 +59,12 @@ type Config struct {
 	// MinRoundInterval throttles each node's round advancement
 	// (node.Config.MinRoundInterval); 0 = default 1ms.
 	MinRoundInterval time.Duration
+	// Headless lists replica indices for which no node is constructed:
+	// their network endpoints stay free for a test harness to drive at
+	// the wire level (Byzantine drivers, protocol fuzzers). Node(i)
+	// returns nil for them and routing treats them as black holes
+	// (clients fall back on retries and reconfiguration).
+	Headless []int
 }
 
 func (c Config) withDefaults() Config {
@@ -136,7 +142,15 @@ func New(cfg Config) (*Cluster, error) {
 		rejected:    make(chan *types.Transaction, 8192),
 		done:        make(chan struct{}),
 	}
+	headless := make(map[int]bool, len(cfg.Headless))
+	for _, i := range cfg.Headless {
+		headless[i] = true
+	}
 	for i := 0; i < cfg.N; i++ {
+		if headless[i] {
+			c.nodes = append(c.nodes, nil)
+			continue
+		}
 		st := storage.New()
 		workload.InitAccounts(st, cfg.Accounts, cfg.InitBalance, cfg.InitBalance)
 		id := types.ReplicaID(i)
@@ -190,7 +204,9 @@ func (c *Cluster) Start() {
 	c.wg.Add(1)
 	go c.resubmitRejected()
 	for _, n := range c.nodes {
-		n.Start()
+		if n != nil {
+			n.Start()
+		}
 	}
 }
 
@@ -198,7 +214,9 @@ func (c *Cluster) Start() {
 func (c *Cluster) Stop() {
 	c.stopOnce.Do(func() { close(c.done) })
 	for _, n := range c.nodes {
-		n.Stop()
+		if n != nil {
+			n.Stop()
+		}
 	}
 	c.wg.Wait()
 	c.net.Close()
@@ -235,6 +253,9 @@ func (c *Cluster) resubmitRejected() {
 			c.nacks.Add(1)
 			epoch := types.Epoch(0)
 			for _, n := range c.nodes {
+				if n == nil {
+					continue
+				}
 				if e := n.Stats().Epoch; e > epoch {
 					epoch = e
 				}
@@ -243,7 +264,9 @@ func (c *Cluster) resubmitRejected() {
 			if len(tx.Shards) > 0 {
 				shard = tx.Shards[0]
 			}
-			_ = c.nodes[ProposerOf(shard, epoch, c.cfg.N)].Submit(tx)
+			if nd := c.nodes[ProposerOf(shard, epoch, c.cfg.N)]; nd != nil {
+				_ = nd.Submit(tx)
+			}
 		case <-c.done:
 			return
 		}
@@ -350,9 +373,16 @@ func (c *Cluster) unwatch(id types.Digest, ch <-chan struct{}) {
 // route picks the node a transaction should be submitted to: the
 // proposer currently serving its (first) shard. The observer node's
 // epoch approximates the cluster epoch; a stale guess is corrected by
-// client resubmission after a timeout.
+// client resubmission after a timeout. Returns nil when the proposer
+// is headless (a black hole the client's retry loop works around).
 func (c *Cluster) route(tx *types.Transaction) *node.Node {
-	epoch := c.nodes[0].Stats().Epoch
+	var epoch types.Epoch
+	for _, n := range c.nodes {
+		if n != nil {
+			epoch = n.Stats().Epoch
+			break
+		}
+	}
 	shard := types.ShardID(0)
 	if len(tx.Shards) > 0 {
 		shard = tx.Shards[0]
@@ -373,7 +403,14 @@ func (c *Cluster) Submit(tx *types.Transaction) error {
 	if tx.SubmitUnixNano == 0 {
 		tx.SubmitUnixNano = time.Now().UnixNano()
 	}
-	return c.route(tx).Submit(tx)
+	nd := c.route(tx)
+	if nd == nil {
+		// Headless proposer: the submission is dropped on the floor,
+		// exactly as a Byzantine proposer would drop it. Clients retry
+		// until a reconfiguration rotates the shard to a live replica.
+		return nil
+	}
+	return nd.Submit(tx)
 }
 
 // SubmitWait submits tx and blocks until it commits somewhere,
@@ -437,12 +474,15 @@ func (c *Cluster) ConvergedAmong(replicas ...int) error {
 	return nil
 }
 
-// Replicas returns the replica indices [0, N) — the default argument
-// for the *Among helpers.
+// Replicas returns the constructed replica indices — the default
+// argument for the *Among helpers. Headless replicas are excluded
+// (they have no node to observe).
 func (c *Cluster) Replicas() []int {
-	ids := make([]int, len(c.nodes))
-	for i := range ids {
-		ids[i] = i
+	ids := make([]int, 0, len(c.nodes))
+	for i, n := range c.nodes {
+		if n != nil {
+			ids = append(ids, i)
+		}
 	}
 	return ids
 }
@@ -581,7 +621,29 @@ func (c *Cluster) RunLoad(lc LoadConfig) Report {
 		Reconfigs: c.reconfigs.Value(),
 	}
 	for _, n := range c.nodes {
+		if n == nil {
+			rep.NodeStats = append(rep.NodeStats, node.Stats{})
+			continue
+		}
 		rep.NodeStats = append(rep.NodeStats, n.Stats())
 	}
 	return rep
+}
+
+// WaitEpochAtLeast polls until replica i reports an epoch ≥ e — the
+// observable point at which a replica has joined (by transition or by
+// snapshot epoch-jump) the given configuration.
+func (c *Cluster) WaitEpochAtLeast(i int, e types.Epoch, timeout time.Duration) error {
+	if c.nodes[i] == nil {
+		return fmt.Errorf("cluster: replica %d is headless; it has no epoch to wait on", i)
+	}
+	deadline := time.Now().Add(timeout)
+	var last types.Epoch
+	for time.Now().Before(deadline) {
+		if last = c.nodes[i].Stats().Epoch; last >= e {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("cluster: replica %d stuck at epoch %d (want ≥ %d) after %v", i, last, e, timeout)
 }

@@ -238,10 +238,26 @@ func (n *Node) dropOwnBlock(round types.Round) {
 // DAG starts at the deterministic ending round every honest replica
 // derives from the same committed Shift quorum; shard assignments
 // rotate; uncommitted transactions are dropped for clients to
-// resubmit.
+// resubmit. The outgoing state is first captured as the transition's
+// snapshot — the committed sequence position is deterministic here, so
+// every honest replica records a bit-identical snapshot, which is what
+// lets a replica stranded across this transition authenticate one
+// later with f+1 matching digests (see snapshot.go).
 func (n *Node) reconfigure() {
+	n.captureSnapshot(n.epoch + 1)
+	n.bump(func(s *Stats) { s.Reconfigurations++ })
+	n.transition(n.epoch+1, true)
+}
+
+// transition moves this replica into newEpoch, discarding the current
+// DAG and unclaiming uncommitted work. Shared by the in-band Shift
+// transition (reconfigure) and the cross-epoch snapshot jump
+// (installSnapshot); only the former reports through OnReconfig, so
+// observers counting committee reconfigurations never conflate them
+// with one replica's catch-up jumps (those surface as
+// Stats.EpochJumps).
+func (n *Node) transition(newEpoch types.Epoch, reconfig bool) {
 	dropped := uint64(len(n.txQueue))
-	oldEpoch := n.epoch
 	// Unclaim every uncommitted transaction — queued or already
 	// proposed into the dying DAG — so client resubmissions are
 	// accepted by whichever proposer now owns the shard. Committed
@@ -261,7 +277,7 @@ func (n *Node) reconfigure() {
 	}
 	n.seen = make(map[types.Digest]time.Time)
 	n.txQueue = nil
-	n.resetEpochState(oldEpoch + 1)
+	n.resetEpochState(newEpoch)
 	if n.cfg.OnRejectTx != nil {
 		seen := make(map[types.Digest]bool, len(rejected))
 		for _, tx := range rejected {
@@ -275,11 +291,10 @@ func (n *Node) reconfigure() {
 	}
 
 	n.bump(func(s *Stats) {
-		s.Reconfigurations++
 		s.DroppedAtReconfig += dropped
 		s.Epoch = n.epoch
 	})
-	if n.cfg.OnReconfig != nil {
+	if reconfig && n.cfg.OnReconfig != nil {
 		n.cfg.OnReconfig(n.epoch, time.Now())
 	}
 	// Replay messages that arrived early for the new epoch.

@@ -20,8 +20,10 @@ import (
 // For peers, the horizon is the contract: the MsgCertReq/MsgRoundReq
 // catch-up protocol can serve any round within the horizon of the
 // server's committed frontier; a replica that misses more than that
-// is beyond in-epoch recovery (the documented stranded-replica case,
-// which needs the future state-transfer path).
+// is beyond in-epoch recovery and is rescued by the cross-epoch
+// state-transfer protocol (snapshot.go) at the next reconfiguration —
+// peers serve their transition snapshot and the replica jumps epochs
+// instead of replaying the pruned range.
 //
 // Safety of discarding uncommitted vertices below the floor is argued
 // at dag.Store.PruneBelow: with the horizon clamped far above the

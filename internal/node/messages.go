@@ -34,6 +34,21 @@ const (
 	// certificate broadcasts otherwise leave no trace to re-request —
 	// no orphan references them — and can wedge the whole committee.
 	MsgRoundReq
+	// MsgSnapshotReq asks peers for their latest epoch-transition
+	// state snapshot. Broadcast by a replica whose catch-up requests
+	// go unanswered because it is beyond in-epoch recovery: peers have
+	// moved to a later epoch (f+1 of them present future-epoch
+	// evidence) and discarded the DAG the replica is trying to sync.
+	MsgSnapshotReq
+	// MsgSnapshot carries one replica's latest epoch-transition
+	// snapshot (types.Snapshot), wrapped in a snapshotMsg that signs
+	// the snapshot's content digest. Sent in response to
+	// MsgSnapshotReq, and proactively in response to a MsgRoundReq
+	// from a stale epoch — the passive detection path: a stranded
+	// replica's round pulls advertise its old epoch, and the answer
+	// that can actually help it is a snapshot. The receiver installs
+	// only after f+1 distinct verified signers vouch for one digest.
+	MsgSnapshot
 )
 
 // vote is the payload of MsgVote.
@@ -117,6 +132,55 @@ func (r *roundReq) unmarshal(b []byte) error {
 	d := types.NewDecoder(b)
 	r.Epoch = types.Epoch(d.U64())
 	r.Round = types.Round(d.U64())
+	return d.Finish()
+}
+
+// snapshotReq is the payload of MsgSnapshotReq: the requester's
+// current epoch, so peers only answer with snapshots that would
+// actually move it forward.
+type snapshotReq struct {
+	Epoch types.Epoch
+}
+
+func (r *snapshotReq) marshal() []byte {
+	e := types.NewEncoder()
+	e.U64(uint64(r.Epoch))
+	return e.Sum()
+}
+
+func (r *snapshotReq) unmarshal(b []byte) error {
+	d := types.NewDecoder(b)
+	r.Epoch = types.Epoch(d.U64())
+	return d.Finish()
+}
+
+// snapshotMsg is the payload of MsgSnapshot: the serving replica's
+// identity, its signature over the snapshot's content digest, and the
+// encoded snapshot. Transport sender IDs are not authenticated (a TCP
+// frame carries whatever ID the sender claims), so the install quorum
+// counts signers it has cryptographically verified — like votes and
+// certificates, snapshot authenticity comes from the signature
+// scheme, never from the transport.
+type snapshotMsg struct {
+	Signer types.ReplicaID
+	Sig    []byte
+	Snap   []byte
+}
+
+func (m *snapshotMsg) marshal() []byte {
+	e := types.GetEncoder()
+	defer types.PutEncoder(e)
+	e.U32(uint32(m.Signer))
+	e.Bytes(m.Sig)
+	e.Bytes(m.Snap)
+	return e.Detach()
+}
+
+func (m *snapshotMsg) unmarshal(b []byte) error {
+	d := types.NewDecoder(b)
+	m.Signer = types.ReplicaID(d.U32())
+	m.Sig = d.Bytes()
+	m.Snap = d.Bytes()
 	return d.Finish()
 }
 

@@ -98,9 +98,10 @@ type Config struct {
 	// (last committed leader round − horizon), bounding steady-state
 	// memory within an epoch. The horizon also bounds in-epoch
 	// recovery: a replica that misses more rounds than the horizon
-	// cannot be served the pruned range by its peers and needs the
-	// (future) state-transfer path, like the documented cross-epoch
-	// case. Zero selects the default (2048); negative disables GC;
+	// cannot be served the pruned range by its peers and waits for the
+	// next reconfiguration's snapshot to jump forward (the cross-epoch
+	// state-transfer protocol in snapshot.go — see README "Recovery").
+	// Zero selects the default (2048); negative disables GC;
 	// positive values are clamped to a safe minimum well above the
 	// fast-forward gap.
 	GCHorizon int
@@ -206,6 +207,11 @@ type Stats struct {
 	FastForwards uint64
 	// PrunedRounds counts rounds reclaimed by committed-wave GC.
 	PrunedRounds uint64
+	// EpochJumps counts cross-epoch snapshot installs — recoveries
+	// from being stranded across a reconfiguration. SnapshotsServed
+	// counts transition snapshots served to stragglers.
+	EpochJumps      uint64
+	SnapshotsServed uint64
 	// PendingCross is the current number of observed-but-unexecuted
 	// cross-shard transactions touching this node's shard.
 	PendingCross uint64
@@ -281,6 +287,24 @@ type Node struct {
 	// replica whose proposal was lost (crash, partition) resume
 	// progress after recovery.
 	lastBlock *types.Block
+
+	// --- cross-epoch state transfer (snapshot.go) ---
+	// lastSnap is the snapshot captured at this node's most recent
+	// epoch transition; it outlives per-epoch state so the node can
+	// serve stragglers from any earlier epoch. lastSnapMsg caches its
+	// signed wire payload, built once on first serve (the snapshot is
+	// immutable, so every serve after that is a plain Send). snapFrom
+	// holds the latest snapshot candidate per verified signer (install
+	// needs f+1 matching digests), snapServed rate-limits serving per
+	// requester, snapReqAt paces this node's own MsgSnapshotReq
+	// broadcasts, and peerEpoch accumulates future-epoch evidence per
+	// claimed peer.
+	lastSnap    *types.Snapshot
+	lastSnapMsg []byte
+	snapFrom    map[types.ReplicaID]*types.Snapshot
+	snapServed  map[types.ReplicaID]time.Time
+	snapReqAt   time.Time
+	peerEpoch   map[types.ReplicaID]types.Epoch
 
 	// proposer state
 	txQueue []*types.Transaction
@@ -391,6 +415,10 @@ func (n *Node) resetEpochState(epoch types.Epoch) {
 	n.parentReq = make(map[types.Digest]time.Time)
 	n.roundReqAt = make(map[types.Round]time.Time)
 	n.lastBlock = nil
+	n.snapFrom = make(map[types.ReplicaID]*types.Snapshot)
+	n.snapServed = make(map[types.ReplicaID]time.Time)
+	n.snapReqAt = time.Time{}
+	n.peerEpoch = make(map[types.ReplicaID]types.Epoch)
 }
 
 // CommitEntry is one record of a node's ordered commit sequence: the
@@ -530,6 +558,12 @@ func (n *Node) Inspect(f func(*DebugView)) error {
 			PendingBlocks:  len(n.pendingBlocks),
 			VotedSlots:     len(n.voted),
 			CommittedFlags: n.committer.CommittedLen(),
+			SnapshotEpoch: func() types.Epoch {
+				if n.lastSnap == nil {
+					return 0
+				}
+				return n.lastSnap.Epoch
+			}(),
 			Vertices: func(r types.Round) []VertexInfo {
 				var out []VertexInfo
 				for _, v := range n.dagStore.AtRound(r) {
@@ -581,6 +615,9 @@ type DebugView struct {
 	PendingBlocks  int
 	VotedSlots     int
 	CommittedFlags int
+	// SnapshotEpoch is the epoch of the node's latest captured
+	// transition snapshot (0 before the first reconfiguration).
+	SnapshotEpoch types.Epoch
 	// Vertices returns the certified vertices at one round (valid only
 	// inside the Inspect callback).
 	Vertices func(r types.Round) []VertexInfo
@@ -730,6 +767,10 @@ func (n *Node) housekeeping() {
 	if stalled && n.nextRound > 1 {
 		n.pullRound(n.nextRound - 1)
 	}
+	// A stall plus f+1 peers seen in a future epoch means the committee
+	// transitioned without us: in-epoch catch-up can never answer, so
+	// ask for transition snapshots instead (cross-epoch recovery).
+	n.maybeRequestSnapshot(stalled)
 	for id := range n.pendingCross {
 		if n.applied[id] {
 			delete(n.pendingCross, id)
@@ -786,6 +827,14 @@ func (n *Node) handle(m inboundMsg) {
 			return
 		}
 		n.handleRoundReq(m.from, &r)
+	case MsgSnapshotReq:
+		var r snapshotReq
+		if err := r.unmarshal(m.payload); err != nil {
+			return
+		}
+		n.handleSnapshotReq(m.from, &r)
+	case MsgSnapshot:
+		n.handleSnapshot(m.from, m.payload)
 	}
 }
 
@@ -803,9 +852,17 @@ func (n *Node) pullRound(r types.Round) {
 }
 
 // handleRoundReq serves every certified vertex of one round (block
-// first, certificate second, per vertex).
+// first, certificate second, per vertex). A request from a stale
+// epoch asks for a DAG this node discarded at a transition — the
+// round-by-round answer no longer exists, so the useful reply is the
+// transition snapshot that lets the requester jump epochs instead.
 func (n *Node) handleRoundReq(from types.ReplicaID, r *roundReq) {
-	if r.Epoch != n.epoch {
+	if r.Epoch < n.epoch {
+		n.serveSnapshot(from, r.Epoch)
+		return
+	}
+	if r.Epoch > n.epoch {
+		n.noteFutureEpoch(from, r.Epoch)
 		return
 	}
 	for _, v := range n.dagStore.AtRound(r.Round) {
@@ -849,6 +906,7 @@ func (n *Node) requestMissingParents(v *dag.Vertex) {
 
 func (n *Node) handleBlock(from types.ReplicaID, b *types.Block) {
 	if b.Epoch > n.epoch {
+		n.noteFutureEpoch(from, b.Epoch)
 		n.futureMsgs = append(n.futureMsgs, inboundMsg{from: from, mt: MsgBlock, payload: mustMarshal(b)})
 		return
 	}
@@ -887,6 +945,7 @@ func (n *Node) handleVote(from types.ReplicaID, v *vote) {
 	if v.Epoch > n.epoch {
 		// A peer already transitioned to the next DAG; keep its vote
 		// for replay after our own transition.
+		n.noteFutureEpoch(from, v.Epoch)
 		n.futureMsgs = append(n.futureMsgs, inboundMsg{from: from, mt: MsgVote, payload: v.marshal()})
 		return
 	}
@@ -913,6 +972,7 @@ func (n *Node) handleVote(from types.ReplicaID, v *vote) {
 
 func (n *Node) handleCert(from types.ReplicaID, c *types.Certificate) {
 	if c.Epoch > n.epoch {
+		n.noteFutureEpoch(from, c.Epoch)
 		n.futureMsgs = append(n.futureMsgs, inboundMsg{from: from, mt: MsgCert, payload: mustMarshal(c)})
 		return
 	}

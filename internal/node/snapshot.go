@@ -1,0 +1,207 @@
+package node
+
+import (
+	"time"
+
+	"thunderbolt/internal/types"
+)
+
+// Cross-epoch state transfer (ROADMAP "Cross-epoch recovery").
+//
+// Committed-wave GC bounds in-epoch recovery to the retention horizon,
+// and a reconfiguration discards the old DAG entirely — so a replica
+// that misses a DAG transition can never re-derive the Shift quorum
+// from catch-up requests: peers no longer hold the history it is
+// asking for. This file closes that hole with a snapshot + epoch-jump
+// protocol:
+//
+//   - Capture: every replica builds a types.Snapshot at each epoch
+//     transition, just before discarding the old DAG. Transitions
+//     happen at one deterministic position of the committed sequence,
+//     so every honest replica's snapshot for the same transition is
+//     bit-identical.
+//   - Detect: a replica whose round advancement has stalled while f+1
+//     peers present future-epoch evidence is beyond in-epoch recovery;
+//     it broadcasts MsgSnapshotReq. Peers also serve snapshots
+//     passively when a MsgRoundReq arrives from a stale epoch.
+//   - Verify: candidates are collected per serving peer; install
+//     waits for f+1 distinct peers with matching snapshot digests,
+//     which guarantees at least one honest source — a lying server
+//     cannot forge a quorum alone.
+//   - Install: one batched state application (ledger + applied set +
+//     commit-log position), then an epoch jump: adopt the snapshot's
+//     epoch, reset DAG/pending/vote/collector state, and rejoin via
+//     the normal in-epoch recovery path (round pulls, fast-forward).
+
+// snapshotReqEvery spaces MsgSnapshotReq broadcasts and per-peer
+// MsgSnapshot serves, in housekeeping ticks: snapshots are full-state
+// payloads, so neither side re-sends them every tick.
+const snapshotReqEvery = 4
+
+// captureSnapshot records the canonical committed state at the
+// transition out of the current epoch into nextEpoch. Runs on the
+// event loop immediately before resetEpochState discards the DAG.
+func (n *Node) captureSnapshot(nextEpoch types.Epoch) {
+	snap := &types.Snapshot{
+		Epoch:     nextEpoch,
+		N:         uint32(n.n),
+		PrevEpoch: n.epoch,
+		EndRound:  n.committer.LastLeaderRound(),
+		Commits:   n.Stats().CommittedTxs,
+		Ledger:    n.cfg.Store.Dump(),
+		Applied:   make([]types.Digest, 0, len(n.applied)),
+	}
+	for id := range n.applied {
+		snap.Applied = append(snap.Applied, id)
+	}
+	types.SortDigests(snap.Applied)
+	n.lastSnap = snap
+	n.lastSnapMsg = nil // rebuilt on first serve
+}
+
+// noteFutureEpoch records evidence that a peer has moved past this
+// replica's epoch (a message from a future epoch). Requiring f+1
+// distinct peers before actively requesting snapshots keeps one
+// confused or malicious peer from triggering request traffic — but it
+// is an advisory gate, not a security boundary: the evidence keys on
+// claimed sender IDs, which TCP framing does not authenticate, so a
+// determined attacker can induce spurious MsgSnapshotReq broadcasts.
+// That is harmless by design; install safety rests entirely on the
+// f+1 verified-signer digest quorum in maybeInstallSnapshot.
+func (n *Node) noteFutureEpoch(from types.ReplicaID, e types.Epoch) {
+	if e > n.peerEpoch[from] {
+		n.peerEpoch[from] = e
+	}
+}
+
+// maybeRequestSnapshot broadcasts MsgSnapshotReq when this replica is
+// both wedged (no progress across ticks) and provably behind (f+1
+// peers seen in a future epoch). Called from housekeeping.
+func (n *Node) maybeRequestSnapshot(stalled bool) {
+	if !stalled || time.Since(n.snapReqAt) < snapshotReqEvery*n.cfg.TickInterval {
+		return
+	}
+	ahead := 0
+	for _, e := range n.peerEpoch {
+		if e > n.epoch {
+			ahead++
+		}
+	}
+	if ahead < n.f+1 {
+		return
+	}
+	n.snapReqAt = time.Now()
+	_ = n.cfg.Transport.Broadcast(MsgSnapshotReq, (&snapshotReq{Epoch: n.epoch}).marshal())
+}
+
+// serveSnapshot sends this node's latest transition snapshot to a
+// replica stuck at reqEpoch, rate-limited per requester.
+func (n *Node) serveSnapshot(to types.ReplicaID, reqEpoch types.Epoch) {
+	if n.lastSnap == nil || n.lastSnap.Epoch <= reqEpoch || to == n.cfg.ID {
+		return
+	}
+	if at, ok := n.snapServed[to]; ok && time.Since(at) < snapshotReqEvery*n.cfg.TickInterval {
+		return
+	}
+	n.snapServed[to] = time.Now()
+	if n.lastSnapMsg == nil {
+		// The snapshot is immutable once captured: encode and sign it
+		// once, then every further serve is a plain Send.
+		n.lastSnapMsg = (&snapshotMsg{
+			Signer: n.cfg.ID,
+			Sig:    n.cfg.Signer.Sign(n.lastSnap.Digest()),
+			Snap:   mustMarshal(n.lastSnap),
+		}).marshal()
+	}
+	_ = n.cfg.Transport.Send(to, MsgSnapshot, n.lastSnapMsg)
+	n.bump(func(s *Stats) { s.SnapshotsServed++ })
+}
+
+func (n *Node) handleSnapshotReq(from types.ReplicaID, r *snapshotReq) {
+	n.serveSnapshot(from, r.Epoch)
+}
+
+// handleSnapshot collects one replica's signed snapshot and installs
+// once f+1 distinct verified signers agree. The candidate key is the
+// verified signer, never the transport sender: over TCP the claimed
+// sender ID is just bytes in a frame, and without the signature check
+// one connection could impersonate f+1 replicas and forge the install
+// quorum. Only the latest candidate per signer counts, so re-sending
+// variants cannot inflate any count either.
+func (n *Node) handleSnapshot(_ types.ReplicaID, payload []byte) {
+	var m snapshotMsg
+	if err := m.unmarshal(payload); err != nil {
+		return
+	}
+	if int(m.Signer) >= n.n || m.Signer == n.cfg.ID {
+		return
+	}
+	var snap types.Snapshot
+	if err := snap.UnmarshalBinary(m.Snap); err != nil {
+		return
+	}
+	if snap.Epoch <= n.epoch || int(snap.N) != n.n || !snap.Canonical() {
+		return
+	}
+	if !n.verifier.Verify(m.Signer, snap.Digest(), m.Sig) {
+		return
+	}
+	n.noteFutureEpoch(m.Signer, snap.Epoch)
+	n.snapFrom[m.Signer] = &snap
+	n.maybeInstallSnapshot()
+}
+
+// maybeInstallSnapshot looks for a digest vouched for by f+1 distinct
+// verified signers and installs it. Matching digests mean
+// byte-identical content, and f+1 of them include at least one honest
+// replica's capture.
+func (n *Node) maybeInstallSnapshot() {
+	votes := make(map[types.Digest]int, len(n.snapFrom))
+	var best *types.Snapshot
+	for _, s := range n.snapFrom {
+		d := s.Digest()
+		votes[d]++
+		if votes[d] >= n.f+1 && (best == nil || s.Epoch > best.Epoch) {
+			best = s
+		}
+	}
+	if best != nil {
+		n.installSnapshot(best)
+	}
+}
+
+// installSnapshot applies a verified snapshot and jumps epochs. The
+// replica's own committed prefix is always a prefix of the snapshot's
+// (commit sequences are prefix-consistent and the snapshot sits at a
+// later position), so overlaying the ledger and applied set loses
+// nothing; the batched Store.Apply is the single state application.
+func (n *Node) installSnapshot(snap *types.Snapshot) {
+	n.cfg.Store.Apply(snap.Ledger)
+	applied := make(map[types.Digest]bool, len(snap.Applied)+len(n.applied))
+	for _, id := range snap.Applied {
+		applied[id] = true
+	}
+	for id := range n.applied {
+		applied[id] = true
+	}
+	n.applied = applied
+	// Re-anchor the commit log at the snapshot's sequence position:
+	// the local log resumes exactly where the committee's agreed
+	// sequence continues, keeping cross-replica prefix comparisons
+	// meaningful after the jump.
+	n.clogMu.Lock()
+	n.clog = nil
+	n.clogStart = snap.Commits
+	n.clogMu.Unlock()
+	// The verified snapshot is byte-identical to an honest capture, so
+	// this replica now serves it to later stragglers of the same
+	// transition — widening the pool a future f+1 install can draw on
+	// (re-signed with this replica's own key on first serve).
+	n.lastSnap = snap
+	n.lastSnapMsg = nil
+	n.bump(func(s *Stats) {
+		s.EpochJumps++
+		s.CommittedTxs = snap.Commits
+	})
+	n.transition(snap.Epoch, false)
+}

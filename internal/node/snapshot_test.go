@@ -1,0 +1,211 @@
+package node
+
+import (
+	"testing"
+
+	"thunderbolt/internal/contract"
+	"thunderbolt/internal/crypto"
+	"thunderbolt/internal/storage"
+	"thunderbolt/internal/transport"
+	"thunderbolt/internal/types"
+	"thunderbolt/internal/workload"
+)
+
+// snapTestNodes builds n unstarted nodes over a zero-latency
+// SimNetwork with identical genesis state. Methods are called directly
+// (no event loop), which is safe single-threaded.
+func snapTestNodes(t *testing.T, n int) ([]*Node, *transport.SimNetwork) {
+	t.Helper()
+	signers, verifier, err := crypto.InsecureScheme{}.Committee(n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewSimNetwork(transport.SimConfig{N: n})
+	t.Cleanup(net.Close)
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		reg := contract.NewRegistry()
+		workload.RegisterSmallBank(reg)
+		st := storage.New()
+		workload.InitAccounts(st, 8, 100, 100)
+		nd, err := New(Config{
+			ID: types.ReplicaID(i), N: n,
+			Transport: net.Endpoint(types.ReplicaID(i)),
+			Signer:    signers[i], Verifier: verifier,
+			Registry: reg, Store: st,
+			CommitLogCap: 1024,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+	}
+	return nodes, net
+}
+
+// signedSnap wraps a donor's latest snapshot in the signed MsgSnapshot
+// payload, exactly as serveSnapshot would.
+func signedSnap(donor *Node) []byte {
+	return (&snapshotMsg{
+		Signer: donor.cfg.ID,
+		Sig:    donor.cfg.Signer.Sign(donor.lastSnap.Digest()),
+		Snap:   mustMarshal(donor.lastSnap),
+	}).marshal()
+}
+
+// applyTestCommits gives a node some committed state: a store write
+// plus applied IDs, mirroring what executing a committed prefix does.
+func applyTestCommits(n *Node, balance int64, ids ...types.Digest) {
+	n.cfg.Store.Set(workload.CheckingKey(workload.AccountName(0)), contract.EncodeInt64(balance))
+	for _, id := range ids {
+		n.applied[id] = true
+	}
+	n.bump(func(s *Stats) { s.CommittedTxs += uint64(len(ids)) })
+}
+
+func TestSnapshotCaptureDeterministic(t *testing.T) {
+	nodes, _ := snapTestNodes(t, 4)
+	ids := []types.Digest{types.HashBytes([]byte("t1")), types.HashBytes([]byte("t2"))}
+	for _, nd := range nodes[:2] {
+		applyTestCommits(nd, 555, ids...)
+		nd.captureSnapshot(1)
+	}
+	a, b := nodes[0].lastSnap, nodes[1].lastSnap
+	if a == nil || b == nil {
+		t.Fatal("capture produced no snapshot")
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatalf("replicas with identical committed state captured different digests: %s vs %s",
+			a.Digest(), b.Digest())
+	}
+	if a.Epoch != 1 || a.Commits != 2 || len(a.Applied) != 2 {
+		t.Fatalf("unexpected snapshot header: %+v", a)
+	}
+}
+
+func TestSnapshotInstallNeedsQuorum(t *testing.T) {
+	nodes, _ := snapTestNodes(t, 4)
+	ids := []types.Digest{types.HashBytes([]byte("t1"))}
+	for _, nd := range nodes[1:3] {
+		applyTestCommits(nd, 777, ids...)
+		nd.captureSnapshot(2)
+	}
+	victim := nodes[0]
+
+	victim.handleSnapshot(1, signedSnap(nodes[1]))
+	if victim.epoch != 0 {
+		t.Fatal("installed from a single signer — f+1 matching digests required")
+	}
+	// The same signer re-sending must not inflate the count.
+	victim.handleSnapshot(1, signedSnap(nodes[1]))
+	if victim.epoch != 0 {
+		t.Fatal("one signer counted twice toward the install quorum")
+	}
+	victim.handleSnapshot(2, signedSnap(nodes[2]))
+	if victim.epoch != 2 {
+		t.Fatalf("no epoch jump after f+1 matching snapshots (epoch %d)", victim.epoch)
+	}
+	if !victim.applied[ids[0]] {
+		t.Fatal("applied set not installed")
+	}
+	v, _ := victim.cfg.Store.Get(workload.CheckingKey(workload.AccountName(0)))
+	got, err := contract.DecodeInt64(v)
+	if err != nil || got != 777 {
+		t.Fatalf("ledger not installed: %q (%v)", v, err)
+	}
+	start, log := victim.CommitLog()
+	if start != 1 || len(log) != 0 {
+		t.Fatalf("commit log not re-anchored: start %d, %d entries", start, len(log))
+	}
+	st := victim.Stats()
+	if st.EpochJumps != 1 || st.CommittedTxs != 1 || st.Epoch != 2 {
+		t.Fatalf("stats not updated: %+v", st)
+	}
+	// The jumper now serves the verified snapshot to later stragglers.
+	if victim.lastSnap == nil || victim.lastSnap.Digest() != nodes[1].lastSnap.Digest() {
+		t.Fatal("installed snapshot not retained for serving")
+	}
+}
+
+func TestSnapshotInstallRejectsLyingServer(t *testing.T) {
+	nodes, _ := snapTestNodes(t, 4)
+	for _, nd := range nodes[1:4] {
+		applyTestCommits(nd, 900)
+		nd.captureSnapshot(3)
+	}
+	victim := nodes[0]
+
+	// Replica 3 lies: an internally consistent snapshot with a forged
+	// balance, properly signed with its own key. Its digest differs,
+	// so it can never join the honest candidates' count.
+	lie := *nodes[3].lastSnap
+	lie.Ledger = append([]types.RWRecord(nil), lie.Ledger...)
+	for i, r := range lie.Ledger {
+		if r.Key == workload.CheckingKey(workload.AccountName(0)) {
+			lie.Ledger[i].Value = contract.EncodeInt64(1_000_000)
+		}
+	}
+	lieBytes, _ := lie.MarshalBinary()
+	var reSigned types.Snapshot
+	if err := reSigned.UnmarshalBinary(lieBytes); err != nil {
+		t.Fatal(err)
+	}
+	forged := (&snapshotMsg{
+		Signer: 3, Sig: nodes[3].cfg.Signer.Sign(reSigned.Digest()), Snap: lieBytes,
+	}).marshal()
+
+	victim.handleSnapshot(3, forged)
+	victim.handleSnapshot(1, signedSnap(nodes[1]))
+	if victim.epoch != 0 {
+		t.Fatal("installed with one honest and one lying vote")
+	}
+	// Impersonation: without replica 1's key, a second copy of the lie
+	// claiming to be from replica 1 must be rejected — otherwise one
+	// attacker could forge the whole f+1 quorum over an
+	// unauthenticated transport.
+	impersonated := (&snapshotMsg{
+		Signer: 1, Sig: nodes[3].cfg.Signer.Sign(reSigned.Digest()), Snap: lieBytes,
+	}).marshal()
+	victim.handleSnapshot(1, impersonated)
+	if victim.epoch != 0 {
+		t.Fatal("impersonated signer forged the install quorum")
+	}
+	victim.handleSnapshot(2, signedSnap(nodes[2]))
+	if victim.epoch != 3 {
+		t.Fatalf("honest quorum did not install (epoch %d)", victim.epoch)
+	}
+	v, _ := victim.cfg.Store.Get(workload.CheckingKey(workload.AccountName(0)))
+	if got, _ := contract.DecodeInt64(v); got != 900 {
+		t.Fatalf("lying server's state installed: balance %d", got)
+	}
+}
+
+func TestSnapshotStaleOrMismatchedIgnored(t *testing.T) {
+	nodes, _ := snapTestNodes(t, 4)
+	donor := nodes[1]
+	applyTestCommits(donor, 444)
+	donor.captureSnapshot(1)
+
+	victim := nodes[0]
+	victim.epoch = 5 // pretend we are already past the snapshot
+	victim.handleSnapshot(1, signedSnap(donor))
+	if len(victim.snapFrom) != 0 {
+		t.Fatal("stale snapshot retained as a candidate")
+	}
+
+	victim.epoch = 0
+	bad := *donor.lastSnap
+	bad.N = 7 // committee-size mismatch
+	badBytes, _ := bad.MarshalBinary()
+	var decoded types.Snapshot
+	if err := decoded.UnmarshalBinary(badBytes); err != nil {
+		t.Fatal(err)
+	}
+	payload := (&snapshotMsg{
+		Signer: 1, Sig: donor.cfg.Signer.Sign(decoded.Digest()), Snap: badBytes,
+	}).marshal()
+	victim.handleSnapshot(1, payload)
+	if len(victim.snapFrom) != 0 {
+		t.Fatal("mismatched committee size retained as a candidate")
+	}
+}

@@ -138,6 +138,19 @@ func (s *Store) Snapshot() map[types.Key]types.Value {
 	return out
 }
 
+// Dump returns the full state as records in ascending key order — the
+// canonical ledger form state snapshots carry. Values are cloned.
+func (s *Store) Dump() []types.RWRecord {
+	s.mu.RLock()
+	out := make([]types.RWRecord, 0, len(s.data))
+	for k, e := range s.data {
+		out = append(out, types.RWRecord{Key: k, Value: e.val.Clone()})
+	}
+	s.mu.RUnlock()
+	types.SortLedger(out)
+	return out
+}
+
 // Keys returns every key, sorted, for deterministic iteration.
 func (s *Store) Keys() []types.Key {
 	s.mu.RLock()

@@ -75,12 +75,21 @@ type SimNetwork struct {
 	crashed map[types.ReplicaID]bool
 
 	// runtime-adjustable fault state (chaos harness knobs)
-	lossRate   float64                              // global loss probability
-	linkLoss   map[[2]types.ReplicaID]float64       // per-link override
-	dupRate    float64                              // duplicate-delivery probability
-	extraDelay time.Duration                        // global added one-way delay
-	linkDelay  map[[2]types.ReplicaID]time.Duration // per-link added delay
+	lossRate    float64                              // global loss probability
+	linkLoss    map[[2]types.ReplicaID]float64       // per-link override
+	dupRate     float64                              // duplicate-delivery probability
+	extraDelay  time.Duration                        // global added one-way delay
+	linkDelay   map[[2]types.ReplicaID]time.Duration // per-link added delay
+	interceptor Interceptor                          // Byzantine message mutation
 }
+
+// Interceptor inspects every surviving message before it is enqueued
+// and may rewrite the payload or drop it (return ok=false). It is the
+// chaos harness's Byzantine hook: a "lying" peer is modelled by
+// mutating its outbound payloads on the wire. The returned slice is
+// cloned by the network, and the function runs on the sender's
+// goroutine — keep it fast and reentrant.
+type Interceptor func(from, to types.ReplicaID, mt MsgType, payload []byte) (out []byte, ok bool)
 
 type simMsg struct {
 	from    types.ReplicaID
@@ -308,9 +317,17 @@ func (n *SimNetwork) SetLinkLatency(a, b types.ReplicaID, d time.Duration) {
 	n.linkDelay[[2]types.ReplicaID{a, b}] = d
 }
 
-// ClearFaults resets loss, duplication, and latency injection to the
-// configured baseline. Severed links and crashes are untouched (see
-// HealAll).
+// SetInterceptor installs (or, with nil, removes) the message
+// interceptor.
+func (n *SimNetwork) SetInterceptor(fn Interceptor) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.interceptor = fn
+}
+
+// ClearFaults resets loss, duplication, latency, and interception to
+// the configured baseline. Severed links and crashes are untouched
+// (see HealAll).
 func (n *SimNetwork) ClearFaults() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -319,27 +336,28 @@ func (n *SimNetwork) ClearFaults() {
 	n.dupRate = 0
 	n.extraDelay = 0
 	n.linkDelay = make(map[[2]types.ReplicaID]time.Duration)
+	n.interceptor = nil
 }
 
 // plan makes every per-send fault decision under one lock so the
-// seeded RNG's draw sequence is well-defined: drop?, extra delay, and
-// duplicate?.
-func (n *SimNetwork) plan(from, to types.ReplicaID) (drop bool, extra time.Duration, dup bool) {
+// seeded RNG's draw sequence is well-defined: drop?, extra delay,
+// duplicate?, and which interceptor (if any) applies to this send.
+func (n *SimNetwork) plan(from, to types.ReplicaID) (drop bool, extra time.Duration, dup bool, ic Interceptor) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.crashed[from] || n.crashed[to] || n.blocked[[2]types.ReplicaID{from, to}] {
-		return true, 0, false
+		return true, 0, false, nil
 	}
 	p := n.lossRate
 	if lp, ok := n.linkLoss[[2]types.ReplicaID{from, to}]; ok {
 		p = lp
 	}
 	if p > 0 && n.rng.Float64() < p {
-		return true, 0, false
+		return true, 0, false, nil
 	}
 	extra = n.extraDelay + n.linkDelay[[2]types.ReplicaID{from, to}]
 	dup = n.dupRate > 0 && n.rng.Float64() < n.dupRate
-	return false, extra, dup
+	return false, extra, dup, n.interceptor
 }
 
 // Close shuts down every endpoint.
@@ -368,9 +386,16 @@ func (e *simEndpoint) Send(to types.ReplicaID, mt MsgType, payload []byte) error
 	if int(to) >= len(e.net.endpoints) {
 		return fmt.Errorf("transport: unknown peer %d", to)
 	}
-	drop, extra, dup := e.net.plan(e.id, to)
+	drop, extra, dup, ic := e.net.plan(e.id, to)
 	if drop {
 		return nil // silently lost, like the wire
+	}
+	if ic != nil {
+		out, ok := ic(e.id, to, mt, payload)
+		if !ok {
+			return nil // intercepted and dropped
+		}
+		payload = out
 	}
 	m := simMsg{
 		from:    e.id,

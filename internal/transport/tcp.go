@@ -42,9 +42,14 @@ type TCPTransport struct {
 	h       Handler
 	conns   map[types.ReplicaID]net.Conn
 	inbound map[net.Conn]struct{}
-	done    chan struct{}
-	once    sync.Once
-	wg      sync.WaitGroup
+	// failedAt backs off dialing per peer: while a peer is down, every
+	// Send to it would otherwise pay a full dial timeout — on the
+	// node's event loop, where one dead peer must not stall protocol
+	// progress for the live committee (crash/restart scenarios).
+	failedAt map[types.ReplicaID]time.Time
+	done     chan struct{}
+	once     sync.Once
+	wg       sync.WaitGroup
 }
 
 // NewTCPTransport starts listening immediately.
@@ -60,11 +65,12 @@ func NewTCPTransport(cfg TCPConfig) (*TCPTransport, error) {
 		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
 	}
 	t := &TCPTransport{
-		cfg:     cfg,
-		ln:      ln,
-		conns:   make(map[types.ReplicaID]net.Conn),
-		inbound: make(map[net.Conn]struct{}),
-		done:    make(chan struct{}),
+		cfg:      cfg,
+		ln:       ln,
+		conns:    make(map[types.ReplicaID]net.Conn),
+		inbound:  make(map[net.Conn]struct{}),
+		failedAt: make(map[types.ReplicaID]time.Time),
+		done:     make(chan struct{}),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -150,24 +156,42 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 	}
 }
 
-// conn returns (dialing if necessary) the outbound connection to a peer.
+// conn returns (dialing if necessary) the outbound connection to a
+// peer. Dial failures are remembered: until RetryInterval elapses,
+// further attempts fail fast instead of paying the dial timeout again
+// — sends to a down peer cost microseconds, not seconds, and the
+// protocol's own retry cadence (housekeeping) spaces the real redials.
 func (t *TCPTransport) conn(to types.ReplicaID) (net.Conn, error) {
 	t.mu.Lock()
 	if c, ok := t.conns[to]; ok {
 		t.mu.Unlock()
 		return c, nil
 	}
+	if at, ok := t.failedAt[to]; ok && time.Since(at) < t.cfg.RetryInterval {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("transport: peer %d unreachable (backing off)", to)
+	}
 	addr, ok := t.cfg.Peers[to]
-	t.mu.Unlock()
 	if !ok {
+		t.mu.Unlock()
 		return nil, fmt.Errorf("transport: unknown peer %d", to)
 	}
+	// Record the attempt before dialing, not only after it fails: a
+	// blackholed peer (packet drop, no RST) blocks the dial for the
+	// full timeout, and every Send racing or following it within the
+	// window must fail fast instead of queuing up behind dials of
+	// their own. Success clears the mark; failure refreshes it so the
+	// backoff is measured from the dial's completion.
+	t.failedAt[to] = time.Now()
+	t.mu.Unlock()
 	c, err := net.DialTimeout("tcp", addr, t.cfg.DialTimeout)
-	if err != nil {
-		return nil, err
-	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if err != nil {
+		t.failedAt[to] = time.Now()
+		return nil, err
+	}
+	delete(t.failedAt, to)
 	if existing, ok := t.conns[to]; ok {
 		// Lost the dial race; keep the established one.
 		_ = c.Close()
@@ -209,13 +233,15 @@ func (t *TCPTransport) Send(to types.ReplicaID, mt MsgType, payload []byte) erro
 	binary.BigEndian.PutUint32(frame[5:9], uint32(t.cfg.Self))
 	copy(frame[9:], payload)
 
+	// A dial failure returns immediately (the peer is down; the
+	// protocol layer's own retries will come back). A write failure
+	// drops the cached connection and redials once, covering the
+	// common stale-socket case after a peer restart.
 	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
 		c, err := t.conn(to)
 		if err != nil {
-			lastErr = err
-			time.Sleep(t.cfg.RetryInterval)
-			continue
+			return err
 		}
 		if _, err := c.Write(frame); err != nil {
 			t.dropConn(to, c)

@@ -1,0 +1,147 @@
+package types
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// Snapshot is the cross-epoch state-transfer unit: the canonical
+// committed state of the cluster at one epoch transition. Every honest
+// replica reconfigures at the same position of the deterministic
+// committed sequence, so every honest replica captures a bit-identical
+// snapshot for the same transition — which is what lets a stranded
+// replica authenticate one by collecting f+1 matching digests from
+// independent peers instead of trusting any single server.
+//
+// A replica that missed a reconfiguration (crashed or partitioned
+// across it) installs the snapshot as one batched state application
+// and joins Epoch directly: peers discarded the previous DAG at the
+// transition, so round-by-round replay of the missed history is
+// impossible by design (see the GC/epoch recovery contract in the
+// README "Recovery" section).
+type Snapshot struct {
+	// Epoch is the epoch this snapshot admits a replica into — the
+	// epoch entered at the transition that captured it. The committee
+	// itself is static; per-epoch shard and leader assignments are
+	// derived deterministically from Epoch and N.
+	Epoch Epoch
+	// N is the committee size the snapshot was captured under, binding
+	// the digest to the configuration.
+	N uint32
+
+	// PrevEpoch and EndRound are the last-commit provenance: the epoch
+	// that ended at the transition and its final committed leader
+	// round (the wave that completed the Shift quorum).
+	PrevEpoch Epoch
+	EndRound  Round
+
+	// Commits is the length of the committed-transaction sequence at
+	// capture (the commit-log position the first post-snapshot commit
+	// will occupy).
+	Commits uint64
+
+	// Ledger is the full committed key/value state, in strictly
+	// ascending key order.
+	Ledger []RWRecord
+
+	// Applied holds the transaction IDs resolved by the committed
+	// prefix — committed ones plus deterministic failures — in
+	// strictly ascending byte order. Installing it keeps the jumping
+	// replica's dedup aligned with the committee's.
+	Applied []Digest
+
+	// dig caches the content digest (see Block.dig for the ownership
+	// discipline: snapshots are immutable once built, decode resets
+	// the cache).
+	dig   Digest
+	digOK bool
+}
+
+// SortLedger puts records into the canonical strictly-ascending key
+// order builders must emit.
+func SortLedger(recs []RWRecord) {
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Key < recs[j].Key })
+}
+
+// SortDigests puts digests into the canonical strictly-ascending byte
+// order builders must emit.
+func SortDigests(ds []Digest) {
+	sort.Slice(ds, func(i, j int) bool { return bytes.Compare(ds[i][:], ds[j][:]) < 0 })
+}
+
+// Canonical reports whether the snapshot is in canonical form: ledger
+// keys strictly ascending and applied IDs strictly ascending. Honest
+// builders always emit canonical snapshots; receivers reject anything
+// else before counting it toward an install quorum, so a malformed or
+// deliberately reordered copy can never masquerade as a fresh digest
+// of the same logical state.
+func (s *Snapshot) Canonical() bool {
+	for i := 1; i < len(s.Ledger); i++ {
+		if s.Ledger[i-1].Key >= s.Ledger[i].Key {
+			return false
+		}
+	}
+	for i := 1; i < len(s.Applied); i++ {
+		if bytes.Compare(s.Applied[i-1][:], s.Applied[i][:]) >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Digest returns the canonical content address of the snapshot,
+// computed once and cached. Two snapshots match iff their epochs,
+// provenance, commit position, ledger, and applied sets all match.
+func (s *Snapshot) Digest() Digest {
+	if !s.digOK {
+		e := GetEncoder()
+		s.encode(e)
+		s.dig = HashBytes(e.Sum())
+		PutEncoder(e)
+		s.digOK = true
+	}
+	return s.dig
+}
+
+func (s *Snapshot) encode(e *Encoder) {
+	e.U64(uint64(s.Epoch))
+	e.U32(s.N)
+	e.U64(uint64(s.PrevEpoch))
+	e.U64(uint64(s.EndRound))
+	e.U64(s.Commits)
+	encodeRecords(e, s.Ledger)
+	e.U32(uint32(len(s.Applied)))
+	for _, d := range s.Applied {
+		e.Digest(d)
+	}
+}
+
+// MarshalBinary encodes the snapshot canonically.
+func (s *Snapshot) MarshalBinary() ([]byte, error) {
+	e := GetEncoder()
+	defer PutEncoder(e)
+	s.encode(e)
+	return e.Detach(), nil
+}
+
+// UnmarshalBinary decodes a snapshot encoded by MarshalBinary.
+func (s *Snapshot) UnmarshalBinary(b []byte) error {
+	s.digOK = false
+	d := NewDecoder(b)
+	s.Epoch = Epoch(d.U64())
+	s.N = d.U32()
+	s.PrevEpoch = Epoch(d.U64())
+	s.EndRound = Round(d.U64())
+	s.Commits = d.U64()
+	s.Ledger = decodeRecords(d)
+	na := d.U32()
+	if d.Err() == nil && int(na) > len(b)/32 {
+		return fmt.Errorf("types: implausible applied count %d", na)
+	}
+	s.Applied = make([]Digest, 0, na)
+	for i := uint32(0); i < na && d.Err() == nil; i++ {
+		s.Applied = append(s.Applied, d.Digest())
+	}
+	return d.Finish()
+}

@@ -1,0 +1,107 @@
+package types
+
+import (
+	"testing"
+)
+
+func testSnapshot() *Snapshot {
+	s := &Snapshot{
+		Epoch: 3, N: 4, PrevEpoch: 2, EndRound: 41, Commits: 1234,
+		Ledger: []RWRecord{
+			{Key: "c:acct000001", Value: Value("100")},
+			{Key: "c:acct000002", Value: Value("250")},
+			{Key: "s:acct000001", Value: Value("7")},
+		},
+		Applied: []Digest{
+			HashBytes([]byte("a")),
+			HashBytes([]byte("b")),
+			HashBytes([]byte("c")),
+		},
+	}
+	SortLedger(s.Ledger)
+	SortDigests(s.Applied)
+	return s
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := testSnapshot()
+	b, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := got.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != s.Epoch || got.N != s.N || got.PrevEpoch != s.PrevEpoch ||
+		got.EndRound != s.EndRound || got.Commits != s.Commits {
+		t.Fatalf("header mismatch: %+v vs %+v", got, s)
+	}
+	if len(got.Ledger) != len(s.Ledger) || len(got.Applied) != len(s.Applied) {
+		t.Fatalf("body length mismatch")
+	}
+	for i := range s.Ledger {
+		if got.Ledger[i].Key != s.Ledger[i].Key || !got.Ledger[i].Value.Equal(s.Ledger[i].Value) {
+			t.Fatalf("ledger[%d] mismatch", i)
+		}
+	}
+	for i := range s.Applied {
+		if got.Applied[i] != s.Applied[i] {
+			t.Fatalf("applied[%d] mismatch", i)
+		}
+	}
+	if got.Digest() != s.Digest() {
+		t.Fatal("digest not stable across encode/decode")
+	}
+	if !got.Canonical() {
+		t.Fatal("round-tripped snapshot not canonical")
+	}
+}
+
+func TestSnapshotDigestBindsContent(t *testing.T) {
+	base := testSnapshot().Digest()
+	mutations := []func(*Snapshot){
+		func(s *Snapshot) { s.Epoch++ },
+		func(s *Snapshot) { s.N++ },
+		func(s *Snapshot) { s.PrevEpoch++ },
+		func(s *Snapshot) { s.EndRound++ },
+		func(s *Snapshot) { s.Commits++ },
+		func(s *Snapshot) { s.Ledger[0].Value = Value("999") },
+		func(s *Snapshot) { s.Applied[0][0] ^= 1 },
+		func(s *Snapshot) { s.Applied = s.Applied[:len(s.Applied)-1] },
+	}
+	for i, mut := range mutations {
+		s := testSnapshot()
+		mut(s)
+		if s.Digest() == base {
+			t.Errorf("mutation %d did not change the digest", i)
+		}
+	}
+}
+
+func TestSnapshotCanonical(t *testing.T) {
+	s := testSnapshot()
+	if !s.Canonical() {
+		t.Fatal("sorted snapshot should be canonical")
+	}
+	bad := testSnapshot()
+	bad.Ledger[0], bad.Ledger[1] = bad.Ledger[1], bad.Ledger[0]
+	if bad.Canonical() {
+		t.Fatal("unsorted ledger accepted as canonical")
+	}
+	dup := testSnapshot()
+	dup.Applied[1] = dup.Applied[0]
+	if dup.Canonical() {
+		t.Fatal("duplicate applied IDs accepted as canonical")
+	}
+}
+
+func TestSnapshotRejectsTruncation(t *testing.T) {
+	b, _ := testSnapshot().MarshalBinary()
+	for _, cut := range []int{1, len(b) / 2, len(b) - 1} {
+		var s Snapshot
+		if err := s.UnmarshalBinary(b[:cut]); err == nil {
+			t.Errorf("truncation at %d decoded cleanly", cut)
+		}
+	}
+}
