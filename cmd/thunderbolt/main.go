@@ -1,4 +1,4 @@
-// Command thunderbolt runs Thunderbolt replicas.
+// Command thunderbolt runs Thunderbolt replicas and gateway clients.
 //
 // Local cluster (one process, simulated network):
 //
@@ -8,12 +8,18 @@
 //
 //	thunderbolt -id 0 -peers 0=127.0.0.1:7000,1=127.0.0.1:7001,2=127.0.0.1:7002,3=127.0.0.1:7003
 //
+// Remote gateway client (sessioned submission against a running TCP
+// committee — acks, nack re-routing, failover, commit pushes):
+//
+//	thunderbolt -client -peers 0=...,1=...,2=...,3=... -session 7 -duration 30s
+//
 // Every process of a committee must be given the same -peers list and
 // -seed (keys are derived deterministically from the seed, replacing
 // a key-distribution ceremony for local testbeds).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -27,6 +33,7 @@ import (
 	"thunderbolt"
 	"thunderbolt/internal/contract"
 	"thunderbolt/internal/crypto"
+	"thunderbolt/internal/gateway"
 	"thunderbolt/internal/node"
 	"thunderbolt/internal/storage"
 	"thunderbolt/internal/transport"
@@ -49,9 +56,16 @@ func main() {
 		kFlag    = flag.Int("k", 0, "silent-proposer rounds before a Shift vote (0=off)")
 		kPrime   = flag.Int("kprime", 0, "periodic reconfiguration period in rounds (0=off)")
 		scheme   = flag.String("scheme", "ed25519", "signature scheme: ed25519 | insecure")
+
+		client  = flag.Bool("client", false, "run a remote gateway client against -peers instead of a replica")
+		session = flag.Uint64("session", 1, "client mode: gateway session ID (unique per client lifetime)")
 	)
 	flag.Parse()
 
+	if *client {
+		runClient(*peersArg, *session, *duration, *accounts, *seed)
+		return
+	}
 	m, err := parseMode(*mode)
 	if err != nil {
 		log.Fatal(err)
@@ -61,6 +75,82 @@ func main() {
 		return
 	}
 	runTCP(*id, *peersArg, m, *accounts, *batch, *kFlag, *kPrime, *seed, *scheme)
+}
+
+// runClient streams sessioned transactions at a running TCP committee
+// through the gateway protocol and reports progress.
+func runClient(peersArg string, session uint64, duration time.Duration, accounts int, seed int64) {
+	if peersArg == "" {
+		log.Fatal("client mode needs -peers")
+	}
+	peers := parsePeers(peersArg)
+	tr, err := transport.NewTCPTransport(transport.TCPConfig{
+		Self:   gateway.ClientIDBase + types.ReplicaID(session),
+		Listen: "127.0.0.1:0", Peers: peers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tr.Close()
+	gw, err := gateway.NewClient(gateway.ClientConfig{
+		Transport: tr, N: len(peers), Session: session,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gw.Close()
+	newGen := func(s uint64) *workload.Generator {
+		return workload.NewGenerator(workload.Config{
+			Accounts: accounts, Shards: len(peers), Theta: 0.85, ReadRatio: 0.5,
+			Seed: seed*31 + int64(s), Client: s,
+		})
+	}
+	gen := newGen(session)
+	log.Printf("gateway client: session %d against %d replicas for %v", session, len(peers), duration)
+	var committed, duplicates, reroutes, failovers int
+	deadline := time.Now().Add(duration)
+	for time.Now().Before(deadline) {
+		res, err := gw.SubmitWait(gen.Next(), 30*time.Second)
+		if err != nil {
+			log.Printf("submission failed: %v", err)
+			if errors.Is(err, gateway.ErrWindowStalled) {
+				// An abandoned nonce wedged the window; open a fresh
+				// session (sessions are disposable by contract).
+				session += 1000
+				gen = newGen(session)
+				log.Printf("window stalled; rotated to session %d", session)
+			}
+			continue
+		}
+		committed++
+		reroutes += res.Reroutes
+		failovers += res.Failovers
+		if res.Duplicate {
+			duplicates++
+		}
+		if committed%100 == 0 {
+			log.Printf("committed=%d duplicates=%d reroutes=%d failovers=%d",
+				committed, duplicates, reroutes, failovers)
+		}
+	}
+	log.Printf("done: committed=%d duplicates=%d reroutes=%d failovers=%d",
+		committed, duplicates, reroutes, failovers)
+}
+
+func parsePeers(peersArg string) map[types.ReplicaID]string {
+	peers := map[types.ReplicaID]string{}
+	for _, part := range strings.Split(peersArg, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			log.Fatalf("bad peer entry %q (want id=host:port)", part)
+		}
+		pid, err := strconv.Atoi(kv[0])
+		if err != nil {
+			log.Fatalf("bad peer id %q", kv[0])
+		}
+		peers[types.ReplicaID(pid)] = kv[1]
+	}
+	return peers
 }
 
 func parseMode(s string) (thunderbolt.Mode, error) {
@@ -97,18 +187,7 @@ func runTCP(id int, peersArg string, m thunderbolt.Mode, accounts, batch, k, kpr
 	if id < 0 || peersArg == "" {
 		log.Fatal("TCP mode needs -id and -peers (or use -local N)")
 	}
-	peers := map[types.ReplicaID]string{}
-	for _, part := range strings.Split(peersArg, ",") {
-		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
-		if len(kv) != 2 {
-			log.Fatalf("bad peer entry %q (want id=host:port)", part)
-		}
-		pid, err := strconv.Atoi(kv[0])
-		if err != nil {
-			log.Fatalf("bad peer id %q", kv[0])
-		}
-		peers[types.ReplicaID(pid)] = kv[1]
-	}
+	peers := parsePeers(peersArg)
 	n := len(peers)
 	self := types.ReplicaID(id)
 	listen, ok := peers[self]

@@ -75,6 +75,16 @@ type Options struct {
 	// (see the equivocating-proposer scenario). Replica 0 must stay
 	// live (it is the harness observer).
 	Headless []int
+	// GatewayClients reserves wire-client endpoints on the simulated
+	// network (cluster.Config.GatewayClients) so scenarios can drive
+	// load through the sessioned gateway protocol.
+	GatewayClients int
+	// NonceWindow sets each node's per-client dedup window
+	// (node.Config.NonceWindow); 0 = gateway default. Scenarios use
+	// small windows so plateau assertions bite.
+	NonceWindow int
+	// LegacyDedupWindow bounds the nonce-less digest dedup window.
+	LegacyDedupWindow int
 }
 
 func (o Options) withDefaults() Options {
@@ -131,8 +141,11 @@ func New(opt Options) (*Harness, error) {
 		BatchSize: opt.BatchSize, K: opt.K, KPrime: opt.KPrime,
 		TickInterval: opt.TickInterval, MinRoundInterval: opt.MinRoundInterval,
 		GCHorizon: opt.GCHorizon, Seed: opt.Seed,
-		CommitLogCap: 1 << 20,
-		Headless:     opt.Headless,
+		CommitLogCap:      1 << 20,
+		Headless:          opt.Headless,
+		GatewayClients:    opt.GatewayClients,
+		NonceWindow:       opt.NonceWindow,
+		LegacyDedupWindow: opt.LegacyDedupWindow,
 	})
 	if err != nil {
 		return nil, err
@@ -209,6 +222,9 @@ type LoadOptions struct {
 	// a scenario).
 	RetryEvery time.Duration
 	Timeout    time.Duration
+	// ViaGateway drives the load through gateway wire clients
+	// (requires Options.GatewayClients > 0).
+	ViaGateway bool
 }
 
 // LoadHandle is a running background load.
@@ -243,6 +259,7 @@ func (h *Harness) RunLoadAsync(lo LoadOptions) *LoadHandle {
 		Duration: lo.Duration, Clients: lo.Clients,
 		Workload:   lo.Workload,
 		RetryEvery: lo.RetryEvery, Timeout: lo.Timeout,
+		ViaGateway: lo.ViaGateway,
 	}
 	l := &LoadHandle{done: make(chan struct{})}
 	h.logEvent("load: %d clients for %s (cross=%.0f%%, reads=%.0f%%)",

@@ -1,0 +1,223 @@
+// Vote-withholding Byzantine scenario: a proposer that stays live
+// enough to keep its own slot certified — it proposes a valid block
+// every round and assembles certificates from honest votes — but
+// never votes for anyone else. Selective silence is the cheapest
+// Byzantine strategy against a certification quorum: if liveness
+// depended on every replica's vote, one silent voter could stall the
+// committee. With n = 3f+1 and a 2f+1 quorum, the honest majority
+// must certify, commit, and conserve without the withheld votes.
+package chaos
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"thunderbolt/internal/crypto"
+	"thunderbolt/internal/node"
+	"thunderbolt/internal/transport"
+	"thunderbolt/internal/types"
+)
+
+// withholder drives one committee slot at the wire level from a
+// headless endpoint: valid empty proposals each round, certificates
+// assembled from real votes, block requests served — and not one
+// MsgVote ever sent to a peer.
+type withholder struct {
+	tr       transport.Transport
+	self     types.ReplicaID
+	n        int
+	signer   crypto.Signer
+	verifier crypto.Verifier
+
+	mu         sync.Mutex
+	blocks     map[types.Digest]*types.Block
+	collectors map[types.Digest]*crypto.QuorumCollector
+	certs      map[types.Round]map[types.Digest]bool
+	proposed   map[types.Round]bool
+
+	votesReceived atomic.Uint64 // honest votes for the withholder's blocks
+	votesWithheld atomic.Uint64 // peer proposals it refused to vote for
+	certsFormed   atomic.Uint64
+}
+
+func newWithholder(t *testing.T, h *Harness, id types.ReplicaID) *withholder {
+	t.Helper()
+	signers, verifier, err := crypto.InsecureScheme{}.Committee(h.Cluster().N(), h.Seed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &withholder{
+		tr:   h.Net().Endpoint(id),
+		self: id, n: h.Cluster().N(),
+		signer: signers[id], verifier: verifier,
+		blocks:     make(map[types.Digest]*types.Block),
+		collectors: make(map[types.Digest]*crypto.QuorumCollector),
+		certs:      make(map[types.Round]map[types.Digest]bool),
+		proposed:   make(map[types.Round]bool),
+	}
+	w.tr.SetHandler(w.handle)
+	return w
+}
+
+func (w *withholder) start() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.propose(1, nil)
+}
+
+func (w *withholder) handle(from types.ReplicaID, mt transport.MsgType, payload []byte) {
+	switch mt {
+	case node.MsgBlock:
+		// A peer's proposal asking for a vote: this is exactly the
+		// message the withholder stays silent on.
+		w.votesWithheld.Add(1)
+	case node.MsgVote:
+		d := types.NewDecoder(payload)
+		_ = d.U64() // epoch
+		_ = d.U64() // round
+		_ = d.U32() // proposer
+		dig := d.Digest()
+		sig := d.Bytes()
+		if d.Finish() != nil {
+			return
+		}
+		w.votesReceived.Add(1)
+		w.addVote(from, dig, sig)
+	case node.MsgCert:
+		var c types.Certificate
+		if c.UnmarshalBinary(payload) != nil {
+			return
+		}
+		w.noteCert(&c)
+	case node.MsgBlockReq:
+		d := types.NewDecoder(payload)
+		dig := d.Digest()
+		if d.Finish() != nil {
+			return
+		}
+		w.mu.Lock()
+		b := w.blocks[dig]
+		w.mu.Unlock()
+		if b != nil {
+			bs, _ := b.MarshalBinary()
+			_ = w.tr.Send(from, node.MsgBlock, bs)
+		}
+	}
+}
+
+func (w *withholder) addVote(from types.ReplicaID, dig types.Digest, sig []byte) {
+	w.mu.Lock()
+	col := w.collectors[dig]
+	var (
+		cert *types.Certificate
+		err  error
+	)
+	if col != nil {
+		cert, err = col.Add(from, sig)
+	}
+	w.mu.Unlock()
+	if err != nil || cert == nil {
+		return
+	}
+	w.certsFormed.Add(1)
+	cs, _ := cert.MarshalBinary()
+	_ = w.tr.Broadcast(node.MsgCert, cs)
+	w.noteCert(cert)
+}
+
+func (w *withholder) noteCert(c *types.Certificate) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rm := w.certs[c.Round]
+	if rm == nil {
+		rm = make(map[types.Digest]bool)
+		w.certs[c.Round] = rm
+	}
+	rm[c.Digest()] = true
+	if len(rm) >= crypto.QuorumSize(w.n) && !w.proposed[c.Round+1] {
+		parents := make([]types.Digest, 0, len(rm))
+		for d := range rm {
+			parents = append(parents, d)
+		}
+		types.SortDigests(parents)
+		w.propose(c.Round+1, parents)
+	}
+}
+
+// propose emits one valid empty block for the slot. Callers hold w.mu.
+func (w *withholder) propose(r types.Round, parents []types.Digest) {
+	w.proposed[r] = true
+	b := &types.Block{
+		Epoch: 0, Round: r, Proposer: w.self,
+		Shard: node.MyShard(w.self, 0, w.n),
+		Kind:  types.NormalBlock, Parents: parents,
+		ProposedUnixNano: time.Now().UnixNano(),
+	}
+	d := b.Digest()
+	w.blocks[d] = b
+	col := crypto.NewQuorumCollector(w.n, w.verifier, d, 0, r, w.self)
+	_, _ = col.Add(w.self, w.signer.Sign(d))
+	w.collectors[d] = col
+	bs, _ := b.MarshalBinary()
+	for p := 0; p < w.n; p++ {
+		if id := types.ReplicaID(p); id != w.self {
+			_ = w.tr.Send(id, node.MsgBlock, bs)
+		}
+	}
+}
+
+// TestScenarioByzantineVoteWithholding runs a 4-committee where
+// replica 3 proposes every round but withholds every vote. Liveness:
+// the 2f+1 quorum must form from the honest majority alone, so
+// commits keep flowing and no client starves. Safety: commit logs
+// stay prefix-consistent, nothing double-commits, balances conserve.
+// The driver's own slot keeps certifying (it is silent, not dead), so
+// the scenario stresses quorum formation with a live-but-useless
+// voter rather than a crashed one.
+func TestScenarioByzantineVoteWithholding(t *testing.T) {
+	h := newHarness(t, Options{N: 4, Seed: 117, Headless: []int{3}})
+	byz := newWithholder(t, h, 3)
+	byz.start()
+
+	honest := []int{0, 1, 2}
+	rep := h.RunLoadAsync(LoadOptions{
+		Duration: load(2 * time.Second), Clients: 8,
+		Workload: workloadCfg(0.3, 0.3),
+		Timeout:  5 * time.Second, // byzantine-shard singles may starve by its choice
+	}).Wait()
+	if rep.Committed == 0 {
+		t.Fatal("honest majority committed nothing under vote withholding")
+	}
+	check(t, h.WaitQuiesced(budget, honest...))
+	check(t, h.WaitConverged(budget, honest...))
+	check(t, h.CheckSafety(honest...))
+	check(t, h.CheckConservation(honest...))
+
+	if byz.votesWithheld.Load() == 0 {
+		t.Fatal("withholder saw no proposals — nothing was withheld")
+	}
+	if byz.votesReceived.Load() == 0 || byz.certsFormed.Load() == 0 {
+		t.Fatalf("withholder not live: %d votes in, %d certs — silence was indistinguishable from a crash",
+			byz.votesReceived.Load(), byz.certsFormed.Load())
+	}
+	// The withholder's slot must appear in honest DAGs (live) while
+	// every honest replica kept proposing past it (unstalled).
+	byzVertices := 0
+	for _, i := range honest {
+		err := h.Cluster().Node(i).Inspect(func(v *node.DebugView) {
+			for r := types.Round(1); r <= v.HighestRound; r++ {
+				for _, vi := range v.Vertices(r) {
+					if vi.Proposer == 3 {
+						byzVertices++
+					}
+				}
+			}
+		})
+		check(t, err)
+	}
+	if byzVertices == 0 {
+		t.Error("withholder's blocks never certified — the scenario degenerated to a crash fault")
+	}
+}

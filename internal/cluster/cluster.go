@@ -9,10 +9,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"thunderbolt/internal/contract"
 	"thunderbolt/internal/crypto"
+	"thunderbolt/internal/gateway"
 	"thunderbolt/internal/metrics"
 	"thunderbolt/internal/node"
 	"thunderbolt/internal/storage"
@@ -65,6 +67,15 @@ type Config struct {
 	// returns nil for them and routing treats them as black holes
 	// (clients fall back on retries and reconfiguration).
 	Headless []int
+	// GatewayClients reserves this many extra SimNetwork endpoints
+	// (IDs N..N+GatewayClients-1) for gateway clients: wire clients
+	// that speak the sessioned submission protocol to the committee
+	// instead of calling node.Submit in-process. See GatewayClient.
+	GatewayClients int
+	// NonceWindow / LegacyDedupWindow configure every node's bounded
+	// dedup (node.Config); 0 selects the gateway defaults.
+	NonceWindow       int
+	LegacyDedupWindow int
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +103,15 @@ type Cluster struct {
 	net   *transport.SimNetwork
 	nodes []*node.Node
 	reg   *contract.Registry
+
+	// gateways caches one gateway.Client per reserved client endpoint;
+	// sessions allocates cluster-unique dedup session IDs — each load
+	// run opens fresh sessions, because a session's nonces start at 1
+	// exactly once (reusing a client ID with restarted nonces would
+	// collide with the committee's nonce floors by design).
+	gwMu     sync.Mutex
+	gateways map[int]*gateway.Client
+	sessions atomic.Uint64
 
 	mu          sync.Mutex
 	committedAt map[types.Digest]time.Time
@@ -132,9 +152,13 @@ func New(cfg Config) (*Cluster, error) {
 	workload.RegisterSmallBank(reg)
 
 	c := &Cluster{
-		cfg:         cfg,
-		net:         transport.NewSimNetwork(transport.SimConfig{N: cfg.N, Latency: cfg.Latency, Seed: cfg.Seed}),
+		cfg: cfg,
+		net: transport.NewSimNetwork(transport.SimConfig{
+			N: cfg.N + cfg.GatewayClients, Committee: cfg.N,
+			Latency: cfg.Latency, Seed: cfg.Seed,
+		}),
 		reg:         reg,
+		gateways:    make(map[int]*gateway.Client),
 		committedAt: make(map[types.Digest]time.Time),
 		waiters:     make(map[types.Digest][]chan struct{}),
 		latencies:   metrics.NewLatencyRecorder(),
@@ -167,6 +191,8 @@ func New(cfg Config) (*Cluster, error) {
 			CommitLogCap:       cfg.CommitLogCap,
 			GCHorizon:          cfg.GCHorizon,
 			RecoverySyncRounds: cfg.RecoverySyncRounds,
+			NonceWindow:        cfg.NonceWindow,
+			LegacyDedupWindow:  cfg.LegacyDedupWindow,
 			OnCommitTx:         c.onCommit,
 			OnRejectTx:         c.onReject,
 		}
@@ -395,6 +421,43 @@ func ProposerOf(s types.ShardID, epoch types.Epoch, n int) types.ReplicaID {
 	return node.ProposerOfShard(s, epoch, n)
 }
 
+// NewSession allocates a cluster-unique gateway session ID. A session
+// is an identity whose nonces start at 1 exactly once; anything
+// submitting a fresh transaction stream must hold a fresh session
+// (RunLoad allocates one per client goroutine per call).
+func (c *Cluster) NewSession() uint64 {
+	return 1<<20 + c.sessions.Add(1)
+}
+
+// GatewayClient returns the gateway client bound to reserved client
+// endpoint i (0 ≤ i < Config.GatewayClients), creating it on first
+// use. The client speaks the sessioned submission wire protocol to
+// the committee over the simulated network — acks, nacks with
+// re-route hints, commit notifications — exactly as a remote TCP
+// client would. Safe for concurrent use.
+func (c *Cluster) GatewayClient(i int) *gateway.Client {
+	c.gwMu.Lock()
+	defer c.gwMu.Unlock()
+	if gw, ok := c.gateways[i]; ok {
+		return gw
+	}
+	if i < 0 || i >= c.cfg.GatewayClients {
+		panic(fmt.Sprintf("cluster: gateway client %d outside reserved range %d", i, c.cfg.GatewayClients))
+	}
+	gw, err := gateway.NewClient(gateway.ClientConfig{
+		Transport:  c.net.Endpoint(types.ReplicaID(c.cfg.N + i)),
+		N:          c.cfg.N,
+		Session:    c.NewSession(),
+		AckTimeout: 250 * time.Millisecond,
+		RetryEvery: 250 * time.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	c.gateways[i] = gw
+	return gw
+}
+
 // Submit stamps and routes one transaction without waiting.
 func (c *Cluster) Submit(tx *types.Transaction) error {
 	if !c.started {
@@ -572,11 +635,20 @@ type LoadConfig struct {
 	// RetryEvery/Timeout bound one transaction's client-side life.
 	RetryEvery time.Duration
 	Timeout    time.Duration
+	// ViaGateway drives the load through gateway clients speaking the
+	// sessioned wire protocol (requires Config.GatewayClients > 0)
+	// instead of in-process Submit + commit-watch. Each load goroutine
+	// still owns a fresh session; goroutines share the reserved
+	// gateway endpoints round-robin.
+	ViaGateway bool
 }
 
 // RunLoad drives closed-loop clients for the configured duration and
 // reports committed throughput and latency.
 func (c *Cluster) RunLoad(lc LoadConfig) Report {
+	if lc.ViaGateway && c.cfg.GatewayClients <= 0 {
+		panic("cluster: LoadConfig.ViaGateway requires Config.GatewayClients > 0")
+	}
 	if lc.Clients <= 0 {
 		lc.Clients = 8
 	}
@@ -593,6 +665,14 @@ func (c *Cluster) RunLoad(lc LoadConfig) Report {
 	start := time.Now()
 	deadline := start.Add(lc.Duration)
 
+	// Each goroutine gets a fresh dedup session: session nonces start
+	// at 1 exactly once per identity, so re-running a load against the
+	// same cluster must not reuse client IDs (the committee's nonce
+	// floors would swallow the restarted stream as duplicates).
+	sessionBase := make([]uint64, lc.Clients)
+	for cl := range sessionBase {
+		sessionBase[cl] = c.NewSession()
+	}
 	var wg sync.WaitGroup
 	for cl := 0; cl < lc.Clients; cl++ {
 		wg.Add(1)
@@ -600,12 +680,20 @@ func (c *Cluster) RunLoad(lc LoadConfig) Report {
 			defer wg.Done()
 			wcfg := lc.Workload
 			wcfg.Seed = c.cfg.Seed*7919 + int64(cl)
-			wcfg.Client = uint64(cl + 1)
+			wcfg.Client = sessionBase[cl]
 			gen := workload.NewGenerator(wcfg)
+			var gw *gateway.Client
+			if lc.ViaGateway {
+				gw = c.GatewayClient(cl % c.cfg.GatewayClients)
+			}
 			for time.Now().Before(deadline) {
 				tx := gen.Next()
 				tx.SubmitUnixNano = time.Now().UnixNano()
-				_ = c.SubmitWait(tx, lc.RetryEvery, lc.Timeout)
+				if gw != nil {
+					_, _ = gw.SubmitWait(tx, lc.Timeout)
+				} else {
+					_ = c.SubmitWait(tx, lc.RetryEvery, lc.Timeout)
+				}
 			}
 		}(cl)
 	}

@@ -1,0 +1,110 @@
+package dag_test
+
+import (
+	"testing"
+
+	"thunderbolt/internal/dag/dagtest"
+	"thunderbolt/internal/types"
+)
+
+// TestSupportForMemoInvalidation pins the memo's correctness contract:
+// a cached count must be recomputed when the supporting round gains a
+// vertex, and must keep answering correctly once the round is full.
+func TestSupportForMemoInvalidation(t *testing.T) {
+	c := dagtest.NewCommittee(4)
+	b := dagtest.NewBuilder(c, 0)
+	r1 := b.NextRound(nil, nil)
+	leader := r1[0]
+
+	// Grow round 2 one vertex at a time; SupportFor must track every
+	// insertion even though it caches between calls.
+	var certs []types.Digest
+	for _, v := range r1 {
+		certs = append(certs, v.Cert.Digest())
+	}
+	types.SortDigests(certs)
+	for i := 0; i < c.N; i++ {
+		if got := b.Store.SupportFor(leader); got != i {
+			t.Fatalf("support before vertex %d: got %d, want %d", i, got, i)
+		}
+		if got := b.Store.SupportFor(leader); got != i {
+			t.Fatalf("memoized support before vertex %d: got %d, want %d", i, got, i)
+		}
+		blk := &types.Block{
+			Epoch: 0, Round: 2, Proposer: types.ReplicaID(i),
+			Shard: types.ShardID(i), Kind: types.NormalBlock,
+			Parents:          certs,
+			ProposedUnixNano: int64(2000 + i),
+		}
+		if err := b.Store.Add(c.Vertex(blk)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.Store.SupportFor(leader); got != c.N {
+		t.Fatalf("support after full round: got %d, want %d", got, c.N)
+	}
+}
+
+// BenchmarkSupportFor measures the committer's support probe against a
+// settled full round — the case Advance hits repeatedly while waiting
+// for the f+1 threshold (and, before memoization, recounted every
+// time: ~n parent-list scans of 2f+1 digests each).
+func BenchmarkSupportFor(b *testing.B) {
+	for _, n := range []int{4, 16} {
+		b.Run(benchName(n), func(b *testing.B) {
+			c := dagtest.NewCommittee(n)
+			bl := dagtest.NewBuilder(c, 0)
+			r1 := bl.NextRound(nil, nil)
+			bl.NextRound(nil, nil)
+			leader := r1[0]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := bl.Store.SupportFor(leader); got != n {
+					b.Fatalf("support %d, want %d", got, n)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSupportForRecount is the pre-memoization cost baseline: the
+// same parent-list scan SupportFor runs on a memo miss, written out
+// against the store's public surface. The gap between this and
+// BenchmarkSupportFor is the per-probe win the memo buys the committer
+// on every Advance over a settled round.
+func BenchmarkSupportForRecount(b *testing.B) {
+	for _, n := range []int{4, 16} {
+		b.Run(benchName(n), func(b *testing.B) {
+			c := dagtest.NewCommittee(n)
+			bl := dagtest.NewBuilder(c, 0)
+			r1 := bl.NextRound(nil, nil)
+			bl.NextRound(nil, nil)
+			leader := r1[0]
+			target := leader.Cert.Digest()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				support := 0
+				for _, w := range bl.Store.AtRound(leader.Round() + 1) {
+					for _, p := range w.Block.Parents {
+						if p == target {
+							support++
+							break
+						}
+					}
+				}
+				if support != n {
+					b.Fatalf("support %d, want %d", support, n)
+				}
+			}
+		})
+	}
+}
+
+func benchName(n int) string {
+	if n == 4 {
+		return "n=4"
+	}
+	return "n=16"
+}

@@ -45,17 +45,34 @@ type Store struct {
 	// floor is the committed-wave GC boundary: rounds below it have
 	// been pruned and can never be re-added (see PruneBelow).
 	floor types.Round
+
+	// support memoizes SupportFor per vertex (by certificate digest).
+	// A memo entry is valid while the supporting round's vote set is
+	// unchanged; roundVer increments on every insertion into a round,
+	// so a cached count from a now-stale vote set misses and recounts.
+	// Once a round stops receiving vertices (it seals at n), its
+	// version freezes and every later SupportFor is a map hit — the
+	// committer re-asks on every Advance until the f+1 threshold lands.
+	support  map[types.Digest]supportMemo
+	roundVer map[types.Round]uint64
+}
+
+type supportMemo struct {
+	count int
+	ver   uint64
 }
 
 // NewStore creates an empty DAG for one epoch and committee size n.
 func NewStore(epoch types.Epoch, n int) *Store {
 	return &Store{
-		epoch:   epoch,
-		n:       n,
-		byCert:  make(map[types.Digest]*Vertex),
-		byBlock: make(map[types.Digest]*Vertex),
-		rounds:  make(map[types.Round]map[types.ReplicaID]*Vertex),
-		floor:   1,
+		epoch:    epoch,
+		n:        n,
+		byCert:   make(map[types.Digest]*Vertex),
+		byBlock:  make(map[types.Digest]*Vertex),
+		rounds:   make(map[types.Round]map[types.ReplicaID]*Vertex),
+		floor:    1,
+		support:  make(map[types.Digest]supportMemo),
+		roundVer: make(map[types.Round]uint64),
 	}
 }
 
@@ -102,6 +119,7 @@ func (s *Store) Add(v *Vertex) error {
 		s.rounds[b.Round] = rm
 	}
 	rm[b.Proposer] = v
+	s.roundVer[b.Round]++
 	if b.Round > s.highest {
 		s.highest = b.Round
 	}
@@ -138,8 +156,10 @@ func (s *Store) PruneBelow(floor types.Round) []types.Digest {
 			removed = append(removed, cd)
 			delete(s.byCert, cd)
 			delete(s.byBlock, v.Block.Digest())
+			delete(s.support, cd)
 		}
 		delete(s.rounds, r)
+		delete(s.roundVer, r)
 	}
 	s.floor = floor
 	return removed
@@ -205,9 +225,16 @@ func (s *Store) CertsAtRound(r types.Round) []types.Digest {
 }
 
 // SupportFor counts round r+1 vertices that reference the vertex v
-// (round r) as a parent — the Tusk commit threshold input.
+// (round r) as a parent — the Tusk commit threshold input. The count
+// is memoized per vertex and revalidated against the supporting
+// round's insertion version, so the committer's repeated probes of a
+// settled round cost one map lookup instead of a parent-list scan.
 func (s *Store) SupportFor(v *Vertex) int {
 	target := v.Cert.Digest()
+	ver := s.roundVer[v.Round()+1]
+	if m, ok := s.support[target]; ok && m.ver == ver {
+		return m.count
+	}
 	support := 0
 	for _, w := range s.rounds[v.Round()+1] {
 		for _, p := range w.Block.Parents {
@@ -217,6 +244,7 @@ func (s *Store) SupportFor(v *Vertex) int {
 			}
 		}
 	}
+	s.support[target] = supportMemo{count: support, ver: ver}
 	return support
 }
 

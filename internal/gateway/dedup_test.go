@@ -1,0 +1,200 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+
+	"thunderbolt/internal/types"
+)
+
+func stx(client, nonce uint64) *types.Transaction {
+	return &types.Transaction{
+		Client: client, Nonce: nonce,
+		Kind: types.SingleShard, Shards: []types.ShardID{0},
+		Contract: "t", Args: [][]byte{[]byte(fmt.Sprintf("%d/%d", client, nonce))},
+	}
+}
+
+func ltx(tag string) *types.Transaction {
+	return &types.Transaction{
+		Kind: types.SingleShard, Shards: []types.ShardID{0},
+		Contract: "t", Args: [][]byte{[]byte(tag)},
+	}
+}
+
+func TestDedupFloorAdvance(t *testing.T) {
+	d := NewDedup(64, 0)
+	for n := uint64(1); n <= 200; n++ {
+		if d.Resolved(stx(1, n)) {
+			t.Fatalf("nonce %d resolved before mark", n)
+		}
+		d.Mark(stx(1, n))
+		if !d.Resolved(stx(1, n)) {
+			t.Fatalf("nonce %d unresolved after mark", n)
+		}
+	}
+	// Everything marked in order: floor should have swallowed all of
+	// it — any nonce ≤ 200 resolved, 201 admissible, 201+64 not.
+	if got := d.Admit(stx(1, 200)); got != AdmitResolved {
+		t.Fatalf("below-floor resubmit: got %v, want resolved", got)
+	}
+	if got := d.Admit(stx(1, 201)); got != AdmitNew {
+		t.Fatalf("next nonce: got %v, want new", got)
+	}
+	if got := d.Admit(stx(1, 200+65)); got != AdmitFuture {
+		t.Fatalf("out-of-window nonce: got %v, want future", got)
+	}
+}
+
+func TestDedupOutOfOrderWindow(t *testing.T) {
+	d := NewDedup(64, 0)
+	// Resolve out of order: 3, 5, then 1, 2 — floor trails the gap at
+	// 4 and jumps when it fills.
+	for _, n := range []uint64{3, 5, 1, 2} {
+		d.Mark(stx(1, n))
+	}
+	for _, want := range []struct {
+		n  uint64
+		ok bool
+	}{{1, true}, {2, true}, {3, true}, {4, false}, {5, true}, {6, false}} {
+		if got := d.Resolved(stx(1, want.n)); got != want.ok {
+			t.Fatalf("nonce %d resolved=%v, want %v", want.n, got, want.ok)
+		}
+	}
+	d.Mark(stx(1, 4))
+	// Gap filled: floor jumps over 5; bit positions below must have
+	// been cleared for reuse by nonces one window later.
+	if got := d.Admit(stx(1, 5)); got != AdmitResolved {
+		t.Fatalf("nonce 5 after floor jump: got %v, want resolved", got)
+	}
+	if got := d.Admit(stx(1, 5+64)); got != AdmitNew {
+		t.Fatalf("reused bit position must read unresolved: got %v, want new", got)
+	}
+}
+
+func TestDedupForcedEviction(t *testing.T) {
+	d := NewDedup(64, 0)
+	d.Mark(stx(1, 1))
+	// A commit far beyond the window (only reachable through a path
+	// that bypassed admission) forces the floor forward
+	// deterministically: nonces evicted unresolved lose dedup
+	// protection — the documented bounded-window contract.
+	d.Mark(stx(1, 1000))
+	if !d.Resolved(stx(1, 900)) {
+		t.Fatal("nonce at forced floor should read resolved")
+	}
+	if got := d.Admit(stx(1, 937)); got != AdmitNew {
+		t.Fatalf("in-window unresolved nonce after forced advance: got %v, want new", got)
+	}
+	if !d.Resolved(stx(1, 1000)) {
+		t.Fatal("the forcing nonce itself must be resolved")
+	}
+}
+
+func TestDedupLegacyRing(t *testing.T) {
+	d := NewDedup(64, 4)
+	txs := make([]*types.Transaction, 6)
+	for i := range txs {
+		txs[i] = ltx(fmt.Sprintf("t%d", i))
+		d.Mark(txs[i])
+	}
+	// Capacity 4: t0 and t1 evicted, t2..t5 retained.
+	for i, tx := range txs {
+		want := i >= 2
+		if got := d.Resolved(tx); got != want {
+			t.Fatalf("legacy tx %d resolved=%v, want %v", i, got, want)
+		}
+	}
+	leg := d.Legacy()
+	if len(leg) != 4 {
+		t.Fatalf("legacy window holds %d, want 4", len(leg))
+	}
+	for i, id := range leg {
+		if id != txs[i+2].ID() {
+			t.Fatalf("legacy ring order broken at %d", i)
+		}
+	}
+}
+
+// TestDedupDeterministicState pins the property everything else rests
+// on: two replicas marking the same sequence hold byte-identical
+// exported state, and a third restoring that export then marking the
+// same continuation stays identical too (the snapshot epoch-jump
+// path).
+func TestDedupDeterministicState(t *testing.T) {
+	a, b := NewDedup(128, 8), NewDedup(128, 8)
+	seq := []*types.Transaction{
+		stx(1, 1), stx(2, 1), stx(1, 3), ltx("x"), stx(2, 2), stx(1, 2),
+		ltx("y"), stx(7, 1), ltx("z"), stx(7, 130),
+	}
+	for _, tx := range seq {
+		a.Mark(tx)
+		b.Mark(tx)
+	}
+	sameState := func(x, y *Dedup) error {
+		xs, ys := x.Sessions(), y.Sessions()
+		if len(xs) != len(ys) {
+			return fmt.Errorf("session counts %d vs %d", len(xs), len(ys))
+		}
+		for i := range xs {
+			if xs[i].Client != ys[i].Client || xs[i].Floor != ys[i].Floor {
+				return fmt.Errorf("session %d header mismatch", i)
+			}
+			for j := range xs[i].Bits {
+				if xs[i].Bits[j] != ys[i].Bits[j] {
+					return fmt.Errorf("session %d bits mismatch", i)
+				}
+			}
+		}
+		xl, yl := x.Legacy(), y.Legacy()
+		if len(xl) != len(yl) {
+			return fmt.Errorf("legacy lengths %d vs %d", len(xl), len(yl))
+		}
+		for i := range xl {
+			if xl[i] != yl[i] {
+				return fmt.Errorf("legacy order mismatch at %d", i)
+			}
+		}
+		return nil
+	}
+	if err := sameState(a, b); err != nil {
+		t.Fatalf("identical histories, divergent state: %v", err)
+	}
+	c := NewDedup(128, 8)
+	c.Restore(a.Sessions(), a.Legacy())
+	if err := sameState(a, c); err != nil {
+		t.Fatalf("restore not verbatim: %v", err)
+	}
+	cont := []*types.Transaction{stx(1, 4), ltx("w"), stx(9, 1)}
+	for _, tx := range cont {
+		a.Mark(tx)
+		c.Mark(tx)
+	}
+	if err := sameState(a, c); err != nil {
+		t.Fatalf("post-restore evolution diverged: %v", err)
+	}
+}
+
+// TestDedupBounded pins the memory contract: state is bounded by
+// clients × window + legacy capacity no matter how many transactions
+// resolve.
+func TestDedupBounded(t *testing.T) {
+	d := NewDedup(64, 16)
+	for c := uint64(1); c <= 8; c++ {
+		for n := uint64(1); n <= 10_000; n++ {
+			d.Mark(stx(c, n))
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		d.Mark(ltx(fmt.Sprintf("l%d", i)))
+	}
+	if d.Clients() != 8 {
+		t.Fatalf("clients %d, want 8", d.Clients())
+	}
+	if d.LegacyLen() != 16 {
+		t.Fatalf("legacy %d, want capacity 16", d.LegacyLen())
+	}
+	if got := len(d.Sessions()[0].Bits); got != 1 {
+		t.Fatalf("bitmap words %d, want 1", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"thunderbolt/internal/crypto"
+	"thunderbolt/internal/gateway"
 	"thunderbolt/internal/tusk"
 	"thunderbolt/internal/types"
 	"thunderbolt/internal/validate"
@@ -73,7 +74,7 @@ func (n *Node) executeWave(w tusk.CommitWave) {
 				if b.Proposer == n.cfg.ID {
 					n.dropOwnBlock(b.Round)
 					for _, tx := range b.SingleTxs {
-						if !n.applied[tx.ID()] {
+						if !n.dedup.Resolved(tx) {
 							n.txQueue = append(n.txQueue, tx)
 						}
 					}
@@ -82,7 +83,7 @@ func (n *Node) executeWave(w tusk.CommitWave) {
 		}
 		for _, tx := range b.CrossTxs {
 			id := tx.ID()
-			if n.applied[id] || inWave[id] {
+			if n.dedup.Resolved(tx) || inWave[id] {
 				// Duplicate inclusion (client retransmission races):
 				// executed once already; make sure it cannot wedge the
 				// preplay-recovery tracker.
@@ -104,7 +105,7 @@ func (n *Node) executeWave(w tusk.CommitWave) {
 	// transactions read.
 	live := crossTxs[:0]
 	for _, it := range crossTxs {
-		if !n.applied[it.tx.ID()] {
+		if !n.dedup.Resolved(it.tx) {
 			live = append(live, it)
 		} else {
 			delete(n.pendingCross, it.tx.ID())
@@ -121,8 +122,9 @@ func (n *Node) executeWave(w tusk.CommitWave) {
 			id := out.Tx.ID()
 			delete(n.pendingCross, id)
 			if out.Err != nil {
-				// Deterministic failure: every replica drops it.
-				n.applied[id] = true
+				// Deterministic failure: every replica drops it (a
+				// deterministic mark, so dedup state stays identical).
+				n.dedup.Mark(out.Tx)
 				continue
 			}
 			n.cfg.Store.Apply(out.Writes)
@@ -154,7 +156,7 @@ func (n *Node) validateAndApply(b *types.Block, now time.Time) bool {
 			return false // foreign-shard transaction smuggled in
 		}
 		id := tx.ID()
-		if n.applied[id] || inBlock[id] {
+		if n.dedup.Resolved(tx) || inBlock[id] {
 			// Duplicate commit attempt (resubmission raced a
 			// reconfiguration, or a duplicate smuggled into one
 			// block): the whole block is stale.
@@ -191,13 +193,13 @@ func (n *Node) executeSerial(b *types.Block, now time.Time) {
 	n.commitCtx.Round = b.Round
 	n.commitCtx.Proposer = b.Proposer
 	for _, tx := range all {
-		if n.applied[tx.ID()] {
+		if n.dedup.Resolved(tx) {
 			continue
 		}
 		n.commitCtx.Cross = tx.IsCross()
 		outs := validate.ExecuteCrossOrdered(n.cfg.Registry, n.baseRead, []*types.Transaction{tx}, 1)
 		if outs[0].Err != nil {
-			n.applied[tx.ID()] = true
+			n.dedup.Mark(tx)
 			continue
 		}
 		n.cfg.Store.Apply(outs[0].Writes)
@@ -207,9 +209,10 @@ func (n *Node) executeSerial(b *types.Block, now time.Time) {
 
 func (n *Node) markCommitted(tx *types.Transaction, now time.Time) {
 	id := tx.ID()
-	n.applied[id] = true
+	n.dedup.Mark(tx)
 	n.recordCommit(id)
 	delete(n.seen, id)
+	n.notifyCommitted(tx)
 	n.bump(func(s *Stats) { s.CommittedTxs++ })
 	if n.cfg.OnCommitTx != nil {
 		n.cfg.OnCommitTx(tx, now)
@@ -261,31 +264,31 @@ func (n *Node) transition(newEpoch types.Epoch, reconfig bool) {
 	// Unclaim every uncommitted transaction — queued or already
 	// proposed into the dying DAG — so client resubmissions are
 	// accepted by whichever proposer now owns the shard. Committed
-	// IDs stay deduplicated via n.applied. Both the queue and this
-	// node's uncommitted in-flight blocks get a negative-ack: their
-	// transactions die with the epoch, and without the ack each would
-	// stall its client until the retry timer (the ROADMAP's
-	// discarded-block tail latency).
+	// IDs stay deduplicated via n.dedup. Both the queue and this
+	// node's uncommitted in-flight blocks get a negative-ack — the
+	// OnRejectTx callback for in-process clients and a wire MsgTxNack
+	// for gateway clients: their transactions die with the epoch, and
+	// without the ack each would stall its client until the retry
+	// timer (the ROADMAP's discarded-block tail latency).
 	rejected := n.txQueue
-	if n.cfg.OnRejectTx != nil {
-		for _, d := range n.ownPending {
-			if b, ok := n.pendingBlocks[d]; ok {
-				rejected = append(rejected, b.SingleTxs...)
-				rejected = append(rejected, b.CrossTxs...)
-			}
+	for _, d := range n.ownPending {
+		if b, ok := n.pendingBlocks[d]; ok {
+			rejected = append(rejected, b.SingleTxs...)
+			rejected = append(rejected, b.CrossTxs...)
 		}
 	}
 	n.seen = make(map[types.Digest]time.Time)
 	n.txQueue = nil
 	n.resetEpochState(newEpoch)
-	if n.cfg.OnRejectTx != nil {
-		seen := make(map[types.Digest]bool, len(rejected))
-		for _, tx := range rejected {
-			id := tx.ID()
-			if n.applied[id] || seen[id] {
-				continue
-			}
-			seen[id] = true
+	seen := make(map[types.Digest]bool, len(rejected))
+	for _, tx := range rejected {
+		id := tx.ID()
+		if n.dedup.Resolved(tx) || seen[id] {
+			continue
+		}
+		seen[id] = true
+		n.nackPending(tx, gateway.NackEpochEnded)
+		if n.cfg.OnRejectTx != nil {
 			n.cfg.OnRejectTx(tx)
 		}
 	}

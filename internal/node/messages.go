@@ -71,8 +71,12 @@ func (v *vote) marshal() []byte {
 	return e.Detach()
 }
 
+// unmarshal decodes a vote. The signature aliases b: transport
+// payloads are freshly allocated per delivery and handed over, so the
+// shared decode saves the per-vote copy on the hottest small-message
+// path.
 func (v *vote) unmarshal(b []byte) error {
-	d := types.NewDecoder(b)
+	d := types.NewSharedDecoder(b)
 	v.Epoch = types.Epoch(d.U64())
 	v.Round = types.Round(d.U64())
 	v.Proposer = types.ReplicaID(d.U32())
@@ -176,8 +180,11 @@ func (m *snapshotMsg) marshal() []byte {
 	return e.Detach()
 }
 
+// unmarshal decodes a snapshot message. Sig and Snap alias b (owned
+// transport payload), which avoids re-copying a full-state snapshot
+// on the receive path.
 func (m *snapshotMsg) unmarshal(b []byte) error {
-	d := types.NewDecoder(b)
+	d := types.NewSharedDecoder(b)
 	m.Signer = types.ReplicaID(d.U32())
 	m.Sig = d.Bytes()
 	m.Snap = d.Bytes()

@@ -20,6 +20,7 @@ import (
 	"thunderbolt/internal/contract"
 	"thunderbolt/internal/crypto"
 	"thunderbolt/internal/dag"
+	"thunderbolt/internal/gateway"
 	"thunderbolt/internal/storage"
 	"thunderbolt/internal/transport"
 	"thunderbolt/internal/tusk"
@@ -91,6 +92,20 @@ type Config struct {
 	// cross-replica commit-sequence auditing — see CommitLog. Zero
 	// disables retention.
 	CommitLogCap int
+
+	// NonceWindow is the per-client dedup window (gateway subsystem):
+	// how many nonces above a client's applied floor are tracked
+	// individually; submissions further ahead are nacked to back off.
+	// 0 selects gateway.DefaultNonceWindow (1024); values are rounded
+	// up to a multiple of 64. Consensus-critical: every replica must
+	// configure the same value (snapshots bind it, installs reject a
+	// mismatch).
+	NonceWindow int
+	// LegacyDedupWindow bounds the digest window deduplicating
+	// nonce-less legacy transactions; 0 selects
+	// gateway.DefaultLegacyWindow (65536). Consensus-critical like
+	// NonceWindow.
+	LegacyDedupWindow int
 
 	// GCHorizon is the committed-wave garbage-collection retention
 	// horizon, in rounds: after each commit wave the node prunes DAG
@@ -326,8 +341,15 @@ type Node struct {
 	roundsProposed int
 	committedShift map[types.ReplicaID]bool
 
-	// commit state
-	applied map[types.Digest]bool // committed transaction IDs
+	// commit state: the bounded dedup of resolved transactions —
+	// per-client nonce floors plus a digest window for nonce-less
+	// legacy traffic. Mutated only on the deterministic commit path,
+	// so honest replicas at equal commit positions hold bit-identical
+	// state (which is what lets snapshots carry it verbatim).
+	dedup *gateway.Dedup
+	// txClients maps pending transaction IDs to the wire client
+	// waiting on them (gateway.go); survives epochs like dedup.
+	txClients map[types.Digest]clientSub
 
 	// clog is the ordered commit sequence (see Config.CommitLogCap);
 	// clogStart counts entries dropped from the head. commitCtx holds
@@ -375,7 +397,8 @@ func New(cfg Config) (*Node, error) {
 		done:     make(chan struct{}),
 	}
 	n.resetEpochState(0)
-	n.applied = make(map[types.Digest]bool)
+	n.dedup = gateway.NewDedup(cfg.NonceWindow, cfg.LegacyDedupWindow)
+	n.txClients = make(map[types.Digest]clientSub)
 	n.seen = make(map[types.Digest]time.Time)
 	n.preplayer = n.newPreplayer()
 	cfg.Transport.SetHandler(func(from types.ReplicaID, mt transport.MsgType, payload []byte) {
@@ -487,9 +510,12 @@ func MyShard(id types.ReplicaID, epoch types.Epoch, n int) types.ShardID {
 	return types.ShardID((uint64(id) + uint64(n) - e) % uint64(n))
 }
 
-// ProposerOfShard returns the replica serving shard s in epoch e.
+// ProposerOfShard returns the replica serving shard s in epoch e. The
+// rotation schedule's single definition lives in the gateway package
+// (the client library routes with it and cannot import node); the
+// replica side delegates so the two can never desynchronize.
 func ProposerOfShard(s types.ShardID, epoch types.Epoch, n int) types.ReplicaID {
-	return types.ReplicaID((uint64(s) + uint64(epoch)) % uint64(n))
+	return gateway.ProposerOfShard(s, epoch, n)
 }
 
 func (n *Node) myShard() types.ShardID {
@@ -543,8 +569,10 @@ func (n *Node) Inspect(f func(*DebugView)) error {
 			NextRound:      n.nextRound,
 			QueueLen:       len(n.txQueue),
 			Pending:        pendingIDs(n),
-			Applied:        func(d types.Digest) bool { return n.applied[d] },
+			Resolved:       func(tx *types.Transaction) bool { return n.dedup.Resolved(tx) },
 			Seen:           func(d types.Digest) bool { _, ok := n.seen[d]; return ok },
+			DedupClients:   n.dedup.Clients(),
+			DedupLegacy:    n.dedup.LegacyLen(),
 			PrevRoundCerts: n.dagStore.CountAtRound(prev),
 			HasOwnPrev:     ownPrev,
 			HighestRound:   n.dagStore.HighestRound(),
@@ -594,8 +622,15 @@ type DebugView struct {
 	NextRound types.Round
 	QueueLen  int
 	Pending   []types.Digest
-	Applied   func(types.Digest) bool
-	Seen      func(types.Digest) bool
+	// Resolved reports whether a transaction is deduplicated as
+	// resolved (committed or deterministically failed); Seen reports
+	// pre-commit queue dedup. DedupClients and DedupLegacy are the
+	// bounded dedup state's population (clients tracked, legacy digest
+	// window fill) — the plateau tests sample these.
+	Resolved     func(*types.Transaction) bool
+	Seen         func(types.Digest) bool
+	DedupClients int
+	DedupLegacy  int
 	// Frontier internals for liveness debugging: certificates present
 	// at nextRound-1, whether our own is among them, the highest
 	// certified round, and the sizes of the recovery queues.
@@ -699,7 +734,7 @@ const seenTTL = 5 * time.Second
 
 func (n *Node) enqueueTx(tx *types.Transaction) {
 	id := tx.ID()
-	if n.applied[id] {
+	if n.dedup.Resolved(tx) {
 		return
 	}
 	if at, ok := n.seen[id]; ok && time.Since(at) < seenTTL {
@@ -771,8 +806,8 @@ func (n *Node) housekeeping() {
 	// transitioned without us: in-epoch catch-up can never answer, so
 	// ask for transition snapshots instead (cross-epoch recovery).
 	n.maybeRequestSnapshot(stalled)
-	for id := range n.pendingCross {
-		if n.applied[id] {
+	for id, tx := range n.pendingCross {
+		if n.dedup.Resolved(tx) {
 			delete(n.pendingCross, id)
 		}
 	}
@@ -781,6 +816,7 @@ func (n *Node) housekeeping() {
 			delete(n.seen, id)
 		}
 	}
+	n.purgeClientSubs()
 }
 
 func (n *Node) handle(m inboundMsg) {
@@ -835,6 +871,12 @@ func (n *Node) handle(m inboundMsg) {
 		n.handleSnapshotReq(m.from, &r)
 	case MsgSnapshot:
 		n.handleSnapshot(m.from, m.payload)
+	case gateway.MsgTxSubmit:
+		var tx types.Transaction
+		if err := tx.UnmarshalBinary(m.payload); err != nil {
+			return
+		}
+		n.handleTxSubmit(m.from, &tx)
 	}
 }
 
@@ -1086,7 +1128,7 @@ func (n *Node) onVertexAdded(v *dag.Vertex) {
 	}
 	mine := n.myShard()
 	for _, tx := range v.Block.CrossTxs {
-		if tx.TouchesShard(mine) && !n.applied[tx.ID()] {
+		if tx.TouchesShard(mine) && !n.dedup.Resolved(tx) {
 			n.pendingCross[tx.ID()] = tx
 		}
 	}
@@ -1146,7 +1188,7 @@ func (n *Node) fastForward(hi types.Round) {
 	// round index, not a scan over every pending block — deduplicated
 	// against the queue and each other (a transaction can sit in
 	// several stale blocks after validation-failure requeues);
-	// committed ones stay filtered by n.applied in drainQueue.
+	// committed ones stay filtered by the dedup state in drainQueue.
 	queued := make(map[types.Digest]bool, len(n.txQueue))
 	for _, tx := range n.txQueue {
 		queued[tx.ID()] = true
@@ -1177,7 +1219,7 @@ func (n *Node) requeueOwnBlock(b *types.Block, queued map[types.Digest]bool) {
 	for _, txs := range [][]*types.Transaction{b.SingleTxs, b.CrossTxs} {
 		for _, tx := range txs {
 			id := tx.ID()
-			if n.applied[id] || queued[id] {
+			if n.dedup.Resolved(tx) || queued[id] {
 				continue
 			}
 			queued[id] = true

@@ -7,6 +7,7 @@ import (
 	"thunderbolt/internal/ce"
 	"thunderbolt/internal/crypto"
 	"thunderbolt/internal/depgraph"
+	"thunderbolt/internal/gateway"
 	"thunderbolt/internal/occ"
 	"thunderbolt/internal/tusk"
 	"thunderbolt/internal/types"
@@ -288,7 +289,7 @@ func (n *Node) drainQueue() (singles, cross []*types.Transaction) {
 			rest = append(rest, tx)
 			continue
 		}
-		if n.applied[tx.ID()] {
+		if n.dedup.Resolved(tx) {
 			continue
 		}
 		switch {
@@ -299,10 +300,12 @@ func (n *Node) drainQueue() (singles, cross []*types.Transaction) {
 			singles = append(singles, tx)
 			taken++
 		default:
-			// Wrong shard after rotation: drop and negative-ack so the
-			// client layer re-routes immediately.
+			// Wrong shard after rotation: drop and negative-ack —
+			// callback and wire — so the client layer re-routes
+			// immediately.
 			delete(n.seen, tx.ID())
 			n.bump(func(s *Stats) { s.DroppedAtReconfig++ })
+			n.nackPending(tx, gateway.NackMisroute)
 			if n.cfg.OnRejectTx != nil {
 				n.cfg.OnRejectTx(tx)
 			}

@@ -49,12 +49,16 @@ func (n *Node) captureSnapshot(nextEpoch types.Epoch) {
 		EndRound:  n.committer.LastLeaderRound(),
 		Commits:   n.Stats().CommittedTxs,
 		Ledger:    n.cfg.Store.Dump(),
-		Applied:   make([]types.Digest, 0, len(n.applied)),
+		// The dedup payload is the compact per-client state, not the
+		// full applied set: floors and window bitmaps (bounded by
+		// clients × window) plus the bounded legacy digest window.
+		// Dedup state evolves only in committed order, so honest
+		// replicas capture bit-identical sessions here.
+		DedupWindow: uint32(n.dedup.Window()),
+		LegacyCap:   uint32(n.dedup.LegacyCap()),
+		Sessions:    n.dedup.Sessions(),
+		Applied:     n.dedup.Legacy(),
 	}
-	for id := range n.applied {
-		snap.Applied = append(snap.Applied, id)
-	}
-	types.SortDigests(snap.Applied)
 	n.lastSnap = snap
 	n.lastSnapMsg = nil // rebuilt on first serve
 }
@@ -143,6 +147,13 @@ func (n *Node) handleSnapshot(_ types.ReplicaID, payload []byte) {
 	if snap.Epoch <= n.epoch || int(snap.N) != n.n || !snap.Canonical() {
 		return
 	}
+	// The dedup configuration is part of the committee contract (like
+	// N): installing under a different window would make this
+	// replica's dedup evolution — and its next snapshot capture —
+	// diverge from the committee's.
+	if int(snap.DedupWindow) != n.dedup.Window() || int(snap.LegacyCap) != n.dedup.LegacyCap() {
+		return
+	}
 	if !n.verifier.Verify(m.Signer, snap.Digest(), m.Sig) {
 		return
 	}
@@ -173,18 +184,13 @@ func (n *Node) maybeInstallSnapshot() {
 // installSnapshot applies a verified snapshot and jumps epochs. The
 // replica's own committed prefix is always a prefix of the snapshot's
 // (commit sequences are prefix-consistent and the snapshot sits at a
-// later position), so overlaying the ledger and applied set loses
-// nothing; the batched Store.Apply is the single state application.
+// later position), so overlaying the ledger and taking the snapshot's
+// dedup state verbatim loses nothing; the batched Store.Apply is the
+// single state application, and the verbatim dedup restore is what
+// keeps this replica's next capture bit-identical to honest peers'.
 func (n *Node) installSnapshot(snap *types.Snapshot) {
 	n.cfg.Store.Apply(snap.Ledger)
-	applied := make(map[types.Digest]bool, len(snap.Applied)+len(n.applied))
-	for _, id := range snap.Applied {
-		applied[id] = true
-	}
-	for id := range n.applied {
-		applied[id] = true
-	}
-	n.applied = applied
+	n.dedup.Restore(snap.Sessions, snap.Applied)
 	// Re-anchor the commit log at the snapshot's sequence position:
 	// the local log resumes exactly where the committee's agreed
 	// sequence continues, keeping cross-replica prefix comparisons

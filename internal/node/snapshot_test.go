@@ -54,20 +54,29 @@ func signedSnap(donor *Node) []byte {
 }
 
 // applyTestCommits gives a node some committed state: a store write
-// plus applied IDs, mirroring what executing a committed prefix does.
-func applyTestCommits(n *Node, balance int64, ids ...types.Digest) {
+// plus resolved transactions, mirroring what executing a committed
+// prefix does. The transactions are nonce-less, so they land in the
+// snapshot's legacy digest window (sessioned state is covered by
+// TestSnapshotCarriesSessions).
+func applyTestCommits(n *Node, balance int64, txs ...*types.Transaction) {
 	n.cfg.Store.Set(workload.CheckingKey(workload.AccountName(0)), contract.EncodeInt64(balance))
-	for _, id := range ids {
-		n.applied[id] = true
+	for _, tx := range txs {
+		n.dedup.Mark(tx)
 	}
-	n.bump(func(s *Stats) { s.CommittedTxs += uint64(len(ids)) })
+	n.bump(func(s *Stats) { s.CommittedTxs += uint64(len(txs)) })
+}
+
+// legacyTx builds a nonce-less transaction with a distinct identity.
+func legacyTx(tag string) *types.Transaction {
+	return &types.Transaction{Kind: types.SingleShard, Shards: []types.ShardID{0},
+		Contract: "t", Args: [][]byte{[]byte(tag)}}
 }
 
 func TestSnapshotCaptureDeterministic(t *testing.T) {
 	nodes, _ := snapTestNodes(t, 4)
-	ids := []types.Digest{types.HashBytes([]byte("t1")), types.HashBytes([]byte("t2"))}
+	txs := []*types.Transaction{legacyTx("t1"), legacyTx("t2")}
 	for _, nd := range nodes[:2] {
-		applyTestCommits(nd, 555, ids...)
+		applyTestCommits(nd, 555, txs...)
 		nd.captureSnapshot(1)
 	}
 	a, b := nodes[0].lastSnap, nodes[1].lastSnap
@@ -85,9 +94,9 @@ func TestSnapshotCaptureDeterministic(t *testing.T) {
 
 func TestSnapshotInstallNeedsQuorum(t *testing.T) {
 	nodes, _ := snapTestNodes(t, 4)
-	ids := []types.Digest{types.HashBytes([]byte("t1"))}
+	txs := []*types.Transaction{legacyTx("t1")}
 	for _, nd := range nodes[1:3] {
-		applyTestCommits(nd, 777, ids...)
+		applyTestCommits(nd, 777, txs...)
 		nd.captureSnapshot(2)
 	}
 	victim := nodes[0]
@@ -105,8 +114,8 @@ func TestSnapshotInstallNeedsQuorum(t *testing.T) {
 	if victim.epoch != 2 {
 		t.Fatalf("no epoch jump after f+1 matching snapshots (epoch %d)", victim.epoch)
 	}
-	if !victim.applied[ids[0]] {
-		t.Fatal("applied set not installed")
+	if !victim.dedup.Resolved(txs[0]) {
+		t.Fatal("dedup state not installed")
 	}
 	v, _ := victim.cfg.Store.Get(workload.CheckingKey(workload.AccountName(0)))
 	got, err := contract.DecodeInt64(v)

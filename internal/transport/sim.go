@@ -48,6 +48,12 @@ func UniformLatency(lo, hi time.Duration) LatencyModel {
 type SimConfig struct {
 	// N is the number of endpoints.
 	N int
+	// Committee bounds Broadcast fan-out: endpoints [0, Committee) are
+	// committee replicas, endpoints [Committee, N) are client
+	// endpoints (gateway clients) that are addressable by Send but
+	// excluded from protocol broadcasts. 0 means every endpoint is a
+	// committee member.
+	Committee int
 	// Latency models one-way link delay; nil means ZeroLatency.
 	Latency LatencyModel
 	// DropRate is the probability a message is silently lost.
@@ -115,6 +121,9 @@ func NewSimNetwork(cfg SimConfig) *SimNetwork {
 	}
 	if cfg.QueueLen <= 0 {
 		cfg.QueueLen = 4096
+	}
+	if cfg.Committee <= 0 || cfg.Committee > cfg.N {
+		cfg.Committee = cfg.N
 	}
 	n := &SimNetwork{
 		cfg:       cfg,
@@ -421,7 +430,7 @@ func (e *simEndpoint) Send(to types.ReplicaID, mt MsgType, payload []byte) error
 }
 
 func (e *simEndpoint) Broadcast(mt MsgType, payload []byte) error {
-	for i := range e.net.endpoints {
+	for i := 0; i < e.net.cfg.Committee; i++ {
 		if err := e.Send(types.ReplicaID(i), mt, payload); err != nil {
 			return err
 		}

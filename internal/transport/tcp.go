@@ -42,6 +42,11 @@ type TCPTransport struct {
 	h       Handler
 	conns   map[types.ReplicaID]net.Conn
 	inbound map[net.Conn]struct{}
+	// clientConns maps non-peer sender IDs (gateway clients) to their
+	// latest inbound connection, so a replica can answer a client it
+	// has no address book entry for: the reply rides the connection
+	// the client dialed. Entries follow the connection's lifetime.
+	clientConns map[types.ReplicaID]net.Conn
 	// failedAt backs off dialing per peer: while a peer is down, every
 	// Send to it would otherwise pay a full dial timeout — on the
 	// node's event loop, where one dead peer must not stall protocol
@@ -51,6 +56,10 @@ type TCPTransport struct {
 	once     sync.Once
 	wg       sync.WaitGroup
 }
+
+// clientWriteTimeout bounds one reply write to a gateway client. Far
+// above any healthy round-trip, far below "wedged forever".
+const clientWriteTimeout = 2 * time.Second
 
 // NewTCPTransport starts listening immediately.
 func NewTCPTransport(cfg TCPConfig) (*TCPTransport, error) {
@@ -65,12 +74,13 @@ func NewTCPTransport(cfg TCPConfig) (*TCPTransport, error) {
 		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
 	}
 	t := &TCPTransport{
-		cfg:      cfg,
-		ln:       ln,
-		conns:    make(map[types.ReplicaID]net.Conn),
-		inbound:  make(map[net.Conn]struct{}),
-		failedAt: make(map[types.ReplicaID]time.Time),
-		done:     make(chan struct{}),
+		cfg:         cfg,
+		ln:          ln,
+		conns:       make(map[types.ReplicaID]net.Conn),
+		inbound:     make(map[net.Conn]struct{}),
+		clientConns: make(map[types.ReplicaID]net.Conn),
+		failedAt:    make(map[types.ReplicaID]time.Time),
+		done:        make(chan struct{}),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -124,6 +134,11 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 	defer func() {
 		t.mu.Lock()
 		delete(t.inbound, conn)
+		for id, c := range t.clientConns {
+			if c == conn {
+				delete(t.clientConns, id)
+			}
+		}
 		t.mu.Unlock()
 		conn.Close()
 	}()
@@ -149,6 +164,14 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 		from := types.ReplicaID(binary.BigEndian.Uint32(frame[1:5]))
 		t.mu.Lock()
 		h := t.h
+		// A sender outside the peer book is a gateway client: remember
+		// its connection so Send can answer it. Claimed IDs are not
+		// authenticated (same trust model as replica frames — protocol
+		// payloads authenticate themselves); a client ID collision
+		// just misdelivers acks, never consensus traffic.
+		if _, peer := t.cfg.Peers[from]; !peer {
+			t.clientConns[from] = conn
+		}
 		t.mu.Unlock()
 		if h != nil {
 			h(from, mt, frame[5:])
@@ -198,6 +221,12 @@ func (t *TCPTransport) conn(to types.ReplicaID) (net.Conn, error) {
 		return existing, nil
 	}
 	t.conns[to] = c
+	// Read the dialed connection too: between replicas nothing ever
+	// comes back on it (peers answer by dialing the address book), but
+	// a gateway client is not dialable — its acks, nacks, and commit
+	// notifications ride the very connection it dialed out on.
+	t.wg.Add(1)
+	go t.readLoop(c)
 	return c, nil
 }
 
@@ -232,6 +261,38 @@ func (t *TCPTransport) Send(to types.ReplicaID, mt MsgType, payload []byte) erro
 	frame[4] = byte(mt)
 	binary.BigEndian.PutUint32(frame[5:9], uint32(t.cfg.Self))
 	copy(frame[9:], payload)
+
+	// A destination outside the peer book is a gateway client reached
+	// over the connection it dialed in on; there is nothing to redial,
+	// so a write failure just drops the mapping (the client's own
+	// retransmission re-establishes it).
+	t.mu.Lock()
+	_, isPeer := t.cfg.Peers[to]
+	cc := t.clientConns[to]
+	t.mu.Unlock()
+	if !isPeer {
+		if cc == nil {
+			return fmt.Errorf("transport: no connection from client %d", to)
+		}
+		// Client replies are written from the replica's event loop, and
+		// clients are untrusted: one that stops reading must cost a
+		// bounded wait, never a wedged consensus loop. A deadline hit
+		// drops the connection; the client's own retransmission dials
+		// back in.
+		_ = cc.SetWriteDeadline(time.Now().Add(clientWriteTimeout))
+		_, err := cc.Write(frame)
+		_ = cc.SetWriteDeadline(time.Time{})
+		if err != nil {
+			t.mu.Lock()
+			if t.clientConns[to] == cc {
+				delete(t.clientConns, to)
+			}
+			t.mu.Unlock()
+			_ = cc.Close()
+			return err
+		}
+		return nil
+	}
 
 	// A dial failure returns immediately (the peer is down; the
 	// protocol layer's own retries will come back). A write failure

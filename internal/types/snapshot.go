@@ -45,10 +45,28 @@ type Snapshot struct {
 	// ascending key order.
 	Ledger []RWRecord
 
-	// Applied holds the transaction IDs resolved by the committed
-	// prefix — committed ones plus deterministic failures — in
-	// strictly ascending byte order. Installing it keeps the jumping
-	// replica's dedup aligned with the committee's.
+	// DedupWindow and LegacyCap bind the digest to the dedup
+	// configuration the sessions and applied window were built under
+	// (per-client nonce window size and legacy digest-window capacity).
+	// Like N, they are part of the committee contract: an installer
+	// configured differently would diverge from the committee's dedup
+	// evolution and must reject the snapshot.
+	DedupWindow uint32
+	LegacyCap   uint32
+
+	// Sessions is the per-client dedup state resolved by the committed
+	// prefix, in strictly ascending client order: each client's
+	// applied-nonce floor plus the out-of-order window bitmap above
+	// it. This replaces shipping the full applied-transaction set —
+	// the snapshot's dedup payload is bounded by clients × window no
+	// matter how long the chain has run.
+	Sessions []ClientSession
+
+	// Applied holds the legacy digest-window contents — the IDs of
+	// resolved transactions that carry no (client, nonce) session — in
+	// ring order, oldest first, so installers rebuild the identical
+	// bounded window (eviction order included). Its length is bounded
+	// by LegacyCap.
 	Applied []Digest
 
 	// dig caches the content digest (see Block.dig for the ownership
@@ -56,6 +74,17 @@ type Snapshot struct {
 	// the cache).
 	dig   Digest
 	digOK bool
+}
+
+// ClientSession is one client's compact dedup state: every nonce ≤
+// Floor is resolved, and Bits is the window bitmap over (Floor,
+// Floor+window] — bit for nonce n lives at position n mod window
+// (absolute addressing, so honestly built bitmaps are bit-identical
+// without any rotation bookkeeping).
+type ClientSession struct {
+	Client uint64
+	Floor  uint64
+	Bits   []uint64
 }
 
 // SortLedger puts records into the canonical strictly-ascending key
@@ -71,23 +100,34 @@ func SortDigests(ds []Digest) {
 }
 
 // Canonical reports whether the snapshot is in canonical form: ledger
-// keys strictly ascending and applied IDs strictly ascending. Honest
-// builders always emit canonical snapshots; receivers reject anything
-// else before counting it toward an install quorum, so a malformed or
-// deliberately reordered copy can never masquerade as a fresh digest
-// of the same logical state.
+// keys strictly ascending, sessions strictly ascending by client with
+// bitmaps sized to DedupWindow, and the legacy applied window within
+// its capacity. Honest builders always emit canonical snapshots;
+// receivers reject anything else before counting it toward an install
+// quorum, so a malformed or deliberately inflated copy can never
+// masquerade as a fresh digest of the same logical state. (The
+// Applied ring is order-significant rather than sorted — eviction
+// order is state — so its ordering is bound by the digest, not by a
+// canonical sort.)
 func (s *Snapshot) Canonical() bool {
 	for i := 1; i < len(s.Ledger); i++ {
 		if s.Ledger[i-1].Key >= s.Ledger[i].Key {
 			return false
 		}
 	}
-	for i := 1; i < len(s.Applied); i++ {
-		if bytes.Compare(s.Applied[i-1][:], s.Applied[i][:]) >= 0 {
+	if s.DedupWindow == 0 || s.DedupWindow%64 != 0 {
+		return false
+	}
+	words := int(s.DedupWindow / 64)
+	for i, cs := range s.Sessions {
+		if i > 0 && s.Sessions[i-1].Client >= cs.Client {
+			return false
+		}
+		if len(cs.Bits) != words {
 			return false
 		}
 	}
-	return true
+	return len(s.Applied) <= int(s.LegacyCap)
 }
 
 // Digest returns the canonical content address of the snapshot,
@@ -111,6 +151,17 @@ func (s *Snapshot) encode(e *Encoder) {
 	e.U64(uint64(s.EndRound))
 	e.U64(s.Commits)
 	encodeRecords(e, s.Ledger)
+	e.U32(s.DedupWindow)
+	e.U32(s.LegacyCap)
+	e.U32(uint32(len(s.Sessions)))
+	for _, cs := range s.Sessions {
+		e.U64(cs.Client)
+		e.U64(cs.Floor)
+		e.U32(uint32(len(cs.Bits)))
+		for _, w := range cs.Bits {
+			e.U64(w)
+		}
+	}
 	e.U32(uint32(len(s.Applied)))
 	for _, d := range s.Applied {
 		e.Digest(d)
@@ -135,6 +186,25 @@ func (s *Snapshot) UnmarshalBinary(b []byte) error {
 	s.EndRound = Round(d.U64())
 	s.Commits = d.U64()
 	s.Ledger = decodeRecords(d)
+	s.DedupWindow = d.U32()
+	s.LegacyCap = d.U32()
+	nc := d.U32()
+	if d.Err() == nil && int(nc) > len(b)/16 {
+		return fmt.Errorf("types: implausible session count %d", nc)
+	}
+	s.Sessions = make([]ClientSession, 0, nc)
+	for i := uint32(0); i < nc && d.Err() == nil; i++ {
+		cs := ClientSession{Client: d.U64(), Floor: d.U64()}
+		nw := d.U32()
+		if d.Err() == nil && int(nw) > len(b)/8 {
+			return fmt.Errorf("types: implausible bitmap length %d", nw)
+		}
+		cs.Bits = make([]uint64, 0, nw)
+		for j := uint32(0); j < nw && d.Err() == nil; j++ {
+			cs.Bits = append(cs.Bits, d.U64())
+		}
+		s.Sessions = append(s.Sessions, cs)
+	}
 	na := d.U32()
 	if d.Err() == nil && int(na) > len(b)/32 {
 		return fmt.Errorf("types: implausible applied count %d", na)

@@ -12,14 +12,21 @@ func testSnapshot() *Snapshot {
 			{Key: "c:acct000002", Value: Value("250")},
 			{Key: "s:acct000001", Value: Value("7")},
 		},
+		DedupWindow: 128,
+		LegacyCap:   4096,
+		Sessions: []ClientSession{
+			{Client: 1, Floor: 17, Bits: []uint64{0b1010, 0}},
+			{Client: 9, Floor: 3, Bits: []uint64{0, 1 << 63}},
+		},
+		// Legacy digest-window contents, ring order (oldest first) —
+		// order-significant, not sorted.
 		Applied: []Digest{
+			HashBytes([]byte("c")),
 			HashBytes([]byte("a")),
 			HashBytes([]byte("b")),
-			HashBytes([]byte("c")),
 		},
 	}
 	SortLedger(s.Ledger)
-	SortDigests(s.Applied)
 	return s
 }
 
@@ -34,10 +41,12 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got.Epoch != s.Epoch || got.N != s.N || got.PrevEpoch != s.PrevEpoch ||
-		got.EndRound != s.EndRound || got.Commits != s.Commits {
+		got.EndRound != s.EndRound || got.Commits != s.Commits ||
+		got.DedupWindow != s.DedupWindow || got.LegacyCap != s.LegacyCap {
 		t.Fatalf("header mismatch: %+v vs %+v", got, s)
 	}
-	if len(got.Ledger) != len(s.Ledger) || len(got.Applied) != len(s.Applied) {
+	if len(got.Ledger) != len(s.Ledger) || len(got.Applied) != len(s.Applied) ||
+		len(got.Sessions) != len(s.Sessions) {
 		t.Fatalf("body length mismatch")
 	}
 	for i := range s.Ledger {
@@ -45,9 +54,19 @@ func TestSnapshotRoundTrip(t *testing.T) {
 			t.Fatalf("ledger[%d] mismatch", i)
 		}
 	}
+	for i := range s.Sessions {
+		if got.Sessions[i].Client != s.Sessions[i].Client || got.Sessions[i].Floor != s.Sessions[i].Floor {
+			t.Fatalf("sessions[%d] mismatch", i)
+		}
+		for j := range s.Sessions[i].Bits {
+			if got.Sessions[i].Bits[j] != s.Sessions[i].Bits[j] {
+				t.Fatalf("sessions[%d].bits[%d] mismatch", i, j)
+			}
+		}
+	}
 	for i := range s.Applied {
 		if got.Applied[i] != s.Applied[i] {
-			t.Fatalf("applied[%d] mismatch", i)
+			t.Fatalf("applied[%d] mismatch (ring order must survive)", i)
 		}
 	}
 	if got.Digest() != s.Digest() {
@@ -67,8 +86,15 @@ func TestSnapshotDigestBindsContent(t *testing.T) {
 		func(s *Snapshot) { s.EndRound++ },
 		func(s *Snapshot) { s.Commits++ },
 		func(s *Snapshot) { s.Ledger[0].Value = Value("999") },
+		func(s *Snapshot) { s.DedupWindow *= 2 },
+		func(s *Snapshot) { s.LegacyCap-- },
+		func(s *Snapshot) { s.Sessions[0].Floor++ },
+		func(s *Snapshot) { s.Sessions[1].Bits[1] ^= 1 },
 		func(s *Snapshot) { s.Applied[0][0] ^= 1 },
 		func(s *Snapshot) { s.Applied = s.Applied[:len(s.Applied)-1] },
+		// Ring order is state (it encodes eviction order): swapping
+		// two entries must change the digest.
+		func(s *Snapshot) { s.Applied[0], s.Applied[1] = s.Applied[1], s.Applied[0] },
 	}
 	for i, mut := range mutations {
 		s := testSnapshot()
@@ -82,17 +108,32 @@ func TestSnapshotDigestBindsContent(t *testing.T) {
 func TestSnapshotCanonical(t *testing.T) {
 	s := testSnapshot()
 	if !s.Canonical() {
-		t.Fatal("sorted snapshot should be canonical")
+		t.Fatal("well-formed snapshot should be canonical")
 	}
 	bad := testSnapshot()
 	bad.Ledger[0], bad.Ledger[1] = bad.Ledger[1], bad.Ledger[0]
 	if bad.Canonical() {
 		t.Fatal("unsorted ledger accepted as canonical")
 	}
-	dup := testSnapshot()
-	dup.Applied[1] = dup.Applied[0]
-	if dup.Canonical() {
-		t.Fatal("duplicate applied IDs accepted as canonical")
+	unsorted := testSnapshot()
+	unsorted.Sessions[0], unsorted.Sessions[1] = unsorted.Sessions[1], unsorted.Sessions[0]
+	if unsorted.Canonical() {
+		t.Fatal("unsorted sessions accepted as canonical")
+	}
+	wrongBits := testSnapshot()
+	wrongBits.Sessions[0].Bits = wrongBits.Sessions[0].Bits[:1]
+	if wrongBits.Canonical() {
+		t.Fatal("bitmap shorter than the window accepted as canonical")
+	}
+	overflow := testSnapshot()
+	overflow.LegacyCap = 2 // three applied entries claim a cap of two
+	if overflow.Canonical() {
+		t.Fatal("legacy window above its claimed capacity accepted as canonical")
+	}
+	badWindow := testSnapshot()
+	badWindow.DedupWindow = 100 // not a multiple of 64
+	if badWindow.Canonical() {
+		t.Fatal("non-multiple-of-64 window accepted as canonical")
 	}
 }
 

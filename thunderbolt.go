@@ -22,6 +22,7 @@ import (
 	"thunderbolt/internal/cluster"
 	"thunderbolt/internal/contract"
 	"thunderbolt/internal/depgraph"
+	"thunderbolt/internal/gateway"
 	"thunderbolt/internal/node"
 	"thunderbolt/internal/storage"
 	"thunderbolt/internal/transport"
@@ -202,6 +203,38 @@ var (
 	// WANModel approximates a geo-distributed network (~40ms).
 	WANModel = transport.WANModel
 )
+
+// --- Client gateway ---
+
+type (
+	// GatewayClient is the remote-client library: sessioned
+	// submission with acks, nack-driven re-routing, failover across
+	// proposers, and commit-waiting (see README "Client API").
+	GatewayClient = gateway.Client
+	// GatewayClientConfig assembles a GatewayClient.
+	GatewayClientConfig = gateway.ClientConfig
+	// GatewayResult reports how a submission resolved.
+	GatewayResult = gateway.Result
+	// TCPTransport speaks the wire framing over real sockets; a
+	// gateway client over TCP uses one with a non-committee Self ID.
+	TCPTransport = transport.TCPTransport
+	// TCPConfig configures a TCPTransport.
+	TCPConfig = transport.TCPConfig
+)
+
+// GatewayClientIDBase is the conventional first wire ID for gateway
+// clients over TCP (committee replicas occupy [0, n)).
+const GatewayClientIDBase = gateway.ClientIDBase
+
+// NewGatewayClient builds a gateway client over a transport endpoint.
+func NewGatewayClient(cfg GatewayClientConfig) (*GatewayClient, error) {
+	return gateway.NewClient(cfg)
+}
+
+// NewTCPTransport starts a TCP endpoint (listening immediately).
+func NewTCPTransport(cfg TCPConfig) (*TCPTransport, error) {
+	return transport.NewTCPTransport(cfg)
+}
 
 // --- Workload ---
 
