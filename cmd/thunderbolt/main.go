@@ -56,6 +56,7 @@ func main() {
 		kFlag    = flag.Int("k", 0, "silent-proposer rounds before a Shift vote (0=off)")
 		kPrime   = flag.Int("kprime", 0, "periodic reconfiguration period in rounds (0=off)")
 		scheme   = flag.String("scheme", "ed25519", "signature scheme: ed25519 | insecure")
+		dataDir  = flag.String("data-dir", "", "TCP mode: durable WAL storage directory (empty = in-memory; a restart with the same directory recovers committed state from disk)")
 
 		client  = flag.Bool("client", false, "run a remote gateway client against -peers instead of a replica")
 		session = flag.Uint64("session", 1, "client mode: gateway session ID (unique per client lifetime)")
@@ -74,7 +75,7 @@ func main() {
 		runLocal(*local, m, *duration, *clients, *accounts, *batch, *kFlag, *kPrime, *seed)
 		return
 	}
-	runTCP(*id, *peersArg, m, *accounts, *batch, *kFlag, *kPrime, *seed, *scheme)
+	runTCP(*id, *peersArg, m, *accounts, *batch, *kFlag, *kPrime, *seed, *scheme, *dataDir)
 }
 
 // runClient streams sessioned transactions at a running TCP committee
@@ -183,7 +184,7 @@ func runLocal(n int, m thunderbolt.Mode, duration time.Duration, clients, accoun
 	fmt.Println(rep)
 }
 
-func runTCP(id int, peersArg string, m thunderbolt.Mode, accounts, batch, k, kprime int, seed int64, schemeName string) {
+func runTCP(id int, peersArg string, m thunderbolt.Mode, accounts, batch, k, kprime int, seed int64, schemeName, dataDir string) {
 	if id < 0 || peersArg == "" {
 		log.Fatal("TCP mode needs -id and -peers (or use -local N)")
 	}
@@ -213,8 +214,23 @@ func runTCP(id int, peersArg string, m thunderbolt.Mode, accounts, batch, k, kpr
 
 	reg := contract.NewRegistry()
 	workload.RegisterSmallBank(reg)
-	st := storage.New()
-	workload.InitAccounts(st, accounts, 1_000_000, 1_000_000)
+	var st storage.Backend
+	if dataDir != "" {
+		d, derr := storage.OpenDurable(storage.DurableOptions{Dir: dataDir})
+		if derr != nil {
+			log.Fatal(derr)
+		}
+		defer d.Close()
+		st = d
+		if d.Seq() > 0 {
+			log.Printf("recovered %d keys at commit seq %d from %s (WAL replay)", d.Len(), d.Seq(), dataDir)
+		}
+	} else {
+		st = storage.New()
+	}
+	if st.Seq() == 0 {
+		workload.InitAccounts(st, accounts, 1_000_000, 1_000_000)
+	}
 
 	nd, err := node.New(node.Config{
 		ID: self, N: n, Transport: tr,

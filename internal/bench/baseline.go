@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"os"
 	"regexp"
 	"runtime"
 	"strconv"
@@ -11,7 +12,9 @@ import (
 
 	"thunderbolt/internal/cluster"
 	"thunderbolt/internal/node"
+	"thunderbolt/internal/storage"
 	"thunderbolt/internal/transport"
+	"thunderbolt/internal/types"
 	"thunderbolt/internal/workload"
 )
 
@@ -159,6 +162,50 @@ func baselineCluster(name string, cfg cluster.Config, lc cluster.LoadConfig) (Ba
 	}, nil
 }
 
+// baselineStorage measures raw backend apply throughput: sequential
+// commit-shaped write batches (the exact stream the node's commit
+// path produces — one ordered delta per committed block), reported as
+// applied records/sec. Run for both backends, the pair prices the
+// durable WAL's group-commit overhead against the in-memory store.
+func baselineStorage(name string, mk func() (storage.Backend, func(), error), opt Options) (BaselineRow, error) {
+	batches, batchSize := 4000, 64
+	if opt.Quick {
+		batches = 1000
+	}
+	st, cleanup, err := mk()
+	if err != nil {
+		return BaselineRow{}, err
+	}
+	defer cleanup()
+	const keySpace = 4096
+	writes := make([]types.RWRecord, batchSize)
+	val := []byte("0123456789abcdef0123456789abcdef")
+	probe := startProbe()
+	start := time.Now()
+	for b := 0; b < batches; b++ {
+		for i := range writes {
+			writes[i] = types.RWRecord{
+				Key:   types.Key(workload.CheckingKey(workload.AccountName((b*batchSize + i) % keySpace))),
+				Value: val,
+			}
+		}
+		st.Apply(writes)
+	}
+	if err := st.Sync(); err != nil { // durability point inside the window
+		return BaselineRow{}, err
+	}
+	elapsed := time.Since(start)
+	records := uint64(batches) * uint64(batchSize)
+	allocs, heap := probe.finish(records)
+	return BaselineRow{
+		Scenario:    name,
+		TPS:         float64(records) / elapsed.Seconds(),
+		LatencyMS:   elapsed.Seconds() * 1000 / float64(batches),
+		AllocsPerTx: allocs, HeapInuseBytes: heap,
+		Committed: records,
+	}, nil
+}
+
 // BaselineVersion extracts the BENCH sequence number from an output
 // path like "BENCH_3.json"; paths without one default to 1.
 func BaselineVersion(path string) int {
@@ -228,6 +275,39 @@ func RunBaseline(opt Options, version int) (BaselineReport, error) {
 		s.lc.RetryEvery = 2 * time.Second
 		s.lc.Timeout = 60 * time.Second
 		row, err := baselineCluster(s.name, s.cfg, s.lc)
+		if err != nil {
+			return rep, fmt.Errorf("bench: scenario %s: %w", s.name, err)
+		}
+		rep.Scenarios = append(rep.Scenarios, row)
+	}
+	stores := []struct {
+		name string
+		mk   func() (storage.Backend, func(), error)
+	}{
+		{
+			name: "storage-apply-mem",
+			mk: func() (storage.Backend, func(), error) {
+				return storage.New(), func() {}, nil
+			},
+		},
+		{
+			name: "storage-apply-wal",
+			mk: func() (storage.Backend, func(), error) {
+				dir, err := os.MkdirTemp("", "thunderbolt-bench-wal-")
+				if err != nil {
+					return nil, nil, err
+				}
+				d, err := storage.OpenDurable(storage.DurableOptions{Dir: dir})
+				if err != nil {
+					os.RemoveAll(dir)
+					return nil, nil, err
+				}
+				return d, func() { _ = d.Close(); os.RemoveAll(dir) }, nil
+			},
+		},
+	}
+	for _, s := range stores {
+		row, err := baselineStorage(s.name, s.mk, opt)
 		if err != nil {
 			return rep, fmt.Errorf("bench: scenario %s: %w", s.name, err)
 		}

@@ -85,6 +85,15 @@ type Options struct {
 	NonceWindow int
 	// LegacyDedupWindow bounds the nonce-less digest dedup window.
 	LegacyDedupWindow int
+	// SessionIdleEpochs enables deterministic idle-session expiry at
+	// epoch transitions (cluster.Config.SessionIdleEpochs; 0 = off).
+	SessionIdleEpochs int
+	// DataDir gives every replica a durable WAL storage backend under
+	// per-replica subdirectories (cluster.Config.DataDir); restart
+	// scenarios then recover state from disk. WALNoSync skips fsync
+	// for test turnaround.
+	DataDir   string
+	WALNoSync bool
 }
 
 func (o Options) withDefaults() Options {
@@ -146,6 +155,9 @@ func New(opt Options) (*Harness, error) {
 		GatewayClients:    opt.GatewayClients,
 		NonceWindow:       opt.NonceWindow,
 		LegacyDedupWindow: opt.LegacyDedupWindow,
+		SessionIdleEpochs: opt.SessionIdleEpochs,
+		DataDir:           opt.DataDir,
+		WALNoSync:         opt.WALNoSync,
 	})
 	if err != nil {
 		return nil, err

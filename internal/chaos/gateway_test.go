@@ -86,7 +86,7 @@ func TestScenarioGatewayDedupPlateau(t *testing.T) {
 func gwTCPClient(t *testing.T, c *tcpCommittee, session uint64) *gateway.Client {
 	t.Helper()
 	tr, err := transport.NewTCPTransport(transport.TCPConfig{
-		Self: gateway.ClientIDBase + types.ReplicaID(session),
+		Self:   gateway.ClientIDBase + types.ReplicaID(session),
 		Listen: "127.0.0.1:0", Peers: c.peers,
 		DialTimeout: 250 * time.Millisecond, RetryInterval: 50 * time.Millisecond,
 	})

@@ -1,0 +1,296 @@
+// Forged-preplay-results Byzantine scenario (ROADMAP "invalid preplay
+// results"): a shard proposer that follows the DAG protocol perfectly
+// — valid blocks, real certificates, prompt votes — but ships preplay
+// results whose declared read/write sets do not match re-execution:
+// it claims its deposits installed a billion-unit balance. Preplay
+// results are the one place a proposer asserts state transitions
+// unilaterally; §4's parallel validation is the defense. Honest
+// replicas must certify the block (availability voting is not
+// validity), then discard it wholesale at commit when validation
+// re-executes the declared schedule — the forged write must never
+// reach any store.
+package chaos
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"thunderbolt/internal/contract"
+	"thunderbolt/internal/crypto"
+	"thunderbolt/internal/node"
+	"thunderbolt/internal/transport"
+	"thunderbolt/internal/types"
+	"thunderbolt/internal/workload"
+)
+
+// forgedBalance is the balance the forger claims its deposits
+// install. Conservation would shatter if a single replica applied it.
+const forgedBalance = int64(1_000_000_000)
+
+// resultForger drives one committee slot at the wire level: a
+// protocol-conformant proposer (it even votes for peers, unlike the
+// withholder) whose every normal block carries one real transaction
+// with a forged TxResult.
+type resultForger struct {
+	tr       transport.Transport
+	self     types.ReplicaID
+	n        int
+	signer   crypto.Signer
+	verifier crypto.Verifier
+
+	mu         chan struct{} // 1-token mutex (keeps the struct copyable in tests)
+	blocks     map[types.Digest]*types.Block
+	collectors map[types.Digest]*crypto.QuorumCollector
+	certs      map[types.Round]map[types.Digest]bool
+	proposed   map[types.Round]bool
+	nonce      uint64
+
+	forged      atomic.Uint64 // forged blocks proposed
+	certified   atomic.Uint64 // certificates formed for forged blocks
+	votesServed atomic.Uint64 // votes this Byzantine node cast for peers
+}
+
+func newResultForger(t *testing.T, h *Harness, id types.ReplicaID) *resultForger {
+	t.Helper()
+	signers, verifier, err := crypto.InsecureScheme{}.Committee(h.Cluster().N(), h.Seed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &resultForger{
+		tr:   h.Net().Endpoint(id),
+		self: id, n: h.Cluster().N(),
+		signer: signers[id], verifier: verifier,
+		mu:         make(chan struct{}, 1),
+		blocks:     make(map[types.Digest]*types.Block),
+		collectors: make(map[types.Digest]*crypto.QuorumCollector),
+		certs:      make(map[types.Round]map[types.Digest]bool),
+		proposed:   make(map[types.Round]bool),
+	}
+	f.mu <- struct{}{}
+	f.tr.SetHandler(f.handle)
+	return f
+}
+
+func (f *resultForger) lock()   { <-f.mu }
+func (f *resultForger) unlock() { f.mu <- struct{}{} }
+
+func (f *resultForger) start() {
+	f.lock()
+	defer f.unlock()
+	f.propose(1, nil)
+}
+
+func (f *resultForger) handle(from types.ReplicaID, mt transport.MsgType, payload []byte) {
+	switch mt {
+	case node.MsgBlock:
+		// Vote for the peer's proposal: this Byzantine node is a model
+		// citizen everywhere except its own results.
+		var b types.Block
+		if b.UnmarshalBinary(payload) != nil {
+			return
+		}
+		if from != b.Proposer || b.Proposer == f.self {
+			return
+		}
+		d := b.Digest()
+		e := types.NewEncoder()
+		e.U64(uint64(b.Epoch))
+		e.U64(uint64(b.Round))
+		e.U32(uint32(b.Proposer))
+		e.Digest(d)
+		e.Bytes(f.signer.Sign(d))
+		_ = f.tr.Send(b.Proposer, node.MsgVote, e.Sum())
+		f.votesServed.Add(1)
+	case node.MsgVote:
+		d := types.NewDecoder(payload)
+		_ = d.U64() // epoch
+		_ = d.U64() // round
+		_ = d.U32() // proposer
+		dig := d.Digest()
+		sig := d.Bytes()
+		if d.Finish() != nil {
+			return
+		}
+		f.addVote(from, dig, sig)
+	case node.MsgCert:
+		var c types.Certificate
+		if c.UnmarshalBinary(payload) != nil {
+			return
+		}
+		f.noteCert(&c)
+	case node.MsgBlockReq:
+		d := types.NewDecoder(payload)
+		dig := d.Digest()
+		if d.Finish() != nil {
+			return
+		}
+		f.lock()
+		b := f.blocks[dig]
+		f.unlock()
+		if b != nil {
+			bs, _ := b.MarshalBinary()
+			_ = f.tr.Send(from, node.MsgBlock, bs)
+		}
+	}
+}
+
+func (f *resultForger) addVote(from types.ReplicaID, dig types.Digest, sig []byte) {
+	f.lock()
+	col := f.collectors[dig]
+	var (
+		cert *types.Certificate
+		err  error
+	)
+	if col != nil {
+		cert, err = col.Add(from, sig)
+	}
+	f.unlock()
+	if err != nil || cert == nil {
+		return
+	}
+	f.certified.Add(1)
+	cs, _ := cert.MarshalBinary()
+	_ = f.tr.Broadcast(node.MsgCert, cs)
+	f.noteCert(cert)
+}
+
+func (f *resultForger) noteCert(c *types.Certificate) {
+	f.lock()
+	defer f.unlock()
+	rm := f.certs[c.Round]
+	if rm == nil {
+		rm = make(map[types.Digest]bool)
+		f.certs[c.Round] = rm
+	}
+	rm[c.Digest()] = true
+	if len(rm) >= crypto.QuorumSize(f.n) && !f.proposed[c.Round+1] {
+		parents := make([]types.Digest, 0, len(rm))
+		for d := range rm {
+			parents = append(parents, d)
+		}
+		types.SortDigests(parents)
+		f.propose(c.Round+1, parents)
+	}
+}
+
+// propose emits one block for the slot carrying a real deposit whose
+// TxResult lies: the declared write set installs forgedBalance
+// instead of what re-execution produces. Callers hold the lock.
+func (f *resultForger) propose(r types.Round, parents []types.Digest) {
+	f.proposed[r] = true
+	shard := node.MyShard(f.self, 0, f.n)
+	b := &types.Block{
+		Epoch: 0, Round: r, Proposer: f.self,
+		Shard: shard, Kind: types.NormalBlock, Parents: parents,
+		ProposedUnixNano: time.Now().UnixNano(),
+	}
+	// A fresh (client, nonce) each time so dedup never hides the
+	// forgery: every block is a new commit attempt.
+	f.nonce++
+	tx := forgedShardTx(f.n, shard, f.nonce)
+	if tx != nil {
+		key := workload.CheckingKey(string(tx.Args[0]))
+		res := types.TxResult{
+			TxID:        tx.ID(),
+			ScheduleIdx: 0,
+			ReadSet:     []types.RWRecord{{Key: key, Value: contract.EncodeInt64(10_000)}},
+			WriteSet:    []types.RWRecord{{Key: key, Value: contract.EncodeInt64(forgedBalance)}},
+		}
+		b.SingleTxs = []*types.Transaction{tx}
+		b.Results = []types.TxResult{res}
+		f.forged.Add(1)
+	}
+	d := b.Digest()
+	f.blocks[d] = b
+	col := crypto.NewQuorumCollector(f.n, f.verifier, d, 0, r, f.self)
+	_, _ = col.Add(f.self, f.signer.Sign(d))
+	f.collectors[d] = col
+	bs, _ := b.MarshalBinary()
+	for p := 0; p < f.n; p++ {
+		if id := types.ReplicaID(p); id != f.self {
+			_ = f.tr.Send(id, node.MsgBlock, bs)
+		}
+	}
+}
+
+// forgedShardTx builds a deposit on an account owned by the given
+// shard (nil if the first few accounts miss the shard — callers
+// tolerate an occasional empty block).
+func forgedShardTx(n int, shard types.ShardID, nonce uint64) *types.Transaction {
+	smap := types.NewShardMap(n)
+	for acct := 0; acct < 64; acct++ {
+		name := workload.AccountName(acct)
+		if smap.ShardOf(workload.CheckingKey(name)) != shard {
+			continue
+		}
+		return &types.Transaction{
+			Client: 7777, Nonce: nonce, Kind: types.SingleShard,
+			Shards:   []types.ShardID{shard},
+			Contract: workload.ContractDepositChecking,
+			Args:     [][]byte{[]byte(name), contract.EncodeInt64(1)},
+		}
+	}
+	return nil
+}
+
+// TestScenarioByzantineForgedPreplayResults runs a 4-committee where
+// replica 3's every block carries a forged preplay result. Safety:
+// validation must discard the blocks on every honest replica —
+// ValidationFailures count them, no store ever shows the forged
+// balance, conservation and commit-sequence invariants stay green.
+// Liveness: honest traffic keeps committing around the forger.
+func TestScenarioByzantineForgedPreplayResults(t *testing.T) {
+	h := newHarness(t, Options{N: 4, Seed: 131, Headless: []int{3}})
+	byz := newResultForger(t, h, 3)
+	byz.start()
+
+	honest := []int{0, 1, 2}
+	rep := h.RunLoadAsync(LoadOptions{
+		Duration: load(2 * time.Second), Clients: 8,
+		Workload: workloadCfg(0.3, 0.3),
+		Timeout:  5 * time.Second, // byzantine-shard singles starve by its choice
+	}).Wait()
+	if rep.Committed == 0 {
+		t.Fatal("honest majority committed nothing alongside the forger")
+	}
+	check(t, h.WaitQuiesced(budget, honest...))
+	check(t, h.WaitConverged(budget, honest...))
+	check(t, h.CheckSafety(honest...))
+	check(t, h.CheckConservation(honest...))
+
+	if byz.forged.Load() == 0 {
+		t.Fatal("forger proposed no forged blocks — nothing was tested")
+	}
+	if byz.certified.Load() == 0 {
+		t.Fatal("no forged block certified: availability voting should not validate results")
+	}
+	// Every honest replica must have rejected forged blocks, and the
+	// forged balance must appear nowhere.
+	for _, i := range honest {
+		nd := h.Cluster().Node(i)
+		if nd.Stats().ValidationFailures == 0 {
+			t.Errorf("replica %d reports no validation failures despite certified forgeries", i)
+		}
+		st := nd.Store()
+		for acct := 0; acct < h.opt.Accounts; acct++ {
+			key := workload.CheckingKey(workload.AccountName(acct))
+			v, ok := st.Get(key)
+			if !ok {
+				continue
+			}
+			if bal, err := contract.DecodeInt64(v); err == nil && bal >= forgedBalance {
+				t.Fatalf("replica %d applied a forged write: %s=%d", i, key, bal)
+			}
+		}
+	}
+	// The forged transactions themselves must never have committed.
+	for _, i := range honest {
+		_, entries := h.Cluster().Node(i).CommitLog()
+		for _, e := range entries {
+			if e.Proposer == 3 && !e.Cross {
+				t.Fatalf("replica %d committed a single-shard block from the forger: %v", i, e)
+			}
+		}
+	}
+}

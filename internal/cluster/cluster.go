@@ -8,6 +8,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -76,6 +77,17 @@ type Config struct {
 	// dedup (node.Config); 0 selects the gateway defaults.
 	NonceWindow       int
 	LegacyDedupWindow int
+	// SessionIdleEpochs configures deterministic idle-session expiry
+	// at epoch transitions (node.Config.SessionIdleEpochs; 0 = off).
+	SessionIdleEpochs int
+	// DataDir, when set, gives every replica a durable WAL storage
+	// backend under <DataDir>/replica-<i> instead of the in-memory
+	// store: replicas restarted against the same directory recover
+	// their committed state from disk. Fresh directories are seeded
+	// with the SmallBank genesis; recovered ones are not re-seeded.
+	DataDir string
+	// WALNoSync skips fsync in the durable backend (test speed).
+	WALNoSync bool
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +115,9 @@ type Cluster struct {
 	net   *transport.SimNetwork
 	nodes []*node.Node
 	reg   *contract.Registry
+	// backends holds the durable storage backends to close on Stop
+	// (empty when Config.DataDir is unset).
+	backends []*storage.Durable
 
 	// gateways caches one gateway.Client per reserved client endpoint;
 	// sessions allocates cluster-unique dedup session IDs — each load
@@ -175,8 +190,23 @@ func New(cfg Config) (*Cluster, error) {
 			c.nodes = append(c.nodes, nil)
 			continue
 		}
-		st := storage.New()
-		workload.InitAccounts(st, cfg.Accounts, cfg.InitBalance, cfg.InitBalance)
+		var st storage.Backend
+		if cfg.DataDir != "" {
+			d, err := storage.OpenDurable(storage.DurableOptions{
+				Dir:    filepath.Join(cfg.DataDir, fmt.Sprintf("replica-%d", i)),
+				NoSync: cfg.WALNoSync,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("cluster: replica %d storage: %w", i, err)
+			}
+			c.backends = append(c.backends, d)
+			st = d
+		} else {
+			st = storage.New()
+		}
+		if st.Seq() == 0 {
+			workload.InitAccounts(st, cfg.Accounts, cfg.InitBalance, cfg.InitBalance)
+		}
 		id := types.ReplicaID(i)
 		ncfg := node.Config{
 			ID: id, N: cfg.N,
@@ -193,6 +223,7 @@ func New(cfg Config) (*Cluster, error) {
 			RecoverySyncRounds: cfg.RecoverySyncRounds,
 			NonceWindow:        cfg.NonceWindow,
 			LegacyDedupWindow:  cfg.LegacyDedupWindow,
+			SessionIdleEpochs:  cfg.SessionIdleEpochs,
 			OnCommitTx:         c.onCommit,
 			OnRejectTx:         c.onReject,
 		}
@@ -246,6 +277,11 @@ func (c *Cluster) Stop() {
 	}
 	c.wg.Wait()
 	c.net.Close()
+	// Backends close after their nodes: Durable.Close cuts a final
+	// checkpoint whose meta capture reads node state.
+	for _, b := range c.backends {
+		_ = b.Close()
+	}
 }
 
 // onReject receives a proposer's negative-ack on that node's event

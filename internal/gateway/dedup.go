@@ -85,6 +85,18 @@ type Dedup struct {
 type nonceWindow struct {
 	floor uint64
 	bits  []uint64 // window/64 words; nonce n maps to bit n % window
+	// Idle-session bookkeeping (ExpireIdle): lastFloor is the floor
+	// observed at the previous expiry sweep, idle counts consecutive
+	// sweeps with no sign of life, and active records any Mark since
+	// the previous sweep — a session committing out-of-order nonces
+	// above a permanent hole never moves its floor but is very much
+	// alive, and expiring it would re-admit its committed nonces.
+	// Mutated only on the commit path (Mark) and at deterministic
+	// epoch transitions (ExpireIdle), so it is part of the
+	// bit-identical dedup state.
+	lastFloor uint64
+	idle      uint32
+	active    bool
 }
 
 // NewDedup builds an empty dedup state. window is rounded up to a
@@ -167,13 +179,25 @@ func (d *Dedup) Mark(tx *types.Transaction) {
 		d.markLegacy(tx.ID())
 		return
 	}
-	w := d.clients[tx.Client]
+	d.MarkSession(tx.Client, tx.Nonce)
+}
+
+// MarkSession resolves one sessioned (client, nonce) identity
+// directly — the WAL recovery replay's form of Mark. Same discipline:
+// committed order only.
+func (d *Dedup) MarkSession(client, nonce uint64) {
+	w := d.clients[client]
 	if w == nil {
 		w = &nonceWindow{bits: make([]uint64, d.window/64)}
-		d.clients[tx.Client] = w
+		d.clients[client] = w
 	}
-	w.mark(tx.Nonce, d.window)
+	w.active = true
+	w.mark(nonce, d.window)
 }
+
+// MarkDigest resolves one nonce-less identity directly (WAL recovery
+// replay).
+func (d *Dedup) MarkDigest(id types.Digest) { d.markLegacy(id) }
 
 func (d *Dedup) markLegacy(id types.Digest) {
 	if _, ok := d.ringSet[id]; ok {
@@ -237,14 +261,51 @@ func (w *nonceWindow) mark(n, window uint64) {
 	}
 }
 
+// ExpireIdle runs one idle-session sweep: a session showing no sign
+// of life — no floor movement and no Mark at all — since the previous
+// sweep accumulates idleness, and one idle for at least `epochs`
+// consecutive sweeps is dropped — its memory (and snapshot footprint)
+// is reclaimed, at the documented cost that the dropped session loses
+// dedup protection (a very late resubmission of its old nonces would
+// be admitted as new, exactly like a digest evicted from the legacy
+// ring). Must be called only on the deterministic commit path, at
+// epoch transitions, so every honest replica sweeps the same sessions
+// in the same committed state; epochs <= 0 disables the sweep.
+// Dropped client IDs return in ascending order.
+func (d *Dedup) ExpireIdle(epochs int) []uint64 {
+	if epochs <= 0 {
+		return nil
+	}
+	var dropped []uint64
+	for c, w := range d.clients {
+		if w.floor == w.lastFloor && !w.active {
+			w.idle++
+			if int(w.idle) >= epochs {
+				delete(d.clients, c)
+				dropped = append(dropped, c)
+			}
+		} else {
+			w.lastFloor = w.floor
+			w.idle = 0
+		}
+		w.active = false
+	}
+	sort.Slice(dropped, func(i, j int) bool { return dropped[i] < dropped[j] })
+	return dropped
+}
+
 // Sessions exports the per-client state in canonical (strictly
 // ascending client) order for snapshot capture. Bitmaps are copied.
+// Snapshots are captured at epoch transitions immediately after the
+// idle sweep, where lastFloor == floor by construction, so the idle
+// counter is the only sweep state a snapshot needs to carry.
 func (d *Dedup) Sessions() []types.ClientSession {
 	out := make([]types.ClientSession, 0, len(d.clients))
 	for c, w := range d.clients {
 		out = append(out, types.ClientSession{
 			Client: c,
 			Floor:  w.floor,
+			Idle:   w.idle,
 			Bits:   append([]uint64(nil), w.bits...),
 		})
 	}
@@ -274,7 +335,12 @@ func (d *Dedup) Restore(sessions []types.ClientSession, legacy []types.Digest) {
 	for _, cs := range sessions {
 		bits := make([]uint64, words)
 		copy(bits, cs.Bits)
-		d.clients[cs.Client] = &nonceWindow{floor: cs.Floor, bits: bits}
+		// Snapshots are cut right after the transition's idle sweep,
+		// where lastFloor == floor on every honest replica.
+		d.clients[cs.Client] = &nonceWindow{
+			floor: cs.Floor, bits: bits,
+			lastFloor: cs.Floor, idle: cs.Idle,
+		}
 	}
 	d.ring = d.ring[:0]
 	d.ringStart = 0
@@ -287,4 +353,74 @@ func (d *Dedup) Restore(sessions []types.ClientSession, legacy []types.Digest) {
 
 func sortSessions(ss []types.ClientSession) {
 	sort.Slice(ss, func(i, j int) bool { return ss[i].Client < ss[j].Client })
+}
+
+// EncodeState appends the complete dedup state to e — the durable
+// backend's recovery sidecar. Unlike Sessions/Legacy (the snapshot
+// form, valid only at transition boundaries), this is full fidelity:
+// it includes the idle sweep's lastFloor, so a checkpoint cut at an
+// arbitrary mid-epoch position restores byte-exact sweep behaviour.
+// Sessions encode in ascending client order (deterministic bytes).
+func (d *Dedup) EncodeState(e *types.Encoder) {
+	clients := make([]uint64, 0, len(d.clients))
+	for c := range d.clients {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	e.U32(uint32(len(clients)))
+	for _, c := range clients {
+		w := d.clients[c]
+		e.U64(c)
+		e.U64(w.floor)
+		e.U64(w.lastFloor)
+		e.U32(w.idle)
+		if w.active {
+			e.U8(1)
+		} else {
+			e.U8(0)
+		}
+		for _, word := range w.bits {
+			e.U64(word)
+		}
+	}
+	e.U32(uint32(d.ringN))
+	for i := 0; i < d.ringN; i++ {
+		e.Digest(d.ring[(d.ringStart+i)%len(d.ring)])
+	}
+}
+
+// DecodeState replaces the dedup state with one written by
+// EncodeState under the same window configuration.
+func (d *Dedup) DecodeState(dec *types.Decoder) error {
+	words := int(d.window / 64)
+	nc := dec.U32()
+	clients := make(map[uint64]*nonceWindow, nc)
+	for i := uint32(0); i < nc && dec.Err() == nil; i++ {
+		w := &nonceWindow{bits: make([]uint64, words)}
+		c := dec.U64()
+		w.floor = dec.U64()
+		w.lastFloor = dec.U64()
+		w.idle = dec.U32()
+		w.active = dec.U8() == 1
+		for j := 0; j < words; j++ {
+			w.bits[j] = dec.U64()
+		}
+		clients[c] = w
+	}
+	na := dec.U32()
+	legacy := make([]types.Digest, 0, na)
+	for i := uint32(0); i < na && dec.Err() == nil; i++ {
+		legacy = append(legacy, dec.Digest())
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	d.clients = clients
+	d.ring = d.ring[:0]
+	d.ringStart, d.ringN = 0, 0
+	d.ringSet = make(map[types.Digest]struct{}, len(legacy))
+	for _, id := range legacy {
+		d.markLegacy(id)
+	}
+	return nil
 }

@@ -198,3 +198,138 @@ func TestDedupBounded(t *testing.T) {
 		t.Fatalf("bitmap words %d, want 1", got)
 	}
 }
+
+// TestDedupExpireIdle covers the deterministic idle-session sweep:
+// sessions whose floor stalls for E consecutive sweeps are dropped,
+// activity resets the idle clock, and a dropped session loses dedup
+// protection (its old nonces admit as new — the documented bound).
+func TestDedupExpireIdle(t *testing.T) {
+	d := NewDedup(64, 0)
+	d.Mark(stx(1, 1)) // client 1: active once, then idle forever
+	d.Mark(stx(2, 1)) // client 2: stays active across sweeps
+
+	if dropped := d.ExpireIdle(0); dropped != nil {
+		t.Fatalf("disabled sweep dropped %v", dropped)
+	}
+	// Sweep 1: both floors newly observed — nothing idle yet.
+	if dropped := d.ExpireIdle(2); len(dropped) != 0 {
+		t.Fatalf("first sweep dropped %v", dropped)
+	}
+	d.Mark(stx(2, 2)) // client 2 moves between sweeps
+	// Sweep 2: client 1 idle×1, client 2 reset.
+	if dropped := d.ExpireIdle(2); len(dropped) != 0 {
+		t.Fatalf("second sweep dropped %v", dropped)
+	}
+	// Sweep 3: client 1 hits the horizon; client 2 idle×1 only.
+	dropped := d.ExpireIdle(2)
+	if len(dropped) != 1 || dropped[0] != 1 {
+		t.Fatalf("third sweep dropped %v, want [1]", dropped)
+	}
+	if d.Clients() != 1 {
+		t.Fatalf("%d sessions tracked, want 1", d.Clients())
+	}
+	// The dropped session's history is gone: its old nonce admits as
+	// new (bounded-window contract), while client 2's floor survives.
+	if got := d.Admit(stx(1, 1)); got != AdmitNew {
+		t.Fatalf("expired session nonce: got %v, want new", got)
+	}
+	if got := d.Admit(stx(2, 1)); got != AdmitResolved {
+		t.Fatalf("live session nonce: got %v, want resolved", got)
+	}
+	// Client 2 stalls from here: idle×1 at sweep 3 (it moved before
+	// sweep 2, so its clock restarted), horizon at sweep 4.
+	dropped = d.ExpireIdle(2)
+	if len(dropped) != 1 || dropped[0] != 2 || d.Clients() != 0 {
+		t.Fatalf("fourth sweep dropped %v (sessions=%d), want [2] and none tracked", dropped, d.Clients())
+	}
+}
+
+// TestDedupExpireIdleSnapshotIdentity: the sweep state survives a
+// snapshot round-trip — a restored dedup evolves bit-identically to
+// the original through further marks and sweeps.
+func TestDedupExpireIdleSnapshotIdentity(t *testing.T) {
+	a := NewDedup(64, 16)
+	a.Mark(stx(1, 1))
+	a.Mark(stx(2, 1))
+	a.ExpireIdle(3)   // both observed
+	a.Mark(stx(2, 2)) // client 2 active
+	a.ExpireIdle(3)   // client 1 idle×1 — mid-horizon state
+	b := NewDedup(64, 16)
+	b.Restore(a.Sessions(), a.Legacy())
+
+	evolve := func(d *Dedup) {
+		d.Mark(stx(2, 3))
+		d.ExpireIdle(3) // client 1 idle×2
+		d.ExpireIdle(3) // client 1 expires exactly now
+	}
+	evolve(a)
+	evolve(b)
+	if a.Clients() != 1 || b.Clients() != 1 {
+		t.Fatalf("post-evolution sessions: a=%d b=%d, want 1,1", a.Clients(), b.Clients())
+	}
+	ea, eb := types.NewEncoder(), types.NewEncoder()
+	a.EncodeState(ea)
+	b.EncodeState(eb)
+	if string(ea.Sum()) != string(eb.Sum()) {
+		t.Fatal("restored dedup diverged from original after identical evolution")
+	}
+}
+
+// TestDedupEncodeDecodeState: the WAL sidecar codec is a full-fidelity
+// round trip, including mid-epoch sweep state where lastFloor lags the
+// floor.
+func TestDedupEncodeDecodeState(t *testing.T) {
+	a := NewDedup(64, 8)
+	a.Mark(stx(1, 1))
+	a.ExpireIdle(4)   // lastFloor pinned at 1
+	a.Mark(stx(1, 2)) // floor moves past lastFloor (mid-epoch shape)
+	a.Mark(stx(3, 7)) // out-of-order window content
+	for i := 0; i < 12; i++ {
+		a.Mark(ltx(fmt.Sprintf("legacy-%d", i))) // wraps the 8-cap ring
+	}
+	e := types.NewEncoder()
+	a.EncodeState(e)
+
+	b := NewDedup(64, 8)
+	if err := b.DecodeState(types.NewDecoder(e.Sum())); err != nil {
+		t.Fatal(err)
+	}
+	e2 := types.NewEncoder()
+	b.EncodeState(e2)
+	if string(e.Sum()) != string(e2.Sum()) {
+		t.Fatal("EncodeState/DecodeState round trip not byte-identical")
+	}
+	// And the decoded copy behaves identically on the next sweep (the
+	// lastFloor fidelity the snapshot form cannot carry).
+	da := a.ExpireIdle(4)
+	db := b.ExpireIdle(4)
+	if len(da) != len(db) {
+		t.Fatalf("sweep divergence after round trip: %v vs %v", da, db)
+	}
+}
+
+// TestDedupExpireIdleSparesActiveHoledSession: a session whose floor
+// is pinned by a permanently lost nonce but which keeps committing
+// out-of-order nonces above the hole is alive — expiring it would
+// re-admit its committed nonces as new.
+func TestDedupExpireIdleSparesActiveHoledSession(t *testing.T) {
+	d := NewDedup(64, 0)
+	// Nonce 1 never commits; 2..k do — floor stays 0 forever.
+	next := uint64(2)
+	for sweep := 0; sweep < 6; sweep++ {
+		d.Mark(stx(1, next))
+		next++
+		if dropped := d.ExpireIdle(2); len(dropped) != 0 {
+			t.Fatalf("sweep %d expired the actively committing session (dropped %v)", sweep, dropped)
+		}
+	}
+	if got := d.Admit(stx(1, 2)); got != AdmitResolved {
+		t.Fatalf("committed nonce above the hole: got %v, want resolved", got)
+	}
+	// Once the marks stop, the idle clock finally runs.
+	d.ExpireIdle(2)
+	dropped := d.ExpireIdle(2)
+	if len(dropped) != 1 || dropped[0] != 1 {
+		t.Fatalf("quiet holed session not expired: dropped %v", dropped)
+	}
+}

@@ -123,11 +123,18 @@ func (n *Node) executeWave(w tusk.CommitWave) {
 			delete(n.pendingCross, id)
 			if out.Err != nil {
 				// Deterministic failure: every replica drops it (a
-				// deterministic mark, so dedup state stays identical).
+				// deterministic mark, so dedup state stays identical;
+				// on a durable backend the mark is journaled so a
+				// restart rebuilds the same dedup evolution).
+				note := n.newMarkNote()
+				note.fail(out.Tx)
+				n.noteOnly(note.bytes())
 				n.dedup.Mark(out.Tx)
 				continue
 			}
-			n.cfg.Store.Apply(out.Writes)
+			note := n.newMarkNote()
+			note.commit(out.Tx)
+			n.applyCommit(out.Writes, note.bytes())
 			n.commitCtx.Round = crossTxs[i].round
 			n.commitCtx.Proposer = crossTxs[i].proposer
 			n.commitCtx.Cross = true
@@ -168,7 +175,11 @@ func (n *Node) validateAndApply(b *types.Block, now time.Time) bool {
 	if err != nil {
 		return false
 	}
-	n.cfg.Store.Apply(res.Writes)
+	note := n.newMarkNote()
+	for _, tx := range b.SingleTxs {
+		note.commit(tx)
+	}
+	n.applyCommit(res.Writes, note.bytes())
 	n.commitCtx.Round = b.Round
 	n.commitCtx.Proposer = b.Proposer
 	n.commitCtx.Cross = false
@@ -198,11 +209,15 @@ func (n *Node) executeSerial(b *types.Block, now time.Time) {
 		}
 		n.commitCtx.Cross = tx.IsCross()
 		outs := validate.ExecuteCrossOrdered(n.cfg.Registry, n.baseRead, []*types.Transaction{tx}, 1)
+		note := n.newMarkNote()
 		if outs[0].Err != nil {
+			note.fail(tx)
+			n.noteOnly(note.bytes())
 			n.dedup.Mark(tx)
 			continue
 		}
-		n.cfg.Store.Apply(outs[0].Writes)
+		note.commit(tx)
+		n.applyCommit(outs[0].Writes, note.bytes())
 		n.markCommitted(tx, now)
 	}
 }
@@ -246,7 +261,15 @@ func (n *Node) dropOwnBlock(round types.Round) {
 // every honest replica records a bit-identical snapshot, which is what
 // lets a replica stranded across this transition authenticate one
 // later with f+1 matching digests (see snapshot.go).
+//
+// The transition is itself a commit-path event: the idle-session
+// sweep (Config.SessionIdleEpochs) runs here, before the capture, so
+// the snapshot carries the swept session set — and on a durable
+// backend the transition is journaled so a restarted replica resumes
+// in this epoch with the same sweep applied.
 func (n *Node) reconfigure() {
+	n.noteOnly(transitionNote(n.epoch + 1))
+	n.dedup.ExpireIdle(n.cfg.SessionIdleEpochs)
 	n.captureSnapshot(n.epoch + 1)
 	n.bump(func(s *Stats) { s.Reconfigurations++ })
 	n.transition(n.epoch+1, true)

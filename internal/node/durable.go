@@ -1,0 +1,245 @@
+package node
+
+import (
+	"fmt"
+
+	"thunderbolt/internal/storage"
+	"thunderbolt/internal/types"
+)
+
+// Restart-from-disk recovery (the durable storage backend's node
+// side). The store alone is not enough to restart a replica: the
+// commit path's dedup state (per-client nonce floors, legacy digest
+// ring) must sit at exactly the same committed position as the store,
+// or the node would re-apply — or wrongly skip — blocks during
+// in-epoch catch-up. The durable backend therefore persists a sidecar
+// in lockstep with the state:
+//
+//   - every commit-path apply carries a note describing the dedup
+//     mutations the node performs right after it (resolved identities,
+//     epoch transitions, snapshot-jump restores), and
+//   - every checkpoint captures a meta blob with the full dedup
+//     state, the commit counter, and the epoch as of the records
+//     already applied.
+//
+// Reopening replays meta + notes alongside the store, after which the
+// replica resumes in its last durable epoch with a bit-identical
+// dedup — re-derived waves below its commit position validate as
+// duplicates (no double application), and the lost group-commit
+// suffix, if any, re-applies through normal in-epoch catch-up.
+//
+// Note discipline (what makes checkpoints cut at arbitrary records
+// consistent): a record's note describes mutations the node performs
+// AFTER the corresponding ApplyNote returns, and the backend cuts
+// checkpoints at the START of an apply — so a checkpoint's meta
+// always reflects exactly the mutations of the records it covers.
+// The snapshot-jump restore (kind 3) is the one deliberate exception:
+// it is absolute state, so replaying it over a meta that already
+// contains it is idempotent.
+
+// WAL note kinds.
+const (
+	walNoteMarks      = 1 // resolved-transaction identities of one commit
+	walNoteTransition = 2 // epoch transition (+ idle-session sweep)
+	walNoteRestore    = 3 // snapshot epoch-jump: absolute dedup/commit state
+)
+
+// applyCommit applies one commit-path write batch. On a durable
+// backend the note rides the same WAL record; on the in-memory
+// backend it is dropped (nothing to recover).
+func (n *Node) applyCommit(writes []types.RWRecord, note []byte) {
+	if n.durable != nil {
+		n.cfg.Store.ApplyNote(writes, note)
+		return
+	}
+	n.cfg.Store.Apply(writes)
+}
+
+// noteOnly persists a bookkeeping note with no writes (deterministic
+// failure marks, epoch transitions). A no-op without a durable
+// backend, so memory-backed replicas keep their exact historical
+// sequence trajectory.
+func (n *Node) noteOnly(note []byte) {
+	if n.durable != nil && note != nil {
+		n.cfg.Store.ApplyNote(nil, note)
+	}
+}
+
+// markNote encodes a walNoteMarks payload: the identities resolved by
+// the commit being applied, committed first, deterministic failures
+// second. Returns nil when no durable backend listens.
+type markNote struct {
+	committed []noteIdentity
+	failed    []noteIdentity
+}
+
+type noteIdentity struct {
+	sessioned bool
+	client    uint64
+	nonce     uint64
+	id        types.Digest
+}
+
+func identityOf(tx *types.Transaction) noteIdentity {
+	if tx.Client != 0 && tx.Nonce != 0 {
+		return noteIdentity{sessioned: true, client: tx.Client, nonce: tx.Nonce}
+	}
+	return noteIdentity{id: tx.ID()}
+}
+
+// newMarkNote returns a collector when the backend is durable, nil
+// otherwise (all methods tolerate the nil receiver, so call sites
+// stay unconditional).
+func (n *Node) newMarkNote() *markNote {
+	if n.durable == nil {
+		return nil
+	}
+	return &markNote{}
+}
+
+func (m *markNote) commit(tx *types.Transaction) {
+	if m == nil {
+		return
+	}
+	m.committed = append(m.committed, identityOf(tx))
+}
+
+func (m *markNote) fail(tx *types.Transaction) {
+	if m == nil {
+		return
+	}
+	m.failed = append(m.failed, identityOf(tx))
+}
+
+// bytes renders the note, or nil when empty/disabled.
+func (m *markNote) bytes() []byte {
+	if m == nil || (len(m.committed) == 0 && len(m.failed) == 0) {
+		return nil
+	}
+	e := types.NewEncoder()
+	e.U8(walNoteMarks)
+	for _, ids := range [][]noteIdentity{m.committed, m.failed} {
+		e.U32(uint32(len(ids)))
+		for _, id := range ids {
+			if id.sessioned {
+				e.U8(1)
+				e.U64(id.client)
+				e.U64(id.nonce)
+			} else {
+				e.U8(0)
+				e.Digest(id.id)
+			}
+		}
+	}
+	return e.Sum()
+}
+
+// transitionNote encodes a walNoteTransition payload.
+func transitionNote(newEpoch types.Epoch) []byte {
+	e := types.NewEncoder()
+	e.U8(walNoteTransition)
+	e.U64(uint64(newEpoch))
+	return e.Sum()
+}
+
+// restoreNote encodes a walNoteRestore payload from the node's
+// current (just-restored) dedup state.
+func (n *Node) restoreNote(epoch types.Epoch, commits uint64) []byte {
+	if n.durable == nil {
+		return nil
+	}
+	e := types.NewEncoder()
+	e.U8(walNoteRestore)
+	e.U64(uint64(epoch))
+	e.U64(commits)
+	n.dedup.EncodeState(e)
+	return e.Sum()
+}
+
+// walMeta is the checkpoint sidecar: the dedup configuration it was
+// written under (the same committee contract the snapshot-install
+// path binds — a replica restarted with a different window would
+// misparse the bitmaps or re-run idle sweeps on the wrong horizon and
+// silently diverge from the committee), then epoch, commit counter,
+// and full dedup state as of the records already applied. Runs
+// synchronously on the applying goroutine (the event loop), so the
+// reads are safe.
+func (n *Node) walMeta() []byte {
+	e := types.NewEncoder()
+	e.U32(uint32(n.dedup.Window()))
+	e.U32(uint32(n.dedup.LegacyCap()))
+	e.U32(uint32(n.cfg.SessionIdleEpochs))
+	e.U64(uint64(n.epoch))
+	e.U64(n.Stats().CommittedTxs)
+	n.dedup.EncodeState(e)
+	return e.Sum()
+}
+
+// recoverFromBackend rebuilds commit-path state from the durable
+// backend's sidecar: checkpoint meta first, then the replayed record
+// notes in apply order. Returns the epoch to resume in.
+func (n *Node) recoverFromBackend(rec storage.Recoverable) (types.Epoch, error) {
+	epoch := types.Epoch(0)
+	commits := uint64(0)
+	if meta := rec.RecoveredMeta(); len(meta) > 0 {
+		d := types.NewDecoder(meta)
+		window, legacy, idle := int(d.U32()), int(d.U32()), int(d.U32())
+		if window != n.dedup.Window() || legacy != n.dedup.LegacyCap() || idle != n.cfg.SessionIdleEpochs {
+			return 0, fmt.Errorf(
+				"node: durable state was written under dedup config window=%d legacy=%d idleEpochs=%d, node configured window=%d legacy=%d idleEpochs=%d — recovery under a different config would diverge from the committee",
+				window, legacy, idle, n.dedup.Window(), n.dedup.LegacyCap(), n.cfg.SessionIdleEpochs)
+		}
+		epoch = types.Epoch(d.U64())
+		commits = d.U64()
+		if err := n.dedup.DecodeState(d); err != nil {
+			return 0, fmt.Errorf("node: corrupt durable meta: %w", err)
+		}
+		if err := d.Finish(); err != nil {
+			return 0, fmt.Errorf("node: corrupt durable meta: %w", err)
+		}
+	}
+	for _, note := range rec.RecoveredNotes() {
+		d := types.NewDecoder(note)
+		switch kind := d.U8(); kind {
+		case walNoteMarks:
+			for pass := 0; pass < 2; pass++ {
+				cnt := d.U32()
+				for i := uint32(0); i < cnt && d.Err() == nil; i++ {
+					if d.U8() == 1 {
+						n.dedup.MarkSession(d.U64(), d.U64())
+					} else {
+						n.dedup.MarkDigest(d.Digest())
+					}
+					if pass == 0 {
+						commits++
+					}
+				}
+			}
+		case walNoteTransition:
+			// Re-run the deterministic idle sweep the live transition
+			// performed, then adopt the epoch.
+			n.dedup.ExpireIdle(n.cfg.SessionIdleEpochs)
+			epoch = types.Epoch(d.U64())
+		case walNoteRestore:
+			epoch = types.Epoch(d.U64())
+			commits = d.U64()
+			if err := n.dedup.DecodeState(d); err != nil {
+				return 0, fmt.Errorf("node: corrupt durable restore note: %w", err)
+			}
+		default:
+			return 0, fmt.Errorf("node: unknown durable note kind %d", kind)
+		}
+		if err := d.Err(); err != nil {
+			return 0, fmt.Errorf("node: corrupt durable note: %w", err)
+		}
+	}
+	rec.ReleaseRecovered() // sidecar consumed; free the buffers
+	n.clogMu.Lock()
+	n.clogStart = commits
+	n.clogMu.Unlock()
+	n.bump(func(s *Stats) {
+		s.CommittedTxs = commits
+		s.Epoch = epoch
+	})
+	return epoch, nil
+}

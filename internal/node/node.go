@@ -68,8 +68,12 @@ type Config struct {
 	Verifier crypto.Verifier
 	// Registry resolves contracts; Store holds this replica's copy of
 	// the state (genesis contents must match across the committee).
+	// Any storage.Backend works: the in-memory store, or the durable
+	// WAL backend — with the latter, a restarted process recovers its
+	// committed state (and the commit-path dedup riding the backend's
+	// recovery sidecar) from disk and resumes in its last epoch.
 	Registry *contract.Registry
-	Store    *storage.Store
+	Store    storage.Backend
 
 	// Mode selects the execution pipeline (default ModeCE).
 	Mode ExecutionMode
@@ -106,6 +110,16 @@ type Config struct {
 	// gateway.DefaultLegacyWindow (65536). Consensus-critical like
 	// NonceWindow.
 	LegacyDedupWindow int
+
+	// SessionIdleEpochs, when positive, expires idle gateway sessions
+	// deterministically at epoch transitions: a session whose applied
+	// nonce floor has not moved for this many consecutive transitions
+	// is dropped from the dedup state (and from snapshots), bounding
+	// session memory under billions of one-shot clients. Runs on the
+	// commit path, so honest replicas stay bit-identical; snapshots
+	// bind the value and installs reject a mismatch. 0 (default)
+	// disables expiry. Consensus-critical like NonceWindow.
+	SessionIdleEpochs int
 
 	// GCHorizon is the committed-wave garbage-collection retention
 	// horizon, in rounds: after each commit wave the node prunes DAG
@@ -347,6 +361,10 @@ type Node struct {
 	// so honest replicas at equal commit positions hold bit-identical
 	// state (which is what lets snapshots carry it verbatim).
 	dedup *gateway.Dedup
+	// durable is non-nil when Config.Store persists a recovery
+	// sidecar (storage.Recoverable): the commit path then annotates
+	// every apply with the dedup mutations it performs (durable.go).
+	durable storage.Recoverable
 	// txClients maps pending transaction IDs to the wire client
 	// waiting on them (gateway.go); survives epochs like dedup.
 	txClients map[types.Digest]clientSub
@@ -396,8 +414,23 @@ func New(cfg Config) (*Node, error) {
 		inspCh:   make(chan func(*Node)),
 		done:     make(chan struct{}),
 	}
-	n.resetEpochState(0)
 	n.dedup = gateway.NewDedup(cfg.NonceWindow, cfg.LegacyDedupWindow)
+	startEpoch := types.Epoch(0)
+	if rec, ok := cfg.Store.(storage.Recoverable); ok {
+		n.durable = rec
+		// Restart-from-disk: rebuild the dedup/commit position from
+		// the backend's sidecar and resume in the recovered epoch —
+		// in-epoch catch-up (round pulls, fast-forward) replays the
+		// missed suffix, and waves below the recovered position
+		// validate as duplicates instead of re-applying.
+		e, err := n.recoverFromBackend(rec)
+		if err != nil {
+			return nil, err
+		}
+		startEpoch = e
+		rec.SetMetaFunc(n.walMeta)
+	}
+	n.resetEpochState(startEpoch)
 	n.txClients = make(map[types.Digest]clientSub)
 	n.seen = make(map[types.Digest]time.Time)
 	n.preplayer = n.newPreplayer()
@@ -522,9 +555,9 @@ func (n *Node) myShard() types.ShardID {
 	return MyShard(n.cfg.ID, n.epoch, n.n)
 }
 
-// Store returns this replica's state store (authoritative, committed
-// state only).
-func (n *Node) Store() *storage.Store { return n.cfg.Store }
+// Store returns this replica's state backend (authoritative,
+// committed state only).
+func (n *Node) Store() storage.Backend { return n.cfg.Store }
 
 // Stats returns a snapshot of the node's counters. PendingCross and
 // QueueLen are sampled at the last proposal.

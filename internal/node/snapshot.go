@@ -42,22 +42,32 @@ const snapshotReqEvery = 4
 // transition out of the current epoch into nextEpoch. Runs on the
 // event loop immediately before resetEpochState discards the DAG.
 func (n *Node) captureSnapshot(nextEpoch types.Epoch) {
+	// Stream the ledger out through the backend iterator: the capture
+	// touches each record once in key order instead of asking the
+	// backend to materialize (and clone) an intermediate dump — with
+	// a disk-backed store this is the shape an on-disk cursor serves.
+	ledger := make([]types.RWRecord, 0, n.cfg.Store.Len())
+	n.cfg.Store.Ascend(func(r types.RWRecord) bool {
+		ledger = append(ledger, types.RWRecord{Key: r.Key, Value: r.Value.Clone()})
+		return true
+	})
 	snap := &types.Snapshot{
 		Epoch:     nextEpoch,
 		N:         uint32(n.n),
 		PrevEpoch: n.epoch,
 		EndRound:  n.committer.LastLeaderRound(),
 		Commits:   n.Stats().CommittedTxs,
-		Ledger:    n.cfg.Store.Dump(),
+		Ledger:    ledger,
 		// The dedup payload is the compact per-client state, not the
 		// full applied set: floors and window bitmaps (bounded by
 		// clients × window) plus the bounded legacy digest window.
 		// Dedup state evolves only in committed order, so honest
 		// replicas capture bit-identical sessions here.
-		DedupWindow: uint32(n.dedup.Window()),
-		LegacyCap:   uint32(n.dedup.LegacyCap()),
-		Sessions:    n.dedup.Sessions(),
-		Applied:     n.dedup.Legacy(),
+		DedupWindow:       uint32(n.dedup.Window()),
+		LegacyCap:         uint32(n.dedup.LegacyCap()),
+		SessionIdleEpochs: uint32(n.cfg.SessionIdleEpochs),
+		Sessions:          n.dedup.Sessions(),
+		Applied:           n.dedup.Legacy(),
 	}
 	n.lastSnap = snap
 	n.lastSnapMsg = nil // rebuilt on first serve
@@ -151,7 +161,8 @@ func (n *Node) handleSnapshot(_ types.ReplicaID, payload []byte) {
 	// N): installing under a different window would make this
 	// replica's dedup evolution — and its next snapshot capture —
 	// diverge from the committee's.
-	if int(snap.DedupWindow) != n.dedup.Window() || int(snap.LegacyCap) != n.dedup.LegacyCap() {
+	if int(snap.DedupWindow) != n.dedup.Window() || int(snap.LegacyCap) != n.dedup.LegacyCap() ||
+		int(snap.SessionIdleEpochs) != n.cfg.SessionIdleEpochs {
 		return
 	}
 	if !n.verifier.Verify(m.Signer, snap.Digest(), m.Sig) {
@@ -189,8 +200,14 @@ func (n *Node) maybeInstallSnapshot() {
 // single state application, and the verbatim dedup restore is what
 // keeps this replica's next capture bit-identical to honest peers'.
 func (n *Node) installSnapshot(snap *types.Snapshot) {
-	n.cfg.Store.Apply(snap.Ledger)
+	// Restore the dedup first, then apply the ledger with the restore
+	// journaled in the same WAL record: a durable replica that
+	// restarts after this point replays the absolute dedup state next
+	// to the ledger batch, landing on the identical position (the
+	// restore is absolute, so replaying it over a checkpoint that
+	// already contains it is idempotent).
 	n.dedup.Restore(snap.Sessions, snap.Applied)
+	n.applyCommit(snap.Ledger, n.restoreNote(snap.Epoch, snap.Commits))
 	// Re-anchor the commit log at the snapshot's sequence position:
 	// the local log resumes exactly where the committee's agreed
 	// sequence continues, keeping cross-replica prefix comparisons

@@ -45,7 +45,12 @@ type VersionedStore interface {
 	Apply(writes []types.RWRecord) uint64
 }
 
-var _ VersionedStore = (*storage.Store)(nil)
+var (
+	_ VersionedStore = (*storage.Store)(nil)
+	// Every storage.Backend satisfies the OCC contract, so the node
+	// can run OCC mode over the durable engine too.
+	_ VersionedStore = storage.Backend(nil)
+)
 
 // OCC is the baseline executor. Unlike the CE it mutates the store it
 // executes against (version validation requires committing into it);

@@ -1,0 +1,278 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"thunderbolt/internal/types"
+)
+
+func openTest(t *testing.T, dir string, o DurableOptions) *Durable {
+	t.Helper()
+	o.Dir = dir
+	d, err := OpenDurable(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestDurableCrashMidBatchTornTail proves the acceptance property for
+// torn tails: a crash mid-group loses only the unsynced suffix, and a
+// physically torn record at the tail (partial write) is truncated
+// away — recovery lands exactly on the last group commit.
+func TestDurableCrashMidBatchTornTail(t *testing.T) {
+	dir := t.TempDir()
+	// GroupInterval an hour out: only explicit Sync flushes, so the
+	// crash deterministically loses the unsynced suffix.
+	d := openTest(t, dir, DurableOptions{CheckpointEvery: -1, GroupInterval: time.Hour})
+	for i := 0; i < 10; i++ {
+		d.Apply([]types.RWRecord{rec(fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))})
+	}
+	if err := d.Sync(); err != nil { // group commit: everything ≤ seq 10 durable
+		t.Fatal(err)
+	}
+	durableDump := dumpBytes(t, d)
+	// Three more applies that never reach their group fsync.
+	for i := 10; i < 13; i++ {
+		d.Apply([]types.RWRecord{rec(fmt.Sprintf("k%d", i), "lost")})
+	}
+	d.CloseAbrupt()
+
+	re := openTest(t, dir, DurableOptions{CheckpointEvery: -1})
+	if re.Seq() != 10 {
+		t.Fatalf("recovered to seq %d, want the last group commit at 10", re.Seq())
+	}
+	if !bytes.Equal(durableDump, dumpBytes(t, re)) {
+		t.Fatal("recovered state diverges from the last durable group")
+	}
+	// Now tear the tail physically: a partial record (header claims
+	// more bytes than exist) appended by a crash mid-write.
+	re.Apply([]types.RWRecord{rec("k10", "v10")})
+	if err := re.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	after := dumpBytes(t, re)
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	re.CloseAbrupt()
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0, 1, 200, 0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re2 := openTest(t, dir, DurableOptions{CheckpointEvery: -1})
+	defer re2.Close()
+	if re2.Seq() != 11 || !bytes.Equal(after, dumpBytes(t, re2)) {
+		t.Fatalf("torn tail not truncated to last good record: seq=%d", re2.Seq())
+	}
+	// The truncation must be physical: a further reopen sees a clean
+	// log (and the backend can append to it again).
+	re2.Apply([]types.RWRecord{rec("k11", "v11")})
+	if err := re2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if re2.Seq() != 12 {
+		t.Fatalf("append after truncation broken: seq=%d", re2.Seq())
+	}
+}
+
+// TestDurableCorruptMiddleStopsReplay: a flipped bit mid-log ends
+// recovery at the last good record before it; later segments are
+// discarded rather than replayed over a hole.
+func TestDurableCorruptMiddleStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	// GroupBytes 1 flushes every record so the small SegmentBytes
+	// actually forces rotations.
+	d := openTest(t, dir, DurableOptions{CheckpointEvery: -1, SegmentBytes: 256, GroupBytes: 1})
+	for i := 0; i < 30; i++ {
+		d.Apply([]types.RWRecord{rec(fmt.Sprintf("k%02d", i), fmt.Sprintf("v%d", i))})
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected several segments, got %d", len(segs))
+	}
+	// Flip one payload byte in the middle segment.
+	mid := segs[len(segs)/2]
+	b, err := os.ReadFile(mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(mid, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openTest(t, dir, DurableOptions{CheckpointEvery: -1})
+	defer re.Close()
+	if re.Seq() == 0 || re.Seq() >= 30 {
+		t.Fatalf("replay past corruption: seq=%d", re.Seq())
+	}
+	left, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range left {
+		if s > mid {
+			t.Fatalf("segment after corruption survived: %s", filepath.Base(s))
+		}
+	}
+}
+
+// TestDurableCheckpointCompaction: checkpoints bound segment count and
+// replay cost, and carry the owner meta sidecar.
+func TestDurableCheckpointCompaction(t *testing.T) {
+	dir := t.TempDir()
+	d := openTest(t, dir, DurableOptions{CheckpointEvery: 8, SegmentBytes: 1 << 20})
+	gen := 0
+	d.SetMetaFunc(func() []byte {
+		gen++
+		return []byte(fmt.Sprintf("meta-%d-seq-%d", gen, d.mem.Seq()))
+	})
+	for i := 0; i < 50; i++ {
+		d.ApplyNote([]types.RWRecord{rec(fmt.Sprintf("k%02d", i%8), fmt.Sprintf("v%d", i))},
+			[]byte(fmt.Sprintf("n%d", i)))
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("compaction left %d segments, want 1", len(segs))
+	}
+	before := dumpBytes(t, d)
+	if err := d.Close(); err != nil { // final checkpoint
+		t.Fatal(err)
+	}
+
+	re := openTest(t, dir, DurableOptions{CheckpointEvery: 8})
+	defer re.Close()
+	if !bytes.Equal(before, dumpBytes(t, re)) {
+		t.Fatal("post-checkpoint reopen diverges")
+	}
+	meta := re.RecoveredMeta()
+	if len(meta) == 0 || !bytes.HasPrefix(meta, []byte("meta-")) {
+		t.Fatalf("meta sidecar not recovered: %q", meta)
+	}
+	if n := len(re.RecoveredNotes()); n != 0 {
+		// Close cut a checkpoint at the exact tail, so no notes
+		// remain to replay.
+		t.Fatalf("expected no post-checkpoint notes, got %d", n)
+	}
+}
+
+// TestDurableNotesRecoverInOrder: notes appended after the last
+// checkpoint come back in apply order on reopen.
+func TestDurableNotesRecoverInOrder(t *testing.T) {
+	dir := t.TempDir()
+	d := openTest(t, dir, DurableOptions{CheckpointEvery: -1})
+	d.SetMetaFunc(func() []byte { return []byte("m") })
+	for i := 0; i < 12; i++ {
+		note := []byte(nil)
+		if i%2 == 0 {
+			note = []byte(fmt.Sprintf("note-%02d", i))
+		}
+		d.ApplyNote([]types.RWRecord{rec("k", fmt.Sprintf("%d", i))}, note)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	d.CloseAbrupt()
+
+	re := openTest(t, dir, DurableOptions{CheckpointEvery: -1})
+	defer re.Close()
+	notes := re.RecoveredNotes()
+	if len(notes) != 6 {
+		t.Fatalf("recovered %d notes, want 6", len(notes))
+	}
+	for i, n := range notes {
+		want := fmt.Sprintf("note-%02d", i*2)
+		if string(n) != want {
+			t.Fatalf("note %d = %q, want %q", i, n, want)
+		}
+	}
+	if re.RecoveredMeta() != nil {
+		t.Fatalf("no checkpoint was cut, meta should be nil, got %q", re.RecoveredMeta())
+	}
+}
+
+// TestDurableSidecarConsistencyAcrossCheckpoints emulates the owner
+// discipline the node relies on — a record's sidecar mutation happens
+// AFTER its ApplyNote returns, and metaFn captures the accumulated
+// state. Whatever the checkpoint cadence, meta + replayed notes must
+// reconstruct the state exactly once per record: a checkpoint cut at
+// the wrong moment would either double-count a record (meta includes
+// it AND its note survives) or drop it (meta misses it and compaction
+// deleted its note).
+func TestDurableSidecarConsistencyAcrossCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	d := openTest(t, dir, DurableOptions{CheckpointEvery: 5, GroupInterval: time.Hour})
+	counter := 0
+	d.SetMetaFunc(func() []byte { return []byte(fmt.Sprintf("%d", counter)) })
+	const total = 23
+	for i := 0; i < total; i++ {
+		d.ApplyNote([]types.RWRecord{rec("k", fmt.Sprintf("%d", i))}, []byte{1})
+		counter++ // the owner mutation this record's note stands for
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	d.CloseAbrupt()
+
+	re := openTest(t, dir, DurableOptions{CheckpointEvery: 5})
+	defer re.Close()
+	got := 0
+	if m := re.RecoveredMeta(); len(m) > 0 {
+		if _, err := fmt.Sscanf(string(m), "%d", &got); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got += len(re.RecoveredNotes())
+	if got != total {
+		t.Fatalf("sidecar reconstruction = meta+notes = %d, want exactly %d", got, total)
+	}
+}
+
+// TestDurableCorruptCheckpointRefusesOpen: a checkpoint that exists
+// but fails validation must surface an error — recovering "from
+// genesis" over it would hit a sequence gap at the first
+// post-compaction record and the torn-tail rule would then destroy
+// the remaining valid log.
+func TestDurableCorruptCheckpointRefusesOpen(t *testing.T) {
+	dir := t.TempDir()
+	d := openTest(t, dir, DurableOptions{CheckpointEvery: 4})
+	for i := 0; i < 10; i++ {
+		d.Apply([]types.RWRecord{rec("k", fmt.Sprintf("%d", i))})
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ck := filepath.Join(dir, ckptName)
+	b, err := os.ReadFile(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(ck, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDurable(DurableOptions{Dir: dir}); err == nil {
+		t.Fatal("open over a corrupt checkpoint must fail, not silently reset to genesis")
+	}
+}

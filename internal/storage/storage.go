@@ -1,14 +1,19 @@
-// Package storage provides the replica-local state store: a versioned
-// in-memory key/value map with an append-only commit log.
+// Package storage provides the replica-local state store behind a
+// pluggable Backend interface: a versioned key/value map with atomic
+// batch commits in a total order and an append-only commit log.
 //
-// The paper's implementation used LevelDB to hold SmallBank balances;
-// the evaluation stresses concurrency control rather than the disk, so
-// this reproduction keeps state in memory but preserves the two
-// properties the protocols rely on:
+// The paper's implementation used LevelDB to hold SmallBank balances.
+// This reproduction ships two backends behind the same contract:
 //
-//   - per-key versions, which the OCC baseline validates against, and
-//   - atomic batch commits in a total order, which is how committed
-//     DAG blocks are applied.
+//   - Store, the in-memory engine the evaluation-shaped benchmarks
+//     use (the paper stresses concurrency control, not the disk), and
+//   - Durable (durable.go), an append-only segment WAL with
+//     group-commit batching and restart-from-disk replay.
+//
+// Both preserve the two properties the protocols rely on: per-key
+// versions (which the OCC baseline validates against) and atomic
+// batch commits in a total order (how committed DAG blocks are
+// applied).
 package storage
 
 import (
@@ -18,13 +23,66 @@ import (
 	"thunderbolt/internal/types"
 )
 
+// Backend is the pluggable state engine a replica commits into. All
+// implementations are safe for concurrent use and share identical
+// observable semantics (the conformance suite in conformance_test.go
+// is the contract's executable form): every Apply consumes exactly one
+// monotonically increasing sequence number and stamps its keys with
+// it, reads never alias internal buffers, and Dump/Ascend iterate the
+// full state in strictly ascending key order.
+type Backend interface {
+	// Get returns the current value under k and whether the key
+	// exists. The returned value must not be mutated.
+	Get(k types.Key) (types.Value, bool)
+	// GetVersioned returns the value under k together with the commit
+	// sequence number that installed it (0 for missing keys).
+	GetVersioned(k types.Key) (types.Value, uint64, bool)
+	// Version returns the install version of k (0 if absent).
+	Version(k types.Key) uint64
+	// Seq returns the sequence number of the latest commit.
+	Seq() uint64
+	// Set installs a single value outside any batch (workload
+	// initialization); it consumes one commit sequence number.
+	Set(k types.Key, v types.Value)
+	// Apply installs a write batch atomically, stamping every key
+	// with the new commit sequence number, and returns that number.
+	Apply(writes []types.RWRecord) uint64
+	// ApplyNote is Apply plus an opaque recovery note persisted
+	// atomically with the batch (either may be empty). Non-durable
+	// backends discard the note; the sequence number is consumed
+	// either way, so backends stay step-identical under one driver.
+	ApplyNote(writes []types.RWRecord, note []byte) uint64
+	// Log returns a copy of the retained commit records, oldest
+	// first (retention is configured at construction).
+	Log() []CommitRecord
+	// Len returns the number of keys present.
+	Len() int
+	// Snapshot returns an immutable copy of the current state.
+	Snapshot() map[types.Key]types.Value
+	// Dump returns the full state in ascending key order (values
+	// cloned) — the canonical ledger form snapshots carry.
+	Dump() []types.RWRecord
+	// Ascend streams the state in ascending key order without
+	// materializing it, stopping early when fn returns false. The
+	// record passed to fn must not be retained or mutated.
+	Ascend(fn func(types.RWRecord) bool)
+	// Keys returns every key, sorted, for deterministic iteration.
+	Keys() []types.Key
+	// Sync forces any buffered commits durable (group-commit flush);
+	// a no-op for non-durable backends.
+	Sync() error
+	// Close releases backend resources. The backend must not be used
+	// afterwards. Closing an in-memory backend is a no-op.
+	Close() error
+}
+
 type entry struct {
 	val types.Value
 	ver uint64
 }
 
-// Store is a thread-safe versioned key/value store. The zero value is
-// not usable; call New.
+// Store is the in-memory Backend: a thread-safe versioned key/value
+// store. The zero value is not usable; call New.
 type Store struct {
 	mu   sync.RWMutex
 	data map[types.Key]entry
@@ -35,6 +93,8 @@ type Store struct {
 	// keepLog bounds commit-log retention; 0 disables logging.
 	keepLog int
 }
+
+var _ Backend = (*Store)(nil)
 
 // CommitRecord is one atomically applied write batch.
 type CommitRecord struct {
@@ -100,16 +160,42 @@ func (s *Store) Apply(writes []types.RWRecord) uint64 {
 	}
 	s.mu.Unlock()
 
-	if s.keepLog > 0 && len(writes) > 0 {
-		rec := CommitRecord{Seq: seq, Writes: cloneRecords(writes)}
-		s.logMu.Lock()
-		s.log = append(s.log, rec)
-		if len(s.log) > s.keepLog {
-			s.log = s.log[len(s.log)-s.keepLog:]
-		}
-		s.logMu.Unlock()
-	}
+	s.retain(seq, writes)
 	return seq
+}
+
+// ApplyNote is Apply with the recovery note discarded (the in-memory
+// backend has nothing to recover).
+func (s *Store) ApplyNote(writes []types.RWRecord, _ []byte) uint64 {
+	return s.Apply(writes)
+}
+
+// applyAt installs a write batch under an externally assigned sequence
+// number — the WAL replay path, where record sequence numbers were
+// fixed at append time. seq must be strictly greater than the current
+// sequence.
+func (s *Store) applyAt(seq uint64, writes []types.RWRecord) {
+	s.mu.Lock()
+	s.seq = seq
+	for _, w := range writes {
+		s.data[w.Key] = entry{val: w.Value.Clone(), ver: seq}
+	}
+	s.mu.Unlock()
+	s.retain(seq, writes)
+}
+
+// retain appends one record to the bounded commit log.
+func (s *Store) retain(seq uint64, writes []types.RWRecord) {
+	if s.keepLog <= 0 || len(writes) == 0 {
+		return
+	}
+	rec := CommitRecord{Seq: seq, Writes: cloneRecords(writes)}
+	s.logMu.Lock()
+	s.log = append(s.log, rec)
+	if len(s.log) > s.keepLog {
+		s.log = s.log[len(s.log)-s.keepLog:]
+	}
+	s.logMu.Unlock()
 }
 
 // Log returns a copy of the retained commit records, oldest first.
@@ -151,6 +237,22 @@ func (s *Store) Dump() []types.RWRecord {
 	return out
 }
 
+// Ascend streams the state in ascending key order. The record handed
+// to fn aliases the store's value; fn must not retain or mutate it.
+func (s *Store) Ascend(fn func(types.RWRecord) bool) {
+	for _, k := range s.Keys() {
+		s.mu.RLock()
+		e, ok := s.data[k]
+		s.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		if !fn(types.RWRecord{Key: k, Value: e.val}) {
+			return
+		}
+	}
+}
+
 // Keys returns every key, sorted, for deterministic iteration.
 func (s *Store) Keys() []types.Key {
 	s.mu.RLock()
@@ -162,6 +264,13 @@ func (s *Store) Keys() []types.Key {
 	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
 	return ks
 }
+
+// Sync is a no-op: every Apply is immediately visible and the store
+// has no durability layer to flush.
+func (s *Store) Sync() error { return nil }
+
+// Close is a no-op for the in-memory backend.
+func (s *Store) Close() error { return nil }
 
 func cloneRecords(recs []types.RWRecord) []types.RWRecord {
 	out := make([]types.RWRecord, len(recs))
@@ -177,7 +286,7 @@ func cloneRecords(recs []types.RWRecord) []types.RWRecord {
 // in-order execution, block validation, and test oracles) and is not
 // safe for concurrent use.
 type Overlay struct {
-	base   *Store
+	base   Backend
 	writes map[types.Key]types.Value
 	// reads records the first observed value per key, forming the
 	// read set of whatever ran against the overlay.
@@ -186,7 +295,7 @@ type Overlay struct {
 }
 
 // NewOverlay creates an empty overlay over base.
-func NewOverlay(base *Store) *Overlay {
+func NewOverlay(base Backend) *Overlay {
 	return &Overlay{
 		base:   base,
 		writes: make(map[types.Key]types.Value),

@@ -292,7 +292,7 @@ func (tx *Transaction) decodeBody(d *Decoder) error {
 	for i := uint32(0); i < ns && d.Err() == nil; i++ {
 		tx.Shards = append(tx.Shards, ShardID(d.U32()))
 	}
-	tx.Contract = d.Str()
+	tx.Contract = d.InternStr() // contract names are a tiny fixed set
 	na := d.U32()
 	if d.Err() == nil && int(na) > len(b) {
 		return fmt.Errorf("types: implausible arg count %d", na)
@@ -323,7 +323,10 @@ func decodeRecords(d *Decoder) []RWRecord {
 	}
 	recs := make([]RWRecord, 0, min(int(n), 1024))
 	for i := uint32(0); i < n && d.Err() == nil; i++ {
-		recs = append(recs, RWRecord{Key: Key(d.Str()), Value: d.Bytes()})
+		// Keys come from a small hot set (account cells); interning
+		// them collapses the per-record string allocation to a table
+		// hit after warmup.
+		recs = append(recs, RWRecord{Key: Key(d.InternStr()), Value: d.Bytes()})
 	}
 	return recs
 }

@@ -1,0 +1,121 @@
+package types
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// String interning for the hot decode paths. SmallBank-shaped traffic
+// re-decodes the same small key universe (account checking/savings
+// cells, contract names) thousands of times per block: without
+// interning every RWRecord key and contract name is a fresh string
+// allocation pinning its block's arrival buffer. The table trades one
+// lookup for those allocations — a hit returns the one canonical
+// string, so repeated keys across blocks share storage and the decode
+// allocation count stops scaling with the read/write-set size.
+//
+// The table is a plain bounded map: entries are never evicted, and
+// once full, misses fall back to a private copy. That bound (64k
+// entries × ≤64 bytes) caps the memory an adversarial key stream can
+// pin at ~4 MiB while keeping the common case — a stable hot key set
+// — allocation-free after warmup.
+
+const (
+	// maxInternLen bounds the byte length of interned strings; longer
+	// ones are copied per use (they are not "hot keys").
+	maxInternLen = 64
+	// maxInternEntries bounds the table population.
+	maxInternEntries = 1 << 16
+)
+
+// The table is copy-on-write: the hit path — the steady state once
+// the hot key set has warmed up — is one atomic pointer load plus a
+// plain map index, which the compiler performs without materializing
+// string(b) and without any lock. Misses insert under a mutex into a
+// small pending map that is merged into a fresh frozen map every
+// internMergeBatch inserts, so warmup costs O(n²/batch) copies total
+// (milliseconds for realistic key sets) and the read path never sees
+// a map being written.
+var (
+	internFrozen   atomic.Pointer[map[string]string]
+	internMu       sync.Mutex
+	internWarm     = make(map[string]string)
+	internWarmHits int
+)
+
+// internMergeBatch is how many pending inserts — or repeat lookups of
+// pending keys — accumulate before the frozen map is rebuilt. The
+// second trigger promotes a hot tail that would otherwise sit below
+// the insert threshold forever, paying the mutex path per lookup.
+const internMergeBatch = 64
+
+// Intern returns the canonical string for b, copying at most once per
+// distinct value for the lifetime of the process (within the table
+// bounds). The returned string never aliases b.
+func Intern(b []byte) string {
+	if len(b) == 0 || len(b) > maxInternLen {
+		return string(b)
+	}
+	frozen := internFrozen.Load()
+	if frozen != nil {
+		if s, ok := (*frozen)[string(b)]; ok { // compiler-optimized: no allocation
+			return s
+		}
+	}
+	s := string(b)
+	internMu.Lock()
+	defer internMu.Unlock()
+	if cur, ok := internWarm[s]; ok {
+		internWarmHits++
+		if internWarmHits >= internMergeBatch {
+			internMergeLocked()
+		}
+		return cur
+	}
+	// Re-read under the lock: a concurrent merge may have promoted it.
+	if cur := internFrozen.Load(); cur != frozen {
+		if v, ok := (*cur)[s]; ok {
+			return v
+		}
+	}
+	frozen = internFrozen.Load()
+	total := len(internWarm)
+	if frozen != nil {
+		total += len(*frozen)
+	}
+	if total >= maxInternEntries {
+		return s
+	}
+	internWarm[s] = s
+	if len(internWarm) >= internMergeBatch {
+		internMergeLocked()
+	}
+	return s
+}
+
+// internMergeLocked rebuilds the frozen map from frozen ∪ warm.
+// Callers hold internMu.
+func internMergeLocked() {
+	frozen := internFrozen.Load()
+	total := len(internWarm)
+	if frozen != nil {
+		total += len(*frozen)
+	}
+	merged := make(map[string]string, total)
+	if frozen != nil {
+		for k, v := range *frozen {
+			merged[k] = v
+		}
+	}
+	for k, v := range internWarm {
+		merged[k] = v
+	}
+	internFrozen.Store(&merged)
+	internWarm = make(map[string]string)
+	internWarmHits = 0
+}
+
+// InternStr reads a length-prefixed string through the intern table —
+// the decode-path twin of Str for fields drawn from a small hot set
+// (storage keys, contract names).
+func (d *Decoder) InternStr() string { return Intern(d.view()) }

@@ -50,9 +50,13 @@ type Snapshot struct {
 	// (per-client nonce window size and legacy digest-window capacity).
 	// Like N, they are part of the committee contract: an installer
 	// configured differently would diverge from the committee's dedup
-	// evolution and must reject the snapshot.
-	DedupWindow uint32
-	LegacyCap   uint32
+	// evolution and must reject the snapshot. SessionIdleEpochs is the
+	// idle-session expiry horizon (0 = expiry off) — same contract:
+	// replicas sweeping on different horizons hold different session
+	// sets.
+	DedupWindow       uint32
+	LegacyCap         uint32
+	SessionIdleEpochs uint32
 
 	// Sessions is the per-client dedup state resolved by the committed
 	// prefix, in strictly ascending client order: each client's
@@ -80,10 +84,13 @@ type Snapshot struct {
 // Floor is resolved, and Bits is the window bitmap over (Floor,
 // Floor+window] — bit for nonce n lives at position n mod window
 // (absolute addressing, so honestly built bitmaps are bit-identical
-// without any rotation bookkeeping).
+// without any rotation bookkeeping). Idle counts consecutive
+// epoch-transition sweeps the floor has not moved (the idle-session
+// expiry state; always 0 when expiry is off).
 type ClientSession struct {
 	Client uint64
 	Floor  uint64
+	Idle   uint32
 	Bits   []uint64
 }
 
@@ -153,10 +160,12 @@ func (s *Snapshot) encode(e *Encoder) {
 	encodeRecords(e, s.Ledger)
 	e.U32(s.DedupWindow)
 	e.U32(s.LegacyCap)
+	e.U32(s.SessionIdleEpochs)
 	e.U32(uint32(len(s.Sessions)))
 	for _, cs := range s.Sessions {
 		e.U64(cs.Client)
 		e.U64(cs.Floor)
+		e.U32(cs.Idle)
 		e.U32(uint32(len(cs.Bits)))
 		for _, w := range cs.Bits {
 			e.U64(w)
@@ -188,13 +197,14 @@ func (s *Snapshot) UnmarshalBinary(b []byte) error {
 	s.Ledger = decodeRecords(d)
 	s.DedupWindow = d.U32()
 	s.LegacyCap = d.U32()
+	s.SessionIdleEpochs = d.U32()
 	nc := d.U32()
 	if d.Err() == nil && int(nc) > len(b)/16 {
 		return fmt.Errorf("types: implausible session count %d", nc)
 	}
 	s.Sessions = make([]ClientSession, 0, nc)
 	for i := uint32(0); i < nc && d.Err() == nil; i++ {
-		cs := ClientSession{Client: d.U64(), Floor: d.U64()}
+		cs := ClientSession{Client: d.U64(), Floor: d.U64(), Idle: d.U32()}
 		nw := d.U32()
 		if d.Err() == nil && int(nw) > len(b)/8 {
 			return fmt.Errorf("types: implausible bitmap length %d", nw)

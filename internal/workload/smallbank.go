@@ -205,7 +205,7 @@ func RegisterSmallBank(reg *contract.Registry) {
 
 // InitAccounts seeds n accounts with the given starting balances in
 // both checking and savings.
-func InitAccounts(store *storage.Store, n int, checking, savings int64) {
+func InitAccounts(store storage.Backend, n int, checking, savings int64) {
 	recs := make([]types.RWRecord, 0, 2*n)
 	for i := 0; i < n; i++ {
 		name := AccountName(i)
@@ -219,7 +219,7 @@ func InitAccounts(store *storage.Store, n int, checking, savings int64) {
 
 // TotalBalance sums every checking and savings balance in the store —
 // the conservation invariant tests assert after running transfers.
-func TotalBalance(store *storage.Store, n int) (int64, error) {
+func TotalBalance(store storage.Backend, n int) (int64, error) {
 	var total int64
 	for i := 0; i < n; i++ {
 		name := AccountName(i)

@@ -83,11 +83,32 @@ var (
 	DecodeInt64 = contract.DecodeInt64
 )
 
-// Store is the versioned in-memory state store.
+// StorageBackend is the pluggable state-engine contract every replica
+// commits into (versioned reads, atomic batch applies in a total
+// order, ordered iteration).
+type StorageBackend = storage.Backend
+
+// Store is the versioned in-memory storage backend.
 type Store = storage.Store
 
-// NewStore returns an empty store.
+// NewStore returns an empty in-memory store.
 func NewStore() *Store { return storage.New() }
+
+// DurableStore is the disk-backed storage backend: an append-only
+// segment WAL with group-commit batching, CRC-framed records with
+// torn-tail truncation, and checkpoint/compaction. A replica built on
+// one restarts from disk (see README "Storage").
+type DurableStore = storage.Durable
+
+// DurableStoreOptions parameterizes OpenDurableStore.
+type DurableStoreOptions = storage.DurableOptions
+
+// OpenDurableStore opens (or creates) a durable store's data
+// directory, replaying the WAL into memory and truncating any torn
+// tail.
+func OpenDurableStore(opts DurableStoreOptions) (*DurableStore, error) {
+	return storage.OpenDurable(opts)
+}
 
 // Execution modes (the paper's three evaluated systems).
 type Mode = node.ExecutionMode
@@ -249,9 +270,9 @@ type (
 func NewGenerator(cfg WorkloadConfig) *Generator { return workload.NewGenerator(cfg) }
 
 // InitAccounts seeds n SmallBank accounts into a store.
-func InitAccounts(st *Store, n int, checking, savings int64) {
+func InitAccounts(st StorageBackend, n int, checking, savings int64) {
 	workload.InitAccounts(st, n, checking, savings)
 }
 
 // TotalBalance sums all SmallBank balances (conservation checks).
-func TotalBalance(st *Store, n int) (int64, error) { return workload.TotalBalance(st, n) }
+func TotalBalance(st StorageBackend, n int) (int64, error) { return workload.TotalBalance(st, n) }
