@@ -15,7 +15,7 @@ import (
 // reported numbers.
 func TestExecutorBenchSmoke(t *testing.T) {
 	for _, p := range []execProto{protoCE, protoOCC, protoTPL} {
-		tps, latMS, reexec, _ := runExecutorBench(p, 2, 50, 0.85, 0.5, 1, 42)
+		tps, latMS, reexec, _ := runExecutorBench(p, 2, 50, 10_000, 0.85, 0.5, 1, 42)
 		if tps <= 0 {
 			t.Fatalf("%s: no throughput (tps=%f)", p, tps)
 		}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
 	"testing"
 
 	"thunderbolt/internal/contract"
@@ -19,6 +21,22 @@ func baseOf(st *storage.Store) depgraph.BaseReader {
 		v, _ := st.Get(k)
 		return v
 	}
+}
+
+// execBatch runs one batch through a session and asserts the no-leak
+// invariant of the retry/abort scrub: every non-committed attempt was
+// removed from the graph, and the graph invariants hold afterwards.
+func execBatch(t *testing.T, c *CE, base depgraph.BaseReader, txs []*types.Transaction) *BatchResult {
+	t.Helper()
+	s := c.NewSession()
+	res := s.ExecuteBatch(base, txs)
+	if live := s.Live(); live != 0 {
+		t.Fatalf("graph leaked %d live handles after batch", live)
+	}
+	if err := s.Graph().CheckInvariants(); err != nil {
+		t.Fatalf("graph invariants violated after batch: %v", err)
+	}
+	return res
 }
 
 // overlayState adapts a storage.Overlay to contract.State for the
@@ -93,7 +111,7 @@ func TestSingleExecutorSimpleBatch(t *testing.T) {
 	ce := New(Config{Executors: 1, Registry: reg})
 	g := workload.NewGenerator(workload.Config{Accounts: 4, Shards: 1, Theta: 0, ReadRatio: 0.5, Seed: 1})
 	txs := g.Batch(20)
-	res := ce.ExecuteBatch(baseOf(st), txs)
+	res := execBatch(t, ce, baseOf(st), txs)
 	if len(res.Schedule) != 20 || len(res.Failed) != 0 {
 		t.Fatalf("scheduled=%d failed=%d", len(res.Schedule), len(res.Failed))
 	}
@@ -115,7 +133,7 @@ func TestConcurrentExecutorsSerializable(t *testing.T) {
 				Accounts: 10, Shards: 1, Theta: 0.9, ReadRatio: 0.3, Seed: int64(workers),
 			})
 			txs := g.Batch(200)
-			res := ce.ExecuteBatch(baseOf(st), txs)
+			res := execBatch(t, ce, baseOf(st), txs)
 			if len(res.Schedule)+len(res.Failed) != 200 {
 				t.Fatalf("lost transactions: %d + %d != 200", len(res.Schedule), len(res.Failed))
 			}
@@ -148,7 +166,7 @@ func TestHighContentionConservesMoney(t *testing.T) {
 			},
 		})
 	}
-	res := ce.ExecuteBatch(baseOf(st), txs)
+	res := execBatch(t, ce, baseOf(st), txs)
 	if len(res.Schedule) != 300 {
 		t.Fatalf("scheduled %d/300", len(res.Schedule))
 	}
@@ -179,7 +197,7 @@ func TestRandomBatchesQuick(t *testing.T) {
 			Mix: trial%2 == 0, Seed: int64(trial),
 		})
 		txs := g.Batch(batch)
-		res := ce.ExecuteBatch(baseOf(st), txs)
+		res := execBatch(t, ce, baseOf(st), txs)
 		if len(res.Schedule)+len(res.Failed) != batch {
 			t.Fatalf("trial %d: lost transactions", trial)
 		}
@@ -206,7 +224,7 @@ func TestVMTransactionsThroughCE(t *testing.T) {
 		})
 	}
 	ce := New(Config{Executors: 4, Registry: reg})
-	res := ce.ExecuteBatch(baseOf(st), txs)
+	res := execBatch(t, ce, baseOf(st), txs)
 	if len(res.Schedule) != 50 {
 		t.Fatalf("scheduled %d/50, failed %d", len(res.Schedule), len(res.Failed))
 	}
@@ -227,7 +245,7 @@ func TestTerminalFailuresExcluded(t *testing.T) {
 			Args: [][]byte{[]byte("x")}}, // missing args
 	}
 	ce := New(Config{Executors: 2, Registry: reg})
-	res := ce.ExecuteBatch(baseOf(st), txs)
+	res := execBatch(t, ce, baseOf(st), txs)
 	if len(res.Schedule) != 1 || len(res.Failed) != 2 {
 		t.Fatalf("scheduled=%d failed=%d", len(res.Schedule), len(res.Failed))
 	}
@@ -253,12 +271,12 @@ func TestReexecutionsReported(t *testing.T) {
 			},
 		})
 	}
-	res := ce.ExecuteBatch(baseOf(st), txs)
-	var fromResults uint32
+	res := execBatch(t, ce, baseOf(st), txs)
+	var fromResults uint64
 	for _, r := range res.Results {
-		fromResults += r.Reexecutions
+		fromResults += uint64(r.Reexecutions)
 	}
-	if int(fromResults) > res.Reexecutions {
+	if fromResults > res.Reexecutions {
 		t.Fatalf("per-tx retries %d exceed batch total %d", fromResults, res.Reexecutions)
 	}
 }
@@ -266,7 +284,7 @@ func TestReexecutionsReported(t *testing.T) {
 func TestEmptyBatch(t *testing.T) {
 	reg, _ := newSmallBank(t, 1)
 	ce := New(Config{Executors: 4, Registry: reg})
-	res := ce.ExecuteBatch(nil, nil)
+	res := execBatch(t, ce, nil, nil)
 	if len(res.Schedule) != 0 || len(res.Failed) != 0 || res.Reexecutions != 0 {
 		t.Fatalf("empty batch produced output: %+v", res)
 	}
@@ -284,4 +302,270 @@ func TestNewDefaultsAndPanics(t *testing.T) {
 		}
 	}()
 	New(Config{})
+}
+
+// chaosSeed mirrors chaos.SeedFromEnv (imported inline to avoid an
+// import cycle through the cluster packages): CHAOS_SEED overrides the
+// default so any failure is replayable.
+func chaosSeed(def int64) int64 {
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return v
+		}
+	}
+	return def
+}
+
+const contractSaboteur = "test.saboteur"
+
+// registerSaboteur installs a Byzantine contract that touches the hot
+// key (so it conflicts with every honest transaction) and then refuses
+// deterministically — the shape that livelocked MaxRetries:0 before
+// the batch-level progress guarantee.
+func registerSaboteur(reg *contract.Registry) {
+	reg.MustRegister(contract.Func{
+		ContractName: contractSaboteur,
+		Fn: func(st contract.State, args [][]byte) error {
+			if _, err := st.Read(types.Key(args[0])); err != nil {
+				return err
+			}
+			if err := st.Write(types.Key(args[0]), contract.EncodeInt64(-1)); err != nil {
+				return err
+			}
+			return contract.ErrAborted
+		},
+	})
+}
+
+// TestAdversarialAbortTerminates is the MaxRetries:0 livelock
+// regression: deterministically-aborting contracts must fail
+// terminally through the serial-fallback slot while every honest
+// transaction still commits.
+func TestAdversarialAbortTerminates(t *testing.T) {
+	const accounts = 2
+	reg, st := newSmallBank(t, accounts)
+	registerSaboteur(reg)
+	before, _ := workload.TotalBalance(st, accounts)
+	ce := New(Config{Executors: 8, Registry: reg, MaxRetries: 0})
+	hot := workload.CheckingKey(workload.AccountName(0))
+	var txs []*types.Transaction
+	honest := 0
+	for i := 0; i < 120; i++ {
+		if i%3 == 0 {
+			txs = append(txs, &types.Transaction{
+				Client: 2, Nonce: uint64(i + 1), Contract: contractSaboteur,
+				Args: [][]byte{[]byte(hot)},
+			})
+			continue
+		}
+		honest++
+		txs = append(txs, &types.Transaction{
+			Client: 1, Nonce: uint64(i + 1), Contract: workload.ContractSendPayment,
+			Args: [][]byte{
+				[]byte(workload.AccountName(0)),
+				[]byte(workload.AccountName(1)),
+				contract.EncodeInt64(1),
+			},
+		})
+	}
+	res := execBatch(t, ce, baseOf(st), txs) // must terminate
+	if len(res.Schedule) != honest {
+		t.Fatalf("honest committed %d/%d", len(res.Schedule), honest)
+	}
+	if len(res.Failed) != len(txs)-honest {
+		t.Fatalf("saboteurs failed %d/%d", len(res.Failed), len(txs)-honest)
+	}
+	for _, f := range res.Failed {
+		if !errors.Is(f.Err, errNoProgress) && !errors.Is(f.Err, contract.ErrAborted) {
+			t.Fatalf("saboteur failure not terminal abort: %v", f.Err)
+		}
+	}
+	final := replaySerially(t, reg, st.Snapshot(), res)
+	after, _ := workload.TotalBalance(final, accounts)
+	if before != after {
+		t.Fatalf("money not conserved: %d -> %d", before, after)
+	}
+}
+
+// TestHotKeyProgressUnbounded: an always-conflicting hot-key workload
+// at MaxRetries:0 must commit every transaction (the progress
+// guarantee resolves stragglers through serial slots, it never fails
+// an honest transaction).
+func TestHotKeyProgressUnbounded(t *testing.T) {
+	reg, st := newSmallBank(t, 2)
+	ce := New(Config{Executors: 8, Registry: reg, MaxRetries: 0})
+	var txs []*types.Transaction
+	for i := 0; i < 200; i++ {
+		txs = append(txs, &types.Transaction{
+			Client: 1, Nonce: uint64(i + 1), Contract: workload.ContractSendPayment,
+			Args: [][]byte{
+				[]byte(workload.AccountName(i % 2)),
+				[]byte(workload.AccountName((i + 1) % 2)),
+				contract.EncodeInt64(1),
+			},
+		})
+	}
+	res := execBatch(t, ce, baseOf(st), txs)
+	if len(res.Failed) != 0 {
+		t.Fatalf("honest hot-key tx failed: %v", res.Failed[0].Err)
+	}
+	if len(res.Schedule) != 200 {
+		t.Fatalf("scheduled %d/200", len(res.Schedule))
+	}
+	replaySerially(t, reg, st.Snapshot(), res)
+}
+
+// TestSessionCarryAcrossBatches: consecutive batches through one
+// session (graph arena + committed-tip carry) must still replay
+// serially — batch N+1 diffs against batch N's committed tips.
+func TestSessionCarryAcrossBatches(t *testing.T) {
+	const accounts = 8
+	reg, st := newSmallBank(t, accounts)
+	ce := New(Config{Executors: 4, Registry: reg})
+	s := ce.NewSession()
+	g := workload.NewGenerator(workload.Config{
+		Accounts: accounts, Shards: 1, Theta: 0.8, ReadRatio: 0.3, Seed: 99,
+	})
+	for batch := 0; batch < 5; batch++ {
+		txs := g.Batch(80)
+		res := s.ExecuteBatch(baseOf(st), txs)
+		if live := s.Live(); live != 0 {
+			t.Fatalf("batch %d leaked %d live handles", batch, live)
+		}
+		if err := s.Graph().CheckInvariants(); err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if len(res.Failed) != 0 {
+			t.Fatalf("batch %d failures: %v", batch, res.Failed[0].Err)
+		}
+		final := replaySerially(t, reg, st.Snapshot(), res)
+		// Apply the batch so the carried tips stay truthful, exactly as
+		// the node commit path does.
+		for k, v := range final.Snapshot() {
+			st.Set(k, v)
+		}
+	}
+}
+
+// TestLayeredDifferentialSerialEquivalence is the differential test:
+// the layered wave schedule (footprints known up front) and the legacy
+// per-tx discovery schedule must produce identical serial-replay state
+// for the same batch. Seed-replayable via CHAOS_SEED.
+func TestLayeredDifferentialSerialEquivalence(t *testing.T) {
+	seed := chaosSeed(7)
+	t.Logf("differential seed %d (set CHAOS_SEED to replay)", seed)
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < 10; trial++ {
+		accounts := 2 + rng.Intn(12)
+		batch := 30 + rng.Intn(80)
+		reg, st := newSmallBank(t, accounts)
+		g := workload.NewGenerator(workload.Config{
+			Accounts: accounts, Shards: 1, Theta: rng.Float64() * 0.9,
+			ReadRatio: rng.Float64(), Mix: trial%2 == 0, Seed: rng.Int63(),
+		})
+		txs := g.Batch(batch)
+
+		// Legacy per-tx discovery schedule.
+		discover := New(Config{Executors: 1 + rng.Intn(8), Registry: reg})
+		dres := execBatch(t, discover, baseOf(st), txs)
+		if len(dres.Failed) != 0 {
+			t.Fatalf("trial %d: discovery failures: %v", trial, dres.Failed[0].Err)
+		}
+		dfinal := replaySerially(t, reg, st.Snapshot(), dres)
+
+		// Layered wave schedule from the discovered footprints.
+		accs := make([]depgraph.Access, len(dres.Schedule))
+		for i := range dres.Results {
+			for _, rec := range dres.Results[i].ReadSet {
+				accs[i].Reads = append(accs[i].Reads, rec.Key)
+			}
+			for _, rec := range dres.Results[i].WriteSet {
+				accs[i].Writes = append(accs[i].Writes, rec.Key)
+			}
+		}
+		layered := New(Config{Executors: 1 + rng.Intn(8), Registry: reg})
+		lres := layered.ExecuteLayered(baseOf(st), dres.Schedule, accs)
+		if len(lres.Failed) != 0 {
+			t.Fatalf("trial %d: layered failures: %v", trial, lres.Failed[0].Err)
+		}
+		if len(lres.Schedule) != len(dres.Schedule) {
+			t.Fatalf("trial %d: layered scheduled %d, discovery %d", trial, len(lres.Schedule), len(dres.Schedule))
+		}
+		lfinal := replaySerially(t, reg, st.Snapshot(), lres)
+
+		a, b := dfinal.Snapshot(), lfinal.Snapshot()
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: state sizes diverged: %d vs %d", trial, len(a), len(b))
+		}
+		for k, v := range a {
+			if !v.Equal(b[k]) {
+				t.Fatalf("trial %d: key %s diverged: %q vs %q", trial, k, v, b[k])
+			}
+		}
+	}
+}
+
+// --- scheduler micro-benchmarks (wired into the ce-sched CI job) ---
+
+func benchBatch(b *testing.B, accounts, batch int, theta float64) (*contract.Registry, *storage.Store, []*types.Transaction) {
+	b.Helper()
+	reg := contract.NewRegistry()
+	workload.RegisterSmallBank(reg)
+	st := storage.New()
+	workload.InitAccounts(st, accounts, 1000, 1000)
+	g := workload.NewGenerator(workload.Config{
+		Accounts: accounts, Shards: 1, Theta: theta, ReadRatio: 0.5, Seed: 1,
+	})
+	return reg, st, g.Batch(batch)
+}
+
+// BenchmarkLayeredWave measures the known-footprint wave path against
+// the discovery path on the same batch.
+func BenchmarkLayeredWave(b *testing.B) {
+	reg, st, txs := benchBatch(b, 64, 500, 0.6)
+	c := New(Config{Executors: 4, Registry: reg})
+	pre := c.ExecuteBatch(baseOf(st), txs)
+	accs := make([]depgraph.Access, len(pre.Schedule))
+	for i := range pre.Results {
+		for _, rec := range pre.Results[i].ReadSet {
+			accs[i].Reads = append(accs[i].Reads, rec.Key)
+		}
+		for _, rec := range pre.Results[i].WriteSet {
+			accs[i].Writes = append(accs[i].Writes, rec.Key)
+		}
+	}
+	b.Run("discovery", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.ExecuteBatch(baseOf(st), txs)
+		}
+	})
+	b.Run("layered", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.ExecuteLayered(baseOf(st), pre.Schedule, accs)
+		}
+	})
+}
+
+// BenchmarkGraphReuse measures per-batch cost with a session arena
+// (node/map recycling + committed-tip carry) against cold graphs.
+func BenchmarkGraphReuse(b *testing.B) {
+	reg, st, txs := benchBatch(b, 64, 500, 0.6)
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := New(Config{Executors: 4, Registry: reg})
+			c.ExecuteBatch(baseOf(st), txs)
+		}
+	})
+	b.Run("session", func(b *testing.B) {
+		c := New(Config{Executors: 4, Registry: reg})
+		s := c.NewSession()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.ExecuteBatch(baseOf(st), txs)
+		}
+	})
 }

@@ -21,6 +21,16 @@
 // replaying it serially reproduces every observed read and final state
 // — the serializability property proved in paper §10 and checked by
 // this package's property tests.
+//
+// The graph is an arena: Reset and Rebase recycle nodes, per-key
+// chains, and reachability state in O(touched-this-batch), so a
+// proposer executing one batch per DAG round reuses one graph for the
+// lifetime of an epoch instead of rebuilding it per batch. Rebase
+// additionally carries each key's committed-tip value as a cached base
+// value, so batch N+1 diffs against batch N's outcome instead of
+// starting cold (the EVE reconciler idiom). Layers (layers.go) is the
+// complementary planning half: topologically-sorted conflict-free
+// waves for batches whose footprints are already known.
 package depgraph
 
 import (
@@ -32,7 +42,9 @@ import (
 )
 
 // BaseReader supplies committed values: the graph's root node. A nil
-// result means the key is absent (reads as empty value).
+// result means the key is absent (reads as empty value). The base is
+// treated as frozen for the duration of one batch: the first root
+// fetch per key is cached until the next Reset.
 type BaseReader func(k types.Key) types.Value
 
 // Outcome reports how a finished transaction ended.
@@ -46,7 +58,9 @@ type Outcome struct {
 }
 
 // Tx is one execution attempt of a transaction against the graph. A
-// re-executed transaction gets a fresh Tx from Begin.
+// re-executed transaction gets a fresh Tx from Begin. Handles are
+// invalidated by Reset/Rebase: read their sets out before reusing the
+// graph.
 type Tx struct {
 	id   types.Digest
 	n    *node
@@ -59,24 +73,20 @@ func (t *Tx) ID() types.Digest { return t.id }
 // Done delivers the final outcome after Finish succeeded.
 func (t *Tx) Done() <-chan Outcome { return t.done }
 
-type opRecord struct {
-	key types.Key
-	val types.Value
-}
-
 type node struct {
 	tx  *Tx
 	seq uint64 // creation order, for deterministic iteration
 
-	// firstRead / lastWrite hold the two retained operations per key.
-	firstRead  map[types.Key]types.Value
+	// reads / lastWrite hold the two retained operations per key
+	// (§8.1: first read, last write). A read record keeps the value
+	// observed and the writer node it came from (nil = root/committed
+	// store). Values in both maps are never mutated in place — every
+	// handout to contract code is a clone — so result assembly may
+	// alias them without copying.
+	reads      map[types.Key]readRec
 	lastWrite  map[types.Key]types.Value
 	readOrder  []types.Key // keys in first-read order
 	writeOrder []types.Key // keys in first-write order
-
-	// readSrc maps each read key to the writer node the value came
-	// from (nil = root/committed store).
-	readSrc map[types.Key]*node
 	// readersOf lists, per key this node wrote, the nodes that
 	// observed the written value; they cascade-abort if it changes.
 	readersOf map[types.Key]map[*node]struct{}
@@ -93,10 +103,28 @@ type node struct {
 	finished  bool
 	committed bool
 	aborted   bool
+
+	// visitGen is the hasPath visited mark: a node is on the current
+	// traversal iff visitGen equals the graph's generation counter, so
+	// no visited map is allocated per call.
+	visitGen uint64
 }
 
-// keyState tracks the per-key version chain.
+// readRec is one retained first-read: the value observed and the
+// writer it was observed from (nil = committed root).
+type readRec struct {
+	v   types.Value
+	src *node
+}
+
+// keyState tracks the per-key version chain. States are epoch-tagged:
+// a state whose epoch lags the graph's is logically empty and is reset
+// lazily on first touch, which makes Reset O(keys touched last batch)
+// instead of O(all keys ever).
 type keyState struct {
+	k     types.Key
+	epoch uint64
+
 	// chain is the ordered list of uncommitted-or-committed writer
 	// nodes for this key; the order is the serialization order of the
 	// writes.
@@ -106,7 +134,17 @@ type keyState struct {
 	// ordered before any writer; the next writer serializes after
 	// them (Figure 9a).
 	readTips map[*node]struct{}
+
+	// rootVal caches the base value (or, after Rebase, the previous
+	// batch's committed tip) so repeated root reads skip the BaseReader.
+	// Valid iff rootSet and rootGen matches the graph's.
+	rootVal types.Value
+	rootSet bool
+	rootGen uint64
 }
+
+// reachKey identifies one positive reachability fact src⇝dst.
+type reachKey struct{ src, dst *node }
 
 // Graph is the concurrency controller state. All methods are safe for
 // concurrent use by executor goroutines.
@@ -123,6 +161,30 @@ type Graph struct {
 
 	// counters for metrics
 	aborts uint64
+
+	// Arena state: epoch tags key states, rootGen tags cached base
+	// values, touched lists key states used this batch, free holds
+	// recycled nodes.
+	epoch   uint64
+	rootGen uint64
+	touched []*keyState
+	free    []*node
+
+	// hasPath machinery: generation-stamped visited marks, a reusable
+	// DFS stack, and a positive-reachability memo. Edge additions
+	// preserve positive facts; removals (aborts) and resets bump
+	// removeGen, invalidating the memo in O(1).
+	visitGen  uint64
+	stack     []*node
+	reach     map[reachKey]uint64
+	removeGen uint64
+
+	// FinishWait fast path: while finishing is non-nil (only ever
+	// under mu, within one FinishWait call) that node's outcome is
+	// recorded here instead of being sent on its done channel.
+	finishing     *node
+	finishOut     Outcome
+	finishDecided bool
 }
 
 // New creates an empty graph over the given committed-state reader.
@@ -134,10 +196,105 @@ func New(base BaseReader) *Graph {
 		base:  base,
 		keys:  make(map[types.Key]*keyState),
 		nodes: make(map[*node]struct{}),
+		reach: make(map[reachKey]uint64),
 	}
 }
 
-// Aborts returns the total number of abort events so far.
+// Reset empties the graph over a new base, recycling nodes and per-key
+// state in O(what last batch touched). Every outstanding Tx handle is
+// invalidated; cached base values are dropped.
+func (g *Graph) Reset(base BaseReader) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.reset(base, false)
+}
+
+// Rebase is Reset plus carry: each key touched last batch keeps its
+// committed-tip value (or its cached base value if nothing wrote it)
+// as the new base value, so the next batch diffs against the previous
+// one instead of re-reading through the BaseReader. The caller asserts
+// that base agrees with the previous batch's committed outcome — i.e.
+// base(k) would return exactly the carried value for every carried k.
+func (g *Graph) Rebase(base BaseReader) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.reset(base, true)
+}
+
+func (g *Graph) reset(base BaseReader, carry bool) {
+	if base == nil {
+		base = func(types.Key) types.Value { return nil }
+	}
+	g.base = base
+	if carry {
+		for _, ks := range g.touched {
+			// The last chain writer is the batch's final committed value
+			// for the key; promote it to the cached base. Values are
+			// taken, not cloned: the node's maps are cleared on recycle.
+			if tip := ks.tipWriter(); tip != nil && tip.committed {
+				ks.rootVal = tip.lastWrite[ks.k]
+				ks.rootSet = true
+				ks.rootGen = g.rootGen
+			}
+		}
+	} else {
+		// Lazily invalidates every cached root value, carried or not.
+		g.rootGen++
+	}
+	g.touched = g.touched[:0]
+	g.epoch++ // lazily empties every keyState
+	for n := range g.nodes {
+		delete(g.nodes, n)
+		if n.committed {
+			g.recycle(n)
+		}
+		// Live leftovers (caller abandoned an attempt) keep their
+		// handles valid-for-reading; they are dropped to the GC.
+	}
+	g.schedule = g.schedule[:0]
+	g.commitCount = 0
+	g.removeGen++ // recycled pointers must not revive stale facts
+	if len(g.reach) > 0 {
+		clear(g.reach)
+	}
+}
+
+// recycle returns a committed node (and its Tx shell) to the free
+// list for the next Begin.
+func (g *Graph) recycle(n *node) {
+	// Guarded clears: most maps are empty on conflict-free commits and
+	// the mapclear call itself is the dominant recycle cost.
+	if len(n.reads) > 0 {
+		clear(n.reads)
+	}
+	if len(n.lastWrite) > 0 {
+		clear(n.lastWrite)
+	}
+	if len(n.readersOf) > 0 {
+		clear(n.readersOf)
+	}
+	if len(n.prior) > 0 {
+		clear(n.prior)
+	}
+	if len(n.in) > 0 {
+		clear(n.in)
+	}
+	if len(n.out) > 0 {
+		clear(n.out)
+	}
+	n.readOrder = n.readOrder[:0]
+	n.writeOrder = n.writeOrder[:0]
+	n.finished, n.committed, n.aborted = false, false, false
+	n.visitGen = 0
+	select { // the outcome is consumed before reuse by construction; be safe
+	case <-n.tx.done:
+	default:
+	}
+	g.free = append(g.free, n)
+}
+
+// Aborts returns the total number of abort events so far (cumulative
+// across Resets).
 func (g *Graph) Aborts() uint64 {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -168,14 +325,21 @@ func (g *Graph) Schedule() []*Tx {
 func (g *Graph) Begin(id types.Digest) *Tx {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	t := &Tx{id: id, done: make(chan Outcome, 1)}
 	g.nextSeq++
+	if k := len(g.free); k > 0 {
+		n := g.free[k-1]
+		g.free = g.free[:k-1]
+		n.seq = g.nextSeq
+		n.tx.id = id
+		g.nodes[n] = struct{}{}
+		return n.tx
+	}
+	t := &Tx{id: id, done: make(chan Outcome, 1)}
 	t.n = &node{
 		tx:        t,
 		seq:       g.nextSeq,
-		firstRead: make(map[types.Key]types.Value),
+		reads:     make(map[types.Key]readRec),
 		lastWrite: make(map[types.Key]types.Value),
-		readSrc:   make(map[types.Key]*node),
 		readersOf: make(map[types.Key]map[*node]struct{}),
 		prior:     make(map[types.Key]map[*node]struct{}),
 		in:        make(map[*node]struct{}),
@@ -188,33 +352,66 @@ func (g *Graph) Begin(id types.Digest) *Tx {
 func (g *Graph) key(k types.Key) *keyState {
 	ks, ok := g.keys[k]
 	if !ok {
-		ks = &keyState{readTips: make(map[*node]struct{})}
+		ks = &keyState{k: k, epoch: g.epoch, readTips: make(map[*node]struct{})}
 		g.keys[k] = ks
+		g.touched = append(g.touched, ks)
+		return ks
+	}
+	if ks.epoch != g.epoch {
+		// Lazy per-batch reset: the chain and tips belong to a recycled
+		// batch.
+		ks.epoch = g.epoch
+		ks.chain = ks.chain[:0]
+		if len(ks.readTips) > 0 {
+			clear(ks.readTips)
+		}
+		g.touched = append(g.touched, ks)
 	}
 	return ks
 }
 
 // hasPath reports whether dst is reachable from src via out-edges.
-func hasPath(src, dst *node) bool {
+// Visited marks are generation stamps on the nodes and the DFS stack
+// is reused, so steady-state calls allocate nothing; positive answers
+// are memoized until the next structural removal.
+func (g *Graph) hasPath(src, dst *node) bool {
 	if src == dst {
 		return true
 	}
-	seen := map[*node]struct{}{src: {}}
-	stack := []*node{src}
-	for len(stack) > 0 {
+	if len(src.out) == 0 {
+		return false
+	}
+	rk := reachKey{src, dst}
+	if gen, ok := g.reach[rk]; ok && gen == g.removeGen {
+		return true
+	}
+	g.visitGen++
+	gen := g.visitGen
+	src.visitGen = gen
+	stack := append(g.stack[:0], src)
+	found := false
+	for len(stack) > 0 && !found {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for m := range n.out {
 			if m == dst {
-				return true
+				found = true
+				break
 			}
-			if _, ok := seen[m]; !ok {
-				seen[m] = struct{}{}
+			if m.visitGen != gen {
+				m.visitGen = gen
 				stack = append(stack, m)
 			}
 		}
 	}
-	return false
+	g.stack = stack[:0]
+	if found {
+		if len(g.reach) > 1<<15 { // bound the memo under adversarial churn
+			clear(g.reach)
+		}
+		g.reach[rk] = g.removeGen
+	}
+	return found
 }
 
 // addEdge links u→v. Caller must have verified acyclicity.
@@ -241,8 +438,8 @@ func (g *Graph) Read(t *Tx, k types.Key) (types.Value, error) {
 		return v.Clone(), nil
 	}
 	// Repeatable read: the first read is retained (§8.1).
-	if v, ok := n.firstRead[k]; ok {
-		return v.Clone(), nil
+	if r, ok := n.reads[k]; ok {
+		return r.v.Clone(), nil
 	}
 	ks := g.key(k)
 	// Walk the version chain newest-first looking for a serializable
@@ -259,19 +456,22 @@ func (g *Graph) Read(t *Tx, k types.Key) (types.Value, error) {
 			// are monotone along the chain).
 			break
 		}
-		if src != nil && hasPath(n, src) {
+		if src != nil && g.hasPath(n, src) {
 			continue // edge src→n would close a cycle
 		}
-		if i+1 < len(ks.chain) && hasPath(ks.chain[i+1], n) {
+		if i+1 < len(ks.chain) && g.hasPath(ks.chain[i+1], n) {
 			continue // edge n→chain[i+1] would close a cycle
 		}
+		// The retained copy aliases the writer's record (or the cached
+		// root): those values are only ever replaced, never mutated,
+		// so one clone for the contract's private copy suffices.
 		var v types.Value
 		if src != nil {
-			v = src.lastWrite[k].Clone()
+			v = src.lastWrite[k]
 			addEdge(src, n)
 			src.readers(k)[n] = struct{}{}
 		} else {
-			v = g.base(k).Clone()
+			v = g.rootValue(ks)
 		}
 		if i+1 < len(ks.chain) {
 			next := ks.chain[i+1]
@@ -282,14 +482,25 @@ func (g *Graph) Read(t *Tx, k types.Key) (types.Value, error) {
 			// serialize after it.
 			ks.readTips[n] = struct{}{}
 		}
-		n.firstRead[k] = v.Clone()
+		n.reads[k] = readRec{v: v, src: src}
 		n.readOrder = append(n.readOrder, k)
-		n.readSrc[k] = src
-		return v, nil
+		return v.Clone(), nil
 	}
 	// No serializable position exists: abort the reader (§8.4 rule 1).
 	g.abort(n)
 	return nil, contract.ErrAborted
+}
+
+// rootValue returns the committed/base value for ks, caching the first
+// fetch per batch (and serving Rebase-carried values without touching
+// the BaseReader at all).
+func (g *Graph) rootValue(ks *keyState) types.Value {
+	if !ks.rootSet || ks.rootGen != g.rootGen {
+		ks.rootVal = g.base(ks.k).Clone()
+		ks.rootSet = true
+		ks.rootGen = g.rootGen
+	}
+	return ks.rootVal
 }
 
 func (n *node) readers(k types.Key) map[*node]struct{} {
@@ -335,7 +546,7 @@ func (g *Graph) Write(t *Tx, k types.Key, v types.Value) error {
 	}
 	ks := g.key(k)
 	tip := ks.tipWriter()
-	if src, read := n.readSrc[k]; read && src != tip {
+	if r, read := n.reads[k]; read && r.src != tip {
 		// We read a version that is no longer the newest; writing now
 		// would have to splice into the middle of the chain, which
 		// invalidates later blind writers' readers. Abort self and
@@ -349,7 +560,7 @@ func (g *Graph) Write(t *Tx, k types.Key, v types.Value) error {
 		if r == n || r.aborted {
 			continue
 		}
-		if hasPath(n, r) {
+		if g.hasPath(n, r) {
 			// r transitively follows n yet read the version n is
 			// about to supersede: r's read is doomed. Abort r.
 			g.abort(r)
@@ -362,7 +573,7 @@ func (g *Graph) Write(t *Tx, k types.Key, v types.Value) error {
 		n.priorSet(k)[r] = struct{}{}
 	}
 	if tip != nil && tip != n {
-		if hasPath(n, tip) {
+		if g.hasPath(n, tip) {
 			// n already precedes the newest writer; appending after it
 			// would cycle. Abort self (blind-write conflict).
 			g.abort(n)
@@ -371,7 +582,9 @@ func (g *Graph) Write(t *Tx, k types.Key, v types.Value) error {
 		addEdge(tip, n)
 	}
 	ks.chain = append(ks.chain, n)
-	ks.readTips = make(map[*node]struct{})
+	if len(ks.readTips) > 0 {
+		clear(ks.readTips)
+	}
 	n.lastWrite[k] = v.Clone()
 	n.writeOrder = append(n.writeOrder, k)
 	return nil
@@ -380,6 +593,9 @@ func (g *Graph) Write(t *Tx, k types.Key, v types.Value) error {
 // snapshotNodes copies a node set into a slice so callers can iterate
 // while cascaded aborts mutate the underlying map.
 func snapshotNodes(set map[*node]struct{}) []*node {
+	if len(set) == 0 {
+		return nil
+	}
 	out := make([]*node, 0, len(set))
 	for n := range set {
 		out = append(out, n)
@@ -409,9 +625,35 @@ func (g *Graph) Finish(t *Tx) error {
 	return nil
 }
 
-// Abort removes t from the graph (used for terminal contract
-// failures: the transaction will not be retried, and anything that
-// observed its writes cascades).
+// FinishWait declares completion and blocks until t's outcome is
+// decided. When the decision falls out of the Finish itself — the
+// common conflict-free case, where t has no uncommitted predecessors
+// — the outcome is returned directly with no channel round-trip;
+// otherwise it waits on t.Done(). Returns contract.ErrAborted if the
+// transaction is already dead.
+func (g *Graph) FinishWait(t *Tx) (Outcome, error) {
+	g.mu.Lock()
+	if t.n.aborted {
+		g.mu.Unlock()
+		return Outcome{}, contract.ErrAborted
+	}
+	t.n.finished = true
+	g.finishing, g.finishDecided = t.n, false
+	g.tryCommit(t.n)
+	decided, out := g.finishDecided, g.finishOut
+	g.finishing = nil
+	g.mu.Unlock()
+	if decided {
+		return out, nil
+	}
+	return <-t.done, nil
+}
+
+// Abort removes t from the graph. It is idempotent — safe on handles
+// the graph already aborted — so executors call it on every
+// non-committed exit path (terminal contract failures, exhausted
+// retries, and contract-originated ErrAborted, where the node is
+// still live and would otherwise leak into the next batch's chains).
 func (g *Graph) Abort(t *Tx) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -429,6 +671,7 @@ func (g *Graph) abort(n *node) {
 	}
 	n.aborted = true
 	g.aborts++
+	g.removeGen++ // structural removal: memoized reachability is stale
 
 	// Cascade first: everyone who read one of n's writes holds a value
 	// that will no longer exist.
@@ -447,8 +690,8 @@ func (g *Graph) abort(n *node) {
 	for m := range n.in {
 		delete(m.out, n)
 	}
-	n.out = make(map[*node]struct{})
-	n.in = make(map[*node]struct{})
+	clear(n.out)
+	clear(n.in)
 	// Detach from version chains, splicing write order across the gap.
 	// Aborts discovered during reattachment are deferred until the
 	// splice completes so recursion never mutates a chain mid-walk.
@@ -463,7 +706,7 @@ func (g *Graph) abort(n *node) {
 			// Preserve ordering between the neighbours.
 			if i > 0 && i < len(ks.chain) {
 				prev, next := ks.chain[i-1], ks.chain[i]
-				if !hasPath(prev, next) {
+				if !g.hasPath(prev, next) {
 					addEdge(prev, next)
 				}
 			}
@@ -482,7 +725,7 @@ func (g *Graph) abort(n *node) {
 					ks.readTips[r] = struct{}{}
 					continue
 				}
-				if hasPath(next, r) {
+				if g.hasPath(next, r) {
 					// next already precedes r transitively; ordering r
 					// before next is impossible — r's read can no
 					// longer hold.
@@ -495,20 +738,22 @@ func (g *Graph) abort(n *node) {
 			break
 		}
 	}
-	// Remove from read-tip sets.
-	for _, ks := range g.keys {
-		delete(ks.readTips, n)
+	// Remove from read-tip sets: n can only be a tip of keys it read.
+	for _, k := range n.readOrder {
+		if ks, ok := g.keys[k]; ok && ks.epoch == g.epoch {
+			delete(ks.readTips, n)
+		}
 	}
 	// Drop our reader registrations.
-	for k, src := range n.readSrc {
-		if src != nil {
-			delete(src.readersOf[k], n)
+	for k, r := range n.reads {
+		if r.src != nil {
+			delete(r.src.readersOf[k], n)
 		}
 	}
 	delete(g.nodes, n)
 
 	if n.finished {
-		n.tx.done <- Outcome{Committed: false}
+		g.deliver(n, Outcome{Committed: false})
 	}
 	for _, r := range toAbort {
 		g.abort(r)
@@ -533,31 +778,54 @@ func (g *Graph) tryCommit(n *node) {
 	idx := g.commitCount
 	g.commitCount++
 	g.schedule = append(g.schedule, n.tx)
-	n.tx.done <- Outcome{Committed: true, ScheduleIdx: idx}
+	g.deliver(n, Outcome{Committed: true, ScheduleIdx: idx})
 	for m := range n.out {
 		g.tryCommit(m)
 	}
 }
 
+// deliver hands n its outcome: directly when n is inside FinishWait
+// on this goroutine (no channel traffic), via its done channel when a
+// worker is parked on Done().
+func (g *Graph) deliver(n *node, out Outcome) {
+	if n == g.finishing {
+		g.finishOut, g.finishDecided = out, true
+		return
+	}
+	n.tx.done <- out
+}
+
 // ReadSet returns t's retained first-reads in access order. Valid
-// after commit.
+// after commit. Values alias graph-retained copies, which are never
+// mutated in place (every handout to contract code is a clone), so
+// the records stay stable after the graph is reset or recycled.
 func (t *Tx) ReadSet() []types.RWRecord {
 	out := make([]types.RWRecord, 0, len(t.n.readOrder))
 	for _, k := range t.n.readOrder {
-		out = append(out, types.RWRecord{Key: k, Value: t.n.firstRead[k].Clone()})
+		out = append(out, types.RWRecord{Key: k, Value: t.n.reads[k].v})
 	}
 	return out
 }
 
-// WriteSet returns t's retained last-writes in access order. Valid
-// after commit.
+// WriteSet returns t's retained last-writes in access order, under
+// the same aliasing rules as ReadSet. Valid after commit.
 func (t *Tx) WriteSet() []types.RWRecord {
 	out := make([]types.RWRecord, 0, len(t.n.writeOrder))
 	for _, k := range t.n.writeOrder {
-		out = append(out, types.RWRecord{Key: k, Value: t.n.lastWrite[k].Clone()})
+		out = append(out, types.RWRecord{Key: k, Value: t.n.lastWrite[k]})
 	}
 	return out
 }
+
+// ReadKeys returns the keys t read, in first-access order, without
+// copying. The slice aliases graph-internal state: it is only valid
+// to call after the attempt ended (committed or aborted), from the
+// goroutine that drove it, and until the graph is reset.
+func (t *Tx) ReadKeys() []types.Key { return t.n.readOrder }
+
+// WriteKeys returns the keys t wrote, in first-write order, under the
+// same validity rules as ReadKeys.
+func (t *Tx) WriteKeys() []types.Key { return t.n.writeOrder }
 
 // CheckInvariants verifies internal consistency (acyclicity among live
 // nodes, chain/edge agreement). It is exported for tests and returns
@@ -596,13 +864,17 @@ func (g *Graph) CheckInvariants() error {
 		}
 	}
 	// Chains contain only live nodes and successive writers are
-	// path-ordered.
+	// path-ordered. Key states from recycled batches are logically
+	// empty and skipped.
 	for k, ks := range g.keys {
+		if ks.epoch != g.epoch {
+			continue
+		}
 		for i, w := range ks.chain {
 			if w.aborted {
 				return fmt.Errorf("depgraph: aborted node in chain of %q", k)
 			}
-			if i > 0 && !ks.chain[i-1].committed && !hasPath(ks.chain[i-1], w) {
+			if i > 0 && !ks.chain[i-1].committed && !g.hasPath(ks.chain[i-1], w) {
 				return fmt.Errorf("depgraph: chain of %q not path-ordered at %d", k, i)
 			}
 		}

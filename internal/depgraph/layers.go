@@ -1,0 +1,175 @@
+// Dependency-layer planning: when a batch's read/write footprints are
+// already known (a validator re-checking declared preplay results, or
+// an executor retrying transactions whose first attempt discovered
+// their sets), the conflict graph can be partitioned up front into
+// topologically-sorted conflict-free layers and each layer executed as
+// one wave — no per-transaction scheduling, no reachability queries,
+// no abort/retry churn (the soyart/depgraph layering idiom).
+package depgraph
+
+import "thunderbolt/internal/types"
+
+// Access is one transaction's known key footprint.
+type Access struct {
+	Reads  []types.Key
+	Writes []types.Key
+}
+
+// keyLevels tracks, per key, the highest layer of any writer and any
+// reader placed so far.
+type keyLevels struct {
+	writer int
+	reader int
+}
+
+// layerBuilder assigns each transaction, in schedule order, the lowest
+// layer consistent with every conflict on an earlier transaction:
+// a read must land above the key's last writer (RAW), a write above
+// both the last writer (WAW) and every reader since (WAR). Two
+// transactions sharing a layer therefore never conflict, and every
+// dependency points to a strictly lower layer.
+type layerBuilder struct {
+	levels  map[types.Key]*keyLevels
+	layerOf []int
+	max     int
+
+	cur int // level of the transaction being placed
+}
+
+func newLayerBuilder(n int) *layerBuilder {
+	return &layerBuilder{levels: make(map[types.Key]*keyLevels, 2*n), layerOf: make([]int, 0, n), max: -1}
+}
+
+func (b *layerBuilder) level(k types.Key) *keyLevels {
+	kl, ok := b.levels[k]
+	if !ok {
+		kl = &keyLevels{writer: -1, reader: -1}
+		b.levels[k] = kl
+	}
+	return kl
+}
+
+// read/write raise the pending transaction's layer for one footprint
+// key; place seals the transaction and records its accesses.
+func (b *layerBuilder) read(k types.Key) {
+	if kl, ok := b.levels[k]; ok && kl.writer >= b.cur {
+		b.cur = kl.writer + 1
+	}
+}
+
+func (b *layerBuilder) write(k types.Key) {
+	kl, ok := b.levels[k]
+	if !ok {
+		return
+	}
+	if kl.writer >= b.cur {
+		b.cur = kl.writer + 1
+	}
+	if kl.reader >= b.cur {
+		b.cur = kl.reader + 1
+	}
+}
+
+func (b *layerBuilder) place(reads, writes func(f func(types.Key))) {
+	lvl := b.cur
+	reads(func(k types.Key) {
+		if kl := b.level(k); lvl > kl.reader {
+			kl.reader = lvl
+		}
+	})
+	writes(func(k types.Key) {
+		if kl := b.level(k); lvl > kl.writer {
+			kl.writer = lvl
+		}
+	})
+	b.layerOf = append(b.layerOf, lvl)
+	if lvl > b.max {
+		b.max = lvl
+	}
+	b.cur = 0
+}
+
+func (b *layerBuilder) layers() [][]int {
+	if b.max < 0 {
+		return nil
+	}
+	sizes := make([]int, b.max+1)
+	for _, l := range b.layerOf {
+		sizes[l]++
+	}
+	// One backing array for all layers keeps the plan allocation-lean.
+	backing := make([]int, len(b.layerOf))
+	out := make([][]int, b.max+1)
+	off := 0
+	for l, sz := range sizes {
+		out[l] = backing[off : off : off+sz]
+		off += sz
+	}
+	for i, l := range b.layerOf {
+		out[l] = append(out[l], i)
+	}
+	return out
+}
+
+// Layers partitions transactions (given in intended schedule order)
+// into conflict-free layers; out[L] lists the indices of layer L in
+// ascending order. Within a layer no two transactions conflict on any
+// footprint key, and every conflict points from a lower layer to a
+// higher one, so executing layer by layer — each layer fully parallel
+// — is serializable by construction as long as the footprints are
+// accurate. Inaccurate footprints cost retries, never correctness:
+// the graph still detects the conflict at runtime.
+func Layers(accs []Access) [][]int {
+	b := newLayerBuilder(len(accs))
+	for i := range accs {
+		a := &accs[i]
+		for _, k := range a.Reads {
+			b.read(k)
+		}
+		for _, k := range a.Writes {
+			b.write(k)
+		}
+		b.place(
+			func(f func(types.Key)) {
+				for _, k := range a.Reads {
+					f(k)
+				}
+			},
+			func(f func(types.Key)) {
+				for _, k := range a.Writes {
+					f(k)
+				}
+			},
+		)
+	}
+	return b.layers()
+}
+
+// LayersOfResults plans conflict-free layers straight from declared
+// preplay results (the validator re-check path), without materializing
+// intermediate key slices.
+func LayersOfResults(results []types.TxResult) [][]int {
+	b := newLayerBuilder(len(results))
+	for i := range results {
+		r := &results[i]
+		for j := range r.ReadSet {
+			b.read(r.ReadSet[j].Key)
+		}
+		for j := range r.WriteSet {
+			b.write(r.WriteSet[j].Key)
+		}
+		b.place(
+			func(f func(types.Key)) {
+				for j := range r.ReadSet {
+					f(r.ReadSet[j].Key)
+				}
+			},
+			func(f func(types.Key)) {
+				for j := range r.WriteSet {
+					f(r.WriteSet[j].Key)
+				}
+			},
+		)
+	}
+	return b.layers()
+}

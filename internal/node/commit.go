@@ -73,6 +73,9 @@ func (n *Node) executeWave(w tusk.CommitWave) {
 				// requeues the transactions for a fresh preplay.
 				if b.Proposer == n.cfg.ID {
 					n.dropOwnBlock(b.Round)
+					// The overlay rolled back: values the next preplay
+					// should see no longer match the carried tips.
+					n.preplayer.invalidate()
 					for _, tx := range b.SingleTxs {
 						if !n.dedup.Resolved(tx) {
 							n.txQueue = append(n.txQueue, tx)
@@ -141,6 +144,9 @@ func (n *Node) executeWave(w tusk.CommitWave) {
 			n.markCommitted(out.Tx, now)
 			n.bump(func(s *Stats) { s.CommittedCross++ })
 		}
+		// Cross-shard writes land outside the preplay stream; the next
+		// preplay must re-read through the base.
+		n.preplayer.invalidate()
 	}
 	if n.cfg.OnCommitWave != nil {
 		n.cfg.OnCommitWave(n.epoch, w.Leader.Round(), now)
@@ -189,8 +195,14 @@ func (n *Node) validateAndApply(b *types.Block, now time.Time) bool {
 	n.bump(func(s *Stats) { s.CommittedSingle += uint64(len(b.SingleTxs)) })
 	// If this was our own block, its preplay writes are now durable:
 	// shrink the speculative overlay to the remaining pending blocks.
+	// The move from overlay to store is value-identical through the
+	// speculative reader, so the preplayer's carried tips stay valid.
+	// A foreign block's writes, by contrast, change state the carry
+	// never saw.
 	if b.Proposer == n.cfg.ID {
 		n.dropOwnBlock(b.Round)
+	} else {
+		n.preplayer.invalidate()
 	}
 	return true
 }

@@ -448,6 +448,9 @@ func New(cfg Config) (*Node, error) {
 
 // resetEpochState initializes per-epoch protocol state.
 func (n *Node) resetEpochState(epoch types.Epoch) {
+	if n.preplayer != nil { // nil during construction
+		n.preplayer.invalidate() // spec overlay resets; carried tips are stale
+	}
 	n.epoch = epoch
 	n.dagStore = dag.NewStore(epoch, n.n)
 	n.committer = tusk.NewCommitter(n.dagStore, n.n)
@@ -1238,6 +1241,7 @@ func (n *Node) fastForward(hi types.Round) {
 	// The speculative overlay describes abandoned blocks; drop it.
 	n.ownBlocks = nil
 	n.spec = make(map[types.Key]types.Value)
+	n.preplayer.invalidate()
 	n.lastBlock = nil
 	n.nextRound = hi + 1
 	n.bump(func(s *Stats) { s.FastForwards++ })

@@ -19,6 +19,12 @@ type preplayer interface {
 	// preplay executes txs against the given speculative reader and
 	// returns the CE-shaped batch result.
 	preplay(read func(types.Key) types.Value, txs []*types.Transaction) *ce.BatchResult
+	// invalidate drops any state the engine carries between
+	// consecutive preplays. Call it whenever the speculative view or
+	// the committed store changed other than by folding in the
+	// engine's own last batch: foreign-block commits, cross-shard
+	// commits, overlay rollbacks, epoch transitions.
+	invalidate()
 }
 
 func (n *Node) newPreplayer() preplayer {
@@ -28,17 +34,23 @@ func (n *Node) newPreplayer() preplayer {
 			exec: occ.New(occ.Config{Executors: n.cfg.Executors, Registry: n.cfg.Registry}),
 		}
 	default:
-		return &cePreplayer{
-			exec: ce.New(ce.Config{Executors: n.cfg.Executors, Registry: n.cfg.Registry}),
-		}
+		exec := ce.New(ce.Config{Executors: n.cfg.Executors, Registry: n.cfg.Registry})
+		return &cePreplayer{sess: exec.NewSession()}
 	}
 }
 
-type cePreplayer struct{ exec *ce.CE }
+// cePreplayer drives the CE through a session so the dependency-graph
+// arena is recycled round over round and each preplay's committed tips
+// become the next one's cached base values: fillBlock folds the same
+// write sets into n.spec, so consecutive preplays see the carried tips
+// verbatim until an invalidate site fires.
+type cePreplayer struct{ sess *ce.Session }
 
 func (p *cePreplayer) preplay(read func(types.Key) types.Value, txs []*types.Transaction) *ce.BatchResult {
-	return p.exec.ExecuteBatch(depgraph.BaseReader(read), txs)
+	return p.sess.ExecuteBatch(depgraph.BaseReader(read), txs)
 }
+
+func (p *cePreplayer) invalidate() { p.sess.Invalidate() }
 
 // occPreplayer adapts the OCC baseline to the proposer pipeline (the
 // paper's Thunderbolt-OCC configuration): OCC validates against a
@@ -48,6 +60,8 @@ type occPreplayer struct{ exec *occ.OCC }
 func (p *occPreplayer) preplay(read func(types.Key) types.Value, txs []*types.Transaction) *ce.BatchResult {
 	return p.exec.ExecuteBatch(newSpecVersioned(read), txs)
 }
+
+func (p *occPreplayer) invalidate() {} // OCC builds its view per preplay
 
 // specVersioned implements occ.VersionedStore over a read-through
 // base. Keys written during the batch carry real versions; untouched

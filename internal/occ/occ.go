@@ -157,7 +157,7 @@ func (o *OCC) ExecuteBatch(store VersionedStore, txs []*types.Transaction) *ce.B
 		mu     sync.Mutex
 		done   []committed
 		failed []ce.FailedTx
-		rexec  int
+		rexec  uint64
 	)
 	ch := make(chan *types.Transaction)
 	var wg sync.WaitGroup
@@ -168,7 +168,7 @@ func (o *OCC) ExecuteBatch(store VersionedStore, txs []*types.Transaction) *ce.B
 			for tx := range ch {
 				res, ferr, retries := o.runOne(store, tx)
 				mu.Lock()
-				rexec += retries
+				rexec += uint64(retries)
 				if ferr != nil {
 					failed = append(failed, ce.FailedTx{Tx: tx, Err: ferr})
 				} else {

@@ -215,7 +215,7 @@ func (t *TPL) ExecuteBatch(store *storage.Store, txs []*types.Transaction) *ce.B
 		mu     sync.Mutex
 		done   []committed
 		failed []ce.FailedTx
-		rexec  int
+		rexec  uint64
 	)
 	ch := make(chan *types.Transaction)
 	var wg sync.WaitGroup
@@ -226,7 +226,7 @@ func (t *TPL) ExecuteBatch(store *storage.Store, txs []*types.Transaction) *ce.B
 			for tx := range ch {
 				res, ferr, retries := t.runOne(store, tx)
 				mu.Lock()
-				rexec += retries
+				rexec += uint64(retries)
 				if ferr != nil {
 					failed = append(failed, ce.FailedTx{Tx: tx, Err: ferr})
 				} else {

@@ -4,8 +4,11 @@
 //   - ValidateBatch (paper §4): checks a shard proposer's preplay
 //     results in parallel. The declared read/write sets — unknown at
 //     submission time, discovered by the CE — induce a dependency
-//     structure that lets each transaction be re-executed and checked
-//     independently against a versioned view, rather than serially.
+//     structure; the batch is partitioned into topologically-sorted
+//     conflict-free layers (depgraph.LayersOfResults) and re-executed
+//     layer by layer as waves over a declared-write overlay, so
+//     validation needs no per-transaction versioned lookups and no
+//     channel hand-offs.
 //
 //   - ExecuteCrossOrdered (paper §5.2): deterministically executes
 //     consensus-ordered cross-shard transactions, extracting
@@ -14,15 +17,24 @@
 //
 // Both paths are pure functions of (base state, inputs) so every
 // honest replica materializes identical state.
+//
+// The wave overlay is decision-equivalent to a per-transaction
+// versioned view: within a layer no declared sets conflict, so a
+// declared read's overlay value (all declared writes of strictly lower
+// layers) is exactly the last declared write before the transaction's
+// schedule position; and a re-executed read of a key written in the
+// same layer is necessarily undeclared — rejected by the read-set
+// comparison regardless of the value observed.
 package validate
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"thunderbolt/internal/contract"
+	"thunderbolt/internal/depgraph"
 	"thunderbolt/internal/types"
 	"thunderbolt/internal/vm"
 )
@@ -41,51 +53,16 @@ type Result struct {
 	Writes []types.RWRecord
 }
 
-// versionedView indexes declared writes by key and schedule position,
-// giving each transaction the exact state it should have observed.
-type versionedView struct {
-	base BaseReader
-	// versions[k] lists (scheduleIdx, value) in ascending order.
-	versions map[types.Key][]versionEntry
-}
-
-type versionEntry struct {
-	idx int
-	val types.Value
-}
-
-func buildView(base BaseReader, results []types.TxResult) *versionedView {
-	v := &versionedView{base: base, versions: make(map[types.Key][]versionEntry)}
-	for i := range results {
-		for _, w := range results[i].WriteSet {
-			v.versions[w.Key] = append(v.versions[w.Key], versionEntry{idx: i, val: w.Value})
-		}
-	}
-	// Results arrive in schedule order, so each key's version list is
-	// already ascending; sort defensively for malformed inputs.
-	for k := range v.versions {
-		vs := v.versions[k]
-		sort.Slice(vs, func(a, b int) bool { return vs[a].idx < vs[b].idx })
-	}
-	return v
-}
-
-// at returns the value of k visible to the transaction at schedule
-// position idx: the last declared write before idx, else base.
-func (v *versionedView) at(k types.Key, idx int) types.Value {
-	vs := v.versions[k]
-	lo := sort.Search(len(vs), func(i int) bool { return vs[i].idx >= idx })
-	if lo == 0 {
-		return v.base(k)
-	}
-	return vs[lo-1].val
-}
+// layerParallelMin is the smallest layer worth fanning across workers;
+// below it the goroutine hand-off costs more than the wave saves.
+const layerParallelMin = 8
 
 // checkState is the contract.State used to re-execute one transaction
-// during validation; it records observations for comparison.
+// during validation; it records observations for comparison. read
+// resolves a key against the wave overlay (declared writes of all
+// completed layers) falling back to base.
 type checkState struct {
-	view *versionedView
-	idx  int
+	read func(k types.Key) types.Value
 
 	reads  map[types.Key]types.Value
 	writes map[types.Key]types.Value
@@ -99,7 +76,7 @@ func (s *checkState) Read(k types.Key) (types.Value, error) {
 	if v, ok := s.reads[k]; ok {
 		return v.Clone(), nil
 	}
-	v := s.view.at(k, s.idx).Clone()
+	v := s.read(k).Clone()
 	s.reads[k] = v
 	return v, nil
 }
@@ -112,10 +89,13 @@ func (s *checkState) Write(k types.Key, v types.Value) error {
 	return nil
 }
 
-// ValidateBatch re-executes the scheduled transactions in parallel
-// against the versioned view induced by the declared write sets and
-// verifies that every observed read and write matches the block's
-// declaration. workers <= 0 means one worker.
+// ValidateBatch re-executes the scheduled transactions against the
+// declared write sets and verifies that every observed read and write
+// matches the block's declaration. The batch is checked wave by wave:
+// each conflict-free layer runs in parallel (workers <= 0 means one
+// worker), then its declared writes fold into the overlay the next
+// layer reads through. Errors surface after each layer, so a bad block
+// stops before wasting the remaining waves.
 func ValidateBatch(reg *contract.Registry, base BaseReader, txs []*types.Transaction,
 	results []types.TxResult, workers int) (*Result, error) {
 	if len(txs) != len(results) {
@@ -132,33 +112,38 @@ func ValidateBatch(reg *contract.Registry, base BaseReader, txs []*types.Transac
 			return nil, fmt.Errorf("%w: result %d does not match its transaction", ErrInvalidBlock, i)
 		}
 	}
-	view := buildView(base, results)
-
 	if workers <= 0 {
 		workers = 1
 	}
+
+	overlay := make(map[types.Key]types.Value)
+	read := func(k types.Key) types.Value {
+		if v, ok := overlay[k]; ok {
+			return v
+		}
+		return base(k)
+	}
+
 	errs := make([]error, len(txs))
-	var wg sync.WaitGroup
-	idxCh := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idxCh {
-				errs[i] = validateOne(reg, view, txs[i], &results[i], i)
+	for _, layer := range depgraph.LayersOfResults(results) {
+		runLayer(workers, layer, func(i int) {
+			errs[i] = validateOne(reg, read, txs[i], &results[i], i)
+		})
+		for _, i := range layer {
+			if errs[i] != nil {
+				return nil, errs[i]
 			}
-		}()
-	}
-	for i := range txs {
-		idxCh <- i
-	}
-	close(idxCh)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		}
+		// Fold the layer's declared writes into the overlay. Two
+		// same-layer transactions never write the same key (that would
+		// be a WAW conflict), so application order is immaterial.
+		for _, i := range layer {
+			for _, w := range results[i].WriteSet {
+				overlay[w.Key] = w.Value
+			}
 		}
 	}
+
 	// Final delta: last writer per key, ordered by first appearance.
 	last := make(map[types.Key]types.Value)
 	var order []types.Key
@@ -177,11 +162,48 @@ func ValidateBatch(reg *contract.Registry, base BaseReader, txs []*types.Transac
 	return out, nil
 }
 
-func validateOne(reg *contract.Registry, view *versionedView, tx *types.Transaction,
+// runLayer fans one wave across workers when it is big enough; the
+// overlay is read-only for the duration of the wave, so members only
+// share the (immutable) overlay and their own errs slot.
+func runLayer(workers int, layer []int, f func(i int)) {
+	if workers > len(layer) {
+		workers = len(layer)
+	}
+	if workers <= 1 || len(layer) < layerParallelMin {
+		for _, i := range layer {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(layer) {
+					return
+				}
+				f(layer[j])
+			}
+		}()
+	}
+	for {
+		j := int(next.Add(1)) - 1
+		if j >= len(layer) {
+			break
+		}
+		f(layer[j])
+	}
+	wg.Wait()
+}
+
+func validateOne(reg *contract.Registry, read func(types.Key) types.Value, tx *types.Transaction,
 	res *types.TxResult, idx int) error {
 	st := &checkState{
-		view:   view,
-		idx:    idx,
+		read:   read,
 		reads:  make(map[types.Key]types.Value),
 		writes: make(map[types.Key]types.Value),
 	}

@@ -173,7 +173,7 @@ type BatchResult struct {
 	Schedule []*Transaction
 	Results  []TxResult
 	// Reexecutions counts aborted attempts across the batch.
-	Reexecutions int
+	Reexecutions uint64
 }
 
 // ExecuteBatch preplays txs concurrently (discovering read/write sets
