@@ -279,6 +279,105 @@ func baselineStorage(name string, mk func() (storage.Backend, func(), error), op
 	}, nil
 }
 
+// snapshotBenchLedger seeds a SmallBank ledger for the snapshot rows
+// (two records per account) and returns the store.
+func snapshotBenchLedger(opt Options) (storage.Backend, int) {
+	accounts := 100_000
+	if opt.Quick {
+		accounts = 50_000
+	}
+	st := storage.New()
+	workload.InitAccounts(st, accounts, 10_000, 10_000)
+	return st, accounts
+}
+
+// baselineSnapshotCapture measures the mid-epoch capture hot path —
+// stream the committed ledger in key order through the chunk builder,
+// digest every chunk, and fold the manifest digest — reported as
+// ledger records/sec per capture pass. This is the per-boundary cost
+// every replica pays each Config.SnapshotInterval committed leader
+// rounds, so it must stay far below the interval's commit budget.
+func baselineSnapshotCapture(name string, opt Options) (BaselineRow, error) {
+	passes := 8
+	if opt.Quick {
+		passes = 4
+	}
+	st, _ := snapshotBenchLedger(opt)
+	probe := startProbe()
+	start := time.Now()
+	var records uint64
+	for p := 0; p < passes; p++ {
+		cb := types.NewChunkBuilder(types.DefaultChunkRecords, -1)
+		st.Ascend(func(r types.RWRecord) bool {
+			cb.Add(r.Key, r.Value)
+			return true
+		})
+		_, digests, _, count := cb.Finish()
+		if len(digests) == 0 || count == 0 {
+			return BaselineRow{}, fmt.Errorf("bench: %s produced an empty manifest", name)
+		}
+		_ = types.MerkleFold(digests)
+		records += uint64(count)
+	}
+	elapsed := time.Since(start)
+	allocs, heap := probe.finish(records)
+	return BaselineRow{
+		Scenario:    name,
+		TPS:         float64(records) / elapsed.Seconds(),
+		LatencyMS:   elapsed.Seconds() * 1000 / float64(passes),
+		AllocsPerTx: allocs, HeapInuseBytes: heap,
+		Committed: records,
+	}, nil
+}
+
+// baselineSnapshotInstall measures the receiving side of a chunked
+// rescue: verify every chunk payload against its manifest digest,
+// decode the records, and apply them into a fresh store in one batch
+// — ledger records/sec per full install.
+func baselineSnapshotInstall(name string, opt Options) (BaselineRow, error) {
+	passes := 8
+	if opt.Quick {
+		passes = 4
+	}
+	st, _ := snapshotBenchLedger(opt)
+	cb := types.NewChunkBuilder(types.DefaultChunkRecords, -1)
+	st.Ascend(func(r types.RWRecord) bool {
+		cb.Add(r.Key, r.Value)
+		return true
+	})
+	chunks, digests, _, count := cb.Finish()
+	snap := &types.Snapshot{
+		ChunkSize:    uint32(types.DefaultChunkRecords),
+		RecordCount:  uint64(count),
+		ChunkDigests: digests,
+	}
+	probe := startProbe()
+	start := time.Now()
+	var records uint64
+	for p := 0; p < passes; p++ {
+		writes := make([]types.RWRecord, 0, count)
+		for i, payload := range chunks {
+			recs, err := snap.VerifyChunk(i, payload)
+			if err != nil {
+				return BaselineRow{}, fmt.Errorf("bench: %s chunk %d: %w", name, i, err)
+			}
+			writes = append(writes, recs...)
+		}
+		target := storage.New()
+		target.Apply(writes)
+		records += uint64(len(writes))
+	}
+	elapsed := time.Since(start)
+	allocs, heap := probe.finish(records)
+	return BaselineRow{
+		Scenario:    name,
+		TPS:         float64(records) / elapsed.Seconds(),
+		LatencyMS:   elapsed.Seconds() * 1000 / float64(passes),
+		AllocsPerTx: allocs, HeapInuseBytes: heap,
+		Committed: records,
+	}, nil
+}
+
 // BaselineVersion extracts the BENCH sequence number from an output
 // path like "BENCH_3.json"; paths without one default to 1.
 func BaselineVersion(path string) int {
@@ -384,6 +483,20 @@ func RunBaseline(opt Options, version int) (BaselineReport, error) {
 		row, err := baselineStorage(s.name, s.mk, opt)
 		if err != nil {
 			return rep, fmt.Errorf("bench: scenario %s: %w", s.name, err)
+		}
+		rep.Scenarios = append(rep.Scenarios, row)
+	}
+	snaps := []struct {
+		name string
+		fn   func(string, Options) (BaselineRow, error)
+	}{
+		{"snapshot-capture", baselineSnapshotCapture},
+		{"snapshot-install", baselineSnapshotInstall},
+	}
+	for _, s := range snaps {
+		row, err := s.fn(s.name, opt)
+		if err != nil {
+			return rep, err
 		}
 		rep.Scenarios = append(rep.Scenarios, row)
 	}

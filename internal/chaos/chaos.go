@@ -70,6 +70,17 @@ type Options struct {
 	// GCHorizon sets each node's committed-wave GC retention horizon
 	// in rounds (0 = node default, negative disables).
 	GCHorizon int
+	// SnapshotInterval is the mid-epoch snapshot capture cadence in
+	// committed leader rounds (node.Config.SnapshotInterval): 0 =
+	// default, negative disables. Rescue scenarios set it small so a
+	// stranded replica finds a fresh snapshot quickly.
+	SnapshotInterval int
+	// SnapChunkRecords / SnapMonolithicRecords / SnapChunkServeBudget
+	// shape chunked snapshot transfer (node.Config); 0 = defaults.
+	// Scenarios force the chunked path with SnapMonolithicRecords = -1.
+	SnapChunkRecords      int
+	SnapMonolithicRecords int
+	SnapChunkServeBudget  int
 	// Headless lists replica indices to leave without a node: their
 	// SimNetwork endpoints are free for a wire-level Byzantine driver
 	// (see the equivocating-proposer scenario). Replica 0 must stay
@@ -150,14 +161,18 @@ func New(opt Options) (*Harness, error) {
 		BatchSize: opt.BatchSize, K: opt.K, KPrime: opt.KPrime,
 		TickInterval: opt.TickInterval, MinRoundInterval: opt.MinRoundInterval,
 		GCHorizon: opt.GCHorizon, Seed: opt.Seed,
-		CommitLogCap:      1 << 20,
-		Headless:          opt.Headless,
-		GatewayClients:    opt.GatewayClients,
-		NonceWindow:       opt.NonceWindow,
-		LegacyDedupWindow: opt.LegacyDedupWindow,
-		SessionIdleEpochs: opt.SessionIdleEpochs,
-		DataDir:           opt.DataDir,
-		WALNoSync:         opt.WALNoSync,
+		SnapshotInterval:      opt.SnapshotInterval,
+		SnapChunkRecords:      opt.SnapChunkRecords,
+		SnapMonolithicRecords: opt.SnapMonolithicRecords,
+		SnapChunkServeBudget:  opt.SnapChunkServeBudget,
+		CommitLogCap:          1 << 20,
+		Headless:              opt.Headless,
+		GatewayClients:        opt.GatewayClients,
+		NonceWindow:           opt.NonceWindow,
+		LegacyDedupWindow:     opt.LegacyDedupWindow,
+		SessionIdleEpochs:     opt.SessionIdleEpochs,
+		DataDir:               opt.DataDir,
+		WALNoSync:             opt.WALNoSync,
 	})
 	if err != nil {
 		return nil, err

@@ -59,6 +59,15 @@ type Config struct {
 	// RecoverySyncRounds caps each node's per-tick recovery round-pull
 	// batch (node.Config.RecoverySyncRounds); 0 = measured default.
 	RecoverySyncRounds int
+	// SnapshotInterval is the mid-epoch snapshot capture cadence in
+	// committed leader rounds (node.Config.SnapshotInterval): 0 =
+	// default, negative disables mid-epoch captures.
+	SnapshotInterval int
+	// SnapChunkRecords / SnapMonolithicRecords / SnapChunkServeBudget
+	// shape chunked snapshot transfer (see node.Config); 0 = defaults.
+	SnapChunkRecords      int
+	SnapMonolithicRecords int
+	SnapChunkServeBudget  int
 	// MinRoundInterval throttles each node's round advancement
 	// (node.Config.MinRoundInterval); 0 = default 1ms.
 	MinRoundInterval time.Duration
@@ -216,16 +225,20 @@ func New(cfg Config) (*Cluster, error) {
 			Mode:      cfg.Mode,
 			Executors: cfg.Executors, Validators: cfg.Validators,
 			BatchSize: cfg.BatchSize, K: cfg.K, KPrime: cfg.KPrime,
-			TickInterval:       cfg.TickInterval,
-			MinRoundInterval:   cfg.MinRoundInterval,
-			CommitLogCap:       cfg.CommitLogCap,
-			GCHorizon:          cfg.GCHorizon,
-			RecoverySyncRounds: cfg.RecoverySyncRounds,
-			NonceWindow:        cfg.NonceWindow,
-			LegacyDedupWindow:  cfg.LegacyDedupWindow,
-			SessionIdleEpochs:  cfg.SessionIdleEpochs,
-			OnCommitTx:         c.onCommit,
-			OnRejectTx:         c.onReject,
+			TickInterval:          cfg.TickInterval,
+			MinRoundInterval:      cfg.MinRoundInterval,
+			CommitLogCap:          cfg.CommitLogCap,
+			GCHorizon:             cfg.GCHorizon,
+			RecoverySyncRounds:    cfg.RecoverySyncRounds,
+			SnapshotInterval:      cfg.SnapshotInterval,
+			SnapChunkRecords:      cfg.SnapChunkRecords,
+			SnapMonolithicRecords: cfg.SnapMonolithicRecords,
+			SnapChunkServeBudget:  cfg.SnapChunkServeBudget,
+			NonceWindow:           cfg.NonceWindow,
+			LegacyDedupWindow:     cfg.LegacyDedupWindow,
+			SessionIdleEpochs:     cfg.SessionIdleEpochs,
+			OnCommitTx:            c.onCommit,
+			OnRejectTx:            c.onReject,
 		}
 		if i == 0 {
 			ncfg.OnCommitWave = c.onWave

@@ -45,6 +45,12 @@ type Store struct {
 	// floor is the committed-wave GC boundary: rounds below it have
 	// been pruned and can never be re-added (see PruneBelow).
 	floor types.Round
+	// base is the re-entry round: vertices at rounds ≤ base are
+	// admitted without their parents being present. A fresh epoch has
+	// base 1 (round-1 blocks have no parents); a store rebuilt from a
+	// mid-epoch snapshot sets base to the snapshot's resume round,
+	// whose parents predate everything the installer retained.
+	base types.Round
 
 	// support memoizes SupportFor per vertex (by certificate digest).
 	// A memo entry is valid while the supporting round's vote set is
@@ -62,19 +68,36 @@ type supportMemo struct {
 	ver   uint64
 }
 
-// NewStore creates an empty DAG for one epoch and committee size n.
+// NewStore creates an empty DAG for one epoch and committee size n,
+// entered at round 1.
 func NewStore(epoch types.Epoch, n int) *Store {
+	return NewStoreAt(epoch, n, 1)
+}
+
+// NewStoreAt creates an empty DAG entered at round base: vertices of
+// rounds below base are rejected outright, and vertices at base need
+// no parents — the shape a mid-epoch snapshot install requires, where
+// history below the resume round lives only inside the snapshot.
+// base 1 is an ordinary epoch store.
+func NewStoreAt(epoch types.Epoch, n int, base types.Round) *Store {
+	if base < 1 {
+		base = 1
+	}
 	return &Store{
 		epoch:    epoch,
 		n:        n,
 		byCert:   make(map[types.Digest]*Vertex),
 		byBlock:  make(map[types.Digest]*Vertex),
 		rounds:   make(map[types.Round]map[types.ReplicaID]*Vertex),
-		floor:    1,
+		floor:    base,
+		base:     base,
 		support:  make(map[types.Digest]supportMemo),
 		roundVer: make(map[types.Round]uint64),
 	}
 }
+
+// Base returns the re-entry round the store was created at.
+func (s *Store) Base() types.Round { return s.base }
 
 // Epoch returns the epoch this DAG belongs to.
 func (s *Store) Epoch() types.Epoch { return s.epoch }
@@ -104,7 +127,7 @@ func (s *Store) Add(v *Vertex) error {
 		}
 		return fmt.Errorf("dag: slot (%d,%d) already filled with a different block", b.Round, b.Proposer)
 	}
-	if b.Round > 1 {
+	if b.Round > s.base {
 		for _, p := range b.Parents {
 			if _, ok := s.byCert[p]; !ok {
 				return &MissingParentError{Parent: p, Round: b.Round}

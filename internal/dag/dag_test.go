@@ -74,6 +74,45 @@ func TestAddRequiresParents(t *testing.T) {
 	}
 }
 
+func TestStoreBaseEntry(t *testing.T) {
+	c := dagtest.NewCommittee(4)
+	st := dag.NewStoreAt(0, 4, 101)
+	if st.Base() != 101 || st.Floor() != 101 {
+		t.Fatalf("base=%d floor=%d, want 101/101", st.Base(), st.Floor())
+	}
+	// Below the base is rejected outright: that history lives only
+	// inside the installed snapshot.
+	low := c.Vertex(&types.Block{Epoch: 0, Round: 100, Proposer: 0, Kind: types.NormalBlock})
+	if err := st.Add(low); err == nil {
+		t.Fatal("vertex below the base admitted")
+	}
+	// At the base, parents are waived even though the block names
+	// certificates the installer never held.
+	entry := c.Vertex(&types.Block{
+		Epoch: 0, Round: 101, Proposer: 0, Kind: types.NormalBlock,
+		Parents: []types.Digest{types.HashBytes([]byte("pruned-cert"))},
+	})
+	if err := st.Add(entry); err != nil {
+		t.Fatalf("base-round vertex rejected: %v", err)
+	}
+	// Above the base the parent requirement is back in force.
+	orphan := c.Vertex(&types.Block{
+		Epoch: 0, Round: 102, Proposer: 1, Kind: types.NormalBlock,
+		Parents: []types.Digest{types.HashBytes([]byte("nowhere"))},
+	})
+	var mpe *dag.MissingParentError
+	if err := st.Add(orphan); !errors.As(err, &mpe) {
+		t.Fatalf("want MissingParentError above base, got %v", err)
+	}
+	child := c.Vertex(&types.Block{
+		Epoch: 0, Round: 102, Proposer: 1, Kind: types.NormalBlock,
+		Parents: []types.Digest{entry.Cert.Digest()},
+	})
+	if err := st.Add(child); err != nil {
+		t.Fatalf("well-parented vertex above base rejected: %v", err)
+	}
+}
+
 func TestSupportFor(t *testing.T) {
 	c := dagtest.NewCommittee(4)
 	b := dagtest.NewBuilder(c, 0)

@@ -63,6 +63,13 @@ func NewBuilder(c *Committee, epoch types.Epoch) *Builder {
 	return &Builder{C: c, Store: dag.NewStore(epoch, c.N), Epoch: epoch, Round: 1}
 }
 
+// NewBuilderAt starts an empty DAG entered at round base — the
+// mid-epoch snapshot install shape, where rounds below base live only
+// inside the installed snapshot.
+func NewBuilderAt(c *Committee, epoch types.Epoch, base types.Round) *Builder {
+	return &Builder{C: c, Store: dag.NewStoreAt(epoch, c.N, base), Epoch: epoch, Round: base}
+}
+
 // NextRound emits one full round: a vertex from every proposer in
 // include (nil = all), each referencing all of the previous round's
 // certificates. Blocks are empty normal blocks unless customize

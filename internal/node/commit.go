@@ -23,6 +23,11 @@ func (n *Node) processCommits() {
 			n.reconfigure()
 			return
 		}
+		// Mid-epoch snapshot cadence: capture when this wave crossed a
+		// SnapshotInterval boundary of committed leader rounds. After
+		// the wave's execution, so the capture sees its writes — the
+		// deterministic position every honest replica shares.
+		n.maybeCaptureMidEpoch(w.Leader.Round())
 	}
 	if len(waves) > 0 {
 		n.maybeGC()

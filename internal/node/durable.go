@@ -42,6 +42,7 @@ const (
 	walNoteMarks      = 1 // resolved-transaction identities of one commit
 	walNoteTransition = 2 // epoch transition (+ idle-session sweep)
 	walNoteRestore    = 3 // snapshot epoch-jump: absolute dedup/commit state
+	walNoteVote       = 4 // first vote on a (round, proposer) slot
 )
 
 // applyCommit applies one commit-path write batch. On a durable
@@ -134,6 +135,25 @@ func (m *markNote) bytes() []byte {
 	return e.Sum()
 }
 
+// voteNote encodes a walNoteVote payload: the slot this replica is
+// about to sign and the digest it signs. Journaled before the first
+// vote per slot leaves the replica (handleBlock), it closes the
+// crash-window equivocation hazard: without it, a replica that voted,
+// crashed, and restarted had an empty voted map and could be induced
+// into signing a conflicting digest for an already-voted slot — and
+// two certificates for one slot let commit sequences diverge. Written
+// even when the backend later drops it (noteOnly filters); the
+// allocation only happens once per (round, proposer) slot.
+func voteNote(epoch types.Epoch, k voteKey, d types.Digest) []byte {
+	e := types.NewEncoder()
+	e.U8(walNoteVote)
+	e.U64(uint64(epoch))
+	e.U64(uint64(k.round))
+	e.U32(uint32(k.proposer))
+	e.Digest(d)
+	return e.Sum()
+}
+
 // transitionNote encodes a walNoteTransition payload.
 func transitionNote(newEpoch types.Epoch) []byte {
 	e := types.NewEncoder()
@@ -161,9 +181,12 @@ func (n *Node) restoreNote(epoch types.Epoch, commits uint64) []byte {
 // path binds — a replica restarted with a different window would
 // misparse the bitmaps or re-run idle sweeps on the wrong horizon and
 // silently diverge from the committee), then epoch, commit counter,
-// and full dedup state as of the records already applied. Runs
-// synchronously on the applying goroutine (the event loop), so the
-// reads are safe.
+// full dedup state, and the current epoch's voted slots as of the
+// records already applied. The votes must ride the meta, not just
+// their notes: a checkpoint truncates earlier notes, and losing
+// pre-checkpoint vote records would reopen the equivocation window
+// they exist to close. Runs synchronously on the applying goroutine
+// (the event loop), so the reads are safe.
 func (n *Node) walMeta() []byte {
 	e := types.NewEncoder()
 	e.U32(uint32(n.dedup.Window()))
@@ -172,6 +195,12 @@ func (n *Node) walMeta() []byte {
 	e.U64(uint64(n.epoch))
 	e.U64(n.Stats().CommittedTxs)
 	n.dedup.EncodeState(e)
+	e.U32(uint32(len(n.voted)))
+	for k, d := range n.voted {
+		e.U64(uint64(k.round))
+		e.U32(uint32(k.proposer))
+		e.Digest(d)
+	}
 	return e.Sum()
 }
 
@@ -193,6 +222,15 @@ func (n *Node) recoverFromBackend(rec storage.Recoverable) (types.Epoch, error) 
 		commits = d.U64()
 		if err := n.dedup.DecodeState(d); err != nil {
 			return 0, fmt.Errorf("node: corrupt durable meta: %w", err)
+		}
+		votes := d.U32()
+		for i := uint32(0); i < votes && d.Err() == nil; i++ {
+			k := voteKey{round: types.Round(d.U64()), proposer: types.ReplicaID(d.U32())}
+			dig := d.Digest()
+			if n.recoveredVotes == nil {
+				n.recoveredVotes = make(map[voteKey]types.Digest)
+			}
+			n.recoveredVotes[k] = dig
 		}
 		if err := d.Finish(); err != nil {
 			return 0, fmt.Errorf("node: corrupt durable meta: %w", err)
@@ -217,14 +255,36 @@ func (n *Node) recoverFromBackend(rec storage.Recoverable) (types.Epoch, error) 
 			}
 		case walNoteTransition:
 			// Re-run the deterministic idle sweep the live transition
-			// performed, then adopt the epoch.
+			// performed, then adopt the epoch. Votes belonged to the
+			// discarded epoch's DAG; drop them.
 			n.dedup.ExpireIdle(n.cfg.SessionIdleEpochs)
 			epoch = types.Epoch(d.U64())
+			n.recoveredVotes = nil
 		case walNoteRestore:
-			epoch = types.Epoch(d.U64())
+			// Mirror the live install: a same-epoch (mid-epoch) install
+			// keeps the vote map — the slots are still this epoch's —
+			// while a cross-epoch jump discards it with the old DAG.
+			re := types.Epoch(d.U64())
+			if re != epoch {
+				n.recoveredVotes = nil
+			}
+			epoch = re
 			commits = d.U64()
 			if err := n.dedup.DecodeState(d); err != nil {
 				return 0, fmt.Errorf("node: corrupt durable restore note: %w", err)
+			}
+		case walNoteVote:
+			// Re-arm the anti-equivocation guard: only votes cast in the
+			// epoch this replica resumes in matter (earlier epochs' DAGs
+			// are gone; the transition/restore cases above clear them).
+			ve := types.Epoch(d.U64())
+			k := voteKey{round: types.Round(d.U64()), proposer: types.ReplicaID(d.U32())}
+			dig := d.Digest()
+			if ve == epoch {
+				if n.recoveredVotes == nil {
+					n.recoveredVotes = make(map[voteKey]types.Digest)
+				}
+				n.recoveredVotes[k] = dig
 			}
 		default:
 			return 0, fmt.Errorf("node: unknown durable note kind %d", kind)

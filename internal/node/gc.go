@@ -20,10 +20,12 @@ import (
 // For peers, the horizon is the contract: the MsgCertReq/MsgRoundReq
 // catch-up protocol can serve any round within the horizon of the
 // server's committed frontier; a replica that misses more than that
-// is beyond in-epoch recovery and is rescued by the cross-epoch
-// state-transfer protocol (snapshot.go) at the next reconfiguration —
-// peers serve their transition snapshot and the replica jumps epochs
-// instead of replaying the pruned range.
+// is beyond in-epoch recovery and is rescued by the state-transfer
+// protocol (snapshot.go) — a same-epoch request for a pruned round is
+// answered with the server's latest snapshot, and the replica
+// re-enters at the snapshot's base within a bounded round budget (the
+// mid-epoch capture cadence, Config.SnapshotInterval) instead of
+// waiting for the next reconfiguration or replaying the pruned range.
 //
 // Safety of discarding uncommitted vertices below the floor is argued
 // at dag.Store.PruneBelow: with the horizon clamped far above the

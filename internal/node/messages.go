@@ -48,7 +48,35 @@ const (
 	// replica's round pulls advertise its old epoch, and the answer
 	// that can actually help it is a snapshot. The receiver installs
 	// only after f+1 distinct verified signers vouch for one digest.
+	// Reserved for ledgers below the monolithic threshold; larger
+	// states travel as MsgSnapManifest plus MsgSnapChunk streams.
 	MsgSnapshot
+	// MsgSnapManifestReq asks a peer for its latest snapshot in
+	// whichever form fits (monolithic MsgSnapshot or MsgSnapManifest).
+	// It carries the requester's epoch and committed leader round so
+	// the server only answers when its snapshot would actually move the
+	// requester forward — which covers both cross-epoch stranding and
+	// the mid-epoch case (down past the GC horizon inside one epoch).
+	MsgSnapManifestReq
+	// MsgSnapManifest carries a snapshot manifest: the full snapshot
+	// minus the raw ledger records (header, chunk digest list, dedup
+	// state), wrapped in the same signed snapshotMsg envelope as
+	// MsgSnapshot. The snapshot digest covers the manifest, so the
+	// f+1-signer install quorum authenticates every chunk digest, and
+	// each subsequently fetched chunk verifies independently.
+	MsgSnapManifest
+	// MsgSnapChunkReq asks a peer for one chunk of the snapshot with
+	// the given digest. Requesters spread chunk pulls across every
+	// verified signer of the manifest and rotate on timeout, so a
+	// crashed or withholding server costs one re-request, not the
+	// rescue.
+	MsgSnapChunkReq
+	// MsgSnapChunk answers MsgSnapChunkReq with the encoded chunk
+	// payload. Unsigned by design: the payload is verified against the
+	// f+1-authenticated manifest's chunk digest, so a corrupt chunk is
+	// detected and re-requested from another server regardless of who
+	// sent it.
+	MsgSnapChunk
 )
 
 // vote is the payload of MsgVote.
@@ -158,9 +186,83 @@ func (r *snapshotReq) unmarshal(b []byte) error {
 	return d.Finish()
 }
 
-// snapshotMsg is the payload of MsgSnapshot: the serving replica's
-// identity, its signature over the snapshot's content digest, and the
-// encoded snapshot. Transport sender IDs are not authenticated (a TCP
+// snapManifestReq is the payload of MsgSnapManifestReq: the
+// requester's epoch and committed leader round. A server answers only
+// when its snapshot sits in a later epoch, or far enough ahead of
+// Round in the same epoch that in-epoch catch-up cannot cover the gap.
+type snapManifestReq struct {
+	Epoch types.Epoch
+	Round types.Round
+}
+
+func (r *snapManifestReq) marshal() []byte {
+	e := types.NewEncoder()
+	e.U64(uint64(r.Epoch))
+	e.U64(uint64(r.Round))
+	return e.Sum()
+}
+
+func (r *snapManifestReq) unmarshal(b []byte) error {
+	d := types.NewDecoder(b)
+	r.Epoch = types.Epoch(d.U64())
+	r.Round = types.Round(d.U64())
+	return d.Finish()
+}
+
+// snapChunkReq is the payload of MsgSnapChunkReq: which chunk of
+// which snapshot (by content digest).
+type snapChunkReq struct {
+	Snap  types.Digest
+	Index uint32
+}
+
+func (r *snapChunkReq) marshal() []byte {
+	e := types.NewEncoder()
+	e.Digest(r.Snap)
+	e.U32(r.Index)
+	return e.Sum()
+}
+
+func (r *snapChunkReq) unmarshal(b []byte) error {
+	d := types.NewDecoder(b)
+	r.Snap = d.Digest()
+	r.Index = d.U32()
+	return d.Finish()
+}
+
+// snapChunk is the payload of MsgSnapChunk: one encoded chunk of the
+// identified snapshot.
+type snapChunk struct {
+	Snap    types.Digest
+	Index   uint32
+	Payload []byte
+}
+
+func (c *snapChunk) marshal() []byte {
+	e := types.GetEncoder()
+	defer types.PutEncoder(e)
+	e.Digest(c.Snap)
+	e.U32(c.Index)
+	e.Bytes(c.Payload)
+	return e.Detach()
+}
+
+// unmarshal decodes a chunk message. Payload aliases b (owned
+// transport payload), so the fetch path keeps the verified bytes
+// without re-copying them.
+func (c *snapChunk) unmarshal(b []byte) error {
+	d := types.NewSharedDecoder(b)
+	c.Snap = d.Digest()
+	c.Index = d.U32()
+	c.Payload = d.Bytes()
+	return d.Finish()
+}
+
+// snapshotMsg is the payload of MsgSnapshot and MsgSnapManifest: the
+// serving replica's identity, its signature over the snapshot's
+// content digest, and the encoded snapshot (full body or manifest
+// form — the digest covers the manifest, so both forms verify against
+// the same signature). Transport sender IDs are not authenticated (a TCP
 // frame carries whatever ID the sender claims), so the install quorum
 // counts signers it has cryptographically verified — like votes and
 // certificates, snapshot authenticity comes from the signature

@@ -135,6 +135,35 @@ type Config struct {
 	// fast-forward gap.
 	GCHorizon int
 
+	// SnapshotInterval captures a mid-epoch snapshot every this many
+	// committed leader rounds, in addition to the capture at every
+	// epoch transition. Captures happen at deterministic positions of
+	// the committed sequence, so honest replicas' mid-epoch snapshots
+	// are bit-identical and a stranded replica can authenticate one
+	// with f+1 matching digests — the rescue that bounds rejoin time by
+	// the capture cadence instead of the epoch length. Zero selects the
+	// default (512); negative disables mid-epoch capture; positive
+	// values are clamped so GCHorizon − SnapshotInterval still leaves a
+	// full re-entry margin (serving replicas must retain the rounds
+	// just behind their latest capture).
+	SnapshotInterval int
+	// SnapChunkRecords is the ledger-record count per snapshot chunk
+	// (0 selects types.DefaultChunkRecords). Chunks stream over
+	// MsgSnapChunk during a rescue; smaller chunks cost more manifest
+	// entries but make a corrupt or lost chunk cheaper to re-request.
+	SnapChunkRecords int
+	// SnapMonolithicRecords is the largest ledger (in records) still
+	// served as one monolithic MsgSnapshot; bigger states serve a
+	// manifest plus chunk stream. 0 selects the default (8192);
+	// negative forces the chunked path for every size (tests).
+	SnapMonolithicRecords int
+	// SnapChunkServeBudget caps how many MsgSnapChunk replies this
+	// replica sends per housekeeping tick, so a rescue in progress
+	// cannot starve its own round traffic. Requests over budget are
+	// dropped; the requester times out and rotates to another server.
+	// 0 selects the default (64).
+	SnapChunkServeBudget int
+
 	// RecoverySyncRounds caps how many missing rounds a recovering
 	// replica bulk-requests per housekeeping tick (MsgRoundReq batch).
 	// Zero selects the default (256, measured under the WAN latency
@@ -192,6 +221,31 @@ func (c Config) withDefaults() Config {
 	if c.RecoverySyncRounds <= 0 {
 		c.RecoverySyncRounds = defaultRecoverySyncRounds
 	}
+	if c.SnapshotInterval == 0 {
+		c.SnapshotInterval = defaultSnapshotInterval
+	}
+	// The serving contract: a replica must still retain minGCHorizon
+	// rounds below its newest capture's re-entry base, or the rescued
+	// replica could not backfill the DAG segment it re-enters on. Clamp
+	// the interval down — never the horizon up, which would silently
+	// grow memory the operator bounded on purpose.
+	if c.SnapshotInterval > 0 && c.GCHorizon > 0 {
+		if max := c.GCHorizon - minGCHorizon; c.SnapshotInterval > max {
+			if max < 2 {
+				max = 2
+			}
+			c.SnapshotInterval = max
+		}
+	}
+	if c.SnapChunkRecords <= 0 {
+		c.SnapChunkRecords = types.DefaultChunkRecords
+	}
+	if c.SnapMonolithicRecords == 0 {
+		c.SnapMonolithicRecords = defaultMonolithicRecords
+	}
+	if c.SnapChunkServeBudget <= 0 {
+		c.SnapChunkServeBudget = defaultChunkServeBudget
+	}
 	return c
 }
 
@@ -214,6 +268,19 @@ const (
 	// GC-horizon-deep gap in a quarter of the ticks 64 would need,
 	// with no measured reply-burst cost.
 	defaultRecoverySyncRounds = 256
+	// defaultSnapshotInterval spaces mid-epoch captures roughly a
+	// quarter of the default GC horizon apart: a stranded replica's
+	// rescue snapshot is at most ~512 leader rounds stale, and servers
+	// still hold four re-entry margins of history below it.
+	defaultSnapshotInterval = 512
+	// defaultMonolithicRecords is the largest ledger still shipped as
+	// one MsgSnapshot (two default-size chunks); beyond it the rescue
+	// streams chunks so no single message scales with state size.
+	defaultMonolithicRecords = 8192
+	// defaultChunkServeBudget bounds chunk replies per housekeeping
+	// tick (~64 × 4096 records ≈ a quarter-million records per tick
+	// per server at the default chunk size).
+	defaultChunkServeBudget = 64
 )
 
 // Stats is a point-in-time snapshot of a node's counters.
@@ -238,9 +305,25 @@ type Stats struct {
 	PrunedRounds uint64
 	// EpochJumps counts cross-epoch snapshot installs — recoveries
 	// from being stranded across a reconfiguration. SnapshotsServed
-	// counts transition snapshots served to stragglers.
+	// counts snapshots (monolithic or manifest form) served to
+	// stragglers.
 	EpochJumps      uint64
 	SnapshotsServed uint64
+	// MidEpochCaptures counts deterministic mid-epoch snapshot
+	// captures (Config.SnapshotInterval boundaries); MidEpochInstalls
+	// counts installs of a mid-epoch snapshot — rescues that re-entered
+	// a live epoch at the snapshot's base round instead of waiting for
+	// the next reconfiguration.
+	MidEpochCaptures uint64
+	MidEpochInstalls uint64
+	// Chunked-transfer counters: chunks served to fetchers, chunks
+	// fetched and verified, chunks skipped because the local state
+	// already matched their digest (incremental rescue), and chunk
+	// requests retried after a timeout or a corrupt payload.
+	SnapChunksServed  uint64
+	SnapChunksFetched uint64
+	SnapChunksSkipped uint64
+	SnapChunkRetries  uint64
 	// PendingCross is the current number of observed-but-unexecuted
 	// cross-shard transactions touching this node's shard.
 	PendingCross uint64
@@ -317,23 +400,37 @@ type Node struct {
 	// progress after recovery.
 	lastBlock *types.Block
 
-	// --- cross-epoch state transfer (snapshot.go) ---
-	// lastSnap is the snapshot captured at this node's most recent
-	// epoch transition; it outlives per-epoch state so the node can
-	// serve stragglers from any earlier epoch. lastSnapMsg caches its
-	// signed wire payload, built once on first serve (the snapshot is
-	// immutable, so every serve after that is a plain Send). snapFrom
-	// holds the latest snapshot candidate per verified signer (install
-	// needs f+1 matching digests), snapServed rate-limits serving per
-	// requester, snapReqAt paces this node's own MsgSnapshotReq
-	// broadcasts, and peerEpoch accumulates future-epoch evidence per
-	// claimed peer.
-	lastSnap    *types.Snapshot
-	lastSnapMsg []byte
-	snapFrom    map[types.ReplicaID]*types.Snapshot
-	snapServed  map[types.ReplicaID]time.Time
-	snapReqAt   time.Time
-	peerEpoch   map[types.ReplicaID]types.Epoch
+	// --- state transfer (snapshot.go, snapchunk.go) ---
+	// lastSnap is this node's most recent capture (epoch transition or
+	// mid-epoch boundary); it outlives per-epoch state so the node can
+	// serve stragglers from any earlier position. snapChunks holds its
+	// encoded chunk payloads for MsgSnapChunk serving. lastSnapMsg and
+	// lastManifestMsg cache the signed wire payloads, built once on
+	// first serve (the snapshot is immutable, so every serve after
+	// that is a plain Send). snapFrom holds the latest snapshot
+	// candidate per verified signer (install needs f+1 matching
+	// digests), snapServed rate-limits serving per requester,
+	// snapReqAt paces this node's own rescue requests and
+	// snapReqCursor rotates them across f+1-peer windows, peerEpoch
+	// accumulates future-epoch evidence per claimed peer, lastSnapAt
+	// is the committed leader round of the newest capture (mid-epoch
+	// cadence tracking), chunkBudget is the per-tick chunk-serve
+	// allowance, and fetch is the in-progress chunked rescue, if any.
+	lastSnap        *types.Snapshot
+	snapChunks      [][]byte
+	lastSnapMsg     []byte
+	lastManifestMsg []byte
+	snapFrom        map[types.ReplicaID]*types.Snapshot
+	snapServed      map[types.ReplicaID]time.Time
+	snapReqAt       time.Time
+	snapReqCursor   int
+	peerEpoch       map[types.ReplicaID]types.Epoch
+	lastSnapAt      types.Round
+	chunkBudget     int
+	fetch           *chunkFetch
+	// recoveredVotes carries WAL-journaled vote records (durable.go)
+	// from recovery to the first resetEpochState, then stays nil.
+	recoveredVotes map[voteKey]types.Digest
 
 	// proposer state
 	txQueue []*types.Transaction
@@ -431,6 +528,14 @@ func New(cfg Config) (*Node, error) {
 		rec.SetMetaFunc(n.walMeta)
 	}
 	n.resetEpochState(startEpoch)
+	// Re-arm the anti-equivocation guard with the votes journaled for
+	// the recovered epoch: a restarted replica must refuse to sign a
+	// conflicting digest for any slot it already voted on.
+	for k, d := range n.recoveredVotes {
+		n.voted[k] = d
+	}
+	n.recoveredVotes = nil
+	n.chunkBudget = cfg.SnapChunkServeBudget
 	n.txClients = make(map[types.Digest]clientSub)
 	n.seen = make(map[types.Digest]time.Time)
 	n.preplayer = n.newPreplayer()
@@ -478,6 +583,8 @@ func (n *Node) resetEpochState(epoch types.Epoch) {
 	n.snapServed = make(map[types.ReplicaID]time.Time)
 	n.snapReqAt = time.Time{}
 	n.peerEpoch = make(map[types.ReplicaID]types.Epoch)
+	n.lastSnapAt = 0
+	n.fetch = nil
 }
 
 // CommitEntry is one record of a node's ordered commit sequence: the
@@ -840,8 +947,15 @@ func (n *Node) housekeeping() {
 	}
 	// A stall plus f+1 peers seen in a future epoch means the committee
 	// transitioned without us: in-epoch catch-up can never answer, so
-	// ask for transition snapshots instead (cross-epoch recovery).
+	// ask for rescue snapshots instead. A deep stall with no epoch
+	// evidence triggers the same request — the mid-epoch stranding
+	// case, where peers are in our epoch but pruned everything we ask
+	// for (maybeRequestSnapshot).
 	n.maybeRequestSnapshot(stalled)
+	// Chunked rescue bookkeeping: replenish the per-tick serve budget
+	// and drive the fetch state machine (timeouts, peer rotation).
+	n.chunkBudget = n.cfg.SnapChunkServeBudget
+	n.pumpChunkFetch()
 	for id, tx := range n.pendingCross {
 		if n.dedup.Resolved(tx) {
 			delete(n.pendingCross, id)
@@ -905,8 +1019,29 @@ func (n *Node) handle(m inboundMsg) {
 			return
 		}
 		n.handleSnapshotReq(m.from, &r)
-	case MsgSnapshot:
+	case MsgSnapshot, MsgSnapManifest:
+		// One intake for both forms: the digest covers the manifest, so
+		// monolithic bodies and manifests verify against the same
+		// signature (bodies additionally re-chunk to prove consistency).
 		n.handleSnapshot(m.from, m.payload)
+	case MsgSnapManifestReq:
+		var r snapManifestReq
+		if err := r.unmarshal(m.payload); err != nil {
+			return
+		}
+		n.serveSnapshot(m.from, r.Epoch, r.Round)
+	case MsgSnapChunkReq:
+		var r snapChunkReq
+		if err := r.unmarshal(m.payload); err != nil {
+			return
+		}
+		n.handleSnapChunkReq(m.from, &r)
+	case MsgSnapChunk:
+		var c snapChunk
+		if err := c.unmarshal(m.payload); err != nil {
+			return
+		}
+		n.handleSnapChunk(m.from, &c)
 	case gateway.MsgTxSubmit:
 		var tx types.Transaction
 		if err := tx.UnmarshalBinary(m.payload); err != nil {
@@ -933,14 +1068,22 @@ func (n *Node) pullRound(r types.Round) {
 // first, certificate second, per vertex). A request from a stale
 // epoch asks for a DAG this node discarded at a transition — the
 // round-by-round answer no longer exists, so the useful reply is the
-// transition snapshot that lets the requester jump epochs instead.
+// snapshot that lets the requester jump epochs instead. The same
+// logic covers mid-epoch stranding: a same-epoch request for a round
+// below this node's GC floor can never be answered round-by-round, so
+// the reply is the latest capture (passive stranding detection — the
+// stranded replica need not even know it is beyond the horizon).
 func (n *Node) handleRoundReq(from types.ReplicaID, r *roundReq) {
 	if r.Epoch < n.epoch {
-		n.serveSnapshot(from, r.Epoch)
+		n.serveSnapshot(from, r.Epoch, 0)
 		return
 	}
 	if r.Epoch > n.epoch {
 		n.noteFutureEpoch(from, r.Epoch)
+		return
+	}
+	if r.Round < n.dagStore.Floor() {
+		n.serveSnapshot(from, r.Epoch, r.Round)
 		return
 	}
 	for _, v := range n.dagStore.AtRound(r.Round) {
@@ -1000,10 +1143,18 @@ func (n *Node) handleBlock(from types.ReplicaID, b *types.Block) {
 		n.lastSeen[b.Proposer] = b.Round
 	}
 	// Vote only for blocks received from their proposer, once per
-	// (round, proposer) slot — the anti-equivocation guard.
+	// (round, proposer) slot — the anti-equivocation guard. On a
+	// durable backend the first vote per slot is journaled before the
+	// signature leaves this replica, so a crash+restart cannot be
+	// induced into signing a conflicting digest for an already-voted
+	// slot (two certificates for one slot would let commit sequences
+	// diverge across replicas).
 	if from == b.Proposer {
 		k := voteKey{round: b.Round, proposer: b.Proposer}
 		if prev, ok := n.voted[k]; !ok || prev == d {
+			if !ok {
+				n.noteOnly(voteNote(b.Epoch, k, d))
+			}
 			n.voted[k] = d
 			v := &vote{
 				Epoch: b.Epoch, Round: b.Round, Proposer: b.Proposer,

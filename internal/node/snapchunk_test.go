@@ -1,0 +1,383 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"thunderbolt/internal/contract"
+	"thunderbolt/internal/crypto"
+	"thunderbolt/internal/storage"
+	"thunderbolt/internal/transport"
+	"thunderbolt/internal/tusk"
+	"thunderbolt/internal/types"
+	"thunderbolt/internal/workload"
+)
+
+// chunkTestNodes builds n unstarted nodes with a ledger large enough
+// to exercise the chunked snapshot path: the monolithic threshold is
+// forced off and chunks are cut tiny, so every capture is a manifest
+// plus a multi-chunk body. Methods are called directly; transport
+// deliveries land in each node's inbox and are drained explicitly.
+func chunkTestNodes(t *testing.T, n, accounts int) ([]*Node, *transport.SimNetwork) {
+	t.Helper()
+	signers, verifier, err := crypto.InsecureScheme{}.Committee(n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewSimNetwork(transport.SimConfig{N: n})
+	t.Cleanup(net.Close)
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		reg := contract.NewRegistry()
+		workload.RegisterSmallBank(reg)
+		st := storage.New()
+		workload.InitAccounts(st, accounts, 100, 100)
+		nd, err := New(Config{
+			ID: types.ReplicaID(i), N: n,
+			Transport: net.Endpoint(types.ReplicaID(i)),
+			Signer:    signers[i], Verifier: verifier,
+			Registry: reg, Store: st,
+			CommitLogCap:          1024,
+			SnapChunkRecords:      8,
+			SnapMonolithicRecords: -1, // force the chunked path
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+	}
+	return nodes, net
+}
+
+// countInbox counts queued (undrained) messages of one type.
+func countInbox(nd *Node, mt transport.MsgType) int {
+	nd.inboxMu.Lock()
+	defer nd.inboxMu.Unlock()
+	c := 0
+	for _, m := range nd.inboxQ {
+		if m.mt == mt {
+			c++
+		}
+	}
+	return c
+}
+
+// waitInbox polls until nd has at least want queued messages of type
+// mt (SimNetwork delivery is asynchronous).
+func waitInbox(t *testing.T, nd *Node, mt transport.MsgType, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for countInbox(nd, mt) < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d messages of type %d (have %d)",
+				want, mt, countInbox(nd, mt))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// seedMidEpochDonor gives a donor committed state at leader round
+// endRound and a mid-epoch capture of it.
+func seedMidEpochDonor(nd *Node, endRound types.Round, balance int64, txs ...*types.Transaction) {
+	applyTestCommits(nd, balance, txs...)
+	nd.committer = tusk.NewCommitterAt(nd.dagStore, nd.n, endRound)
+	nd.capture(nd.epoch)
+}
+
+func TestMidEpochCaptureCadence(t *testing.T) {
+	nodes, _ := snapTestNodes(t, 4)
+	nd := nodes[0]
+	iv := types.Round(nd.cfg.SnapshotInterval)
+
+	nd.maybeCaptureMidEpoch(iv - 1)
+	if nd.lastSnap != nil {
+		t.Fatal("captured below the first interval boundary")
+	}
+	nd.maybeCaptureMidEpoch(iv + 1)
+	if nd.lastSnap == nil {
+		t.Fatal("no capture after crossing the interval boundary")
+	}
+	if s := nd.lastSnap; s.Epoch != s.PrevEpoch {
+		t.Fatalf("mid-epoch capture not marked as such: epoch %d prev %d", s.Epoch, s.PrevEpoch)
+	}
+	if got := nd.Stats().MidEpochCaptures; got != 1 {
+		t.Fatalf("MidEpochCaptures = %d, want 1", got)
+	}
+	// Later waves inside the same interval window must not re-capture.
+	nd.maybeCaptureMidEpoch(iv + 3)
+	if got := nd.Stats().MidEpochCaptures; got != 1 {
+		t.Fatalf("re-captured within one interval window (%d captures)", got)
+	}
+	nd.maybeCaptureMidEpoch(2*iv + 1)
+	if got := nd.Stats().MidEpochCaptures; got != 2 {
+		t.Fatalf("MidEpochCaptures = %d after second boundary, want 2", got)
+	}
+
+	// Determinism: a second replica with the same committed state
+	// captures the same mid-epoch digest.
+	other := nodes[1]
+	other.maybeCaptureMidEpoch(iv + 1)
+	if other.lastSnap == nil || other.lastSnap.Digest() != nd.lastSnap.Digest() {
+		t.Fatal("identical state captured different mid-epoch digests")
+	}
+}
+
+func TestMidEpochChunkedInstall(t *testing.T) {
+	nodes, _ := chunkTestNodes(t, 4, 64)
+	victim := nodes[0]
+	txs := []*types.Transaction{legacyTx("c1"), legacyTx("c2")}
+	for _, nd := range nodes[1:3] {
+		seedMidEpochDonor(nd, 100, 555, txs...)
+	}
+	donor := nodes[1]
+	if donor.lastSnap.Complete() {
+		t.Fatal("fixture broken: capture should be manifest-only")
+	}
+	wantChunks := len(donor.lastSnap.ChunkDigests)
+	if wantChunks < 4 {
+		t.Fatalf("fixture broken: only %d chunks", wantChunks)
+	}
+
+	// Two donors answer a manifest request; f+1 = 2 matching signers
+	// start the chunked fetch.
+	nodes[1].serveSnapshot(0, 0, 0)
+	nodes[2].serveSnapshot(0, 0, 0)
+	waitInbox(t, victim, MsgSnapManifest, 2)
+	victim.drainInbox()
+	if victim.fetch == nil {
+		t.Fatal("manifest quorum did not start a chunk fetch")
+	}
+
+	// Drive fetch + serve until the install lands: chunk requests sit
+	// in donor inboxes until drained, replies in the victim's.
+	deadline := time.Now().Add(5 * time.Second)
+	for victim.Stats().MidEpochInstalls == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("chunked rescue never completed")
+		}
+		time.Sleep(time.Millisecond)
+		for _, nd := range nodes {
+			nd.drainInbox()
+		}
+		victim.pumpChunkFetch()
+	}
+
+	st := victim.Stats()
+	if st.EpochJumps != 0 {
+		t.Fatalf("mid-epoch install counted as an epoch jump: %+v", st)
+	}
+	// Incremental rescue: genesis already matches most chunks — only
+	// the chunk carrying the changed account should have been fetched.
+	if st.SnapChunksSkipped == 0 {
+		t.Fatal("no chunks skipped despite matching local state")
+	}
+	if st.SnapChunksFetched == 0 {
+		t.Fatal("no chunks fetched")
+	}
+	if got := st.SnapChunksSkipped + st.SnapChunksFetched; got != uint64(wantChunks) {
+		t.Fatalf("skipped %d + fetched %d != %d chunks", st.SnapChunksSkipped, st.SnapChunksFetched, wantChunks)
+	}
+	v, _ := victim.cfg.Store.Get(workload.CheckingKey(workload.AccountName(0)))
+	if got, err := contract.DecodeInt64(v); err != nil || got != 555 {
+		t.Fatalf("ledger not installed: balance %d (%v)", got, err)
+	}
+	for _, tx := range txs {
+		if !victim.dedup.Resolved(tx) {
+			t.Fatal("dedup state not installed")
+		}
+	}
+	// Re-anchored mid-epoch: base = EndRound − minGCHorizon, odd.
+	wantBase := types.Round(100 - minGCHorizon)
+	if wantBase%2 == 0 {
+		wantBase--
+	}
+	if victim.dagStore.Base() != wantBase || victim.committer.LastLeaderRound() < wantBase {
+		t.Fatalf("not re-anchored: base %d (want %d), last leader %d",
+			victim.dagStore.Base(), wantBase, victim.committer.LastLeaderRound())
+	}
+	if victim.epoch != 0 {
+		t.Fatalf("mid-epoch install changed the epoch to %d", victim.epoch)
+	}
+	if victim.lastSnapAt != 100 {
+		t.Fatalf("capture cadence not suppressed past the snapshot (lastSnapAt %d)", victim.lastSnapAt)
+	}
+	// The rescued replica serves the snapshot onward, chunks included.
+	if victim.lastSnap == nil || victim.lastSnap.Digest() != donor.lastSnap.Digest() {
+		t.Fatal("installed snapshot not retained for serving")
+	}
+	if len(victim.snapChunks) != wantChunks {
+		t.Fatalf("retained %d chunk payloads, want %d", len(victim.snapChunks), wantChunks)
+	}
+	for i, c := range victim.snapChunks {
+		if len(c) == 0 {
+			t.Fatalf("chunk %d payload empty after install", i)
+		}
+	}
+	start, log := victim.CommitLog()
+	if start != donor.lastSnap.Commits || len(log) != 0 {
+		t.Fatalf("commit log not re-anchored: start %d, %d entries", start, len(log))
+	}
+}
+
+func TestChunkFetchCorruptChunkRetried(t *testing.T) {
+	nodes, _ := chunkTestNodes(t, 4, 64)
+	victim := nodes[0]
+	for _, nd := range nodes[1:3] {
+		seedMidEpochDonor(nd, 100, 777)
+	}
+	nodes[1].serveSnapshot(0, 0, 0)
+	nodes[2].serveSnapshot(0, 0, 0)
+	waitInbox(t, victim, MsgSnapManifest, 2)
+	victim.drainInbox()
+	f := victim.fetch
+	if f == nil {
+		t.Fatal("fetch did not start")
+	}
+	idx := -1
+	for i, done := range f.done {
+		if !done {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("fixture broken: nothing left to fetch")
+	}
+
+	// A corrupt payload is rejected, charged as one retry, and leaves
+	// the chunk outstanding.
+	victim.handleSnapChunk(1, &snapChunk{Snap: f.dig, Index: uint32(idx), Payload: []byte("garbage")})
+	if f.done[idx] {
+		t.Fatal("corrupt chunk accepted")
+	}
+	if got := victim.Stats().SnapChunkRetries; got != 1 {
+		t.Fatalf("SnapChunkRetries = %d, want 1", got)
+	}
+	// A chunk for some other snapshot digest is ignored outright.
+	other := types.HashBytes([]byte("not-the-snapshot"))
+	victim.handleSnapChunk(1, &snapChunk{Snap: other, Index: uint32(idx), Payload: []byte("whatever")})
+	if got := victim.Stats().SnapChunkRetries; got != 1 {
+		t.Fatalf("foreign-digest chunk charged a retry (%d)", got)
+	}
+	// The genuine payload then completes the chunk.
+	victim.handleSnapChunk(2, &snapChunk{Snap: f.dig, Index: uint32(idx), Payload: nodes[1].snapChunks[idx]})
+	if !f.done[idx] {
+		t.Fatal("verified chunk not accepted after the corrupt one")
+	}
+}
+
+func TestChunkFetchTimeoutRotatesServers(t *testing.T) {
+	nodes, _ := chunkTestNodes(t, 4, 64)
+	victim := nodes[0]
+	for _, nd := range nodes[1:3] {
+		seedMidEpochDonor(nd, 888, 888)
+	}
+	nodes[1].serveSnapshot(0, 0, 0)
+	nodes[2].serveSnapshot(0, 0, 0)
+	waitInbox(t, victim, MsgSnapManifest, 2)
+	victim.drainInbox()
+	f := victim.fetch
+	if f == nil {
+		t.Fatal("fetch did not start")
+	}
+	if len(f.inflight) == 0 {
+		t.Fatal("no requests in flight")
+	}
+	var idx int
+	var first chunkReqState
+	for i, st := range f.inflight {
+		idx, first = i, st
+		break
+	}
+	// Age the request past the timeout; the pump must charge a retry
+	// and re-issue to the next server in the rotation.
+	f.inflight[idx] = chunkReqState{peer: first.peer, at: time.Now().Add(-time.Hour)}
+	before := victim.Stats().SnapChunkRetries
+	victim.pumpChunkFetch()
+	if got := victim.Stats().SnapChunkRetries; got != before+1 {
+		t.Fatalf("timeout not charged as a retry (%d -> %d)", before, got)
+	}
+	second, ok := f.inflight[idx]
+	if !ok {
+		t.Fatal("timed-out chunk not re-requested")
+	}
+	if second.peer == first.peer {
+		t.Fatalf("re-request did not rotate servers (still peer %d)", first.peer)
+	}
+}
+
+func TestServeSnapshotRoundGate(t *testing.T) {
+	nodes, _ := chunkTestNodes(t, 4, 64)
+	victim := nodes[0]
+	seedMidEpochDonor(nodes[1], 100, 222)
+
+	// Same-epoch serve refuses when the requester is too close for a
+	// re-entry margin: installing would move it backwards.
+	nodes[1].serveSnapshot(0, 0, 100-minGCHorizon+1)
+	time.Sleep(20 * time.Millisecond)
+	if got := countInbox(victim, MsgSnapManifest); got != 0 {
+		t.Fatalf("served a snapshot inside the re-entry margin (%d msgs)", got)
+	}
+	nodes[1].serveSnapshot(0, 0, 10)
+	waitInbox(t, victim, MsgSnapManifest, 1)
+
+	// A transition snapshot must not answer a same-epoch request: it
+	// would restart the requester at a position it already passed.
+	donor2 := nodes[2]
+	applyTestCommits(donor2, 333)
+	donor2.captureSnapshot(1) // transition capture into epoch 1
+	donor2.serveSnapshot(0, 1, 5)
+	time.Sleep(20 * time.Millisecond)
+	if got := countInbox(victim, MsgSnapManifest); got != 1 {
+		t.Fatalf("transition snapshot served to a same-epoch request (%d msgs)", got)
+	}
+	// ...but it does answer a requester from the epoch before it.
+	donor2.serveSnapshot(0, 0, 0)
+	waitInbox(t, victim, MsgSnapManifest, 2)
+}
+
+func TestSnapshotRequestRotation(t *testing.T) {
+	nodes, _ := snapTestNodes(t, 4)
+	victim := nodes[0]
+	victim.lastProgress = time.Now()
+
+	// No future-epoch evidence and no deep stall: a routine stall must
+	// not trigger rescue requests.
+	victim.maybeRequestSnapshot(true)
+	time.Sleep(20 * time.Millisecond)
+	for i := 1; i < 4; i++ {
+		if countInbox(nodes[i], MsgSnapManifestReq) != 0 {
+			t.Fatal("requested snapshots without evidence or deep stall")
+		}
+	}
+
+	// f+1 peers seen in a future epoch: request from the first f+1
+	// window of peers.
+	victim.peerEpoch[1] = 1
+	victim.peerEpoch[2] = 1
+	victim.maybeRequestSnapshot(true)
+	waitInbox(t, nodes[1], MsgSnapManifestReq, 1)
+	waitInbox(t, nodes[2], MsgSnapManifestReq, 1)
+
+	// The next attempt rotates to the following window, so a dead or
+	// withholding server in the first window cannot absorb every
+	// request forever.
+	victim.snapReqAt = time.Now().Add(-time.Hour)
+	victim.maybeRequestSnapshot(true)
+	waitInbox(t, nodes[2], MsgSnapManifestReq, 2)
+	waitInbox(t, nodes[3], MsgSnapManifestReq, 1)
+	if got := countInbox(nodes[1], MsgSnapManifestReq); got != 1 {
+		t.Fatalf("rotation re-targeted the first window (peer 1 saw %d requests)", got)
+	}
+}
+
+func TestSnapshotRequestDeepStall(t *testing.T) {
+	nodes, _ := snapTestNodes(t, 4)
+	victim := nodes[0]
+	// Wedged for a long time with zero future-epoch evidence: the
+	// mid-epoch stranding case must still actively ask for rescue.
+	victim.lastProgress = time.Now().Add(-time.Hour)
+	victim.maybeRequestSnapshot(true)
+	waitInbox(t, nodes[1], MsgSnapManifestReq, 1)
+	waitInbox(t, nodes[2], MsgSnapManifestReq, 1)
+}

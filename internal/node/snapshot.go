@@ -1,63 +1,114 @@
 package node
 
 import (
+	"sort"
 	"time"
 
+	"thunderbolt/internal/dag"
+	"thunderbolt/internal/gateway"
+	"thunderbolt/internal/tusk"
 	"thunderbolt/internal/types"
 )
 
-// Cross-epoch state transfer (ROADMAP "Cross-epoch recovery").
+// State-transfer rescue (ROADMAP "Cross-epoch recovery", extended to
+// mid-epoch chunked rescue).
 //
 // Committed-wave GC bounds in-epoch recovery to the retention horizon,
 // and a reconfiguration discards the old DAG entirely — so a replica
-// that misses a DAG transition can never re-derive the Shift quorum
-// from catch-up requests: peers no longer hold the history it is
-// asking for. This file closes that hole with a snapshot + epoch-jump
-// protocol:
+// that misses more history than the horizon can never re-derive it
+// from catch-up requests: peers no longer hold what it is asking for.
+// This file closes that hole with a snapshot protocol:
 //
 //   - Capture: every replica builds a types.Snapshot at each epoch
-//     transition, just before discarding the old DAG. Transitions
-//     happen at one deterministic position of the committed sequence,
-//     so every honest replica's snapshot for the same transition is
-//     bit-identical.
+//     transition AND at fixed committed-leader-round boundaries inside
+//     the epoch (Config.SnapshotInterval). Both run at deterministic
+//     positions of the committed sequence, so every honest replica's
+//     capture for the same position is bit-identical. The capture
+//     streams the ledger through a ChunkBuilder: fixed-size chunks,
+//     per-chunk digests, and a snapshot digest over the manifest
+//     (header + Merkle-folded chunk digests + dedup state) — never
+//     over the raw records, so manifest and monolithic forms share
+//     one digest and one signature.
 //   - Detect: a replica whose round advancement has stalled while f+1
-//     peers present future-epoch evidence is beyond in-epoch recovery;
-//     it broadcasts MsgSnapshotReq. Peers also serve snapshots
-//     passively when a MsgRoundReq arrives from a stale epoch.
-//   - Verify: candidates are collected per serving peer; install
-//     waits for f+1 distinct peers with matching snapshot digests,
+//     peers present future-epoch evidence — or that stays wedged for
+//     several request periods with no such evidence (mid-epoch
+//     stranding) — sends MsgSnapManifestReq to a rotating f+1 window
+//     of peers. Peers also serve snapshots passively when a
+//     MsgRoundReq arrives from a stale epoch or for a round below
+//     their GC floor.
+//   - Verify: candidates are collected per verified signer; install
+//     waits for f+1 distinct signers with matching snapshot digests,
 //     which guarantees at least one honest source — a lying server
-//     cannot forge a quorum alone.
-//   - Install: one batched state application (ledger + applied set +
-//     commit-log position), then an epoch jump: adopt the snapshot's
-//     epoch, reset DAG/pending/vote/collector state, and rejoin via
-//     the normal in-epoch recovery path (round pulls, fast-forward).
+//     cannot forge a quorum alone. Monolithic bodies must re-chunk to
+//     the signed manifest (VerifyLedger); manifest-only candidates
+//     move to the chunk fetch state machine (snapchunk.go), where
+//     every chunk verifies independently against its manifest digest.
+//   - Install: one batched state application (fetched chunks only —
+//     locally matching chunks are skipped), the dedup and commit-log
+//     position taken verbatim, then either an epoch jump (transition
+//     snapshots) or a mid-epoch re-entry: the DAG and committer are
+//     re-anchored at a base a full re-entry margin behind the
+//     snapshot's end round, waves re-derived below the snapshot
+//     position deduplicate against the restored state exactly like a
+//     WAL-restart replay, and the replica rejoins while the committee
+//     keeps committing.
 
-// snapshotReqEvery spaces MsgSnapshotReq broadcasts and per-peer
-// MsgSnapshot serves, in housekeeping ticks: snapshots are full-state
-// payloads, so neither side re-sends them every tick.
+// snapshotReqEvery spaces rescue requests and per-peer snapshot
+// serves, in housekeeping ticks: snapshots are large payloads, so
+// neither side re-sends them every tick.
 const snapshotReqEvery = 4
 
 // captureSnapshot records the canonical committed state at the
 // transition out of the current epoch into nextEpoch. Runs on the
 // event loop immediately before resetEpochState discards the DAG.
 func (n *Node) captureSnapshot(nextEpoch types.Epoch) {
-	// Stream the ledger out through the backend iterator: the capture
-	// touches each record once in key order instead of asking the
-	// backend to materialize (and clone) an intermediate dump — with
-	// a disk-backed store this is the shape an on-disk cursor serves.
-	ledger := make([]types.RWRecord, 0, n.cfg.Store.Len())
+	n.capture(nextEpoch)
+}
+
+// maybeCaptureMidEpoch captures a mid-epoch snapshot when the
+// committed leader round crosses a Config.SnapshotInterval boundary.
+// Called after each executed wave: honest replicas execute the
+// identical wave sequence, so the boundary crossing — and the
+// committed state at it — is the same everywhere, making mid-epoch
+// captures as bit-identical as transition captures. (A replica
+// replaying history it already holds captures at stale positions; its
+// digests then match no honest quorum, so those captures are inert.)
+func (n *Node) maybeCaptureMidEpoch(leaderRound types.Round) {
+	if n.cfg.SnapshotInterval <= 0 {
+		return
+	}
+	iv := types.Round(n.cfg.SnapshotInterval)
+	if leaderRound/iv <= n.lastSnapAt/iv {
+		return
+	}
+	n.lastSnapAt = leaderRound
+	n.capture(n.epoch)
+	n.bump(func(s *Stats) { s.MidEpochCaptures++ })
+}
+
+// capture builds the snapshot at the current committed position,
+// tagged with snapEpoch: the next epoch for transition captures, the
+// current epoch for mid-epoch captures (Epoch == PrevEpoch is what
+// marks a snapshot as mid-epoch to its installer). One streaming pass
+// produces the chunk payloads, their digests, and — when the ledger
+// is small enough for the monolithic path — the retained records.
+func (n *Node) capture(snapEpoch types.Epoch) {
+	cb := types.NewChunkBuilder(n.cfg.SnapChunkRecords, n.cfg.SnapMonolithicRecords)
 	n.cfg.Store.Ascend(func(r types.RWRecord) bool {
-		ledger = append(ledger, types.RWRecord{Key: r.Key, Value: r.Value.Clone()})
+		cb.Add(r.Key, r.Value)
 		return true
 	})
+	chunks, digests, records, count := cb.Finish()
 	snap := &types.Snapshot{
-		Epoch:     nextEpoch,
-		N:         uint32(n.n),
-		PrevEpoch: n.epoch,
-		EndRound:  n.committer.LastLeaderRound(),
-		Commits:   n.Stats().CommittedTxs,
-		Ledger:    ledger,
+		Epoch:        snapEpoch,
+		N:            uint32(n.n),
+		PrevEpoch:    n.epoch,
+		EndRound:     n.committer.LastLeaderRound(),
+		Commits:      n.Stats().CommittedTxs,
+		ChunkSize:    uint32(n.cfg.SnapChunkRecords),
+		RecordCount:  uint64(count),
+		ChunkDigests: digests,
+		Ledger:       records,
 		// The dedup payload is the compact per-client state, not the
 		// full applied set: floors and window bitmaps (bounded by
 		// clients × window) plus the bounded legacy digest window.
@@ -70,7 +121,9 @@ func (n *Node) captureSnapshot(nextEpoch types.Epoch) {
 		Applied:           n.dedup.Legacy(),
 	}
 	n.lastSnap = snap
+	n.snapChunks = chunks
 	n.lastSnapMsg = nil // rebuilt on first serve
+	n.lastManifestMsg = nil
 }
 
 // noteFutureEpoch records evidence that a peer has moved past this
@@ -79,18 +132,27 @@ func (n *Node) captureSnapshot(nextEpoch types.Epoch) {
 // confused or malicious peer from triggering request traffic — but it
 // is an advisory gate, not a security boundary: the evidence keys on
 // claimed sender IDs, which TCP framing does not authenticate, so a
-// determined attacker can induce spurious MsgSnapshotReq broadcasts.
-// That is harmless by design; install safety rests entirely on the
-// f+1 verified-signer digest quorum in maybeInstallSnapshot.
+// determined attacker can induce spurious rescue requests. That is
+// harmless by design; install safety rests entirely on the f+1
+// verified-signer digest quorum in maybeInstallSnapshot.
 func (n *Node) noteFutureEpoch(from types.ReplicaID, e types.Epoch) {
 	if e > n.peerEpoch[from] {
 		n.peerEpoch[from] = e
 	}
 }
 
-// maybeRequestSnapshot broadcasts MsgSnapshotReq when this replica is
-// both wedged (no progress across ticks) and provably behind (f+1
-// peers seen in a future epoch). Called from housekeeping.
+// maybeRequestSnapshot sends MsgSnapManifestReq when this replica is
+// wedged. Two triggers: provably behind across epochs (f+1 peers seen
+// in a future epoch), or a deep stall with no epoch evidence — the
+// mid-epoch stranding case, where peers are in our epoch but have
+// pruned every round we pull (the passive below-floor reply path
+// usually answers first; this is the active backstop). Each attempt
+// targets the next f+1-peer window instead of broadcasting, and the
+// window rotates between attempts, so a dead or silently withholding
+// server never absorbs the only request forever: candidates accumulate
+// in snapFrom across attempts, and the f+1 install quorum can
+// assemble from answers gathered across different serving sets.
+// Called from housekeeping.
 func (n *Node) maybeRequestSnapshot(stalled bool) {
 	if !stalled || time.Since(n.snapReqAt) < snapshotReqEvery*n.cfg.TickInterval {
 		return
@@ -101,47 +163,110 @@ func (n *Node) maybeRequestSnapshot(stalled bool) {
 			ahead++
 		}
 	}
-	if ahead < n.f+1 {
+	deepStall := time.Since(n.lastProgress) >= 2*snapshotReqEvery*n.cfg.TickInterval
+	if ahead < n.f+1 && !deepStall {
 		return
 	}
 	n.snapReqAt = time.Now()
-	_ = n.cfg.Transport.Broadcast(MsgSnapshotReq, (&snapshotReq{Epoch: n.epoch}).marshal())
+	req := (&snapManifestReq{Epoch: n.epoch, Round: n.committer.LastLeaderRound()}).marshal()
+	sent := 0
+	for i := 0; i < n.n && sent < n.f+1; i++ {
+		p := types.ReplicaID((n.snapReqCursor + i) % n.n)
+		if p == n.cfg.ID {
+			continue
+		}
+		_ = n.cfg.Transport.Send(p, MsgSnapManifestReq, req)
+		sent++
+	}
+	n.snapReqCursor = (n.snapReqCursor + n.f + 1) % n.n
 }
 
-// serveSnapshot sends this node's latest transition snapshot to a
-// replica stuck at reqEpoch, rate-limited per requester.
-func (n *Node) serveSnapshot(to types.ReplicaID, reqEpoch types.Epoch) {
-	if n.lastSnap == nil || n.lastSnap.Epoch <= reqEpoch || to == n.cfg.ID {
+// serveSnapshot sends this node's latest capture to a replica that
+// says it is at (reqEpoch, reqRound), rate-limited per requester, in
+// whichever form fits: ledgers at or below the monolithic threshold
+// travel complete in one MsgSnapshot; larger states send the manifest
+// and let the requester pull chunks. The snapshot is only sent when
+// it would actually move the requester forward — a later epoch, or
+// the same epoch at least a full re-entry margin ahead of reqRound
+// (reqRound 0 means the requester's position is unknown; the
+// requester's own install gate re-checks usefulness).
+func (n *Node) serveSnapshot(to types.ReplicaID, reqEpoch types.Epoch, reqRound types.Round) {
+	snap := n.lastSnap
+	if snap == nil || to == n.cfg.ID {
 		return
+	}
+	if snap.Epoch < reqEpoch {
+		return
+	}
+	if snap.Epoch == reqEpoch {
+		// Same-epoch rescue needs a mid-epoch capture (a transition
+		// snapshot into this epoch would restart the requester at a
+		// position it already passed) far enough ahead of the
+		// requester to be worth installing.
+		if snap.Epoch != snap.PrevEpoch || snap.EndRound < reqRound+minGCHorizon {
+			return
+		}
 	}
 	if at, ok := n.snapServed[to]; ok && time.Since(at) < snapshotReqEvery*n.cfg.TickInterval {
 		return
 	}
 	n.snapServed[to] = time.Now()
-	if n.lastSnapMsg == nil {
-		// The snapshot is immutable once captured: encode and sign it
-		// once, then every further serve is a plain Send.
-		n.lastSnapMsg = (&snapshotMsg{
-			Signer: n.cfg.ID,
-			Sig:    n.cfg.Signer.Sign(n.lastSnap.Digest()),
-			Snap:   mustMarshal(n.lastSnap),
-		}).marshal()
+	if snap.Complete() {
+		if n.lastSnapMsg == nil {
+			// The snapshot is immutable once captured: encode and sign
+			// it once, then every further serve is a plain Send.
+			n.lastSnapMsg = (&snapshotMsg{
+				Signer: n.cfg.ID,
+				Sig:    n.cfg.Signer.Sign(snap.Digest()),
+				Snap:   mustMarshal(snap),
+			}).marshal()
+		}
+		_ = n.cfg.Transport.Send(to, MsgSnapshot, n.lastSnapMsg)
+	} else {
+		if n.lastManifestMsg == nil {
+			n.lastManifestMsg = (&snapshotMsg{
+				Signer: n.cfg.ID,
+				Sig:    n.cfg.Signer.Sign(snap.Digest()),
+				Snap:   mustMarshal(snap.Manifest()),
+			}).marshal()
+		}
+		_ = n.cfg.Transport.Send(to, MsgSnapManifest, n.lastManifestMsg)
 	}
-	_ = n.cfg.Transport.Send(to, MsgSnapshot, n.lastSnapMsg)
 	n.bump(func(s *Stats) { s.SnapshotsServed++ })
 }
 
 func (n *Node) handleSnapshotReq(from types.ReplicaID, r *snapshotReq) {
-	n.serveSnapshot(from, r.Epoch)
+	n.serveSnapshot(from, r.Epoch, 0)
 }
 
-// handleSnapshot collects one replica's signed snapshot and installs
-// once f+1 distinct verified signers agree. The candidate key is the
-// verified signer, never the transport sender: over TCP the claimed
-// sender ID is just bytes in a frame, and without the signature check
-// one connection could impersonate f+1 replicas and forge the install
-// quorum. Only the latest candidate per signer counts, so re-sending
-// variants cannot inflate any count either.
+// snapshotUseful gates candidate intake: installing must move this
+// replica forward. Cross-epoch snapshots from a later epoch always
+// qualify. Same-epoch snapshots qualify only when they are mid-epoch
+// captures sitting at least a full re-entry margin ahead of this
+// replica's committed position (a healthy replica near the frontier
+// rejects them, so pushed manifests cannot perturb a live node) and
+// not behind its commit count (installing an older dedup state would
+// roll resolution back).
+func (n *Node) snapshotUseful(s *types.Snapshot) bool {
+	if s.Epoch > n.epoch {
+		return true
+	}
+	if s.Epoch < n.epoch {
+		return false
+	}
+	return s.Epoch == s.PrevEpoch &&
+		s.EndRound >= n.committer.LastLeaderRound()+minGCHorizon &&
+		s.Commits >= n.Stats().CommittedTxs
+}
+
+// handleSnapshot collects one replica's signed snapshot (monolithic
+// MsgSnapshot or MsgSnapManifest form) and installs once f+1 distinct
+// verified signers agree. The candidate key is the verified signer,
+// never the transport sender: over TCP the claimed sender ID is just
+// bytes in a frame, and without the signature check one connection
+// could impersonate f+1 replicas and forge the install quorum. Only
+// the latest candidate per signer counts, so re-sending variants
+// cannot inflate any count either.
 func (n *Node) handleSnapshot(_ types.ReplicaID, payload []byte) {
 	var m snapshotMsg
 	if err := m.unmarshal(payload); err != nil {
@@ -154,7 +279,7 @@ func (n *Node) handleSnapshot(_ types.ReplicaID, payload []byte) {
 	if err := snap.UnmarshalBinary(m.Snap); err != nil {
 		return
 	}
-	if snap.Epoch <= n.epoch || int(snap.N) != n.n || !snap.Canonical() {
+	if int(snap.N) != n.n || !snap.Canonical() || !n.snapshotUseful(&snap) {
 		return
 	}
 	// The dedup configuration is part of the committee contract (like
@@ -168,38 +293,82 @@ func (n *Node) handleSnapshot(_ types.ReplicaID, payload []byte) {
 	if !n.verifier.Verify(m.Signer, snap.Digest(), m.Sig) {
 		return
 	}
-	n.noteFutureEpoch(m.Signer, snap.Epoch)
+	// The signature covers the manifest; a monolithic body must
+	// additionally re-chunk to exactly those digests, or a lying
+	// server could pair an honest manifest with a forged ledger.
+	if len(snap.Ledger) != 0 && !snap.VerifyLedger() {
+		return
+	}
+	if snap.Epoch > n.epoch {
+		n.noteFutureEpoch(m.Signer, snap.Epoch)
+	}
 	n.snapFrom[m.Signer] = &snap
 	n.maybeInstallSnapshot()
 }
 
 // maybeInstallSnapshot looks for a digest vouched for by f+1 distinct
-// verified signers and installs it. Matching digests mean
-// byte-identical content, and f+1 of them include at least one honest
-// replica's capture.
+// verified signers. Matching digests mean identical manifests, and
+// f+1 of them include at least one honest replica's capture. A
+// complete candidate (ledger body attached, already verified against
+// the manifest) installs immediately; manifest-only candidates start
+// the chunked fetch across the quorum's signers.
 func (n *Node) maybeInstallSnapshot() {
 	votes := make(map[types.Digest]int, len(n.snapFrom))
+	digests := make(map[types.ReplicaID]types.Digest, len(n.snapFrom))
 	var best *types.Snapshot
-	for _, s := range n.snapFrom {
+	var bestDig types.Digest
+	for id, s := range n.snapFrom {
 		d := s.Digest()
+		digests[id] = d
 		votes[d]++
-		if votes[d] >= n.f+1 && (best == nil || s.Epoch > best.Epoch) {
+		if votes[d] >= n.f+1 && (best == nil || s.Epoch > best.Epoch ||
+			(s.Epoch == best.Epoch && s.Commits > best.Commits)) {
 			best = s
+			bestDig = d
 		}
 	}
-	if best != nil {
-		n.installSnapshot(best)
+	if best == nil {
+		return
 	}
+	var servers []types.ReplicaID
+	complete := best
+	if !best.Complete() {
+		complete = nil
+		for id, d := range digests {
+			if d != bestDig {
+				continue
+			}
+			servers = append(servers, id)
+			if s := n.snapFrom[id]; s.Complete() {
+				complete = s
+			}
+		}
+		sort.Slice(servers, func(i, j int) bool { return servers[i] < servers[j] })
+	}
+	if complete != nil {
+		// Re-derive the chunk payloads from the verified body so this
+		// replica can serve chunk fetchers after installing.
+		chunks := complete.BuildChunks(complete.ChunkSize)
+		n.installSnapshot(complete, complete.Ledger, chunks)
+		return
+	}
+	n.startChunkFetch(best, servers)
 }
 
-// installSnapshot applies a verified snapshot and jumps epochs. The
-// replica's own committed prefix is always a prefix of the snapshot's
-// (commit sequences are prefix-consistent and the snapshot sits at a
-// later position), so overlaying the ledger and taking the snapshot's
-// dedup state verbatim loses nothing; the batched Store.Apply is the
-// single state application, and the verbatim dedup restore is what
-// keeps this replica's next capture bit-identical to honest peers'.
-func (n *Node) installSnapshot(snap *types.Snapshot) {
+// installSnapshot applies a verified snapshot. The replica's own
+// committed prefix is always a prefix of the snapshot's (commit
+// sequences are prefix-consistent and the snapshot sits at a later
+// position), so overlaying the writes and taking the snapshot's dedup
+// state verbatim loses nothing; the batched Store.Apply is the single
+// state application, and the verbatim dedup restore is what keeps
+// this replica's next capture bit-identical to honest peers'. writes
+// is the record set that actually needs applying — the full ledger on
+// the monolithic path, only the fetched (non-skipped) chunks on the
+// chunked path. chunks is the snapshot's full encoded chunk list,
+// retained for serving later fetchers.
+func (n *Node) installSnapshot(snap *types.Snapshot, writes []types.RWRecord, chunks [][]byte) {
+	n.fetch = nil
+	crossEpoch := snap.Epoch != n.epoch
 	// Restore the dedup first, then apply the ledger with the restore
 	// journaled in the same WAL record: a durable replica that
 	// restarts after this point replays the absolute dedup state next
@@ -207,7 +376,7 @@ func (n *Node) installSnapshot(snap *types.Snapshot) {
 	// restore is absolute, so replaying it over a checkpoint that
 	// already contains it is idempotent).
 	n.dedup.Restore(snap.Sessions, snap.Applied)
-	n.applyCommit(snap.Ledger, n.restoreNote(snap.Epoch, snap.Commits))
+	n.applyCommit(writes, n.restoreNote(snap.Epoch, snap.Commits))
 	// Re-anchor the commit log at the snapshot's sequence position:
 	// the local log resumes exactly where the committee's agreed
 	// sequence continues, keeping cross-replica prefix comparisons
@@ -216,15 +385,117 @@ func (n *Node) installSnapshot(snap *types.Snapshot) {
 	n.clog = nil
 	n.clogStart = snap.Commits
 	n.clogMu.Unlock()
-	// The verified snapshot is byte-identical to an honest capture, so
-	// this replica now serves it to later stragglers of the same
-	// transition — widening the pool a future f+1 install can draw on
-	// (re-signed with this replica's own key on first serve).
+	// The verified snapshot is identical to an honest capture, so this
+	// replica now serves it — manifest, chunks, or monolithic body —
+	// to later stragglers, widening the pool a future f+1 install can
+	// draw on (re-signed with this replica's own key on first serve).
 	n.lastSnap = snap
+	n.snapChunks = chunks
 	n.lastSnapMsg = nil
+	n.lastManifestMsg = nil
 	n.bump(func(s *Stats) {
-		s.EpochJumps++
+		if crossEpoch {
+			s.EpochJumps++
+		}
+		if snap.Epoch == snap.PrevEpoch {
+			s.MidEpochInstalls++
+		}
 		s.CommittedTxs = snap.Commits
 	})
-	n.transition(snap.Epoch, false)
+	if snap.Epoch == snap.PrevEpoch {
+		n.resumeMidEpoch(snap)
+	} else {
+		n.transition(snap.Epoch, false)
+	}
+}
+
+// resumeMidEpoch re-enters a live epoch from a mid-epoch snapshot:
+// the DAG and committer restart at a base one full re-entry margin
+// behind the snapshot's end round (rounded down to a leader round),
+// where peers still retain vertices — the snapshot's serving
+// constraint GCHorizon ≥ SnapshotInterval + minGCHorizon guarantees
+// it. Waves re-derived between the base and the snapshot position
+// linearize transactions the restored dedup already resolves, so they
+// validate as duplicates instead of re-applying — the same replay
+// model as a WAL restart. When the snapshot is from this replica's
+// own epoch, the vote map survives (a re-entry must not be tricked
+// into second votes for slots it already signed) and queued plus
+// in-flight own transactions requeue — the shard assignment is
+// unchanged, so they are still ours to propose. A cross-epoch
+// mid-epoch install (stranded across a reconfiguration, rescued by a
+// later epoch's mid-epoch capture) instead nacks them, exactly like a
+// transition: the shard rotated and clients must re-route.
+func (n *Node) resumeMidEpoch(snap *types.Snapshot) {
+	base := types.Round(1)
+	if snap.EndRound > minGCHorizon {
+		base = snap.EndRound - minGCHorizon
+	}
+	if base%2 == 0 {
+		base--
+	}
+	sameEpoch := snap.Epoch == n.epoch
+	savedVotes := n.voted
+	savedSeen := n.seen
+	queue := n.txQueue
+	var pending []*types.Transaction
+	for _, d := range n.ownPending {
+		if b, ok := n.pendingBlocks[d]; ok {
+			pending = append(pending, b.SingleTxs...)
+			pending = append(pending, b.CrossTxs...)
+		}
+	}
+	n.txQueue = nil
+	n.resetEpochState(snap.Epoch)
+	n.dagStore = dag.NewStoreAt(snap.Epoch, n.n, base)
+	n.committer = tusk.NewCommitterAt(n.dagStore, n.n, base)
+	n.nextRound = base
+	// Suppress mid-epoch captures until commits pass the snapshot
+	// position: boundaries crossed by re-derived waves would capture
+	// against state already ahead of them.
+	n.lastSnapAt = snap.EndRound
+	if sameEpoch {
+		n.voted = savedVotes
+		n.seen = savedSeen
+		n.txQueue = queue
+		queued := make(map[types.Digest]bool, len(queue))
+		for _, tx := range queue {
+			queued[tx.ID()] = true
+		}
+		for _, tx := range pending {
+			id := tx.ID()
+			if n.dedup.Resolved(tx) || queued[id] {
+				continue
+			}
+			queued[id] = true
+			n.txQueue = append(n.txQueue, tx)
+		}
+	} else {
+		n.seen = make(map[types.Digest]time.Time)
+		rejected := append(queue, pending...)
+		seen := make(map[types.Digest]bool, len(rejected))
+		dropped := uint64(len(queue))
+		for _, tx := range rejected {
+			id := tx.ID()
+			if n.dedup.Resolved(tx) || seen[id] {
+				continue
+			}
+			seen[id] = true
+			n.nackPending(tx, gateway.NackEpochEnded)
+			if n.cfg.OnRejectTx != nil {
+				n.cfg.OnRejectTx(tx)
+			}
+		}
+		n.bump(func(s *Stats) { s.DroppedAtReconfig += dropped })
+	}
+	n.bump(func(s *Stats) { s.Epoch = n.epoch })
+	// Replay messages that arrived early, then rejoin: the first
+	// proposal at the base needs no parents (the store waives them
+	// there), and normal catch-up — round pulls, orphan backfill,
+	// fast-forward — walks this replica to the live frontier.
+	future := n.futureMsgs
+	n.futureMsgs = nil
+	n.propose()
+	for _, m := range future {
+		n.handle(m)
+	}
 }

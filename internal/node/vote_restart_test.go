@@ -1,0 +1,143 @@
+package node
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"thunderbolt/internal/contract"
+	"thunderbolt/internal/crypto"
+	"thunderbolt/internal/storage"
+	"thunderbolt/internal/transport"
+	"thunderbolt/internal/types"
+	"thunderbolt/internal/workload"
+)
+
+// TestFirstVoteJournaledAcrossRestart closes the crash-window
+// equivocation hazard: a replica that votes on a slot, crashes, and
+// restarts must refuse to sign a conflicting digest for that slot.
+// The vote is journaled in the durable WAL sidecar before the
+// signature leaves the replica — both through the note replay path
+// and through checkpoint meta (a checkpoint truncates earlier notes,
+// so the vote map must ride the meta too).
+func TestFirstVoteJournaledAcrossRestart(t *testing.T) {
+	for _, tc := range []struct {
+		name            string
+		checkpointEvery int
+	}{
+		{"note-replay", -1},    // checkpoints disabled: votes recover from notes
+		{"checkpoint-meta", 1}, // checkpoint after every record: votes recover from meta
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			signers, verifier, err := crypto.InsecureScheme{}.Committee(4, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			net := transport.NewSimNetwork(transport.SimConfig{N: 4})
+			defer net.Close()
+			dir := t.TempDir()
+			open := func() *storage.Durable {
+				d, err := storage.OpenDurable(storage.DurableOptions{
+					Dir: dir, CheckpointEvery: tc.checkpointEvery,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return d
+			}
+			build := func(st storage.Backend) *Node {
+				reg := contract.NewRegistry()
+				workload.RegisterSmallBank(reg)
+				if st.Seq() == 0 {
+					workload.InitAccounts(st, 8, 100, 100)
+				}
+				nd, err := New(Config{
+					ID: 0, N: 4,
+					Transport: net.Endpoint(0),
+					Signer:    signers[0], Verifier: verifier,
+					Registry: reg, Store: st,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return nd
+			}
+
+			// Record every vote signature reaching the proposer, keyed
+			// by the digest it signs (installed before any vote is cast,
+			// so late deliveries cannot slip past the recorder).
+			var mu sync.Mutex
+			votesFor := make(map[types.Digest]int)
+			net.Endpoint(1).SetHandler(func(_ types.ReplicaID, mt transport.MsgType, payload []byte) {
+				if mt != MsgVote {
+					return
+				}
+				var v vote
+				if err := v.unmarshal(payload); err != nil {
+					return
+				}
+				mu.Lock()
+				votesFor[v.BlockDigest]++
+				mu.Unlock()
+			})
+
+			d := open()
+			n1 := build(d)
+			blk := &types.Block{Epoch: 0, Round: 1, Proposer: 1, Kind: types.NormalBlock}
+			n1.handleBlock(1, blk)
+			k := voteKey{round: 1, proposer: 1}
+			if n1.voted[k] != blk.Digest() {
+				t.Fatal("vote not recorded before crash")
+			}
+			// An extra committed record pushes the vote behind a
+			// checkpoint cut in the meta case.
+			n1.applyCommit([]types.RWRecord{{
+				Key:   workload.CheckingKey(workload.AccountName(0)),
+				Value: contract.EncodeInt64(42),
+			}}, nil)
+			if err := d.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			d.CloseAbrupt()
+
+			d2 := open()
+			defer d2.CloseAbrupt()
+			n2 := build(d2)
+			if got, ok := n2.voted[k]; !ok || got != blk.Digest() {
+				t.Fatalf("journaled vote lost across restart (present=%v)", ok)
+			}
+
+			// A conflicting block for the voted slot: no overwrite, and
+			// no signature over the conflicting digest ever leaves the
+			// replica — not before the crash, not after.
+			evil := &types.Block{Epoch: 0, Round: 1, Proposer: 1, Kind: types.NormalBlock,
+				ProposedUnixNano: 999}
+			if evil.Digest() == blk.Digest() {
+				t.Fatal("fixture broken: conflicting block has same digest")
+			}
+			n2.handleBlock(1, evil)
+			// Re-sending the originally voted digest is idempotent and
+			// fine (peers revote the same digest after lost messages).
+			n2.handleBlock(1, blk)
+			time.Sleep(50 * time.Millisecond)
+			if n2.voted[k] != blk.Digest() {
+				t.Fatal("restarted replica overwrote its journaled vote")
+			}
+			mu.Lock()
+			evilVotes, blkVotes := votesFor[evil.Digest()], votesFor[blk.Digest()]
+			mu.Unlock()
+			if evilVotes != 0 {
+				t.Fatalf("restarted replica signed %d votes for a conflicting digest on an already-voted slot", evilVotes)
+			}
+			if blkVotes == 0 {
+				t.Fatal("no vote for the original digest observed (re-vote should be sent)")
+			}
+			// Fresh slots still vote normally after recovery.
+			blk2 := &types.Block{Epoch: 0, Round: 1, Proposer: 2, Kind: types.NormalBlock}
+			n2.handleBlock(2, blk2)
+			if n2.voted[voteKey{round: 1, proposer: 2}] != blk2.Digest() {
+				t.Fatal("recovered replica stopped voting on fresh slots")
+			}
+		})
+	}
+}

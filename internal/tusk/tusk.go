@@ -54,11 +54,23 @@ type Committer struct {
 
 // NewCommitter builds a committer for one epoch's store.
 func NewCommitter(store *dag.Store, n int) *Committer {
+	return NewCommitterAt(store, n, 0)
+}
+
+// NewCommitterAt builds a committer that treats every leader round ≤
+// seed as already committed — the mid-epoch snapshot install case,
+// where the snapshot state already contains those waves' effects. The
+// first leader Advance considers is the first leader round above
+// seed; waves it re-derives between seed and the snapshot position
+// deduplicate against restored state exactly like a WAL-restart
+// replay. seed 0 is an ordinary epoch committer.
+func NewCommitterAt(store *dag.Store, n int, seed types.Round) *Committer {
 	return &Committer{
-		store:     store,
-		n:         n,
-		f:         crypto.FaultBound(n),
-		committed: make(map[types.Digest]bool),
+		store:           store,
+		n:               n,
+		f:               crypto.FaultBound(n),
+		committed:       make(map[types.Digest]bool),
+		lastLeaderRound: seed,
 	}
 }
 

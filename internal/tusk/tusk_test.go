@@ -172,6 +172,35 @@ func TestDeterministicAcrossReplicas(t *testing.T) {
 	}
 }
 
+func TestCommitterSeededAt(t *testing.T) {
+	c := dagtest.NewCommittee(4)
+	b := dagtest.NewBuilderAt(c, 0, 101)
+	cm := NewCommitterAt(b.Store, 4, 101)
+	if cm.LastLeaderRound() != 101 {
+		t.Fatalf("seed not applied: last leader round %d", cm.LastLeaderRound())
+	}
+	b.NextRound(nil, nil) // 101 (the re-entry round)
+	b.NextRound(nil, nil) // 102
+	if waves := cm.Advance(); len(waves) != 0 {
+		t.Fatal("leader at the seeded round re-committed")
+	}
+	b.NextRound(nil, nil) // 103
+	b.NextRound(nil, nil) // 104
+	waves := cm.Advance()
+	if len(waves) != 1 {
+		t.Fatalf("waves=%d want 1", len(waves))
+	}
+	if waves[0].Leader.Round() != 103 {
+		t.Fatalf("first committed leader at round %d, want 103", waves[0].Leader.Round())
+	}
+	// The wave linearizes the re-derived history back to the base —
+	// rounds 101..103, 9 vertices — which the installer's dedup state
+	// then suppresses at execution, exactly like a WAL-restart replay.
+	if len(waves[0].Vertices) != 9 {
+		t.Fatalf("wave carries %d vertices, want 9", len(waves[0].Vertices))
+	}
+}
+
 func TestAdvanceIdempotent(t *testing.T) {
 	c := dagtest.NewCommittee(4)
 	b := dagtest.NewBuilder(c, 0)

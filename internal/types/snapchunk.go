@@ -1,0 +1,221 @@
+package types
+
+import "fmt"
+
+// DefaultChunkRecords is the default number of ledger records per
+// snapshot chunk. At ~50 bytes per account cell this puts a chunk in
+// the low hundreds of KB — large enough that manifest overhead is
+// noise, small enough that one lost or corrupt chunk is a cheap
+// re-request.
+const DefaultChunkRecords = 4096
+
+// EncodeChunk returns the canonical encoding of one snapshot chunk: a
+// count-prefixed run of ledger records in ascending key order. The
+// chunk digest is HashBytes of exactly these bytes, so a chunk
+// verifies against its manifest entry without any surrounding context.
+func EncodeChunk(recs []RWRecord) []byte {
+	e := GetEncoder()
+	defer PutEncoder(e)
+	encodeRecords(e, recs)
+	return e.Detach()
+}
+
+// DecodeChunk decodes a chunk payload produced by EncodeChunk.
+func DecodeChunk(b []byte) ([]RWRecord, error) {
+	d := NewDecoder(b)
+	recs := decodeRecords(d)
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// MerkleFold folds a list of chunk digests into a single root by
+// pairwise hashing; an odd tail digest is promoted unchanged. The
+// snapshot digest commits to both the fold and the chunk count, so
+// the tree shape is fixed and promotion introduces no ambiguity. An
+// empty list folds to HashBytes(nil).
+func MerkleFold(ds []Digest) Digest {
+	if len(ds) == 0 {
+		return HashBytes(nil)
+	}
+	level := append([]Digest(nil), ds...)
+	var pair [64]byte
+	for len(level) > 1 {
+		next := level[:0]
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				next = append(next, level[i])
+				break
+			}
+			copy(pair[:32], level[i][:])
+			copy(pair[32:], level[i+1][:])
+			next = append(next, HashBytes(pair[:]))
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// ChunkBuilder turns a key-ordered record stream into fixed-size
+// encoded chunks plus their digests, one chunk in memory at a time —
+// capture never materializes the full ledger for large states. Values
+// are cloned on Add, so the stream may alias storage internals.
+//
+// When keepLimit ≥ 0 the builder additionally retains the decoded
+// records until the stream exceeds that many, then drops them: the
+// caller learns for free whether the ledger is small enough for the
+// monolithic snapshot path, and gets the records if so.
+type ChunkBuilder struct {
+	size    int
+	keep    bool
+	limit   int
+	buf     []RWRecord
+	records []RWRecord
+	chunks  [][]byte
+	digests []Digest
+	count   int
+}
+
+// NewChunkBuilder returns a builder cutting chunks of size records.
+// keepLimit < 0 disables record retention.
+func NewChunkBuilder(size, keepLimit int) *ChunkBuilder {
+	if size <= 0 {
+		size = DefaultChunkRecords
+	}
+	return &ChunkBuilder{size: size, keep: keepLimit >= 0, limit: keepLimit}
+}
+
+// Add appends one record to the stream. Keys must arrive in strictly
+// ascending order (the builder trusts its caller; honest captures
+// stream from a sorted index).
+func (b *ChunkBuilder) Add(k Key, v Value) {
+	b.buf = append(b.buf, RWRecord{Key: k, Value: v.Clone()})
+	b.count++
+	if b.keep {
+		if b.count > b.limit {
+			b.keep = false
+			b.records = nil
+		} else {
+			b.records = append(b.records, b.buf[len(b.buf)-1])
+		}
+	}
+	if len(b.buf) == b.size {
+		b.flush()
+	}
+}
+
+func (b *ChunkBuilder) flush() {
+	if len(b.buf) == 0 {
+		return
+	}
+	enc := EncodeChunk(b.buf)
+	b.chunks = append(b.chunks, enc)
+	b.digests = append(b.digests, HashBytes(enc))
+	b.buf = b.buf[:0]
+}
+
+// Finish flushes the tail chunk and returns the encoded chunks, their
+// digests, the retained records (nil when the stream exceeded
+// keepLimit), and the total record count.
+func (b *ChunkBuilder) Finish() (chunks [][]byte, digests []Digest, records []RWRecord, count int) {
+	b.flush()
+	return b.chunks, b.digests, b.records, b.count
+}
+
+// BuildChunks (re)derives the snapshot's chunk manifest — ChunkSize,
+// RecordCount, ChunkDigests — from its in-memory Ledger, and returns
+// the encoded chunk payloads. size == 0 selects DefaultChunkRecords.
+// The digest cache is invalidated: the manifest is part of the digest.
+func (s *Snapshot) BuildChunks(size uint32) [][]byte {
+	if size == 0 {
+		size = DefaultChunkRecords
+	}
+	cb := NewChunkBuilder(int(size), -1)
+	for _, r := range s.Ledger {
+		cb.Add(r.Key, r.Value)
+	}
+	chunks, digests, _, count := cb.Finish()
+	s.ChunkSize = size
+	s.RecordCount = uint64(count)
+	s.ChunkDigests = digests
+	s.digOK = false
+	return chunks
+}
+
+// chunkRecords returns how many records chunk i must carry: ChunkSize
+// for every chunk but a shorter final one.
+func (s *Snapshot) chunkRecords(i int) int {
+	want := s.RecordCount - uint64(i)*uint64(s.ChunkSize)
+	if want > uint64(s.ChunkSize) {
+		want = uint64(s.ChunkSize)
+	}
+	return int(want)
+}
+
+// VerifyChunk checks one fetched chunk payload against the manifest —
+// digest match, clean decode, exact record count, ascending keys —
+// and returns its records. Any failure means the payload is not the
+// chunk the f+1-authenticated manifest committed to, whoever sent it.
+func (s *Snapshot) VerifyChunk(i int, payload []byte) ([]RWRecord, error) {
+	if i < 0 || i >= len(s.ChunkDigests) {
+		return nil, fmt.Errorf("types: chunk index %d out of range (%d chunks)", i, len(s.ChunkDigests))
+	}
+	if HashBytes(payload) != s.ChunkDigests[i] {
+		return nil, fmt.Errorf("types: chunk %d digest mismatch", i)
+	}
+	recs, err := DecodeChunk(payload)
+	if err != nil {
+		return nil, fmt.Errorf("types: chunk %d: %w", i, err)
+	}
+	if len(recs) != s.chunkRecords(i) {
+		return nil, fmt.Errorf("types: chunk %d carries %d records, manifest says %d", i, len(recs), s.chunkRecords(i))
+	}
+	for j := 1; j < len(recs); j++ {
+		if recs[j-1].Key >= recs[j].Key {
+			return nil, fmt.Errorf("types: chunk %d keys not strictly ascending", i)
+		}
+	}
+	return recs, nil
+}
+
+// VerifyLedger reports whether the in-memory Ledger re-chunks to
+// exactly the manifest's digests — the check that keeps the
+// monolithic path honest now that the snapshot digest covers the
+// manifest rather than the raw records: a server cannot pair a valid
+// manifest with a forged ledger body.
+func (s *Snapshot) VerifyLedger() bool {
+	if s.ChunkSize == 0 || uint64(len(s.Ledger)) != s.RecordCount {
+		return false
+	}
+	cb := NewChunkBuilder(int(s.ChunkSize), -1)
+	for _, r := range s.Ledger {
+		cb.Add(r.Key, r.Value)
+	}
+	_, digests, _, _ := cb.Finish()
+	if len(digests) != len(s.ChunkDigests) {
+		return false
+	}
+	for i, d := range digests {
+		if d != s.ChunkDigests[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Complete reports whether the snapshot carries its full ledger body
+// (the monolithic form) rather than being a manifest awaiting chunk
+// fetch.
+func (s *Snapshot) Complete() bool {
+	return uint64(len(s.Ledger)) == s.RecordCount
+}
+
+// Manifest returns a copy of s without the raw ledger records — the
+// form served to chunk fetchers. The digest is unchanged by
+// construction: it covers the manifest, never the record bodies.
+func (s *Snapshot) Manifest() *Snapshot {
+	m := *s
+	m.Ledger = nil
+	return &m
+}

@@ -1,0 +1,167 @@
+package types
+
+import (
+	"fmt"
+	"testing"
+)
+
+func chunkedSnapshot(records, chunkSize int) (*Snapshot, [][]byte) {
+	s := &Snapshot{
+		Epoch: 2, N: 4, PrevEpoch: 2, EndRound: 512, Commits: 9000,
+		DedupWindow: 128, LegacyCap: 64,
+	}
+	for i := 0; i < records; i++ {
+		s.Ledger = append(s.Ledger, RWRecord{
+			Key:   Key(fmt.Sprintf("c:acct%06d", i)),
+			Value: Value(fmt.Sprintf("%d", 1000+i)),
+		})
+	}
+	chunks := s.BuildChunks(uint32(chunkSize))
+	return s, chunks
+}
+
+func TestChunkManifestRoundTrip(t *testing.T) {
+	s, chunks := chunkedSnapshot(10, 4)
+	if len(chunks) != 3 || len(s.ChunkDigests) != 3 || s.RecordCount != 10 {
+		t.Fatalf("want 3 chunks over 10 records, got %d chunks, count %d", len(chunks), s.RecordCount)
+	}
+	if !s.Canonical() || !s.Complete() {
+		t.Fatal("monolithic form should be canonical and complete")
+	}
+	m := s.Manifest()
+	if m.Digest() != s.Digest() {
+		t.Fatal("manifest digest must equal the full snapshot digest")
+	}
+	b, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := got.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Canonical() {
+		t.Fatal("decoded manifest not canonical")
+	}
+	if got.Complete() {
+		t.Fatal("manifest with pending records claims completeness")
+	}
+	if got.Digest() != s.Digest() {
+		t.Fatal("manifest digest changed across encode/decode")
+	}
+	// Every chunk verifies against the decoded manifest and the
+	// verified records reassemble the original ledger exactly.
+	var all []RWRecord
+	for i, c := range chunks {
+		recs, err := got.VerifyChunk(i, c)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		all = append(all, recs...)
+	}
+	if len(all) != len(s.Ledger) {
+		t.Fatalf("reassembled %d records, want %d", len(all), len(s.Ledger))
+	}
+	for i := range all {
+		if all[i].Key != s.Ledger[i].Key || !all[i].Value.Equal(s.Ledger[i].Value) {
+			t.Fatalf("record %d mismatch after reassembly", i)
+		}
+	}
+}
+
+func TestVerifyChunkRejectsForgery(t *testing.T) {
+	s, chunks := chunkedSnapshot(10, 4)
+	m := s.Manifest()
+	if _, err := m.VerifyChunk(0, chunks[1]); err == nil {
+		t.Fatal("chunk served under the wrong index verified")
+	}
+	if _, err := m.VerifyChunk(3, chunks[0]); err == nil {
+		t.Fatal("out-of-range index verified")
+	}
+	bad := append([]byte(nil), chunks[2]...)
+	bad[len(bad)-1] ^= 1
+	if _, err := m.VerifyChunk(2, bad); err == nil {
+		t.Fatal("corrupt payload verified")
+	}
+	if _, err := m.VerifyChunk(1, chunks[1][:len(chunks[1])-1]); err == nil {
+		t.Fatal("truncated payload verified")
+	}
+}
+
+func TestVerifyLedgerBindsBody(t *testing.T) {
+	s, _ := chunkedSnapshot(10, 4)
+	if !s.VerifyLedger() {
+		t.Fatal("honest ledger body rejected")
+	}
+	forged, _ := chunkedSnapshot(10, 4)
+	forged.Ledger[3].Value = Value("stolen")
+	if forged.VerifyLedger() {
+		t.Fatal("forged ledger body passed against the manifest")
+	}
+	short, _ := chunkedSnapshot(10, 4)
+	short.Ledger = short.Ledger[:9]
+	if short.VerifyLedger() {
+		t.Fatal("short ledger body passed against the manifest")
+	}
+}
+
+func TestMerkleFold(t *testing.T) {
+	d := func(tag string) Digest { return HashBytes([]byte(tag)) }
+	if MerkleFold(nil) != MerkleFold([]Digest{}) {
+		t.Fatal("empty folds disagree")
+	}
+	even := []Digest{d("a"), d("b"), d("c"), d("d")}
+	odd := []Digest{d("a"), d("b"), d("c")}
+	if MerkleFold(even) == MerkleFold(odd) {
+		t.Fatal("different lengths fold to the same root")
+	}
+	swapped := []Digest{d("b"), d("a"), d("c"), d("d")}
+	if MerkleFold(even) == MerkleFold(swapped) {
+		t.Fatal("order does not bind the root")
+	}
+	mutated := []Digest{d("a"), d("b"), d("c"), d("x")}
+	if MerkleFold(even) == MerkleFold(mutated) {
+		t.Fatal("content does not bind the root")
+	}
+	again := []Digest{d("a"), d("b"), d("c"), d("d")}
+	if MerkleFold(even) != MerkleFold(again) {
+		t.Fatal("fold not deterministic")
+	}
+}
+
+func TestChunkBuilderStreamsAndKeeps(t *testing.T) {
+	s, want := chunkedSnapshot(10, 4)
+	// Streaming through the builder must produce bit-identical chunks
+	// to BuildChunks over the materialized ledger.
+	cb := NewChunkBuilder(4, 5) // keep limit below the stream size
+	for _, r := range s.Ledger {
+		cb.Add(r.Key, r.Value)
+	}
+	chunks, digests, records, count := cb.Finish()
+	if count != 10 || records != nil {
+		t.Fatalf("keep limit 5 over 10 records: records=%v count=%d", records != nil, count)
+	}
+	if len(chunks) != len(want) {
+		t.Fatalf("chunk count %d, want %d", len(chunks), len(want))
+	}
+	for i := range chunks {
+		if string(chunks[i]) != string(want[i]) {
+			t.Fatalf("chunk %d bytes differ from BuildChunks", i)
+		}
+		if digests[i] != s.ChunkDigests[i] {
+			t.Fatalf("chunk %d digest differs from manifest", i)
+		}
+	}
+	// Under the limit the records are retained for the monolithic path.
+	small := NewChunkBuilder(4, 16)
+	for _, r := range s.Ledger {
+		small.Add(r.Key, r.Value)
+	}
+	_, _, kept, _ := small.Finish()
+	if len(kept) != 10 {
+		t.Fatalf("keep limit 16 over 10 records retained %d", len(kept))
+	}
+	if kept[0].Key != s.Ledger[0].Key {
+		t.Fatal("retained records corrupted")
+	}
+}

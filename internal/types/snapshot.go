@@ -41,8 +41,23 @@ type Snapshot struct {
 	// will occupy).
 	Commits uint64
 
+	// ChunkSize, RecordCount, and ChunkDigests are the chunk manifest:
+	// the ledger split into fixed-size key-ordered chunks of ChunkSize
+	// records each (a shorter final chunk), RecordCount records in
+	// total, with ChunkDigests[i] the content digest of chunk i's
+	// canonical encoding (EncodeChunk). The snapshot digest commits to
+	// the Merkle fold of these digests rather than the raw records, so
+	// the same f+1-signer contract that authenticates a monolithic
+	// snapshot authenticates the manifest, and every chunk then
+	// verifies independently against its manifest entry.
+	ChunkSize    uint32
+	RecordCount  uint64
+	ChunkDigests []Digest
+
 	// Ledger is the full committed key/value state, in strictly
-	// ascending key order.
+	// ascending key order. It is populated in the monolithic form
+	// (small ledgers shipped as one message) and nil in the manifest
+	// form, where the records travel as individually fetched chunks.
 	Ledger []RWRecord
 
 	// DedupWindow and LegacyCap bind the digest to the dedup
@@ -122,6 +137,18 @@ func (s *Snapshot) Canonical() bool {
 			return false
 		}
 	}
+	if s.ChunkSize == 0 {
+		return false
+	}
+	wantChunks := int((s.RecordCount + uint64(s.ChunkSize) - 1) / uint64(s.ChunkSize))
+	if len(s.ChunkDigests) != wantChunks {
+		return false
+	}
+	// A populated ledger body must match the manifest's record count
+	// exactly; an empty one is the manifest form (or the empty state).
+	if len(s.Ledger) != 0 && uint64(len(s.Ledger)) != s.RecordCount {
+		return false
+	}
 	if s.DedupWindow == 0 || s.DedupWindow%64 != 0 {
 		return false
 	}
@@ -138,12 +165,18 @@ func (s *Snapshot) Canonical() bool {
 }
 
 // Digest returns the canonical content address of the snapshot,
-// computed once and cached. Two snapshots match iff their epochs,
-// provenance, commit position, ledger, and applied sets all match.
+// computed once and cached. The preimage is the manifest — header,
+// chunk geometry, the Merkle fold of the chunk digests, and the dedup
+// state — never the raw ledger records: a manifest and the monolithic
+// snapshot it describes share one digest, so f+1 signatures collected
+// over either authenticate both the whole and every chunk.
 func (s *Snapshot) Digest() Digest {
 	if !s.digOK {
 		e := GetEncoder()
-		s.encode(e)
+		s.encodeHeader(e)
+		e.U32(uint32(len(s.ChunkDigests)))
+		e.Digest(MerkleFold(s.ChunkDigests))
+		s.encodeDedup(e)
 		s.dig = HashBytes(e.Sum())
 		PutEncoder(e)
 		s.digOK = true
@@ -151,13 +184,17 @@ func (s *Snapshot) Digest() Digest {
 	return s.dig
 }
 
-func (s *Snapshot) encode(e *Encoder) {
+func (s *Snapshot) encodeHeader(e *Encoder) {
 	e.U64(uint64(s.Epoch))
 	e.U32(s.N)
 	e.U64(uint64(s.PrevEpoch))
 	e.U64(uint64(s.EndRound))
 	e.U64(s.Commits)
-	encodeRecords(e, s.Ledger)
+	e.U32(s.ChunkSize)
+	e.U64(s.RecordCount)
+}
+
+func (s *Snapshot) encodeDedup(e *Encoder) {
 	e.U32(s.DedupWindow)
 	e.U32(s.LegacyCap)
 	e.U32(s.SessionIdleEpochs)
@@ -177,6 +214,19 @@ func (s *Snapshot) encode(e *Encoder) {
 	}
 }
 
+// encode appends the wire form: manifest fields (with the full chunk
+// digest list — fetchers need every entry), then the ledger records,
+// empty in the manifest form.
+func (s *Snapshot) encode(e *Encoder) {
+	s.encodeHeader(e)
+	e.U32(uint32(len(s.ChunkDigests)))
+	for _, d := range s.ChunkDigests {
+		e.Digest(d)
+	}
+	s.encodeDedup(e)
+	encodeRecords(e, s.Ledger)
+}
+
 // MarshalBinary encodes the snapshot canonically.
 func (s *Snapshot) MarshalBinary() ([]byte, error) {
 	e := GetEncoder()
@@ -194,7 +244,16 @@ func (s *Snapshot) UnmarshalBinary(b []byte) error {
 	s.PrevEpoch = Epoch(d.U64())
 	s.EndRound = Round(d.U64())
 	s.Commits = d.U64()
-	s.Ledger = decodeRecords(d)
+	s.ChunkSize = d.U32()
+	s.RecordCount = d.U64()
+	nd := d.U32()
+	if d.Err() == nil && int(nd) > len(b)/32 {
+		return fmt.Errorf("types: implausible chunk count %d", nd)
+	}
+	s.ChunkDigests = make([]Digest, 0, nd)
+	for i := uint32(0); i < nd && d.Err() == nil; i++ {
+		s.ChunkDigests = append(s.ChunkDigests, d.Digest())
+	}
 	s.DedupWindow = d.U32()
 	s.LegacyCap = d.U32()
 	s.SessionIdleEpochs = d.U32()
@@ -222,6 +281,10 @@ func (s *Snapshot) UnmarshalBinary(b []byte) error {
 	s.Applied = make([]Digest, 0, na)
 	for i := uint32(0); i < na && d.Err() == nil; i++ {
 		s.Applied = append(s.Applied, d.Digest())
+	}
+	s.Ledger = decodeRecords(d)
+	if len(s.Ledger) == 0 {
+		s.Ledger = nil
 	}
 	return d.Finish()
 }

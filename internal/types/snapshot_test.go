@@ -27,6 +27,7 @@ func testSnapshot() *Snapshot {
 		},
 	}
 	SortLedger(s.Ledger)
+	s.BuildChunks(2) // three records → two chunks
 	return s
 }
 
@@ -85,7 +86,13 @@ func TestSnapshotDigestBindsContent(t *testing.T) {
 		func(s *Snapshot) { s.PrevEpoch++ },
 		func(s *Snapshot) { s.EndRound++ },
 		func(s *Snapshot) { s.Commits++ },
-		func(s *Snapshot) { s.Ledger[0].Value = Value("999") },
+		// The digest covers the manifest, not the raw records, so a
+		// ledger edit surfaces through the rebuilt chunk digests.
+		func(s *Snapshot) { s.Ledger[0].Value = Value("999"); s.BuildChunks(s.ChunkSize) },
+		func(s *Snapshot) { s.ChunkSize *= 2 },
+		func(s *Snapshot) { s.RecordCount++ },
+		func(s *Snapshot) { s.ChunkDigests[0][0] ^= 1 },
+		func(s *Snapshot) { s.ChunkDigests[0], s.ChunkDigests[1] = s.ChunkDigests[1], s.ChunkDigests[0] },
 		func(s *Snapshot) { s.DedupWindow *= 2 },
 		func(s *Snapshot) { s.LegacyCap-- },
 		func(s *Snapshot) { s.Sessions[0].Floor++ },
@@ -134,6 +141,21 @@ func TestSnapshotCanonical(t *testing.T) {
 	badWindow.DedupWindow = 100 // not a multiple of 64
 	if badWindow.Canonical() {
 		t.Fatal("non-multiple-of-64 window accepted as canonical")
+	}
+	noChunk := testSnapshot()
+	noChunk.ChunkSize = 0
+	if noChunk.Canonical() {
+		t.Fatal("zero chunk size accepted as canonical")
+	}
+	wrongChunks := testSnapshot()
+	wrongChunks.ChunkDigests = wrongChunks.ChunkDigests[:1]
+	if wrongChunks.Canonical() {
+		t.Fatal("chunk count disagreeing with record count accepted as canonical")
+	}
+	shortBody := testSnapshot()
+	shortBody.Ledger = shortBody.Ledger[:1] // partial body: neither manifest nor monolith
+	if shortBody.Canonical() {
+		t.Fatal("partial ledger body accepted as canonical")
 	}
 }
 
