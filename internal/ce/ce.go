@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -210,6 +211,11 @@ func (ce *CE) workers(n int) int {
 	w := ce.cfg.Executors
 	if w > n {
 		w = n
+	}
+	// More workers than schedulable CPUs cannot add parallelism, only
+	// spawn and hand-off overhead (acute in the GOMAXPROCS=1 bench).
+	if p := runtime.GOMAXPROCS(0); w > p {
+		w = p
 	}
 	if w < 1 {
 		w = 1

@@ -56,8 +56,11 @@ type Options struct {
 	InitBalance int64
 	// K / KPrime are the reconfiguration knobs (node.Config).
 	K, KPrime int
-	// BatchSize caps transactions per block (default 64).
-	BatchSize int
+	// BatchSize caps transactions per block (default 64). BatchSizeCap
+	// bounds adaptive batch growth above it (0 = node default of
+	// 4x BatchSize; negative disables adaptation).
+	BatchSize    int
+	BatchSizeCap int
 	// Latency is the network model (default: tight LAN jitter).
 	Latency transport.LatencyModel
 	// TickInterval paces node housekeeping — also the fault-recovery
@@ -158,7 +161,8 @@ func New(opt Options) (*Harness, error) {
 		N: opt.N, Mode: opt.Mode, Latency: opt.Latency,
 		Accounts: opt.Accounts, InitBalance: opt.InitBalance,
 		Executors: 2, Validators: 2,
-		BatchSize: opt.BatchSize, K: opt.K, KPrime: opt.KPrime,
+		BatchSize: opt.BatchSize, BatchSizeCap: opt.BatchSizeCap,
+		K: opt.K, KPrime: opt.KPrime,
 		TickInterval: opt.TickInterval, MinRoundInterval: opt.MinRoundInterval,
 		GCHorizon: opt.GCHorizon, Seed: opt.Seed,
 		SnapshotInterval:      opt.SnapshotInterval,

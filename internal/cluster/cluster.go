@@ -43,8 +43,12 @@ type Config struct {
 	Executors  int
 	Validators int
 	BatchSize  int
-	K          int
-	KPrime     int
+	// BatchSizeCap / BatchLatencyTarget tune the adaptive batch
+	// controller (node.Config); zero selects the node defaults.
+	BatchSizeCap       int
+	BatchLatencyTarget time.Duration
+	K                  int
+	KPrime             int
 	// TickInterval paces node housekeeping (default 25ms).
 	TickInterval time.Duration
 	// Seed feeds key generation and the workload.
@@ -225,6 +229,8 @@ func New(cfg Config) (*Cluster, error) {
 			Mode:      cfg.Mode,
 			Executors: cfg.Executors, Validators: cfg.Validators,
 			BatchSize: cfg.BatchSize, K: cfg.K, KPrime: cfg.KPrime,
+			BatchSizeCap:       cfg.BatchSizeCap,
+			BatchLatencyTarget: cfg.BatchLatencyTarget,
 			TickInterval:          cfg.TickInterval,
 			MinRoundInterval:      cfg.MinRoundInterval,
 			CommitLogCap:          cfg.CommitLogCap,
@@ -537,6 +543,15 @@ func (c *Cluster) SubmitWait(tx *types.Transaction, retryEvery, timeout time.Dur
 		c.unwatch(id, ch)
 		return err
 	}
+	// One reused timer per call: a time.After per retry quantum leaves
+	// an unstoppable timer in the heap for the full retry interval long
+	// after the commit arrived — at load, thousands of dead timers.
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
@@ -547,10 +562,21 @@ func (c *Cluster) SubmitWait(tx *types.Transaction, retryEvery, timeout time.Dur
 		if wait <= 0 || wait > remaining {
 			wait = remaining
 		}
+		if timer == nil {
+			timer = time.NewTimer(wait)
+		} else {
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(wait)
+		}
 		select {
 		case <-ch:
 			return nil
-		case <-time.After(wait):
+		case <-timer.C:
 			_ = c.Submit(tx) // re-route and retry
 		}
 	}

@@ -177,39 +177,77 @@ func (InsecureScheme) Committee(n int, seed int64) ([]Signer, Verifier, error) {
 	if n <= 0 {
 		return nil, nil, errors.New("crypto: committee size must be positive")
 	}
-	keys := make([][]byte, n)
+	pads := make([]macPads, n)
 	signers := make([]Signer, n)
 	for i := 0; i < n; i++ {
 		k := sha256.Sum256([]byte(fmt.Sprintf("insecure-key-%d-%d", seed, i)))
-		keys[i] = k[:]
-		signers[i] = &macSigner{id: types.ReplicaID(i), key: k[:]}
+		pads[i] = newMACPads(k[:])
+		signers[i] = &macSigner{id: types.ReplicaID(i), pads: pads[i]}
 	}
-	return signers, &macVerifier{keys: keys}, nil
+	return signers, &macVerifier{pads: pads}, nil
+}
+
+// macPads holds a key's precomputed HMAC-SHA256 pad blocks with room
+// for a 32-byte message appended, so one tag is two sha256.Sum256
+// calls over stack-resident buffers — zero heap traffic. Going
+// through crypto/hmac's hash.Hash interface instead costs an
+// allocation per call on the vote/certificate hot path.
+type macPads struct {
+	inner [sha256.BlockSize + sha256.Size]byte // key ^ ipad || digest
+	outer [sha256.BlockSize + sha256.Size]byte // key ^ opad || inner tag
+}
+
+func newMACPads(key []byte) macPads {
+	if len(key) > sha256.BlockSize {
+		k := sha256.Sum256(key)
+		key = k[:]
+	}
+	var p macPads
+	copy(p.inner[:], key)
+	copy(p.outer[:], key)
+	for i := 0; i < sha256.BlockSize; i++ {
+		p.inner[i] ^= 0x36
+		p.outer[i] ^= 0x5c
+	}
+	return p
+}
+
+// tag computes HMAC-SHA256(key, d) — bit-identical to crypto/hmac —
+// into a stack array.
+func (p *macPads) tag(d types.Digest) [sha256.Size]byte {
+	in := p.inner
+	copy(in[sha256.BlockSize:], d[:])
+	t := sha256.Sum256(in[:])
+	out := p.outer
+	copy(out[sha256.BlockSize:], t[:])
+	return sha256.Sum256(out[:])
 }
 
 type macSigner struct {
-	id  types.ReplicaID
-	key []byte
+	id   types.ReplicaID
+	pads macPads
 }
 
+// Sign allocates only the escaping 32-byte tag; signing happens once
+// per vote — the consensus hot path.
 func (s *macSigner) Sign(d types.Digest) []byte {
-	m := hmac.New(sha256.New, s.key)
-	m.Write(d[:])
-	return m.Sum(nil)
+	t := s.pads.tag(d)
+	sig := make([]byte, sha256.Size)
+	copy(sig, t[:])
+	return sig
 }
 func (s *macSigner) ID() types.ReplicaID { return s.id }
 
 type macVerifier struct {
-	keys [][]byte
+	pads []macPads // per-replica precomputed pad blocks
 }
 
 func (v *macVerifier) Verify(r types.ReplicaID, d types.Digest, sig []byte) bool {
-	if int(r) >= len(v.keys) {
+	if int(r) >= len(v.pads) {
 		return false
 	}
-	m := hmac.New(sha256.New, v.keys[r])
-	m.Write(d[:])
-	return hmac.Equal(m.Sum(nil), sig)
+	t := v.pads[r].tag(d)
+	return hmac.Equal(t[:], sig)
 }
 
 // macVerifier deliberately does not implement BatchVerifier: HMAC
@@ -304,34 +342,54 @@ func (c *CachingVerifier) Verify(r types.ReplicaID, d types.Digest, sig []byte) 
 // batch path.
 func (c *CachingVerifier) VerifyBatch(signers []types.ReplicaID, d types.Digest, sigs [][]byte) []bool {
 	out := make([]bool, len(signers))
-	keys := make([]sigKey, len(signers))
-	var missIdx []int
+	// Miss bookkeeping runs out of a pooled scratch: certificates from
+	// other proposers are all-miss (only a proposer's own votes are in
+	// the memo), so this path runs for most certificates a replica
+	// receives and the result slice must be its only allocation.
+	sc := batchScratchPool.Get().(*batchScratch)
+	missIdx, missKeys := sc.idx[:0], sc.keys[:0]
 	for i := range signers {
-		keys[i] = c.key(signers[i], d, sigs[i])
-		if c.hit(keys[i]) {
+		k := c.key(signers[i], d, sigs[i])
+		if c.hit(k) {
 			out[i] = true
 		} else {
 			missIdx = append(missIdx, i)
+			missKeys = append(missKeys, k)
 		}
 	}
 	if len(missIdx) == 0 {
+		sc.idx, sc.keys = missIdx, missKeys
+		batchScratchPool.Put(sc)
 		return out
 	}
-	ms := make([]types.ReplicaID, len(missIdx))
-	mg := make([][]byte, len(missIdx))
-	for j, i := range missIdx {
-		ms[j] = signers[i]
-		mg[j] = sigs[i]
+	ms, mg := sc.signers[:0], sc.sigs[:0]
+	for _, i := range missIdx {
+		ms = append(ms, signers[i])
+		mg = append(mg, sigs[i])
 	}
 	for j, ok := range verifyBatch(c.inner, ms, d, mg) {
 		if ok {
-			i := missIdx[j]
-			out[i] = true
-			c.remember(keys[i])
+			out[missIdx[j]] = true
+			c.remember(missKeys[j])
 		}
 	}
+	sc.idx, sc.keys, sc.signers = missIdx, missKeys, ms
+	clear(mg) // drop signature references before pooling
+	sc.sigs = mg
+	batchScratchPool.Put(sc)
 	return out
 }
+
+// batchScratch recycles VerifyBatch's miss-tracking slices; the inner
+// verifier reads them synchronously and never retains them.
+type batchScratch struct {
+	idx     []int
+	keys    []sigKey
+	signers []types.ReplicaID
+	sigs    [][]byte
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
 
 // SchemeByName resolves a scheme from its configuration name.
 func SchemeByName(name string) (Scheme, error) {

@@ -3,6 +3,7 @@ package crypto
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"thunderbolt/internal/types"
 )
@@ -58,13 +59,17 @@ func (q *QuorumCollector) Add(r types.ReplicaID, sig []byte) (*types.Certificate
 	if !q.verifier.Verify(r, q.block, sig) {
 		return nil, ErrBadSignature
 	}
-	q.sigs[r] = append([]byte(nil), sig...)
+	// The signature is retained as handed in: every caller passes an
+	// owned slice (a fresh local signature, or bytes of a delivered
+	// message buffer the transport hands over), so no defensive copy.
+	q.sigs[r] = sig
 	if q.done || len(q.sigs) < QuorumSize(q.n) {
 		return nil, nil
 	}
 	q.done = true
 	cert := &types.Certificate{
 		BlockDigest: q.block, Epoch: q.epoch, Round: q.round, Proposer: q.proposer,
+		Sigs: make([]types.Signature, 0, len(q.sigs)),
 	}
 	// Deterministic signer order keeps certificates comparable in tests.
 	for id := types.ReplicaID(0); int(id) < q.n; id++ {
@@ -87,14 +92,19 @@ func VerifyCertificate(cert *types.Certificate, n int, v Verifier) error {
 	if len(cert.Sigs) < QuorumSize(n) {
 		return fmt.Errorf("crypto: certificate has %d signatures, need %d", len(cert.Sigs), QuorumSize(n))
 	}
-	seen := make(map[types.ReplicaID]bool, len(cert.Sigs))
-	signers := make([]types.ReplicaID, 0, len(cert.Sigs))
-	sigs := make([][]byte, 0, len(cert.Sigs))
+	// Dedup and flatten out of a pooled scratch: this runs once per
+	// received certificate — the hottest verification call site — and
+	// verifiers read the slices synchronously without retaining them.
+	sc := certScratchPool.Get().(*certScratch)
+	if sc.seen == nil {
+		sc.seen = make(map[types.ReplicaID]bool, len(cert.Sigs))
+	}
+	signers, sigs := sc.signers[:0], sc.sigs[:0]
 	for _, s := range cert.Sigs {
-		if int(s.Signer) >= n || seen[s.Signer] {
+		if int(s.Signer) >= n || sc.seen[s.Signer] {
 			continue
 		}
-		seen[s.Signer] = true
+		sc.seen[s.Signer] = true
 		signers = append(signers, s.Signer)
 		sigs = append(sigs, s.Sig)
 	}
@@ -104,8 +114,22 @@ func VerifyCertificate(cert *types.Certificate, n int, v Verifier) error {
 			valid++
 		}
 	}
+	clear(sc.seen)
+	sc.signers = signers
+	clear(sigs) // drop signature references before pooling
+	sc.sigs = sigs
+	certScratchPool.Put(sc)
 	if valid < QuorumSize(n) {
 		return fmt.Errorf("crypto: certificate has %d valid signatures, need %d", valid, QuorumSize(n))
 	}
 	return nil
 }
+
+// certScratch recycles VerifyCertificate's dedup/flatten buffers.
+type certScratch struct {
+	seen    map[types.ReplicaID]bool
+	signers []types.ReplicaID
+	sigs    [][]byte
+}
+
+var certScratchPool = sync.Pool{New: func() any { return new(certScratch) }}

@@ -52,6 +52,13 @@ type Store struct {
 	// whose parents predate everything the installer retained.
 	base types.Round
 
+	// walkSeen/walkStack are scratch for Linearize, reused across
+	// commit waves so the per-wave walk allocates nothing but its
+	// result slice. Store is event-loop-owned, so plain fields are
+	// safe.
+	walkSeen  map[types.Digest]bool
+	walkStack []*Vertex
+
 	// support memoizes SupportFor per vertex (by certificate digest).
 	// A memo entry is valid while the supporting round's vote set is
 	// unchanged; roundVer increments on every insertion into a round,
@@ -235,14 +242,14 @@ func (s *Store) CountAtRound(r types.Round) int { return len(s.rounds[r]) }
 // proposer order (deterministic parent lists).
 func (s *Store) CertsAtRound(r types.Round) []types.Digest {
 	rm := s.rounds[r]
-	ids := make([]types.ReplicaID, 0, len(rm))
-	for id := range rm {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	out := make([]types.Digest, 0, len(ids))
-	for _, id := range ids {
-		out = append(out, rm[id].Cert.Digest())
+	out := make([]types.Digest, 0, len(rm))
+	// Walk replica IDs in committee order instead of sorting map keys:
+	// this runs on every propose and committer probe, and the sort
+	// closure plus the key slice were two allocations per call.
+	for id := types.ReplicaID(0); int(id) < s.n; id++ {
+		if v, ok := rm[id]; ok {
+			out = append(out, v.Cert.Digest())
+		}
 	}
 	return out
 }
@@ -333,14 +340,46 @@ func (s *Store) InCausalHistory(from, target *Vertex) bool {
 // canonical deterministic order: ascending round, then ascending
 // proposer. Every honest replica computes the identical sequence for
 // the same leader vertex (DAG Completeness).
+//
+// The walk prunes at skipped vertices: the committed set is causally
+// closed (committing a leader commits its entire uncommitted history
+// in the same wave), so a skipped vertex never has an unskipped
+// ancestor and the walk never needs to descend past it. That makes a
+// commit wave cost O(vertices committed this wave), not O(retained
+// DAG) — the retained DAG spans up to GCHorizon rounds, and the full
+// walk dominated cluster commit latency.
 func (s *Store) Linearize(v *Vertex, skip func(types.Digest) bool) []*Vertex {
-	all := append(s.CausalHistory(v), v)
-	out := all[:0]
-	for _, w := range all {
-		if skip == nil || !skip(w.Cert.Digest()) {
-			out = append(out, w)
+	if skip != nil && skip(v.Cert.Digest()) {
+		return nil
+	}
+	for k := range s.walkSeen {
+		delete(s.walkSeen, k)
+	}
+	if s.walkSeen == nil {
+		s.walkSeen = make(map[types.Digest]bool, 64)
+	}
+	s.walkSeen[v.Cert.Digest()] = true
+	out := make([]*Vertex, 1, 16) // escapes to the committer; not scratch
+	out[0] = v
+	stack := append(s.walkStack[:0], v)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range cur.Block.Parents {
+			if s.walkSeen[p] {
+				continue
+			}
+			s.walkSeen[p] = true
+			if skip != nil && skip(p) {
+				continue
+			}
+			if pv, ok := s.byCert[p]; ok {
+				out = append(out, pv)
+				stack = append(stack, pv)
+			}
 		}
 	}
+	s.walkStack = stack
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Round() != out[j].Round() {
 			return out[i].Round() < out[j].Round()

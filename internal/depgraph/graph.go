@@ -179,6 +179,11 @@ type Graph struct {
 	reach     map[reachKey]uint64
 	removeGen uint64
 
+	// snapFree recycles the reader-set snapshot slices abort cascades
+	// and write serialization iterate over (a free-list rather than one
+	// scratch: abort recurses through snapshots). All use is under mu.
+	snapFree [][]*node
+
 	// FinishWait fast path: while finishing is non-nil (only ever
 	// under mu, within one FinishWait call) that node's outcome is
 	// recorded here instead of being sent on its done channel.
@@ -534,9 +539,11 @@ func (g *Graph) Write(t *Tx, k types.Key, v types.Value) error {
 		// invalidates their reads: cascading abort (§8.4 rule 2,
 		// Figure 10b; Table 1 time 5). Snapshot the reader set first:
 		// cascades mutate it.
-		for _, r := range snapshotNodes(n.readersOf[k]) {
+		snap := g.snapshotNodes(n.readersOf[k])
+		for _, r := range snap {
 			g.abort(r)
 		}
+		g.putSnapshot(snap)
 		delete(n.readersOf, k)
 		if n.aborted { // a cascade cycled back through another key
 			return contract.ErrAborted
@@ -556,7 +563,9 @@ func (g *Graph) Write(t *Tx, k types.Key, v types.Value) error {
 	}
 	// Serialize after everyone who observed the current newest
 	// version (Figure 9a): readTips → n.
-	for _, r := range snapshotNodes(ks.readTips) {
+	snap := g.snapshotNodes(ks.readTips)
+	defer g.putSnapshot(snap)
+	for _, r := range snap {
 		if r == n || r.aborted {
 			continue
 		}
@@ -592,15 +601,31 @@ func (g *Graph) Write(t *Tx, k types.Key, v types.Value) error {
 
 // snapshotNodes copies a node set into a slice so callers can iterate
 // while cascaded aborts mutate the underlying map.
-func snapshotNodes(set map[*node]struct{}) []*node {
+func (g *Graph) snapshotNodes(set map[*node]struct{}) []*node {
 	if len(set) == 0 {
 		return nil
 	}
-	out := make([]*node, 0, len(set))
+	var out []*node
+	if n := len(g.snapFree); n > 0 {
+		out = g.snapFree[n-1][:0]
+		g.snapFree = g.snapFree[:n-1]
+	} else {
+		out = make([]*node, 0, max(len(set), 8))
+	}
 	for n := range set {
 		out = append(out, n)
 	}
 	return out
+}
+
+// putSnapshot returns a snapshot slice to the free-list once its
+// iteration is done (clearing the node references it pins).
+func (g *Graph) putSnapshot(s []*node) {
+	if s == nil {
+		return
+	}
+	clear(s)
+	g.snapFree = append(g.snapFree, s[:0])
 }
 
 func (ks *keyState) tipWriter() *node {
@@ -676,9 +701,11 @@ func (g *Graph) abort(n *node) {
 	// Cascade first: everyone who read one of n's writes holds a value
 	// that will no longer exist.
 	for _, readers := range n.readersOf {
-		for _, r := range snapshotNodes(readers) {
+		snap := g.snapshotNodes(readers)
+		for _, r := range snap {
 			g.abort(r)
 		}
+		g.putSnapshot(snap)
 	}
 	// Unlink edges first so chain splicing below sees the graph
 	// without n; successors may become commit-eligible.

@@ -7,7 +7,11 @@
 // no abort/retry churn (the soyart/depgraph layering idiom).
 package depgraph
 
-import "thunderbolt/internal/types"
+import (
+	"sync"
+
+	"thunderbolt/internal/types"
+)
 
 // Access is one transaction's known key footprint.
 type Access struct {
@@ -28,25 +32,37 @@ type keyLevels struct {
 // both the last writer (WAW) and every reader since (WAR). Two
 // transactions sharing a layer therefore never conflict, and every
 // dependency points to a strictly lower layer.
+// keyLevels entries live in the map by value — a pointer box per
+// touched key was one of the commit path's heaviest allocation sites
+// (every block validation plans layers over its whole footprint).
 type layerBuilder struct {
-	levels  map[types.Key]*keyLevels
+	levels  map[types.Key]keyLevels
 	layerOf []int
+	sizes   []int // per-layer count scratch, reused across plans
 	max     int
 
 	cur int // level of the transaction being placed
 }
 
+// builderPool recycles layerBuilders (and their maps) across plans;
+// validation runs concurrently across replicas in one process.
+var builderPool = sync.Pool{New: func() any {
+	return &layerBuilder{levels: make(map[types.Key]keyLevels, 64)}
+}}
+
 func newLayerBuilder(n int) *layerBuilder {
-	return &layerBuilder{levels: make(map[types.Key]*keyLevels, 2*n), layerOf: make([]int, 0, n), max: -1}
+	b := builderPool.Get().(*layerBuilder)
+	b.max = -1
+	b.cur = 0
+	return b
 }
 
-func (b *layerBuilder) level(k types.Key) *keyLevels {
-	kl, ok := b.levels[k]
-	if !ok {
-		kl = &keyLevels{writer: -1, reader: -1}
-		b.levels[k] = kl
-	}
-	return kl
+// release returns the builder to the pool. The layerOf slice is kept
+// (capacity reused); the returned plan from layers() owns fresh memory.
+func (b *layerBuilder) release() {
+	clear(b.levels)
+	b.layerOf = b.layerOf[:0]
+	builderPool.Put(b)
 }
 
 // read/write raise the pending transaction's layer for one footprint
@@ -70,18 +86,36 @@ func (b *layerBuilder) write(k types.Key) {
 	}
 }
 
-func (b *layerBuilder) place(reads, writes func(f func(types.Key))) {
+// noteRead/noteWrite record one sealed access at level lvl. They are
+// plain methods rather than callback iterators: the closure pair the
+// old API allocated per placed transaction showed up in commit-path
+// profiles.
+func (b *layerBuilder) noteRead(k types.Key, lvl int) {
+	kl, ok := b.levels[k]
+	if !ok {
+		kl = keyLevels{writer: -1, reader: lvl}
+		b.levels[k] = kl
+	} else if lvl > kl.reader {
+		kl.reader = lvl
+		b.levels[k] = kl
+	}
+}
+
+func (b *layerBuilder) noteWrite(k types.Key, lvl int) {
+	kl, ok := b.levels[k]
+	if !ok {
+		kl = keyLevels{writer: lvl, reader: -1}
+		b.levels[k] = kl
+	} else if lvl > kl.writer {
+		kl.writer = lvl
+		b.levels[k] = kl
+	}
+}
+
+// seal finishes the pending transaction: callers record its accesses
+// via noteRead/noteWrite at the returned level first.
+func (b *layerBuilder) seal() {
 	lvl := b.cur
-	reads(func(k types.Key) {
-		if kl := b.level(k); lvl > kl.reader {
-			kl.reader = lvl
-		}
-	})
-	writes(func(k types.Key) {
-		if kl := b.level(k); lvl > kl.writer {
-			kl.writer = lvl
-		}
-	})
 	b.layerOf = append(b.layerOf, lvl)
 	if lvl > b.max {
 		b.max = lvl
@@ -93,7 +127,11 @@ func (b *layerBuilder) layers() [][]int {
 	if b.max < 0 {
 		return nil
 	}
-	sizes := make([]int, b.max+1)
+	for len(b.sizes) < b.max+1 {
+		b.sizes = append(b.sizes, 0)
+	}
+	sizes := b.sizes[:b.max+1]
+	clear(sizes)
 	for _, l := range b.layerOf {
 		sizes[l]++
 	}
@@ -129,20 +167,18 @@ func Layers(accs []Access) [][]int {
 		for _, k := range a.Writes {
 			b.write(k)
 		}
-		b.place(
-			func(f func(types.Key)) {
-				for _, k := range a.Reads {
-					f(k)
-				}
-			},
-			func(f func(types.Key)) {
-				for _, k := range a.Writes {
-					f(k)
-				}
-			},
-		)
+		lvl := b.cur
+		for _, k := range a.Reads {
+			b.noteRead(k, lvl)
+		}
+		for _, k := range a.Writes {
+			b.noteWrite(k, lvl)
+		}
+		b.seal()
 	}
-	return b.layers()
+	out := b.layers()
+	b.release()
+	return out
 }
 
 // LayersOfResults plans conflict-free layers straight from declared
@@ -158,18 +194,16 @@ func LayersOfResults(results []types.TxResult) [][]int {
 		for j := range r.WriteSet {
 			b.write(r.WriteSet[j].Key)
 		}
-		b.place(
-			func(f func(types.Key)) {
-				for j := range r.ReadSet {
-					f(r.ReadSet[j].Key)
-				}
-			},
-			func(f func(types.Key)) {
-				for j := range r.WriteSet {
-					f(r.WriteSet[j].Key)
-				}
-			},
-		)
+		lvl := b.cur
+		for j := range r.ReadSet {
+			b.noteRead(r.ReadSet[j].Key, lvl)
+		}
+		for j := range r.WriteSet {
+			b.noteWrite(r.WriteSet[j].Key, lvl)
+		}
+		b.seal()
 	}
-	return b.layers()
+	out := b.layers()
+	b.release()
+	return out
 }

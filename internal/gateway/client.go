@@ -268,6 +268,15 @@ func (c *Client) SubmitWait(tx *types.Transaction, timeout time.Duration) (Resul
 	accepted := false
 	attemptAt := time.Now()
 	outOfWindow := 0
+	// One reused timer across wait quanta (stopped-and-drained before
+	// each Reset); a fresh NewTimer per quantum was a steady
+	// per-transaction allocation at load.
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for {
 		// One wait quantum: the failover timer while unacknowledged,
 		// the retransmit timer once accepted.
@@ -280,10 +289,19 @@ func (c *Client) SubmitWait(tx *types.Transaction, timeout time.Duration) (Resul
 		} else if quantum > rem {
 			quantum = rem
 		}
-		timer := time.NewTimer(quantum)
+		if timer == nil {
+			timer = time.NewTimer(quantum)
+		} else {
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(quantum)
+		}
 		select {
 		case ev := <-ch:
-			timer.Stop()
 			switch ev.kind {
 			case MsgTxCommitted:
 				return res, nil
@@ -339,7 +357,6 @@ func (c *Client) SubmitWait(tx *types.Transaction, timeout time.Duration) (Resul
 				attemptAt = time.Now()
 			}
 		case <-c.closed:
-			timer.Stop()
 			return res, errors.New("gateway: client closed")
 		}
 	}

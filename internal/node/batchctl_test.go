@@ -1,0 +1,94 @@
+package node
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAdaptiveBatchBounds pins the adaptive batch controller's
+// contract: the size never leaves [floor, cap], sustained backlog
+// grows it, latency pressure shrinks it back, and the whole evolution
+// is a pure function of the observation sequence — two replicas fed
+// identical observations size their batches identically, which the
+// pipelined proposer depends on for cross-replica batch agreement.
+func TestAdaptiveBatchBounds(t *testing.T) {
+	const floor, cap = 16, 100
+
+	t.Run("never exceeds cap", func(t *testing.T) {
+		b := newBatchController(floor, cap)
+		for i := 0; i < 64; i++ {
+			b.ObserveQueue(1 << 20) // bottomless backlog
+			if b.Size() > cap {
+				t.Fatalf("step %d: size %d exceeds cap %d", i, b.Size(), cap)
+			}
+			if b.Size() < floor {
+				t.Fatalf("step %d: size %d below floor %d", i, b.Size(), floor)
+			}
+		}
+		if b.Size() != cap {
+			t.Fatalf("sustained backlog should converge on the cap: size %d, cap %d", b.Size(), cap)
+		}
+	})
+
+	t.Run("shrinks under latency pressure", func(t *testing.T) {
+		b := newBatchController(floor, cap)
+		for i := 0; i < 8; i++ {
+			b.ObserveQueue(1 << 20)
+		}
+		grown := b.Size()
+		if grown <= floor {
+			t.Fatalf("backlog never grew the batch: size %d", grown)
+		}
+		for i := 0; i < 64; i++ {
+			b.ObserveLatency(true)
+			if b.Size() > grown {
+				t.Fatalf("latency pressure grew the batch: %d > %d", b.Size(), grown)
+			}
+			if b.Size() < floor {
+				t.Fatalf("latency pressure shrank below the floor: %d < %d", b.Size(), floor)
+			}
+		}
+		if b.Size() != floor {
+			t.Fatalf("sustained latency pressure should converge on the floor: size %d", b.Size())
+		}
+		// In-target latency alone never grows the batch.
+		b.ObserveLatency(false)
+		if b.Size() != floor {
+			t.Fatalf("in-target latency changed the size: %d", b.Size())
+		}
+	})
+
+	t.Run("deterministic across replicas", func(t *testing.T) {
+		a := newBatchController(floor, cap)
+		b := newBatchController(floor, cap)
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 4096; i++ {
+			if rng.Intn(2) == 0 {
+				depth := rng.Intn(4 * cap)
+				a.ObserveQueue(depth)
+				b.ObserveQueue(depth)
+			} else {
+				over := rng.Intn(2) == 0
+				a.ObserveLatency(over)
+				b.ObserveLatency(over)
+			}
+			if a.Size() != b.Size() {
+				t.Fatalf("step %d: identical observations, different sizes: %d vs %d", i, a.Size(), b.Size())
+			}
+			if a.Size() < floor || a.Size() > cap {
+				t.Fatalf("step %d: size %d outside [%d, %d]", i, a.Size(), floor, cap)
+			}
+		}
+	})
+
+	t.Run("cap at or below floor disables adaptation", func(t *testing.T) {
+		b := newBatchController(floor, -1)
+		for i := 0; i < 16; i++ {
+			b.ObserveQueue(1 << 20)
+			b.ObserveLatency(true)
+			if b.Size() != floor {
+				t.Fatalf("adaptation disabled but size moved: %d != %d", b.Size(), floor)
+			}
+		}
+	})
+}

@@ -10,28 +10,47 @@ import (
 	"thunderbolt/internal/validate"
 )
 
-// processCommits drains the Tusk committer and executes every newly
-// committed wave. If a wave pushes the epoch's committed Shift count
-// to 2f+1, the node transitions to a new DAG immediately and discards
-// any later waves of the old epoch (they are re-derived by the new
-// DAG; the paper's "ending round" semantics).
+// processCommits drains the Tusk committer and queues every newly
+// committed wave for execution. Execution is pipelined: it happens in
+// drainExec between event-loop passes, so certificate and vote
+// handling for rounds r and r+1 proceeds while wave r−1 executes —
+// the commit path never lock-steps the protocol stages.
 func (n *Node) processCommits() {
-	waves := n.committer.Advance()
-	for _, w := range waves {
+	if waves := n.committer.Advance(); len(waves) > 0 {
+		n.execQ = append(n.execQ, waves...)
+	}
+}
+
+// drainExec executes queued commit waves in order. If a wave pushes
+// the epoch's committed Shift count to 2f+1, the node transitions to
+// a new DAG immediately and discards any later queued waves of the
+// old epoch (resetEpochState clears execQ; the paper's "ending round"
+// semantics). Between waves the inbox is re-drained — messages that
+// arrived during a long execution are handled (and may append further
+// waves) before the next wave runs.
+func (n *Node) drainExec() {
+	for i := 0; i < len(n.execQ); i++ {
+		w := n.execQ[i]
+		n.execQ[i] = tusk.CommitWave{} // release the vertex references
 		n.executeWave(w)
 		if len(n.committedShift) >= crypto.QuorumSize(n.n) {
 			n.reconfigure()
-			return
+			n.flushOutbox()
+			i = -1 // execQ was replaced by the new epoch's queue, if any
+			continue
 		}
 		// Mid-epoch snapshot cadence: capture when this wave crossed a
 		// SnapshotInterval boundary of committed leader rounds. After
 		// the wave's execution, so the capture sees its writes — the
 		// deterministic position every honest replica shares.
 		n.maybeCaptureMidEpoch(w.Leader.Round())
-	}
-	if len(waves) > 0 {
 		n.maybeGC()
+		n.flushOutbox()
+		n.drainInbox()
 	}
+	// Every entry was consumed (and zeroed above); keep the backing
+	// array so steady-state commits stop re-growing the queue.
+	n.execQ = n.execQ[:0]
 }
 
 // executeWave applies one commit wave: validated single-shard preplay
@@ -125,7 +144,7 @@ func (n *Node) executeWave(w tusk.CommitWave) {
 		for i, it := range crossTxs {
 			txs[i] = it.tx
 		}
-		outs := validate.ExecuteCrossOrdered(n.cfg.Registry, n.baseRead, txs, n.cfg.Validators)
+		outs := validate.ExecuteCrossOrdered(n.cfg.Registry, n.baseReader, txs, n.cfg.Validators)
 		for i, out := range outs {
 			id := out.Tx.ID()
 			delete(n.pendingCross, id)
@@ -182,7 +201,7 @@ func (n *Node) validateAndApply(b *types.Block, now time.Time) bool {
 		}
 		inBlock[id] = true
 	}
-	res, err := validate.ValidateBatch(n.cfg.Registry, n.baseRead, b.SingleTxs, b.Results, n.cfg.Validators)
+	res, err := validate.ValidateBatch(n.cfg.Registry, n.baseReader, b.SingleTxs, b.Results, n.cfg.Validators)
 	if err != nil {
 		return false
 	}
@@ -206,6 +225,11 @@ func (n *Node) validateAndApply(b *types.Block, now time.Time) bool {
 	// never saw.
 	if b.Proposer == n.cfg.ID {
 		n.dropOwnBlock(b.Round)
+		// Adaptive batch feedback: this block's propose→commit latency
+		// against the target. Over-target commits shrink the batch back
+		// toward the floor (see batchController).
+		lat := now.Sub(time.Unix(0, b.ProposedUnixNano))
+		n.batch.ObserveLatency(lat > n.cfg.BatchLatencyTarget)
 	} else {
 		n.preplayer.invalidate()
 	}
@@ -225,7 +249,7 @@ func (n *Node) executeSerial(b *types.Block, now time.Time) {
 			continue
 		}
 		n.commitCtx.Cross = tx.IsCross()
-		outs := validate.ExecuteCrossOrdered(n.cfg.Registry, n.baseRead, []*types.Transaction{tx}, 1)
+		outs := validate.ExecuteCrossOrdered(n.cfg.Registry, n.baseReader, []*types.Transaction{tx}, 1)
 		note := n.newMarkNote()
 		if outs[0].Err != nil {
 			note.fail(tx)

@@ -78,11 +78,11 @@ func (n *Node) handleTxSubmit(from types.ReplicaID, tx *types.Transaction) {
 }
 
 func (n *Node) sendAck(to types.ReplicaID, a *gateway.Ack) {
-	_ = n.cfg.Transport.Send(to, gateway.MsgTxAck, a.Marshal())
+	n.sendNow(to, gateway.MsgTxAck, a.Marshal())
 }
 
 func (n *Node) sendNack(to types.ReplicaID, nk *gateway.Nack) {
-	_ = n.cfg.Transport.Send(to, gateway.MsgTxNack, nk.Marshal())
+	n.sendNow(to, gateway.MsgTxNack, nk.Marshal())
 }
 
 // notifyCommitted pushes MsgTxCommitted to the wire client waiting on
@@ -94,7 +94,7 @@ func (n *Node) notifyCommitted(tx *types.Transaction) {
 		return
 	}
 	delete(n.txClients, id)
-	_ = n.cfg.Transport.Send(sub.from, gateway.MsgTxCommitted, (&gateway.Committed{
+	n.sendNow(sub.from, gateway.MsgTxCommitted, (&gateway.Committed{
 		TxID: id, Client: tx.Client, Nonce: tx.Nonce, Epoch: n.epoch,
 	}).Marshal())
 }
@@ -114,7 +114,7 @@ func (n *Node) nackPending(tx *types.Transaction, reason gateway.NackReason) {
 	if len(tx.Shards) > 0 {
 		shard = tx.Shards[0]
 	}
-	_ = n.cfg.Transport.Send(sub.from, gateway.MsgTxNack, (&gateway.Nack{
+	n.sendNow(sub.from, gateway.MsgTxNack, (&gateway.Nack{
 		TxID: id, Client: tx.Client, Nonce: tx.Nonce,
 		Reason: reason, Epoch: n.epoch,
 		Proposer: ProposerOfShard(shard, n.epoch, n.n),

@@ -1,6 +1,7 @@
 package node
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"thunderbolt/internal/transport"
@@ -77,7 +78,42 @@ const (
 	// detected and re-requested from another server regardless of who
 	// sent it.
 	MsgSnapChunk
+	// MsgBatch is a coalesced multi-message frame: every protocol
+	// message one node queued for one peer during a single event-loop
+	// pass, concatenated into one envelope over the existing framing.
+	// A round's worth of traffic (block + certificate + recovery
+	// replies) costs O(1) sends per peer instead of O(messages); the
+	// receiver unpacks and dispatches each sub-message in order.
+	MsgBatch
 )
+
+// appendBatched appends one [mt][uvarint len][payload] entry to a
+// MsgBatch frame under construction.
+func appendBatched(frame []byte, mt transport.MsgType, payload []byte) []byte {
+	frame = append(frame, byte(mt))
+	var tmp [10]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(payload)))
+	frame = append(frame, tmp[:n]...)
+	return append(frame, payload...)
+}
+
+// forEachBatched iterates a MsgBatch frame, calling fn for each
+// sub-message. Sub-payloads alias the frame (the receiver owns it).
+// Returns an error on a malformed frame; messages before the
+// malformation have already been delivered to fn.
+func forEachBatched(frame []byte, fn func(mt transport.MsgType, payload []byte)) error {
+	for len(frame) > 0 {
+		mt := transport.MsgType(frame[0])
+		frame = frame[1:]
+		l, n := binary.Uvarint(frame)
+		if n <= 0 || uint64(len(frame)-n) < l {
+			return fmt.Errorf("node: malformed batch frame")
+		}
+		fn(mt, frame[n:n+int(l)])
+		frame = frame[n+int(l):]
+	}
+	return nil
+}
 
 // vote is the payload of MsgVote.
 type vote struct {

@@ -148,16 +148,40 @@ func (n *Node) propose() {
 		s.QueueLen = uint64(len(n.txQueue))
 	})
 	// Register the quorum collector before broadcasting so even the
-	// self-vote lands in it. Keep the block locally too: self-delivery
-	// is lossy under injected faults, and housekeeping rebroadcasts
-	// lastBlock until its certificate lands.
+	// self-vote lands in it. Keep the block (and its encoding — one
+	// marshal serves the broadcast and any housekeeping rebroadcast):
+	// self-delivery is lossy under injected faults, and housekeeping
+	// re-sends lastBlockRaw until the certificate lands.
 	d := blk.Digest()
-	n.collectors[d] = crypto.NewQuorumCollector(n.n, n.verifier, d, blk.Epoch, blk.Round, blk.Proposer)
+	col := crypto.NewQuorumCollector(n.n, n.verifier, d, blk.Epoch, blk.Round, blk.Proposer)
+	n.collectors[d] = col
 	n.collectorRound[r] = d
 	n.trackPendingBlock(blk)
 	n.ownPending[r] = d
 	n.lastBlock = blk
-	_ = n.cfg.Transport.Broadcast(MsgBlock, mustMarshal(blk))
+	n.lastBlockRaw = mustMarshal(blk)
+	n.lastBlockVotes = 0
+	n.queueBcast(MsgBlock, n.lastBlockRaw)
+	// Vote for our own block inline. The outbox excludes self from
+	// broadcasts, so the old loopback path (Broadcast → own inbox →
+	// handleBlock → Send-to-self → handleVote) is gone; this is the
+	// same vote it would have produced, minus two marshal/decode
+	// round-trips per round. The anti-equivocation journal entry is
+	// written before the signature exists, exactly as handleBlock does
+	// for peer blocks.
+	k := voteKey{round: blk.Round, proposer: blk.Proposer}
+	if prev, ok := n.voted[k]; !ok || prev == d {
+		if !ok {
+			n.noteOnly(voteNote(blk.Epoch, k, d))
+		}
+		n.voted[k] = d
+		if cert, err := col.Add(n.cfg.ID, n.cfg.Signer.Sign(d)); err == nil && cert != nil {
+			// n=1 degenerate committee: the self-vote alone is a quorum.
+			delete(n.collectors, d)
+			n.handleCert(n.cfg.ID, cert, nil)
+			n.queueBcast(MsgCert, mustMarshal(cert))
+		}
+	}
 }
 
 // shouldShift evaluates the paper's four Shift-block conditions (§6).
@@ -290,16 +314,22 @@ func (n *Node) specRead(k types.Key) types.Value {
 	return v
 }
 
-// drainQueue pulls up to BatchSize transactions, splitting them into
-// single-shard (for this node's current shard) and cross-shard.
-// Misrouted singles (wrong shard, e.g. queued before a
-// reconfiguration) are dropped; clients resubmit to the new proposer.
+// drainQueue pulls up to the adaptive batch size (floor
+// Config.BatchSize, cap Config.BatchSizeCap) of transactions,
+// splitting them into single-shard (for this node's current shard)
+// and cross-shard. Misrouted singles (wrong shard, e.g. queued before
+// a reconfiguration) are dropped; clients resubmit to the new
+// proposer.
 func (n *Node) drainQueue() (singles, cross []*types.Transaction) {
 	mine := n.myShard()
 	taken := 0
+	limit := n.batch.Size()
+	if want := min(limit, len(n.txQueue)); want > 0 {
+		singles = make([]*types.Transaction, 0, want)
+	}
 	rest := n.txQueue[:0]
 	for _, tx := range n.txQueue {
-		if taken >= n.cfg.BatchSize {
+		if taken >= limit {
 			rest = append(rest, tx)
 			continue
 		}
@@ -326,5 +356,9 @@ func (n *Node) drainQueue() (singles, cross []*types.Transaction) {
 		}
 	}
 	n.txQueue = rest
+	// Adaptive sizing input: a backlog still deeper than the batch just
+	// taken means the proposer is underbatching for the offered load.
+	n.batch.ObserveQueue(len(rest))
+	n.bump(func(s *Stats) { s.BatchSize = uint64(n.batch.Size()) })
 	return singles, cross
 }

@@ -153,7 +153,7 @@ func (n *Node) pumpChunkFetch() {
 		f.rot++
 		f.inflight[i] = chunkReqState{peer: peer, at: time.Now()}
 		req := (&snapChunkReq{Snap: f.dig, Index: uint32(i)}).marshal()
-		_ = n.cfg.Transport.Send(peer, MsgSnapChunkReq, req)
+		n.sendNow(peer, MsgSnapChunkReq, req)
 	}
 }
 
@@ -226,6 +226,6 @@ func (n *Node) handleSnapChunkReq(from types.ReplicaID, r *snapChunkReq) {
 	}
 	n.chunkBudget--
 	msg := (&snapChunk{Snap: r.Snap, Index: r.Index, Payload: n.snapChunks[i]}).marshal()
-	_ = n.cfg.Transport.Send(from, MsgSnapChunk, msg)
+	n.sendNow(from, MsgSnapChunk, msg)
 	n.bump(func(s *Stats) { s.SnapChunksServed++ })
 }

@@ -175,7 +175,7 @@ func (n *Node) maybeRequestSnapshot(stalled bool) {
 		if p == n.cfg.ID {
 			continue
 		}
-		_ = n.cfg.Transport.Send(p, MsgSnapManifestReq, req)
+		n.sendNow(p, MsgSnapManifestReq, req)
 		sent++
 	}
 	n.snapReqCursor = (n.snapReqCursor + n.f + 1) % n.n
@@ -221,7 +221,7 @@ func (n *Node) serveSnapshot(to types.ReplicaID, reqEpoch types.Epoch, reqRound 
 				Snap:   mustMarshal(snap),
 			}).marshal()
 		}
-		_ = n.cfg.Transport.Send(to, MsgSnapshot, n.lastSnapMsg)
+		n.sendNow(to, MsgSnapshot, n.lastSnapMsg)
 	} else {
 		if n.lastManifestMsg == nil {
 			n.lastManifestMsg = (&snapshotMsg{
@@ -230,7 +230,7 @@ func (n *Node) serveSnapshot(to types.ReplicaID, reqEpoch types.Epoch, reqRound 
 				Snap:   mustMarshal(snap.Manifest()),
 			}).marshal()
 		}
-		_ = n.cfg.Transport.Send(to, MsgSnapManifest, n.lastManifestMsg)
+		n.sendNow(to, MsgSnapManifest, n.lastManifestMsg)
 	}
 	n.bump(func(s *Stats) { s.SnapshotsServed++ })
 }

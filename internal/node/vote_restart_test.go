@@ -84,7 +84,8 @@ func TestFirstVoteJournaledAcrossRestart(t *testing.T) {
 			d := open()
 			n1 := build(d)
 			blk := &types.Block{Epoch: 0, Round: 1, Proposer: 1, Kind: types.NormalBlock}
-			n1.handleBlock(1, blk)
+			n1.handleBlock(1, blk, nil)
+			n1.flushOutbox()
 			k := voteKey{round: 1, proposer: 1}
 			if n1.voted[k] != blk.Digest() {
 				t.Fatal("vote not recorded before crash")
@@ -115,10 +116,11 @@ func TestFirstVoteJournaledAcrossRestart(t *testing.T) {
 			if evil.Digest() == blk.Digest() {
 				t.Fatal("fixture broken: conflicting block has same digest")
 			}
-			n2.handleBlock(1, evil)
+			n2.handleBlock(1, evil, nil)
 			// Re-sending the originally voted digest is idempotent and
 			// fine (peers revote the same digest after lost messages).
-			n2.handleBlock(1, blk)
+			n2.handleBlock(1, blk, nil)
+			n2.flushOutbox()
 			time.Sleep(50 * time.Millisecond)
 			if n2.voted[k] != blk.Digest() {
 				t.Fatal("restarted replica overwrote its journaled vote")
@@ -134,7 +136,7 @@ func TestFirstVoteJournaledAcrossRestart(t *testing.T) {
 			}
 			// Fresh slots still vote normally after recovery.
 			blk2 := &types.Block{Epoch: 0, Round: 1, Proposer: 2, Kind: types.NormalBlock}
-			n2.handleBlock(2, blk2)
+			n2.handleBlock(2, blk2, nil)
 			if n2.voted[voteKey{round: 1, proposer: 2}] != blk2.Digest() {
 				t.Fatal("recovered replica stopped voting on fresh slots")
 			}

@@ -150,13 +150,18 @@ func (s *Store) Set(k types.Key, v types.Value) {
 }
 
 // Apply installs a write batch atomically, stamping every key with the
-// new commit sequence number, and returns that number.
+// new commit sequence number, and returns that number. Values are
+// retained without copying: callers hand over buffers they never
+// mutate afterwards (execution results and decoded block payloads),
+// the same contract under which Get returns entries uncloned. The
+// former per-record clone was a fixed allocation tax on every
+// committed write.
 func (s *Store) Apply(writes []types.RWRecord) uint64 {
 	s.mu.Lock()
 	s.seq++
 	seq := s.seq
 	for _, w := range writes {
-		s.data[w.Key] = entry{val: w.Value.Clone(), ver: seq}
+		s.data[w.Key] = entry{val: w.Value, ver: seq}
 	}
 	s.mu.Unlock()
 

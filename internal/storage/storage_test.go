@@ -42,14 +42,20 @@ func TestApplyAtomicVersioning(t *testing.T) {
 	}
 }
 
-func TestApplyClonesInputs(t *testing.T) {
+func TestApplyRetainsBuffers(t *testing.T) {
+	// Apply's contract is hand-over: the store retains the value
+	// buffers uncloned (callers never mutate them afterwards), so a
+	// read must observe exactly the installed bytes with no copy in
+	// between.
 	s := New()
 	v := types.Value("abc")
 	s.Apply([]types.RWRecord{{Key: "k", Value: v}})
-	v[0] = 'X'
 	got, _ := s.Get("k")
 	if string(got) != "abc" {
-		t.Fatalf("store aliased caller buffer: %q", got)
+		t.Fatalf("Get=%q want %q", got, "abc")
+	}
+	if &got[0] != &v[0] {
+		t.Fatal("expected the store to retain the caller's buffer without copying")
 	}
 }
 

@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"time"
 
@@ -87,6 +88,19 @@ type SimNetwork struct {
 	extraDelay  time.Duration                        // global added one-way delay
 	linkDelay   map[[2]types.ReplicaID]time.Duration // per-link added delay
 	interceptor Interceptor                          // Byzantine message mutation
+
+	// Delivery state, owned by the dispatcher goroutine's lock (dmu,
+	// separate from the fault-plan mu so fault injection never stalls
+	// behind delivery bookkeeping).
+	dmu      sync.Mutex
+	dcond    *sync.Cond    // wakes senders blocked on a full link
+	heap     []simMsg      // min-heap of in-flight messages by (release, seq)
+	seq      uint64        // tiebreak: global send order
+	inflight []int         // per (from*N+to) link in-flight counts
+	lastRel  []time.Time   // per-link FIFO release clamp
+	wake     chan struct{} // kicks the dispatcher on enqueue
+	ddone    chan struct{} // closes the dispatcher
+	dclosed  bool
 }
 
 // Interceptor inspects every surviving message before it is enqueued
@@ -99,9 +113,11 @@ type Interceptor func(from, to types.ReplicaID, mt MsgType, payload []byte) (out
 
 type simMsg struct {
 	from    types.ReplicaID
+	to      types.ReplicaID
 	mt      MsgType
 	payload []byte
 	release time.Time
+	seq     uint64
 }
 
 type simEndpoint struct {
@@ -109,12 +125,11 @@ type simEndpoint struct {
 	id   types.ReplicaID
 	mu   sync.Mutex
 	h    Handler
-	outs []chan simMsg // one queue per destination, owned by sender
 	done chan struct{}
 	once sync.Once
 }
 
-// NewSimNetwork builds the network and starts its delivery goroutines.
+// NewSimNetwork builds the network and starts its delivery goroutine.
 func NewSimNetwork(cfg SimConfig) *SimNetwork {
 	if cfg.Latency == nil {
 		cfg.Latency = ZeroLatency()
@@ -133,53 +148,214 @@ func NewSimNetwork(cfg SimConfig) *SimNetwork {
 		lossRate:  cfg.DropRate,
 		linkLoss:  make(map[[2]types.ReplicaID]float64),
 		linkDelay: make(map[[2]types.ReplicaID]time.Duration),
+		inflight:  make([]int, cfg.N*cfg.N),
+		lastRel:   make([]time.Time, cfg.N*cfg.N),
+		wake:      make(chan struct{}, 1),
+		ddone:     make(chan struct{}),
 	}
+	n.dcond = sync.NewCond(&n.dmu)
 	n.endpoints = make([]*simEndpoint, cfg.N)
 	for i := 0; i < cfg.N; i++ {
-		ep := &simEndpoint{
+		n.endpoints[i] = &simEndpoint{
 			net:  n,
 			id:   types.ReplicaID(i),
-			outs: make([]chan simMsg, cfg.N),
 			done: make(chan struct{}),
 		}
-		n.endpoints[i] = ep
 	}
-	// Start one delivery pump per (sender, receiver) link: FIFO order
-	// with per-message release times.
-	for i := 0; i < cfg.N; i++ {
-		for j := 0; j < cfg.N; j++ {
-			ch := make(chan simMsg, cfg.QueueLen)
-			n.endpoints[i].outs[j] = ch
-			go n.pump(ch, n.endpoints[j])
-		}
-	}
+	go n.dispatch()
 	return n
 }
 
-// pump delivers one link's messages in order, honoring release times.
-func (n *SimNetwork) pump(ch chan simMsg, dst *simEndpoint) {
-	for m := range ch {
-		if wait := time.Until(m.release); wait > 0 {
-			timer := time.NewTimer(wait)
+// spinHorizon is how close to the next release time the dispatcher
+// switches from a timer sleep to a yield-spin. Go's sub-millisecond
+// timers overshoot by up to ~1ms when the process is otherwise idle
+// (the netpoller rounds short sleeps up), which would inflate every
+// modeled LAN hop (~0.2ms) to ~1ms and hide protocol-level latency
+// wins behind harness noise. The spin yields the processor each
+// iteration, so co-scheduled replicas keep running at GOMAXPROCS=1.
+const spinHorizon = time.Millisecond
+
+// dispatch is the single delivery goroutine: it owns a min-heap of
+// in-flight messages ordered by (release, seq) and delivers each one
+// when its release time arrives. Per-link FIFO order is preserved by
+// construction — enqueue clamps each link's release times to be
+// monotonic (see enqueue) — so delivery order per link equals send
+// order, exactly as the old per-link pumps behaved.
+func (n *SimNetwork) dispatch() {
+	var batch []simMsg
+	var timer *time.Timer
+	for {
+		n.dmu.Lock()
+		if n.dclosed {
+			n.dmu.Unlock()
+			return
+		}
+		now := time.Now()
+		batch = batch[:0]
+		for len(n.heap) > 0 && !n.heap[0].release.After(now) {
+			m := n.popHeap()
+			n.inflight[int(m.from)*n.cfg.N+int(m.to)]--
+			batch = append(batch, m)
+		}
+		wait := time.Duration(-1)
+		if len(n.heap) > 0 {
+			wait = n.heap[0].release.Sub(now)
+		}
+		if len(batch) > 0 {
+			n.dcond.Broadcast() // senders blocked on a full link
+		}
+		n.dmu.Unlock()
+		for _, m := range batch {
+			dst := n.endpoints[m.to]
+			select {
+			case <-dst.done:
+				continue
+			default:
+			}
+			dst.mu.Lock()
+			h := dst.h
+			dst.mu.Unlock()
+			if h != nil {
+				h(m.from, m.mt, m.payload)
+			}
+		}
+		if len(batch) > 0 {
+			continue // deliveries may have triggered sends; re-check now
+		}
+		switch {
+		case wait < 0: // nothing in flight: block until a send arrives
+			select {
+			case <-n.wake:
+			case <-n.ddone:
+				return
+			}
+		case wait > spinHorizon: // far deadline: timer sleep most of it
+			// One timer reused across the loop; a fresh NewTimer per
+			// sleep was a measurable allocation source under load.
+			if timer == nil {
+				timer = time.NewTimer(wait - spinHorizon)
+			} else {
+				timer.Reset(wait - spinHorizon)
+			}
+			fired := false
 			select {
 			case <-timer.C:
-			case <-dst.done:
+				fired = true
+			case <-n.wake: // an earlier message may have been enqueued
+			case <-n.ddone:
 				timer.Stop()
 				return
 			}
-		}
-		select {
-		case <-dst.done:
-			return
-		default:
-		}
-		dst.mu.Lock()
-		h := dst.h
-		dst.mu.Unlock()
-		if h != nil {
-			h(m.from, m.mt, m.payload)
+			if !fired && !timer.Stop() {
+				select { // drain so the next Reset starts clean
+				case <-timer.C:
+				default:
+				}
+			}
+		default: // near deadline: yield-spin for sub-ms accuracy
+			// Spin without retaking the dispatch lock: the deadline is
+			// known, so only the clock and the wake channel need
+			// polling, and the clock every few yields — re-running the
+			// locked heap scan per yield made time.Now and the lock the
+			// two hottest rows of the whole-cluster CPU profile.
+			deadline := now.Add(wait)
+		spin:
+			for i := 1; ; i++ {
+				runtime.Gosched()
+				select {
+				case <-n.wake: // an earlier message may have been enqueued
+					break spin
+				case <-n.ddone:
+					return
+				default:
+				}
+				if i&3 == 0 && !time.Now().Before(deadline) {
+					break spin
+				}
+			}
 		}
 	}
+}
+
+// enqueue places one message in flight. It blocks while the link's
+// in-flight count is at QueueLen (backpressure), and clamps the
+// release time so each link delivers in send order.
+func (n *SimNetwork) enqueue(from *simEndpoint, to types.ReplicaID, mt MsgType, payload []byte, delay time.Duration) error {
+	link := int(from.id)*n.cfg.N + int(to)
+	n.dmu.Lock()
+	for n.inflight[link] >= n.cfg.QueueLen && !n.dclosed {
+		select {
+		case <-from.done:
+			n.dmu.Unlock()
+			return ErrClosed
+		default:
+		}
+		n.dcond.Wait()
+	}
+	if n.dclosed {
+		n.dmu.Unlock()
+		return ErrClosed
+	}
+	rel := time.Now().Add(delay)
+	if rel.Before(n.lastRel[link]) {
+		rel = n.lastRel[link] // FIFO: never release before a predecessor
+	}
+	n.lastRel[link] = rel
+	n.seq++
+	n.pushHeap(simMsg{from: from.id, to: to, mt: mt, payload: payload, release: rel, seq: n.seq})
+	n.inflight[link]++
+	n.dmu.Unlock()
+	select {
+	case n.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// msgLess orders the delivery heap by release time, then send order.
+func msgLess(a, b simMsg) bool {
+	if !a.release.Equal(b.release) {
+		return a.release.Before(b.release)
+	}
+	return a.seq < b.seq
+}
+
+func (n *SimNetwork) pushHeap(m simMsg) {
+	n.heap = append(n.heap, m)
+	i := len(n.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !msgLess(n.heap[i], n.heap[p]) {
+			break
+		}
+		n.heap[i], n.heap[p] = n.heap[p], n.heap[i]
+		i = p
+	}
+}
+
+func (n *SimNetwork) popHeap() simMsg {
+	top := n.heap[0]
+	last := len(n.heap) - 1
+	n.heap[0] = n.heap[last]
+	n.heap[last] = simMsg{} // release payload reference
+	n.heap = n.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && msgLess(n.heap[l], n.heap[small]) {
+			small = l
+		}
+		if r < last && msgLess(n.heap[r], n.heap[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		n.heap[i], n.heap[small] = n.heap[small], n.heap[i]
+		i = small
+	}
+	return top
 }
 
 // Endpoint returns replica id's transport.
@@ -369,11 +545,18 @@ func (n *SimNetwork) plan(from, to types.ReplicaID) (drop bool, extra time.Durat
 	return false, extra, dup, n.interceptor
 }
 
-// Close shuts down every endpoint.
+// Close shuts down every endpoint and the delivery dispatcher.
 func (n *SimNetwork) Close() {
 	for _, ep := range n.endpoints {
 		_ = ep.Close()
 	}
+	n.dmu.Lock()
+	if !n.dclosed {
+		n.dclosed = true
+		close(n.ddone)
+		n.dcond.Broadcast()
+	}
+	n.dmu.Unlock()
 }
 
 // --- simEndpoint (implements Transport) ---
@@ -406,24 +589,15 @@ func (e *simEndpoint) Send(to types.ReplicaID, mt MsgType, payload []byte) error
 		}
 		payload = out
 	}
-	m := simMsg{
-		from:    e.id,
-		mt:      mt,
-		payload: append([]byte(nil), payload...),
-		release: time.Now().Add(e.net.cfg.Latency(e.id, to) + extra),
-	}
-	select {
-	case e.outs[to] <- m:
-	case <-e.done:
-		return ErrClosed
+	cloned := append([]byte(nil), payload...)
+	if err := e.net.enqueue(e, to, mt, cloned, e.net.cfg.Latency(e.id, to)+extra); err != nil {
+		return err
 	}
 	if dup {
-		d := m // copies the struct; payload already cloned above
-		d.release = time.Now().Add(e.net.cfg.Latency(e.id, to) + extra)
-		select {
-		case e.outs[to] <- d:
-		case <-e.done:
-			return ErrClosed
+		// The duplicate shares the clone (read-only on delivery) but
+		// draws its own delay, like the old per-link pumps.
+		if err := e.net.enqueue(e, to, mt, cloned, e.net.cfg.Latency(e.id, to)+extra); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -439,6 +613,13 @@ func (e *simEndpoint) Broadcast(mt MsgType, payload []byte) error {
 }
 
 func (e *simEndpoint) Close() error {
-	e.once.Do(func() { close(e.done) })
+	e.once.Do(func() {
+		close(e.done)
+		// Wake any sender blocked on one of this endpoint's full links
+		// so it can observe the closed state.
+		e.net.dmu.Lock()
+		e.net.dcond.Broadcast()
+		e.net.dmu.Unlock()
+	})
 	return nil
 }

@@ -131,8 +131,22 @@ func (b *Block) MarshalBinary() ([]byte, error) {
 // the copy for their lifetime, which matches how long the node
 // retains a received block anyway.
 func (b *Block) UnmarshalBinary(data []byte) error {
+	return b.unmarshalFrom(append([]byte(nil), data...))
+}
+
+// UnmarshalBinaryOwned decodes like UnmarshalBinary but takes
+// ownership of data: the block and its transactions alias data
+// directly instead of copying it first. Receive paths hand over
+// delivered message buffers they never touch again, so the
+// UnmarshalBinary copy there only doubled the transport's own
+// per-delivery clone.
+func (b *Block) UnmarshalBinaryOwned(data []byte) error {
+	return b.unmarshalFrom(data)
+}
+
+func (b *Block) unmarshalFrom(data []byte) error {
 	b.digOK = false
-	d := NewSharedDecoder(append([]byte(nil), data...))
+	d := NewSharedDecoder(data)
 	b.Epoch = Epoch(d.U64())
 	b.Round = Round(d.U64())
 	b.Proposer = ReplicaID(d.U32())
@@ -143,35 +157,48 @@ func (b *Block) UnmarshalBinary(data []byte) error {
 	for i := uint32(0); i < np && d.Err() == nil; i++ {
 		b.Parents = append(b.Parents, d.Digest())
 	}
+	// Transactions decode into one arena per list and results share one
+	// record arena: a per-transaction box and two per-result record
+	// slices made block decode the receive path's heaviest allocator.
 	ns := d.U32()
-	b.SingleTxs = make([]*Transaction, 0, min(int(ns), 4096))
+	singles := make([]Transaction, 0, min(int(ns), 4096))
+	argArena := make([][]byte, 0, 3*min(int(ns), 4096))
 	for i := uint32(0); i < ns && d.Err() == nil; i++ {
 		var tx Transaction
 		sub := d.sub()
-		if err := tx.decodeBody(&sub); err != nil {
+		if err := tx.decodeBodyArena(&sub, &argArena); err != nil {
 			return err
 		}
-		b.SingleTxs = append(b.SingleTxs, &tx)
+		singles = append(singles, tx)
+	}
+	b.SingleTxs = make([]*Transaction, len(singles))
+	for i := range singles {
+		b.SingleTxs[i] = &singles[i]
 	}
 	nr := d.U32()
 	b.Results = make([]TxResult, 0, min(int(nr), 4096))
+	recArena := make([]RWRecord, 0, 4*min(int(nr), 4096))
 	for i := uint32(0); i < nr && d.Err() == nil; i++ {
 		var r TxResult
 		sub := d.sub()
-		if err := r.decodeBody(&sub); err != nil {
+		if err := r.decodeBodyArena(&sub, &recArena); err != nil {
 			return err
 		}
 		b.Results = append(b.Results, r)
 	}
 	nc := d.U32()
-	b.CrossTxs = make([]*Transaction, 0, min(int(nc), 4096))
+	crosses := make([]Transaction, 0, min(int(nc), 4096))
 	for i := uint32(0); i < nc && d.Err() == nil; i++ {
 		var tx Transaction
 		sub := d.sub()
-		if err := tx.decodeBody(&sub); err != nil {
+		if err := tx.decodeBodyArena(&sub, &argArena); err != nil {
 			return err
 		}
-		b.CrossTxs = append(b.CrossTxs, &tx)
+		crosses = append(crosses, tx)
+	}
+	b.CrossTxs = make([]*Transaction, len(crosses))
+	for i := range crosses {
+		b.CrossTxs[i] = &crosses[i]
 	}
 	b.ProposedUnixNano = d.I64()
 	return d.Finish()
@@ -239,8 +266,18 @@ func (c *Certificate) MarshalBinary() ([]byte, error) {
 // UnmarshalBinary decodes a certificate encoded by MarshalBinary (one
 // up-front copy; signatures alias it).
 func (c *Certificate) UnmarshalBinary(data []byte) error {
+	return c.unmarshalFrom(append([]byte(nil), data...))
+}
+
+// UnmarshalBinaryOwned decodes like UnmarshalBinary but aliases data
+// (handed over by the caller) instead of copying it.
+func (c *Certificate) UnmarshalBinaryOwned(data []byte) error {
+	return c.unmarshalFrom(data)
+}
+
+func (c *Certificate) unmarshalFrom(data []byte) error {
 	c.digOK = false
-	d := NewSharedDecoder(append([]byte(nil), data...))
+	d := NewSharedDecoder(data)
 	c.BlockDigest = d.Digest()
 	c.Epoch = Epoch(d.U64())
 	c.Round = Round(d.U64())

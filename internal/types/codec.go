@@ -278,6 +278,15 @@ func (tx *Transaction) UnmarshalBinary(b []byte) error {
 // decodeBody decodes the transaction's wire form from d, which wraps
 // exactly the transaction's bytes (trailing bytes are an error).
 func (tx *Transaction) decodeBody(d *Decoder) error {
+	return tx.decodeBodyArena(d, nil)
+}
+
+// decodeBodyArena is decodeBody with an optional shared argument
+// arena: batch decoders (block decode) pass one arena for all their
+// transactions' Args headers, replacing a per-transaction slice
+// allocation with sub-slices of one growing backing array (returned
+// slices are capacity-clipped, so a later grow never aliases them).
+func (tx *Transaction) decodeBodyArena(d *Decoder, argArena *[][]byte) error {
 	b := d.buf
 	tx.idOK = false
 	tx.Client = d.U64()
@@ -297,9 +306,19 @@ func (tx *Transaction) decodeBody(d *Decoder) error {
 	if d.Err() == nil && int(na) > len(b) {
 		return fmt.Errorf("types: implausible arg count %d", na)
 	}
-	tx.Args = make([][]byte, 0, na)
-	for i := uint32(0); i < na && d.Err() == nil; i++ {
-		tx.Args = append(tx.Args, d.Bytes())
+	if argArena != nil {
+		a := *argArena
+		start := len(a)
+		for i := uint32(0); i < na && d.Err() == nil; i++ {
+			a = append(a, d.Bytes())
+		}
+		*argArena = a
+		tx.Args = a[start:len(a):len(a)]
+	} else {
+		tx.Args = make([][]byte, 0, na)
+		for i := uint32(0); i < na && d.Err() == nil; i++ {
+			tx.Args = append(tx.Args, d.Bytes())
+		}
 	}
 	tx.Code = d.Bytes()
 	tx.SubmitUnixNano = d.I64()
@@ -317,16 +336,36 @@ func encodeRecords(e *Encoder, recs []RWRecord) {
 }
 
 func decodeRecords(d *Decoder) []RWRecord {
+	return decodeRecordsArena(d, nil)
+}
+
+// decodeRecordsArena decodes one record list, appending into *arena
+// when provided so a whole block's results share one backing array
+// (regrowth strands earlier sublists on the old array, which stays
+// valid). The returned slice is capacity-clipped so later appends to
+// the arena cannot alias it.
+func decodeRecordsArena(d *Decoder, arena *[]RWRecord) []RWRecord {
 	n := d.U32()
 	if d.Err() != nil {
 		return nil
 	}
-	recs := make([]RWRecord, 0, min(int(n), 1024))
+	var recs []RWRecord
+	start := 0
+	if arena != nil {
+		recs = *arena
+		start = len(recs)
+	} else {
+		recs = make([]RWRecord, 0, min(int(n), 1024))
+	}
 	for i := uint32(0); i < n && d.Err() == nil; i++ {
 		// Keys come from a small hot set (account cells); interning
 		// them collapses the per-record string allocation to a table
 		// hit after warmup.
 		recs = append(recs, RWRecord{Key: Key(d.InternStr()), Value: d.Bytes()})
+	}
+	if arena != nil {
+		*arena = recs
+		return recs[start:len(recs):len(recs)]
 	}
 	return recs
 }
@@ -358,10 +397,16 @@ func (r *TxResult) UnmarshalBinary(b []byte) error {
 // decodeBody decodes the result's wire form from d, which wraps
 // exactly the result's bytes.
 func (r *TxResult) decodeBody(d *Decoder) error {
+	return r.decodeBodyArena(d, nil)
+}
+
+// decodeBodyArena is decodeBody with the record lists drawn from a
+// shared arena (see decodeRecordsArena).
+func (r *TxResult) decodeBodyArena(d *Decoder, arena *[]RWRecord) error {
 	r.TxID = d.Digest()
 	r.ScheduleIdx = d.U32()
 	r.Reexecutions = d.U32()
-	r.ReadSet = decodeRecords(d)
-	r.WriteSet = decodeRecords(d)
+	r.ReadSet = decodeRecordsArena(d, arena)
+	r.WriteSet = decodeRecordsArena(d, arena)
 	return d.Finish()
 }

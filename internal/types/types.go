@@ -222,15 +222,16 @@ func (tx *Transaction) Promote() {
 	tx.Kind = CrossShard
 }
 
-// Clone returns a deep copy of the transaction.
+// Clone returns an independent copy of the transaction: mutable
+// fields (Kind, Shards, the nonce/identity scalars) are copied, while
+// Args and Code — immutable once the transaction is built; nothing in
+// the pipeline writes through them — are shared with the original.
+// Sharing them keeps the proposer's ingest path (which clones every
+// accepted submission) at one allocation per transaction instead of
+// one per argument.
 func (tx *Transaction) Clone() *Transaction {
 	c := *tx
 	c.Shards = append([]ShardID(nil), tx.Shards...)
-	c.Args = make([][]byte, len(tx.Args))
-	for i, a := range tx.Args {
-		c.Args[i] = append([]byte(nil), a...)
-	}
-	c.Code = append([]byte(nil), tx.Code...)
 	return &c
 }
 

@@ -30,6 +30,7 @@ package validate
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -69,14 +70,21 @@ type checkState struct {
 	wOrder []types.Key
 }
 
+// Read and Write record observations without cloning: contracts are
+// trusted deterministic code that never mutates a value buffer it was
+// handed (the committed store's Get already returns its internal
+// slices uncloned on the same assumption), and written values arrive
+// in freshly built buffers. Validation runs once per transaction per
+// block on every replica, so the former per-observation clones were a
+// top-ten allocation site on the commit path.
 func (s *checkState) Read(k types.Key) (types.Value, error) {
 	if v, ok := s.writes[k]; ok {
-		return v.Clone(), nil
+		return v, nil
 	}
 	if v, ok := s.reads[k]; ok {
-		return v.Clone(), nil
+		return v, nil
 	}
-	v := s.read(k).Clone()
+	v := s.read(k)
 	s.reads[k] = v
 	return v, nil
 }
@@ -85,9 +93,19 @@ func (s *checkState) Write(k types.Key, v types.Value) error {
 	if _, ok := s.writes[k]; !ok {
 		s.wOrder = append(s.wOrder, k)
 	}
-	s.writes[k] = v.Clone()
+	s.writes[k] = v
 	return nil
 }
+
+// checkPool recycles checkStates (and their maps) across validations;
+// validateOne runs concurrently within a layer, so the pool also keeps
+// per-worker reuse contention-free.
+var checkPool = sync.Pool{New: func() any {
+	return &checkState{
+		reads:  make(map[types.Key]types.Value, 8),
+		writes: make(map[types.Key]types.Value, 8),
+	}
+}}
 
 // ValidateBatch re-executes the scheduled transactions against the
 // declared write sets and verifies that every observed read and write
@@ -116,19 +134,26 @@ func ValidateBatch(reg *contract.Registry, base BaseReader, txs []*types.Transac
 		workers = 1
 	}
 
-	overlay := make(map[types.Key]types.Value)
-	read := func(k types.Key) types.Value {
-		if v, ok := overlay[k]; ok {
-			return v
-		}
-		return base(k)
-	}
+	// The per-batch scratch (overlay map, error slots, last-writer
+	// fold) comes from a pool: a replica validates every committed
+	// block, and these four allocations per block were pure churn.
+	sc := batchScratchPool.Get().(*batchScratch)
+	sc.base = base
+	defer sc.release()
+	overlay := sc.overlay
+	read := sc.read // captures sc once per pooled scratch, not per call
 
-	errs := make([]error, len(txs))
+	errs := sc.errs
+	for len(errs) < len(txs) {
+		errs = append(errs, nil)
+	}
+	errs = errs[:len(txs)]
+	sc.errs = errs
+	work := func(i int) {
+		errs[i] = validateOne(reg, read, txs[i], &results[i], i)
+	}
 	for _, layer := range depgraph.LayersOfResults(results) {
-		runLayer(workers, layer, func(i int) {
-			errs[i] = validateOne(reg, read, txs[i], &results[i], i)
-		})
+		runLayer(workers, layer, work)
 		for _, i := range layer {
 			if errs[i] != nil {
 				return nil, errs[i]
@@ -145,8 +170,8 @@ func ValidateBatch(reg *contract.Registry, base BaseReader, txs []*types.Transac
 	}
 
 	// Final delta: last writer per key, ordered by first appearance.
-	last := make(map[types.Key]types.Value)
-	var order []types.Key
+	last := sc.last
+	order := sc.order[:0]
 	for i := range results {
 		for _, w := range results[i].WriteSet {
 			if _, seen := last[w.Key]; !seen {
@@ -155,6 +180,7 @@ func ValidateBatch(reg *contract.Registry, base BaseReader, txs []*types.Transac
 			last[w.Key] = w.Value
 		}
 	}
+	sc.order = order
 	out := &Result{Writes: make([]types.RWRecord, 0, len(order))}
 	for _, k := range order {
 		out.Writes = append(out.Writes, types.RWRecord{Key: k, Value: last[k]})
@@ -162,12 +188,52 @@ func ValidateBatch(reg *contract.Registry, base BaseReader, txs []*types.Transac
 	return out, nil
 }
 
+// batchScratch holds ValidateBatch's per-call working state for reuse.
+// read is built once per scratch and closes over the scratch itself,
+// so a batch pays no closure allocation for its overlay reader.
+type batchScratch struct {
+	overlay map[types.Key]types.Value
+	last    map[types.Key]types.Value
+	errs    []error
+	order   []types.Key
+	base    BaseReader
+	read    func(k types.Key) types.Value
+}
+
+func (s *batchScratch) release() {
+	clear(s.overlay)
+	clear(s.last)
+	clear(s.errs)
+	s.order = s.order[:0]
+	s.base = nil
+	batchScratchPool.Put(s)
+}
+
+var batchScratchPool = sync.Pool{New: func() any {
+	s := &batchScratch{
+		overlay: make(map[types.Key]types.Value),
+		last:    make(map[types.Key]types.Value),
+	}
+	s.read = func(k types.Key) types.Value {
+		if v, ok := s.overlay[k]; ok {
+			return v
+		}
+		return s.base(k)
+	}
+	return s
+}}
+
 // runLayer fans one wave across workers when it is big enough; the
 // overlay is read-only for the duration of the wave, so members only
 // share the (immutable) overlay and their own errs slot.
 func runLayer(workers int, layer []int, f func(i int)) {
 	if workers > len(layer) {
 		workers = len(layer)
+	}
+	// Workers beyond the schedulable CPU count only add spawn and
+	// hand-off overhead (acute in the GOMAXPROCS=1 bench).
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
 	}
 	if workers <= 1 || len(layer) < layerParallelMin {
 		for _, i := range layer {
@@ -202,11 +268,15 @@ func runLayer(workers int, layer []int, f func(i int)) {
 
 func validateOne(reg *contract.Registry, read func(types.Key) types.Value, tx *types.Transaction,
 	res *types.TxResult, idx int) error {
-	st := &checkState{
-		read:   read,
-		reads:  make(map[types.Key]types.Value),
-		writes: make(map[types.Key]types.Value),
-	}
+	st := checkPool.Get().(*checkState)
+	st.read = read
+	defer func() {
+		clear(st.reads)
+		clear(st.writes)
+		st.wOrder = st.wOrder[:0]
+		st.read = nil
+		checkPool.Put(st)
+	}()
 	if err := vm.ExecuteTx(reg, st, tx); err != nil {
 		return fmt.Errorf("%w: tx %d re-execution failed: %v", ErrInvalidBlock, idx, err)
 	}

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math/rand"
+	"sync"
 
 	"thunderbolt/internal/contract"
 	"thunderbolt/internal/types"
@@ -64,6 +65,11 @@ type Generator struct {
 	shardOf   []types.ShardID
 	byShard   [][]int
 	shardZipf []*Zipf
+
+	// names holds every account name pre-encoded: transaction args are
+	// read-only downstream, so generated transactions share these
+	// slices instead of re-formatting acct%06d per draw.
+	names [][]byte
 }
 
 // NewGenerator builds a generator; the account→shard assignment is
@@ -79,9 +85,10 @@ func NewGenerator(cfg Config) *Generator {
 		smap:    types.NewShardMap(cfg.Shards),
 		shardOf: make([]types.ShardID, cfg.Accounts),
 		byShard: make([][]int, cfg.Shards),
+		names:   accountNames(cfg.Accounts),
 	}
 	for i := 0; i < cfg.Accounts; i++ {
-		s := g.smap.ShardOf(types.Key(AccountName(i)))
+		s := g.smap.ShardOf(types.Key(g.names[i]))
 		g.shardOf[i] = s
 		g.byShard[s] = append(g.byShard[s], i)
 	}
@@ -139,6 +146,20 @@ func (g *Generator) pickOtherShard(s types.ShardID) (types.ShardID, bool) {
 
 func (g *Generator) amount() int64 { return int64(1 + g.rng.Intn(100)) }
 
+// amountArg draws an amount (same distribution and rng consumption as
+// amount) and returns its shared pre-encoded form: args are read-only
+// downstream, and a fresh 8-byte buffer per generated transaction was
+// a visible slice of the client-side allocation budget.
+func (g *Generator) amountArg() []byte { return amountEnc[g.rng.Intn(100)] }
+
+var amountEnc = func() [100][]byte {
+	var t [100][]byte
+	for i := range t {
+		t[i] = contract.EncodeInt64(int64(i + 1))
+	}
+	return t
+}()
+
 func (g *Generator) newTx(kind types.TxKind, shards []types.ShardID, name string, args ...[]byte) *types.Transaction {
 	g.nonce++
 	return &types.Transaction{
@@ -178,73 +199,73 @@ func (g *Generator) NextForShard(s types.ShardID) *types.Transaction {
 }
 
 func (g *Generator) singleTx(a int, s types.ShardID) *types.Transaction {
-	name := AccountName(a)
+	name := g.names[a]
 	if g.cfg.Mix {
 		return g.mixedSingleTx(a, s)
 	}
 	if g.rng.Float64() < g.cfg.ReadRatio {
-		return g.newTx(types.SingleShard, []types.ShardID{s}, ContractGetBalance, []byte(name))
+		return g.newTx(types.SingleShard, []types.ShardID{s}, ContractGetBalance, name)
 	}
 	// Same-shard transfer partner.
 	b, ok := g.pickInShard(s)
 	if !ok || b == a {
 		if g.cfg.Conserving {
-			return g.newTx(types.SingleShard, []types.ShardID{s}, ContractGetBalance, []byte(name))
+			return g.newTx(types.SingleShard, []types.ShardID{s}, ContractGetBalance, name)
 		}
 		return g.newTx(types.SingleShard, []types.ShardID{s}, ContractDepositChecking,
-			[]byte(name), contract.EncodeInt64(g.amount()))
+			name, g.amountArg())
 	}
 	return g.newTx(types.SingleShard, []types.ShardID{s}, ContractSendPayment,
-		[]byte(name), []byte(AccountName(b)), contract.EncodeInt64(g.amount()))
+		name, g.names[b], g.amountArg())
 }
 
 func (g *Generator) mixedSingleTx(a int, s types.ShardID) *types.Transaction {
-	name := AccountName(a)
+	name := g.names[a]
 	if g.cfg.Conserving {
 		// Conserving subset of the mix: reads, transfers, and
 		// amalgamation all preserve the total balance.
 		switch g.rng.Intn(3) {
 		case 0:
-			return g.newTx(types.SingleShard, []types.ShardID{s}, ContractGetBalance, []byte(name))
+			return g.newTx(types.SingleShard, []types.ShardID{s}, ContractGetBalance, name)
 		case 1:
 			if b, ok := g.pickInShard(s); ok && b != a {
 				return g.newTx(types.SingleShard, []types.ShardID{s}, ContractAmalgamate,
-					[]byte(name), []byte(AccountName(b)))
+					name, g.names[b])
 			}
-			return g.newTx(types.SingleShard, []types.ShardID{s}, ContractGetBalance, []byte(name))
+			return g.newTx(types.SingleShard, []types.ShardID{s}, ContractGetBalance, name)
 		default:
 			if b, ok := g.pickInShard(s); ok && b != a {
 				return g.newTx(types.SingleShard, []types.ShardID{s}, ContractSendPayment,
-					[]byte(name), []byte(AccountName(b)), contract.EncodeInt64(g.amount()))
+					name, g.names[b], g.amountArg())
 			}
-			return g.newTx(types.SingleShard, []types.ShardID{s}, ContractGetBalance, []byte(name))
+			return g.newTx(types.SingleShard, []types.ShardID{s}, ContractGetBalance, name)
 		}
 	}
 	switch g.rng.Intn(6) {
 	case 0:
-		return g.newTx(types.SingleShard, []types.ShardID{s}, ContractGetBalance, []byte(name))
+		return g.newTx(types.SingleShard, []types.ShardID{s}, ContractGetBalance, name)
 	case 1:
 		return g.newTx(types.SingleShard, []types.ShardID{s}, ContractDepositChecking,
-			[]byte(name), contract.EncodeInt64(g.amount()))
+			name, g.amountArg())
 	case 2:
 		return g.newTx(types.SingleShard, []types.ShardID{s}, ContractTransactSavings,
-			[]byte(name), contract.EncodeInt64(g.amount()))
+			name, g.amountArg())
 	case 3:
 		return g.newTx(types.SingleShard, []types.ShardID{s}, ContractWriteCheck,
-			[]byte(name), contract.EncodeInt64(g.amount()))
+			name, g.amountArg())
 	case 4:
 		if b, ok := g.pickInShard(s); ok && b != a {
 			return g.newTx(types.SingleShard, []types.ShardID{s}, ContractAmalgamate,
-				[]byte(name), []byte(AccountName(b)))
+				name, g.names[b])
 		}
 		fallthrough
 	default:
 		if b, ok := g.pickInShard(s); ok && b != a {
 			return g.newTx(types.SingleShard, []types.ShardID{s}, ContractSendPayment,
-				[]byte(name), []byte(AccountName(b)), contract.EncodeInt64(g.amount()))
+				name, g.names[b], g.amountArg())
 		}
 		return g.newTx(types.SingleShard, []types.ShardID{s}, ContractDepositChecking,
-			[]byte(name), contract.EncodeInt64(g.amount()))
+			name, g.amountArg())
 	}
 }
 
@@ -264,7 +285,7 @@ func (g *Generator) crossTx(a int, s types.ShardID) *types.Transaction {
 		shards = []types.ShardID{o, s}
 	}
 	return g.newTx(types.CrossShard, shards, ContractSendPayment,
-		[]byte(AccountName(a)), []byte(AccountName(b)), contract.EncodeInt64(g.amount()))
+		g.names[a], g.names[b], g.amountArg())
 }
 
 // Batch produces n transactions via Next.
@@ -284,3 +305,24 @@ func (g *Generator) BatchForShard(s types.ShardID, n int) []*types.Transaction {
 	}
 	return out
 }
+
+// accountNames returns the pre-encoded name table for n accounts,
+// shared across generators: every load driver spins up one generator
+// per client over the same account set, and the table is read-only.
+func accountNames(n int) [][]byte {
+	namesMu.Lock()
+	defer namesMu.Unlock()
+	if len(namesTable) < n {
+		start := len(namesTable)
+		namesTable = append(namesTable, make([][]byte, n-start)...)
+		for i := start; i < n; i++ {
+			namesTable[i] = []byte(AccountName(i))
+		}
+	}
+	return namesTable[:n]
+}
+
+var (
+	namesMu    sync.Mutex
+	namesTable [][]byte
+)

@@ -7,6 +7,7 @@ package workload
 
 import (
 	"fmt"
+	"sync"
 
 	"thunderbolt/internal/contract"
 	"thunderbolt/internal/storage"
@@ -32,16 +33,40 @@ func SavingsKey(account string) types.Key { return types.Key("s:" + account) }
 // AccountName formats the i-th benchmark account.
 func AccountName(i int) string { return fmt.Sprintf("acct%06d", i) }
 
+// checkingKeyB / savingsKeyB resolve the balance keys straight from a
+// raw contract argument via the interning table below; the contracts
+// resolve each key exactly once per use.
+func checkingKeyB(acct []byte) types.Key { ck, _ := acctKeys(acct); return ck }
+func savingsKeyB(acct []byte) types.Key  { _, sk := acctKeys(acct); return sk }
+
+// acctKeys interns both balance keys per account name: contracts
+// execute once per transaction per replica (preplay plus validation),
+// and the two key concatenations were among the largest remaining
+// per-transaction allocations. The table is bounded by the account
+// pool and read-mostly after warmup.
+func acctKeys(acct []byte) (types.Key, types.Key) {
+	keyTabMu.RLock()
+	ks, ok := keyTab[string(acct)] // compiles to a no-alloc map probe
+	keyTabMu.RUnlock()
+	if !ok {
+		ks = [2]types.Key{types.Key("c:" + string(acct)), types.Key("s:" + string(acct))}
+		keyTabMu.Lock()
+		keyTab[string(acct)] = ks
+		keyTabMu.Unlock()
+	}
+	return ks[0], ks[1]
+}
+
+var (
+	keyTabMu sync.RWMutex
+	keyTab   = map[string][2]types.Key{}
+)
+
 func arg(args [][]byte, i int) ([]byte, error) {
 	if i >= len(args) {
 		return nil, contract.Failf("smallbank: missing argument %d", i)
 	}
 	return args[i], nil
-}
-
-func strArg(args [][]byte, i int) (string, error) {
-	b, err := arg(args, i)
-	return string(b), err
 }
 
 func intArg(args [][]byte, i int) (int64, error) {
@@ -58,14 +83,14 @@ func intArg(args [][]byte, i int) (int64, error) {
 
 // getBalance reads both balances of one account (the read-only query).
 func getBalance(st contract.State, args [][]byte) error {
-	acct, err := strArg(args, 0)
+	acct, err := arg(args, 0)
 	if err != nil {
 		return err
 	}
-	if _, err := contract.ReadInt64(st, CheckingKey(acct)); err != nil {
+	if _, err := contract.ReadInt64(st, checkingKeyB(acct)); err != nil {
 		return err
 	}
-	_, err = contract.ReadInt64(st, SavingsKey(acct))
+	_, err = contract.ReadInt64(st, savingsKeyB(acct))
 	return err
 }
 
@@ -75,11 +100,11 @@ func getBalance(st contract.State, args [][]byte) error {
 // always applies; overdrafts go negative rather than failing, keeping
 // the workload write-heavy under contention.
 func sendPayment(st contract.State, args [][]byte) error {
-	src, err := strArg(args, 0)
+	src, err := arg(args, 0)
 	if err != nil {
 		return err
 	}
-	dst, err := strArg(args, 1)
+	dst, err := arg(args, 1)
 	if err != nil {
 		return err
 	}
@@ -87,23 +112,24 @@ func sendPayment(st contract.State, args [][]byte) error {
 	if err != nil {
 		return err
 	}
-	sb, err := contract.ReadInt64(st, CheckingKey(src))
+	srcKey, dstKey := checkingKeyB(src), checkingKeyB(dst)
+	sb, err := contract.ReadInt64(st, srcKey)
 	if err != nil {
 		return err
 	}
-	if err := contract.WriteInt64(st, CheckingKey(src), sb-amount); err != nil {
+	if err := contract.WriteInt64(st, srcKey, sb-amount); err != nil {
 		return err
 	}
-	db, err := contract.ReadInt64(st, CheckingKey(dst))
+	db, err := contract.ReadInt64(st, dstKey)
 	if err != nil {
 		return err
 	}
-	return contract.WriteInt64(st, CheckingKey(dst), db+amount)
+	return contract.WriteInt64(st, dstKey, db+amount)
 }
 
 // depositChecking adds amount to a checking balance.
 func depositChecking(st contract.State, args [][]byte) error {
-	acct, err := strArg(args, 0)
+	acct, err := arg(args, 0)
 	if err != nil {
 		return err
 	}
@@ -111,16 +137,17 @@ func depositChecking(st contract.State, args [][]byte) error {
 	if err != nil {
 		return err
 	}
-	b, err := contract.ReadInt64(st, CheckingKey(acct))
+	k := checkingKeyB(acct)
+	b, err := contract.ReadInt64(st, k)
 	if err != nil {
 		return err
 	}
-	return contract.WriteInt64(st, CheckingKey(acct), b+amount)
+	return contract.WriteInt64(st, k, b+amount)
 }
 
 // transactSavings adds amount (possibly negative) to a savings balance.
 func transactSavings(st contract.State, args [][]byte) error {
-	acct, err := strArg(args, 0)
+	acct, err := arg(args, 0)
 	if err != nil {
 		return err
 	}
@@ -128,18 +155,19 @@ func transactSavings(st contract.State, args [][]byte) error {
 	if err != nil {
 		return err
 	}
-	b, err := contract.ReadInt64(st, SavingsKey(acct))
+	k := savingsKeyB(acct)
+	b, err := contract.ReadInt64(st, k)
 	if err != nil {
 		return err
 	}
-	return contract.WriteInt64(st, SavingsKey(acct), b+amount)
+	return contract.WriteInt64(st, k, b+amount)
 }
 
 // writeCheck cashes a check against the combined balance: if the total
 // is insufficient, an extra penalty of 1 is deducted (classic
 // SmallBank semantics).
 func writeCheck(st contract.State, args [][]byte) error {
-	acct, err := strArg(args, 0)
+	acct, err := arg(args, 0)
 	if err != nil {
 		return err
 	}
@@ -147,50 +175,52 @@ func writeCheck(st contract.State, args [][]byte) error {
 	if err != nil {
 		return err
 	}
-	ck, err := contract.ReadInt64(st, CheckingKey(acct))
+	ck := checkingKeyB(acct)
+	cb, err := contract.ReadInt64(st, ck)
 	if err != nil {
 		return err
 	}
-	sv, err := contract.ReadInt64(st, SavingsKey(acct))
+	sv, err := contract.ReadInt64(st, savingsKeyB(acct))
 	if err != nil {
 		return err
 	}
-	if ck+sv < amount {
-		return contract.WriteInt64(st, CheckingKey(acct), ck-amount-1)
+	if cb+sv < amount {
+		return contract.WriteInt64(st, ck, cb-amount-1)
 	}
-	return contract.WriteInt64(st, CheckingKey(acct), ck-amount)
+	return contract.WriteInt64(st, ck, cb-amount)
 }
 
 // amalgamate moves the full balance (savings + checking) of one
 // account into another's checking, zeroing the source.
 func amalgamate(st contract.State, args [][]byte) error {
-	src, err := strArg(args, 0)
+	src, err := arg(args, 0)
 	if err != nil {
 		return err
 	}
-	dst, err := strArg(args, 1)
+	dst, err := arg(args, 1)
 	if err != nil {
 		return err
 	}
-	sv, err := contract.ReadInt64(st, SavingsKey(src))
+	srcSav, srcChk, dstChk := savingsKeyB(src), checkingKeyB(src), checkingKeyB(dst)
+	sv, err := contract.ReadInt64(st, srcSav)
 	if err != nil {
 		return err
 	}
-	ck, err := contract.ReadInt64(st, CheckingKey(src))
+	ck, err := contract.ReadInt64(st, srcChk)
 	if err != nil {
 		return err
 	}
-	if err := contract.WriteInt64(st, SavingsKey(src), 0); err != nil {
+	if err := contract.WriteInt64(st, srcSav, 0); err != nil {
 		return err
 	}
-	if err := contract.WriteInt64(st, CheckingKey(src), 0); err != nil {
+	if err := contract.WriteInt64(st, srcChk, 0); err != nil {
 		return err
 	}
-	db, err := contract.ReadInt64(st, CheckingKey(dst))
+	db, err := contract.ReadInt64(st, dstChk)
 	if err != nil {
 		return err
 	}
-	return contract.WriteInt64(st, CheckingKey(dst), db+sv+ck)
+	return contract.WriteInt64(st, dstChk, db+sv+ck)
 }
 
 // RegisterSmallBank installs the six SmallBank contracts into reg.
