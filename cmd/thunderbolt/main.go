@@ -60,6 +60,8 @@ func main() {
 
 		client  = flag.Bool("client", false, "run a remote gateway client against -peers instead of a replica")
 		session = flag.Uint64("session", 1, "client mode: gateway session ID (unique per client lifetime)")
+
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/flight and /debug/pprof on this host:port (empty = off)")
 	)
 	flag.Parse()
 
@@ -72,10 +74,10 @@ func main() {
 		log.Fatal(err)
 	}
 	if *local > 0 {
-		runLocal(*local, m, *duration, *clients, *accounts, *batch, *kFlag, *kPrime, *seed)
+		runLocal(*local, m, *duration, *clients, *accounts, *batch, *kFlag, *kPrime, *seed, *debugAddr)
 		return
 	}
-	runTCP(*id, *peersArg, m, *accounts, *batch, *kFlag, *kPrime, *seed, *scheme, *dataDir)
+	runTCP(*id, *peersArg, m, *accounts, *batch, *kFlag, *kPrime, *seed, *scheme, *dataDir, *debugAddr)
 }
 
 // runClient streams sessioned transactions at a running TCP committee
@@ -166,7 +168,7 @@ func parseMode(s string) (thunderbolt.Mode, error) {
 	return 0, fmt.Errorf("unknown mode %q (want ce|occ|tusk)", s)
 }
 
-func runLocal(n int, m thunderbolt.Mode, duration time.Duration, clients, accounts, batch, k, kprime int, seed int64) {
+func runLocal(n int, m thunderbolt.Mode, duration time.Duration, clients, accounts, batch, k, kprime int, seed int64, debugAddr string) {
 	c, err := thunderbolt.NewCluster(thunderbolt.ClusterConfig{
 		N: n, Mode: m, Accounts: accounts, BatchSize: batch,
 		K: k, KPrime: kprime, Seed: seed,
@@ -176,6 +178,13 @@ func runLocal(n int, m thunderbolt.Mode, duration time.Duration, clients, accoun
 	}
 	c.Start()
 	defer c.Stop()
+	if debugAddr != "" {
+		nodes := make([]*node.Node, n)
+		for i := 0; i < n; i++ {
+			nodes[i] = c.Node(i)
+		}
+		startDebugServer(debugAddr, nodes)
+	}
 	fmt.Printf("local cluster: %d replicas, mode %s, %v of load...\n", n, m, duration)
 	rep := c.RunLoad(thunderbolt.LoadConfig{
 		Duration: duration, Clients: clients,
@@ -184,7 +193,7 @@ func runLocal(n int, m thunderbolt.Mode, duration time.Duration, clients, accoun
 	fmt.Println(rep)
 }
 
-func runTCP(id int, peersArg string, m thunderbolt.Mode, accounts, batch, k, kprime int, seed int64, schemeName, dataDir string) {
+func runTCP(id int, peersArg string, m thunderbolt.Mode, accounts, batch, k, kprime int, seed int64, schemeName, dataDir, debugAddr string) {
 	if id < 0 || peersArg == "" {
 		log.Fatal("TCP mode needs -id and -peers (or use -local N)")
 	}
@@ -243,6 +252,7 @@ func runTCP(id int, peersArg string, m thunderbolt.Mode, accounts, batch, k, kpr
 	}
 	nd.Start()
 	defer nd.Stop()
+	startDebugServer(debugAddr, []*node.Node{nd})
 	log.Printf("replica %d/%d listening on %s (mode %s, shard rotation k=%d k'=%d)",
 		id, n, listen, m, k, kprime)
 

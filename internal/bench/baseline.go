@@ -13,6 +13,7 @@ import (
 	"thunderbolt/internal/ce"
 	"thunderbolt/internal/cluster"
 	"thunderbolt/internal/depgraph"
+	"thunderbolt/internal/metrics"
 	"thunderbolt/internal/node"
 	"thunderbolt/internal/storage"
 	"thunderbolt/internal/transport"
@@ -43,6 +44,18 @@ type BaselineRow struct {
 	// test is still up — the steady-state footprint the scenario adds.
 	HeapInuseBytes uint64 `json:"heap_inuse_bytes"`
 	Committed      uint64 `json:"committed"`
+	// Stages is the per-stage commit-path breakdown (cluster scenarios
+	// only), keyed by stage histogram name (metrics.StageNames), merged
+	// across replicas. Quantiles are log₂-bucket upper bounds, so each
+	// overestimates its true quantile by at most 2×.
+	Stages map[string]StageSummary `json:"stages,omitempty"`
+}
+
+// StageSummary is one pipeline stage's latency reduction.
+type StageSummary struct {
+	Count uint64  `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
 }
 
 // BaselineReport is the full BENCH file payload.
@@ -67,6 +80,44 @@ func (r BaselineReport) Validate() error {
 			return fmt.Errorf("bench: scenario %q reports zero throughput (tps=%.2f committed=%d)",
 				row.Scenario, row.TPS, row.Committed)
 		}
+		if err := row.validateStages(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateStages sanity-checks a cluster row's per-stage breakdown:
+// every recorded stage carries samples, and the block-path stage p50s
+// sum to something commensurate with the end-to-end submit→ack leg.
+// The bound is deliberately loose — stage quantiles are bucket upper
+// bounds (≤2× each) and queueing makes stages overlap rather than add
+// — so only a nonsensical breakdown (stages wildly exceeding the
+// pipeline they decompose) fails it.
+func (row BaselineRow) validateStages() error {
+	if len(row.Stages) == 0 {
+		return nil
+	}
+	var blockP50Sum float64
+	for name, s := range row.Stages {
+		if s.Count == 0 {
+			return fmt.Errorf("bench: scenario %q stage %q recorded no samples", row.Scenario, name)
+		}
+		if s.P50MS < 0 || s.P99MS < 0 || s.P50MS > s.P99MS {
+			return fmt.Errorf("bench: scenario %q stage %q has inconsistent quantiles (p50=%.3f p99=%.3f)",
+				row.Scenario, name, s.P50MS, s.P99MS)
+		}
+		if name != metrics.StageSubmitAck {
+			blockP50Sum += s.P50MS
+		}
+	}
+	e2e, ok := row.Stages[metrics.StageSubmitAck]
+	if !ok {
+		return fmt.Errorf("bench: scenario %q breakdown is missing the %s stage", row.Scenario, metrics.StageSubmitAck)
+	}
+	if blockP50Sum > 8*e2e.P99MS {
+		return fmt.Errorf("bench: scenario %q stage p50 sum %.3fms is inconsistent with submit→ack p99 %.3fms",
+			row.Scenario, blockP50Sum, e2e.P99MS)
 	}
 	return nil
 }
@@ -90,6 +141,11 @@ func FormatBaseline(r BaselineReport) string {
 	for _, row := range r.Scenarios {
 		fmt.Fprintf(&b, "%-24s %10.0f %12.2f %10.3f %12.1f %14d\n",
 			row.Scenario, row.TPS, row.LatencyMS, row.ReexecPerTx, row.AllocsPerTx, row.HeapInuseBytes)
+		for _, name := range metrics.StageNames {
+			if s, ok := row.Stages[name]; ok {
+				fmt.Fprintf(&b, "  %-28s n=%-8d p50≤%.3fms p99≤%.3fms\n", name, s.Count, s.P50MS, s.P99MS)
+			}
+		}
 	}
 	return b.String()
 }
@@ -226,12 +282,27 @@ func baselineCluster(name string, cfg cluster.Config, lc cluster.LoadConfig) (Ba
 		}
 		reexec = float64(re) / float64(rep.Committed)
 	}
+	// Per-stage breakdown, merged across live replicas — read before
+	// Stop tears the nodes down.
+	stages := make(map[string]StageSummary, len(metrics.StageNames))
+	for _, stage := range metrics.StageNames {
+		s := c.MergedHistogram(stage)
+		if s.Count == 0 {
+			continue
+		}
+		stages[stage] = StageSummary{
+			Count: s.Count,
+			P50MS: s.Quantile(0.50).Seconds() * 1000,
+			P99MS: s.Quantile(0.99).Seconds() * 1000,
+		}
+	}
 	c.Stop()
 	return BaselineRow{
 		Scenario: name, TPS: rep.TPS,
 		LatencyMS:   rep.Latency.Mean.Seconds() * 1000,
 		ReexecPerTx: reexec, AllocsPerTx: allocs,
 		HeapInuseBytes: heap, Committed: rep.Committed,
+		Stages: stages,
 	}, nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -235,6 +236,24 @@ func (h *Harness) EventLog() []string {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return append([]string(nil), h.events...)
+}
+
+// FlightDump renders the last `last` flight-recorder events of every
+// live replica, one "--- node i flight recorder ---" section each.
+// Failure reports print it beside the seed and fault log: the fault
+// log says what the harness did, the flight dump says what each node
+// was doing (protocol-event level) when the invariant broke.
+func (h *Harness) FlightDump(last int) string {
+	var b strings.Builder
+	for i := 0; i < h.cluster.N(); i++ {
+		n := h.cluster.Node(i)
+		if n == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "--- node %d flight recorder (last %d) ---\n", i, last)
+		b.WriteString(n.Flight().Dump(last))
+	}
+	return b.String()
 }
 
 // LoadOptions parameterizes RunLoadAsync. The zero value is a usable

@@ -36,12 +36,20 @@ func newHarness(t *testing.T, opt Options) *Harness {
 			for _, e := range h.EventLog() {
 				t.Log(e)
 			}
+			// Per-node protocol traces: what each replica was doing
+			// (propose/vote/cert/commit/...) when the invariant broke.
+			t.Log(h.FlightDump(flightDumpTail))
 		}
 		h.Stop()
 	})
 	h.Start()
 	return h
 }
+
+// flightDumpTail is how many flight-recorder events per node a failure
+// report includes — enough to cover the last few commit waves without
+// drowning the fault log.
+const flightDumpTail = 40
 
 // load scales a duration for -short runs.
 func load(d time.Duration) time.Duration {

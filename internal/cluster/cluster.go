@@ -229,8 +229,8 @@ func New(cfg Config) (*Cluster, error) {
 			Mode:      cfg.Mode,
 			Executors: cfg.Executors, Validators: cfg.Validators,
 			BatchSize: cfg.BatchSize, K: cfg.K, KPrime: cfg.KPrime,
-			BatchSizeCap:       cfg.BatchSizeCap,
-			BatchLatencyTarget: cfg.BatchLatencyTarget,
+			BatchSizeCap:          cfg.BatchSizeCap,
+			BatchLatencyTarget:    cfg.BatchLatencyTarget,
 			TickInterval:          cfg.TickInterval,
 			MinRoundInterval:      cfg.MinRoundInterval,
 			CommitLogCap:          cfg.CommitLogCap,
@@ -646,6 +646,21 @@ func (c *Cluster) WaitConvergedAmong(timeout time.Duration, replicas ...int) err
 // Commits returns the number of distinct transactions committed
 // anywhere in the cluster so far (the client-observed commit count).
 func (c *Cluster) Commits() uint64 { return c.commits.Value() }
+
+// MergedHistogram merges the named histogram across every live node
+// into one cluster-wide bucket snapshot (per-stage commit-path
+// breakdowns; see metrics.StageNames). Headless replicas contribute
+// nothing.
+func (c *Cluster) MergedHistogram(name string) metrics.HistogramSnapshot {
+	var merged metrics.HistogramSnapshot
+	for _, n := range c.nodes {
+		if n == nil {
+			continue
+		}
+		merged.Merge(n.Metrics().HistogramSnapshotOf(name))
+	}
+	return merged
+}
 
 // WaitCommitCountsEqual polls until every listed replica (default:
 // all) reports the same CommittedTxs count and that count is stable

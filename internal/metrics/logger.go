@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Logger is the small leveled logger protocol internals report
+// through: prefixed with the owning node's identity, silenced by
+// default under `go test` (operational noise drowns test output), and
+// rate-limited so a flapping transport cannot spam a terminal at
+// event-loop frequency. Output goes through the standard log package,
+// so binaries keep one consistent log stream.
+
+// Level orders log severities.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+	// LevelOff silences the logger entirely.
+	LevelOff
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	case LevelError:
+		return "ERROR"
+	case LevelOff:
+		return "OFF"
+	default:
+		return fmt.Sprintf("level(%d)", int32(l))
+	}
+}
+
+// Rate-limit shape: a token bucket holding logBurst lines, refilled
+// one line per logRefillEvery. A burst of distinct failures prints in
+// full; a sustained flap degrades to ~10 lines/second with a
+// suppressed-line count when output resumes.
+const (
+	logBurst       = 10
+	logRefillEvery = 100 * time.Millisecond
+)
+
+// Logger is safe for concurrent use.
+type Logger struct {
+	prefix string
+
+	mu         sync.Mutex
+	level      Level
+	tokens     int
+	lastRefill time.Time
+	suppressed uint64
+	// printf is swappable for tests; defaults to log.Printf.
+	printf func(format string, args ...any)
+}
+
+// NewLogger returns a logger whose lines are prefixed with prefix.
+// The default level is LevelInfo — except under `go test`, where it
+// is LevelOff so protocol chatter never pollutes test output (tests
+// that assert on log behaviour call SetLevel explicitly).
+func NewLogger(prefix string) *Logger {
+	level := LevelInfo
+	if testing.Testing() {
+		level = LevelOff
+	}
+	return &Logger{
+		prefix:     prefix,
+		level:      level,
+		tokens:     logBurst,
+		lastRefill: time.Now(),
+		printf:     log.Printf,
+	}
+}
+
+// SetLevel adjusts the threshold; lines below it are dropped without
+// touching the rate limiter.
+func (l *Logger) SetLevel(level Level) {
+	l.mu.Lock()
+	l.level = level
+	l.mu.Unlock()
+}
+
+// SetOutput redirects the logger's formatted lines (tests).
+func (l *Logger) SetOutput(printf func(format string, args ...any)) {
+	l.mu.Lock()
+	l.printf = printf
+	l.mu.Unlock()
+}
+
+// Suppressed returns how many lines the rate limiter has dropped and
+// not yet reported.
+func (l *Logger) Suppressed() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.suppressed
+}
+
+func (l *Logger) Debugf(format string, args ...any) { l.logf(LevelDebug, format, args...) }
+func (l *Logger) Infof(format string, args ...any)  { l.logf(LevelInfo, format, args...) }
+func (l *Logger) Warnf(format string, args ...any)  { l.logf(LevelWarn, format, args...) }
+func (l *Logger) Errorf(format string, args ...any) { l.logf(LevelError, format, args...) }
+
+func (l *Logger) logf(level Level, format string, args ...any) {
+	l.mu.Lock()
+	if level < l.level || l.level == LevelOff {
+		l.mu.Unlock()
+		return
+	}
+	// Refill before deciding: a long-quiet logger regains its burst.
+	now := time.Now()
+	if refill := int(now.Sub(l.lastRefill) / logRefillEvery); refill > 0 {
+		l.tokens += refill
+		if l.tokens > logBurst {
+			l.tokens = logBurst
+		}
+		l.lastRefill = now
+	}
+	if l.tokens <= 0 {
+		l.suppressed++
+		l.mu.Unlock()
+		return
+	}
+	l.tokens--
+	suppressed := l.suppressed
+	l.suppressed = 0
+	printf := l.printf
+	prefix := l.prefix
+	l.mu.Unlock()
+
+	msg := fmt.Sprintf(format, args...)
+	if suppressed > 0 {
+		printf("%s %s: %s (%d lines suppressed)", level, prefix, msg, suppressed)
+		return
+	}
+	printf("%s %s: %s", level, prefix, msg)
+}

@@ -5,6 +5,7 @@ import (
 
 	"thunderbolt/internal/crypto"
 	"thunderbolt/internal/gateway"
+	"thunderbolt/internal/metrics"
 	"thunderbolt/internal/tusk"
 	"thunderbolt/internal/types"
 	"thunderbolt/internal/validate"
@@ -17,7 +18,14 @@ import (
 // the commit path never lock-steps the protocol stages.
 func (n *Node) processCommits() {
 	if waves := n.committer.Advance(); len(waves) > 0 {
-		n.execQ = append(n.execQ, waves...)
+		// One clock read covers the batch: waves released by the same
+		// Advance committed at the same decision point.
+		now := time.Now()
+		for _, w := range waves {
+			n.execQ = append(n.execQ, execItem{wave: w, committedAt: now})
+		}
+		n.nm.execQueueDepth.Set(int64(len(n.execQ)))
+		n.nm.roundsInFlight.Set(int64(n.nextRound) - 1 - int64(n.committer.LastLeaderRound()))
 	}
 }
 
@@ -30,9 +38,9 @@ func (n *Node) processCommits() {
 // waves) before the next wave runs.
 func (n *Node) drainExec() {
 	for i := 0; i < len(n.execQ); i++ {
-		w := n.execQ[i]
-		n.execQ[i] = tusk.CommitWave{} // release the vertex references
-		n.executeWave(w)
+		it := n.execQ[i]
+		n.execQ[i] = execItem{} // release the vertex references
+		n.executeWave(it.wave, it.committedAt)
 		if len(n.committedShift) >= crypto.QuorumSize(n.n) {
 			n.reconfigure()
 			n.flushOutbox()
@@ -43,7 +51,7 @@ func (n *Node) drainExec() {
 		// SnapshotInterval boundary of committed leader rounds. After
 		// the wave's execution, so the capture sees its writes — the
 		// deterministic position every honest replica shares.
-		n.maybeCaptureMidEpoch(w.Leader.Round())
+		n.maybeCaptureMidEpoch(it.wave.Leader.Round())
 		n.maybeGC()
 		n.flushOutbox()
 		n.drainInbox()
@@ -51,13 +59,16 @@ func (n *Node) drainExec() {
 	// Every entry was consumed (and zeroed above); keep the backing
 	// array so steady-state commits stop re-growing the queue.
 	n.execQ = n.execQ[:0]
+	n.nm.execQueueDepth.Set(0)
 }
 
 // executeWave applies one commit wave: validated single-shard preplay
 // results first (rules G1/P2), then consensus-ordered cross-shard
 // transactions (OE model), all deterministically.
-func (n *Node) executeWave(w tusk.CommitWave) {
+func (n *Node) executeWave(w tusk.CommitWave, committedAt time.Time) {
 	now := time.Now()
+	// a = vertices in the wave.
+	n.trace(metrics.EvCommit, w.Leader.Round(), uint64(len(w.Vertices)), 0)
 	type crossItem struct {
 		tx       *types.Transaction
 		round    types.Round
@@ -72,6 +83,14 @@ func (n *Node) executeWave(w tusk.CommitWave) {
 	n.commitCtx = CommitEntry{Epoch: n.epoch, Wave: w.Leader.Round()}
 	for _, v := range w.Vertices {
 		b := v.Block
+		// Per-stage breakdown: every committed block with both local
+		// stamps contributes a propose→certify and a certify→commit
+		// sample (stamps are missing only for blocks that predate this
+		// replica's tracking — a snapshot install's re-derived history).
+		if !b.Stamps.Seen.IsZero() && !b.Stamps.Certified.IsZero() {
+			n.nm.stageProposeCertify.Observe(b.Stamps.Certified.Sub(b.Stamps.Seen))
+			n.nm.stageCertifyCommit.Observe(committedAt.Sub(b.Stamps.Certified))
+		}
 		switch b.Kind {
 		case types.ShiftBlock:
 			n.committedShift[b.Proposer] = true
@@ -89,7 +108,7 @@ func (n *Node) executeWave(w tusk.CommitWave) {
 		// else is a Byzantine proposer and the block is discarded.
 		if len(b.SingleTxs) > 0 {
 			if !n.validateAndApply(b, now) {
-				n.bump(func(s *Stats) { s.ValidationFailures++ })
+				n.nm.validationFailures.Add(1)
 				// A proposer whose own block was discarded (typically a
 				// cross-shard transaction raced its preplay — the hazard
 				// rules P3/P4 bound but cannot fully eliminate under
@@ -166,12 +185,14 @@ func (n *Node) executeWave(w tusk.CommitWave) {
 			n.commitCtx.Proposer = crossTxs[i].proposer
 			n.commitCtx.Cross = true
 			n.markCommitted(out.Tx, now)
-			n.bump(func(s *Stats) { s.CommittedCross++ })
+			n.nm.committedCross.Add(1)
 		}
 		// Cross-shard writes land outside the preplay stream; the next
 		// preplay must re-read through the base.
 		n.preplayer.invalidate()
 	}
+	// The wave's commit→execute leg: queue wait plus this execution.
+	n.nm.stageCommitExecute.Observe(time.Since(committedAt))
 	if n.cfg.OnCommitWave != nil {
 		n.cfg.OnCommitWave(n.epoch, w.Leader.Round(), now)
 	}
@@ -216,7 +237,7 @@ func (n *Node) validateAndApply(b *types.Block, now time.Time) bool {
 	for _, tx := range b.SingleTxs {
 		n.markCommitted(tx, now)
 	}
-	n.bump(func(s *Stats) { s.CommittedSingle += uint64(len(b.SingleTxs)) })
+	n.nm.committedSingle.Add(uint64(len(b.SingleTxs)))
 	// If this was our own block, its preplay writes are now durable:
 	// shrink the speculative overlay to the remaining pending blocks.
 	// The move from overlay to store is value-identical through the
@@ -269,7 +290,11 @@ func (n *Node) markCommitted(tx *types.Transaction, now time.Time) {
 	n.recordCommit(id)
 	delete(n.seen, id)
 	n.notifyCommitted(tx)
-	n.bump(func(s *Stats) { s.CommittedTxs++ })
+	n.nm.committedTxs.Add(1)
+	// End-to-end leg: client submission to this replica's ack.
+	if tx.SubmitUnixNano > 0 {
+		n.nm.stageSubmitAck.Observe(now.Sub(time.Unix(0, tx.SubmitUnixNano)))
+	}
 	if n.cfg.OnCommitTx != nil {
 		n.cfg.OnCommitTx(tx, now)
 	}
@@ -312,7 +337,9 @@ func (n *Node) reconfigure() {
 	n.noteOnly(transitionNote(n.epoch + 1))
 	n.dedup.ExpireIdle(n.cfg.SessionIdleEpochs)
 	n.captureSnapshot(n.epoch + 1)
-	n.bump(func(s *Stats) { s.Reconfigurations++ })
+	n.nm.reconfigurations.Add(1)
+	// a = the epoch being entered.
+	n.trace(metrics.EvReconfig, 0, uint64(n.epoch+1), 0)
 	n.transition(n.epoch+1, true)
 }
 
@@ -357,10 +384,8 @@ func (n *Node) transition(newEpoch types.Epoch, reconfig bool) {
 		}
 	}
 
-	n.bump(func(s *Stats) {
-		s.DroppedAtReconfig += dropped
-		s.Epoch = n.epoch
-	})
+	n.nm.droppedAtReconfig.Add(dropped)
+	n.nm.epoch.Set(int64(n.epoch))
 	if reconfig && n.cfg.OnReconfig != nil {
 		n.cfg.OnReconfig(n.epoch, time.Now())
 	}

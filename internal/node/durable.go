@@ -297,9 +297,9 @@ func (n *Node) recoverFromBackend(rec storage.Recoverable) (types.Epoch, error) 
 	n.clogMu.Lock()
 	n.clogStart = commits
 	n.clogMu.Unlock()
-	n.bump(func(s *Stats) {
-		s.CommittedTxs = commits
-		s.Epoch = epoch
-	})
+	// Absolute sets: the restarted replica resumes its committed
+	// position from the sidecar instead of re-counting from zero.
+	n.nm.committedTxs.Store(commits)
+	n.nm.epoch.Set(int64(epoch))
 	return epoch, nil
 }

@@ -219,7 +219,7 @@ func TestGatewayWindowSurvivesEpochJump(t *testing.T) {
 		for _, tx := range history {
 			nd.dedup.Mark(tx)
 		}
-		nd.bump(func(s *Stats) { s.CommittedTxs += uint64(len(history)) })
+		nd.nm.committedTxs.Add(uint64(len(history)))
 		nd.captureSnapshot(2)
 	}
 	victim := f.nodes[0] // fresh state: what a restarted process holds

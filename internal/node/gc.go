@@ -1,6 +1,7 @@
 package node
 
 import (
+	"thunderbolt/internal/metrics"
 	"thunderbolt/internal/types"
 )
 
@@ -114,5 +115,7 @@ func (n *Node) maybeGC() {
 	if n.lastBlock != nil && n.lastBlock.Round < floor {
 		n.lastBlock = nil
 	}
-	n.bump(func(s *Stats) { s.PrunedRounds += uint64(floor - old) })
+	n.nm.prunedRounds.Add(uint64(floor - old))
+	// a = rounds reclaimed by this pass.
+	n.trace(metrics.EvGC, floor, uint64(floor-old), 0)
 }

@@ -1,0 +1,203 @@
+package node
+
+import (
+	"fmt"
+
+	"thunderbolt/internal/metrics"
+	"thunderbolt/internal/types"
+)
+
+// Node instrument names, as they appear in the registry snapshot (and
+// the debug listener's /metrics JSON). Counters and gauges mirror the
+// Stats fields one-to-one — Stats() is now a read-through view over
+// these instruments; per-class send-error counters are named
+// "send_errors_<class>" from sendClassName.
+const (
+	mEpoch              = "epoch"
+	mRound              = "round"
+	mCommittedTxs       = "committed_txs"
+	mCommittedSingle    = "committed_single"
+	mCommittedCross     = "committed_cross"
+	mConvertedToCross   = "converted_to_cross"
+	mReexecutions       = "reexecutions"
+	mRoundsProposed     = "rounds_proposed"
+	mSkipBlocks         = "skip_blocks"
+	mShiftBlocks        = "shift_blocks"
+	mReconfigurations   = "reconfigurations"
+	mValidationFailures = "validation_failures"
+	mDroppedAtReconfig  = "dropped_at_reconfig"
+	mFastForwards       = "fast_forwards"
+	mPrunedRounds       = "pruned_rounds"
+	mEpochJumps         = "epoch_jumps"
+	mSnapshotsServed    = "snapshots_served"
+	mMidEpochCaptures   = "mid_epoch_captures"
+	mMidEpochInstalls   = "mid_epoch_installs"
+	mSnapChunksServed   = "snap_chunks_served"
+	mSnapChunksFetched  = "snap_chunks_fetched"
+	mSnapChunksSkipped  = "snap_chunks_skipped"
+	mSnapChunkRetries   = "snap_chunk_retries"
+	mPendingCross       = "pending_cross"
+	mQueueLen           = "queue_len"
+	mBatchSize          = "batch_size"
+
+	// Pipeline-depth gauges: how much work each stage of the pipelined
+	// commit path is holding right now.
+	mRoundsInFlight    = "rounds_in_flight"    // proposed rounds past the last committed leader round
+	mExecQueueDepth    = "exec_queue_depth"    // committed waves queued for execution
+	mOutboxFlushBytes  = "outbox_flush_bytes"  // bytes of the last outbox flush
+	mOutboxFlushFrames = "outbox_flush_frames" // wire frames of the last outbox flush
+)
+
+// nodeMetrics bundles the node's instrumentation: a registry of
+// counters/gauges/histograms, the flight recorder, and the leveled
+// logger. Every handle is resolved once here, at construction, so the
+// record paths (event loop, commit path) touch only atomics — no map
+// lookups, locks, or allocations per sample.
+type nodeMetrics struct {
+	reg    *metrics.Registry
+	flight *metrics.FlightRecorder
+	log    *metrics.Logger
+
+	committedTxs       *metrics.Counter
+	committedSingle    *metrics.Counter
+	committedCross     *metrics.Counter
+	convertedToCross   *metrics.Counter
+	reexecutions       *metrics.Counter
+	roundsProposed     *metrics.Counter
+	skipBlocks         *metrics.Counter
+	shiftBlocks        *metrics.Counter
+	reconfigurations   *metrics.Counter
+	validationFailures *metrics.Counter
+	droppedAtReconfig  *metrics.Counter
+	fastForwards       *metrics.Counter
+	prunedRounds       *metrics.Counter
+	epochJumps         *metrics.Counter
+	snapshotsServed    *metrics.Counter
+	midEpochCaptures   *metrics.Counter
+	midEpochInstalls   *metrics.Counter
+	snapChunksServed   *metrics.Counter
+	snapChunksFetched  *metrics.Counter
+	snapChunksSkipped  *metrics.Counter
+	snapChunkRetries   *metrics.Counter
+	sendErrors         [numSendClasses]*metrics.Counter
+
+	epoch             *metrics.Gauge
+	round             *metrics.Gauge
+	pendingCross      *metrics.Gauge
+	queueLen          *metrics.Gauge
+	batchSize         *metrics.Gauge
+	roundsInFlight    *metrics.Gauge
+	execQueueDepth    *metrics.Gauge
+	outboxFlushBytes  *metrics.Gauge
+	outboxFlushFrames *metrics.Gauge
+
+	stageProposeCertify *metrics.Histogram
+	stageCertifyCommit  *metrics.Histogram
+	stageCommitExecute  *metrics.Histogram
+	stageSubmitAck      *metrics.Histogram
+}
+
+func newNodeMetrics(id types.ReplicaID) *nodeMetrics {
+	reg := metrics.NewRegistry()
+	m := &nodeMetrics{
+		reg:    reg,
+		flight: metrics.NewFlightRecorder(metrics.DefaultFlightCap),
+		log:    metrics.NewLogger(fmt.Sprintf("node %d", id)),
+
+		committedTxs:       reg.Counter(mCommittedTxs),
+		committedSingle:    reg.Counter(mCommittedSingle),
+		committedCross:     reg.Counter(mCommittedCross),
+		convertedToCross:   reg.Counter(mConvertedToCross),
+		reexecutions:       reg.Counter(mReexecutions),
+		roundsProposed:     reg.Counter(mRoundsProposed),
+		skipBlocks:         reg.Counter(mSkipBlocks),
+		shiftBlocks:        reg.Counter(mShiftBlocks),
+		reconfigurations:   reg.Counter(mReconfigurations),
+		validationFailures: reg.Counter(mValidationFailures),
+		droppedAtReconfig:  reg.Counter(mDroppedAtReconfig),
+		fastForwards:       reg.Counter(mFastForwards),
+		prunedRounds:       reg.Counter(mPrunedRounds),
+		epochJumps:         reg.Counter(mEpochJumps),
+		snapshotsServed:    reg.Counter(mSnapshotsServed),
+		midEpochCaptures:   reg.Counter(mMidEpochCaptures),
+		midEpochInstalls:   reg.Counter(mMidEpochInstalls),
+		snapChunksServed:   reg.Counter(mSnapChunksServed),
+		snapChunksFetched:  reg.Counter(mSnapChunksFetched),
+		snapChunksSkipped:  reg.Counter(mSnapChunksSkipped),
+		snapChunkRetries:   reg.Counter(mSnapChunkRetries),
+
+		epoch:             reg.Gauge(mEpoch),
+		round:             reg.Gauge(mRound),
+		pendingCross:      reg.Gauge(mPendingCross),
+		queueLen:          reg.Gauge(mQueueLen),
+		batchSize:         reg.Gauge(mBatchSize),
+		roundsInFlight:    reg.Gauge(mRoundsInFlight),
+		execQueueDepth:    reg.Gauge(mExecQueueDepth),
+		outboxFlushBytes:  reg.Gauge(mOutboxFlushBytes),
+		outboxFlushFrames: reg.Gauge(mOutboxFlushFrames),
+
+		stageProposeCertify: reg.Histogram(metrics.StageProposeCertify),
+		stageCertifyCommit:  reg.Histogram(metrics.StageCertifyCommit),
+		stageCommitExecute:  reg.Histogram(metrics.StageCommitExecute),
+		stageSubmitAck:      reg.Histogram(metrics.StageSubmitAck),
+	}
+	for class := 0; class < numSendClasses; class++ {
+		m.sendErrors[class] = reg.Counter("send_errors_" + sendClassName[class])
+	}
+	return m
+}
+
+// trace records one flight-recorder event stamped with the node's
+// current epoch. A and B are kind-specific payloads; each call site
+// documents its own.
+func (n *Node) trace(kind metrics.EventKind, round types.Round, a, b uint64) {
+	n.nm.flight.Note(kind, uint64(n.epoch), uint64(round), a, b)
+}
+
+// Metrics returns the node's instrument registry (counters, gauges,
+// per-stage histograms). Snapshot it for one coherent view; resolve
+// named histograms for cross-node merging.
+func (n *Node) Metrics() *metrics.Registry { return n.nm.reg }
+
+// Flight returns the node's flight recorder — the ring of recent
+// protocol trace events the chaos harness dumps on invariant failure.
+func (n *Node) Flight() *metrics.FlightRecorder { return n.nm.flight }
+
+// Stats returns a snapshot of the node's counters, read through the
+// metrics registry (the instruments are the source of truth).
+// PendingCross and QueueLen are sampled at the last proposal.
+func (n *Node) Stats() Stats {
+	m := n.nm
+	s := Stats{
+		Epoch:              types.Epoch(m.epoch.Value()),
+		Round:              types.Round(m.round.Value()),
+		CommittedTxs:       m.committedTxs.Value(),
+		CommittedSingle:    m.committedSingle.Value(),
+		CommittedCross:     m.committedCross.Value(),
+		ConvertedToCross:   m.convertedToCross.Value(),
+		Reexecutions:       m.reexecutions.Value(),
+		RoundsProposed:     m.roundsProposed.Value(),
+		SkipBlocks:         m.skipBlocks.Value(),
+		ShiftBlocks:        m.shiftBlocks.Value(),
+		Reconfigurations:   m.reconfigurations.Value(),
+		ValidationFailures: m.validationFailures.Value(),
+		DroppedAtReconfig:  m.droppedAtReconfig.Value(),
+		FastForwards:       m.fastForwards.Value(),
+		PrunedRounds:       m.prunedRounds.Value(),
+		EpochJumps:         m.epochJumps.Value(),
+		SnapshotsServed:    m.snapshotsServed.Value(),
+		MidEpochCaptures:   m.midEpochCaptures.Value(),
+		MidEpochInstalls:   m.midEpochInstalls.Value(),
+		SnapChunksServed:   m.snapChunksServed.Value(),
+		SnapChunksFetched:  m.snapChunksFetched.Value(),
+		SnapChunksSkipped:  m.snapChunksSkipped.Value(),
+		SnapChunkRetries:   m.snapChunkRetries.Value(),
+		PendingCross:       uint64(m.pendingCross.Value()),
+		QueueLen:           uint64(m.queueLen.Value()),
+		BatchSize:          uint64(m.batchSize.Value()),
+	}
+	for class := 0; class < numSendClasses; class++ {
+		s.SendErrors[class] = m.sendErrors[class].Value()
+	}
+	return s
+}

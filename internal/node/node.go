@@ -21,6 +21,7 @@ import (
 	"thunderbolt/internal/crypto"
 	"thunderbolt/internal/dag"
 	"thunderbolt/internal/gateway"
+	"thunderbolt/internal/metrics"
 	"thunderbolt/internal/storage"
 	"thunderbolt/internal/transport"
 	"thunderbolt/internal/tusk"
@@ -383,13 +384,13 @@ type Node struct {
 	// inbox is an unbounded queue so the transport delivery goroutine
 	// never blocks on a busy event loop (bounded queues here can close
 	// a circular wait across nodes and deadlock the whole committee).
-	inboxMu  sync.Mutex
-	inboxQ   []inboundMsg
+	inboxMu sync.Mutex
+	inboxQ  []inboundMsg
 	// inboxFree recycles the drained queue's backing array (node
 	// goroutine only): without it every drain dropped the capacity and
 	// the receive callback regrew the queue from scratch.
 	inboxFree []inboundMsg
-	inboxSig chan struct{}
+	inboxSig  chan struct{}
 
 	txCh   chan *types.Transaction
 	inspCh chan func(*Node)
@@ -449,18 +450,19 @@ type Node struct {
 	lastBlockVotes int
 
 	// --- outbound coalescing (outbox.go) ---
-	outBcast      []outMsg
-	outDirect     [][]outMsg // per committee peer
-	frameBuf      []byte
-	sendErrLogged [numSendClasses]bool
+	outBcast  []outMsg
+	outDirect [][]outMsg // per committee peer
+	frameBuf  []byte
 
 	// execQ holds committed waves awaiting execution: the commit path
 	// is pipelined, so certificate and vote handling for rounds r and
 	// r+1 is never blocked behind the execution of wave r−1. Waves
 	// execute in commit order between event-loop passes (drainExec);
 	// an epoch transition clears the queue (later waves of the dying
-	// epoch are discarded, the paper's ending-round semantics).
-	execQ []tusk.CommitWave
+	// epoch are discarded, the paper's ending-round semantics). Each
+	// entry carries its commit time — the certify→commit /
+	// commit→execute stage boundary.
+	execQ []execItem
 
 	// baseReader is n.baseRead bound once: the commit path passes it to
 	// validation/execution for every wave, and a method-value conversion
@@ -552,8 +554,19 @@ type Node struct {
 	clogStart uint64
 	commitCtx CommitEntry
 
-	statsMu sync.Mutex
-	stats   Stats
+	// nm holds the node's instrumentation: registry-backed counters,
+	// gauges, and per-stage histograms, the flight recorder, and the
+	// leveled logger (metrics.go). Initialized before any recovery so
+	// even restart paths record through it.
+	nm *nodeMetrics
+}
+
+// execItem is one queued commit wave plus the moment the commit rule
+// released it (processCommits) — the timestamp the per-stage
+// histograms measure the certify→commit and commit→execute legs from.
+type execItem struct {
+	wave        tusk.CommitWave
+	committedAt time.Time
 }
 
 type voteKey struct {
@@ -589,6 +602,7 @@ func New(cfg Config) (*Node, error) {
 		done:     make(chan struct{}),
 	}
 	n.baseReader = n.baseRead
+	n.nm = newNodeMetrics(cfg.ID)
 	n.dedup = gateway.NewDedup(cfg.NonceWindow, cfg.LegacyDedupWindow)
 	startEpoch := types.Epoch(0)
 	if rec, ok := cfg.Store.(storage.Recoverable); ok {
@@ -752,20 +766,6 @@ func (n *Node) myShard() types.ShardID {
 // Store returns this replica's state backend (authoritative,
 // committed state only).
 func (n *Node) Store() storage.Backend { return n.cfg.Store }
-
-// Stats returns a snapshot of the node's counters. PendingCross and
-// QueueLen are sampled at the last proposal.
-func (n *Node) Stats() Stats {
-	n.statsMu.Lock()
-	defer n.statsMu.Unlock()
-	return n.stats
-}
-
-func (n *Node) bump(f func(*Stats)) {
-	n.statsMu.Lock()
-	f(&n.stats)
-	n.statsMu.Unlock()
-}
 
 // Start launches the event loop and proposes the first block.
 func (n *Node) Start() {
@@ -1304,6 +1304,8 @@ func (n *Node) handleBlock(from types.ReplicaID, b *types.Block, raw []byte) {
 				Epoch: b.Epoch, Round: b.Round, Proposer: b.Proposer,
 				BlockDigest: d, Sig: n.cfg.Signer.Sign(d),
 			}
+			// a = proposer the vote is for.
+			n.trace(metrics.EvVote, b.Round, uint64(b.Proposer), 0)
 			n.queueTo(b.Proposer, MsgVote, v.marshal())
 		}
 	}
@@ -1464,6 +1466,13 @@ func (n *Node) insertVertex(v *dag.Vertex) bool {
 // transactions touching this node's shard (rules P3/P4 input).
 func (n *Node) onVertexAdded(v *dag.Vertex) {
 	n.lastProgress = time.Now()
+	// Certified: the certify→commit stage clock starts when the
+	// certificate quorum lands the vertex in the local DAG.
+	if v.Block.Stamps.Certified.IsZero() {
+		v.Block.Stamps.Certified = n.lastProgress
+	}
+	// a = proposer whose vertex was certified.
+	n.trace(metrics.EvCert, v.Round(), uint64(v.Proposer()), 0)
 	if v.Round() > n.lastSeen[v.Proposer()] {
 		n.lastSeen[v.Proposer()] = v.Round()
 	}
@@ -1564,7 +1573,9 @@ func (n *Node) fastForward(hi types.Round) {
 	n.preplayer.invalidate()
 	n.lastBlock = nil
 	n.nextRound = hi + 1
-	n.bump(func(s *Stats) { s.FastForwards++ })
+	n.nm.fastForwards.Add(1)
+	// a = certified frontier round this node rejoined at.
+	n.trace(metrics.EvFastForward, hi+1, uint64(hi), 0)
 	n.propose()
 }
 
@@ -1592,6 +1603,12 @@ func (n *Node) trackPendingBlock(b *types.Block) {
 	d := b.Digest()
 	if _, ok := n.pendingBlocks[d]; ok {
 		return
+	}
+	// First sighting on this replica: the propose→certify stage clock
+	// starts here (own blocks stamp at creation, peer blocks at first
+	// receipt — both within the proposer's broadcast).
+	if b.Stamps.Seen.IsZero() {
+		b.Stamps.Seen = time.Now()
 	}
 	n.pendingBlocks[d] = b
 	n.pendingRounds[b.Round] = append(n.pendingRounds[b.Round], d)

@@ -1,8 +1,7 @@
 package node
 
 import (
-	"log"
-
+	"thunderbolt/internal/metrics"
 	"thunderbolt/internal/transport"
 	"thunderbolt/internal/types"
 )
@@ -65,21 +64,20 @@ func sendClassOf(mt transport.MsgType) int {
 	}
 }
 
-// noteSendErr accounts a transport send result. Errors are counted in
-// Stats per message class; the first persistent failure per class is
-// logged once per node (a steady-state send to a live peer failing is
-// an operational signal, but repeating it every round is noise).
+// noteSendErr accounts a transport send result. Errors are counted
+// per message class, traced in the flight recorder, and reported
+// through the node's rate-limited logger (a steady-state send to a
+// live peer failing is an operational signal; the limiter keeps a
+// sustained flap from repeating it at event-loop frequency).
 func (n *Node) noteSendErr(mt transport.MsgType, err error) {
 	if err == nil {
 		return
 	}
 	class := sendClassOf(mt)
-	n.bump(func(s *Stats) { s.SendErrors[class]++ })
-	if !n.sendErrLogged[class] {
-		n.sendErrLogged[class] = true
-		log.Printf("node %d: transport send failed (class=%s): %v",
-			n.cfg.ID, sendClassName[class], err)
-	}
+	n.nm.sendErrors[class].Add(1)
+	// a = send class index (see sendClassName).
+	n.trace(metrics.EvSendErr, n.nextRound-1, uint64(class), 0)
+	n.nm.log.Warnf("transport send failed (class=%s): %v", sendClassName[class], err)
 }
 
 // queueBcast queues one message for every committee peer (self
@@ -121,6 +119,7 @@ func (n *Node) flushOutbox() {
 	if len(n.outBcast) == 0 && direct == 0 {
 		return
 	}
+	var flushBytes, flushFrames int64
 	for p := 0; p < n.n; p++ {
 		to := types.ReplicaID(p)
 		if to == n.cfg.ID {
@@ -139,6 +138,8 @@ func (n *Node) flushOutbox() {
 				m = msgs[0]
 			}
 			n.noteSendErr(m.mt, n.cfg.Transport.Send(to, m.mt, m.payload))
+			flushBytes += int64(len(m.payload))
+			flushFrames++
 		default:
 			frame := n.frameBuf[:0]
 			for _, m := range n.outBcast {
@@ -149,8 +150,13 @@ func (n *Node) flushOutbox() {
 			}
 			n.frameBuf = frame
 			n.noteSendErr(MsgBatch, n.cfg.Transport.Send(to, MsgBatch, frame))
+			flushBytes += int64(len(frame))
+			flushFrames++
 		}
 	}
+	// Coalescing-efficiency gauges: wire cost of this flush.
+	n.nm.outboxFlushBytes.Set(flushBytes)
+	n.nm.outboxFlushFrames.Set(flushFrames)
 	n.outBcast = n.outBcast[:0]
 	for i := range n.outDirect {
 		n.outDirect[i] = n.outDirect[i][:0]

@@ -8,6 +8,7 @@ import (
 	"thunderbolt/internal/crypto"
 	"thunderbolt/internal/depgraph"
 	"thunderbolt/internal/gateway"
+	"thunderbolt/internal/metrics"
 	"thunderbolt/internal/occ"
 	"thunderbolt/internal/tusk"
 	"thunderbolt/internal/types"
@@ -135,18 +136,20 @@ func (n *Node) propose() {
 	case n.shouldShift(r):
 		blk.Kind = types.ShiftBlock
 		n.shiftSent = true
-		n.bump(func(s *Stats) { s.ShiftBlocks++ })
+		n.nm.shiftBlocks.Add(1)
+		n.trace(metrics.EvShift, r, 0, 0)
 	default:
 		n.fillBlock(blk, r)
 	}
 
-	n.bump(func(s *Stats) {
-		s.RoundsProposed++
-		s.Epoch = n.epoch
-		s.Round = r
-		s.PendingCross = uint64(len(n.pendingCross))
-		s.QueueLen = uint64(len(n.txQueue))
-	})
+	n.nm.roundsProposed.Add(1)
+	n.nm.epoch.Set(int64(n.epoch))
+	n.nm.round.Set(int64(r))
+	n.nm.pendingCross.Set(int64(len(n.pendingCross)))
+	n.nm.queueLen.Set(int64(len(n.txQueue)))
+	n.nm.roundsInFlight.Set(int64(r) - int64(n.committer.LastLeaderRound()))
+	// a = single-shard txs carried, b = cross-shard txs carried.
+	n.trace(metrics.EvPropose, r, uint64(len(blk.SingleTxs)), uint64(len(blk.CrossTxs)))
 	// Register the quorum collector before broadcasting so even the
 	// self-vote lands in it. Keep the block (and its encoding — one
 	// marshal serves the broadcast and any housekeeping rebroadcast):
@@ -247,14 +250,16 @@ func (n *Node) fillBlock(blk *types.Block, r types.Round) {
 	if mustConvert {
 		if len(singles) == 0 && len(cross) == 0 {
 			blk.Kind = types.SkipBlock
-			n.bump(func(s *Stats) { s.SkipBlocks++ })
+			n.nm.skipBlocks.Add(1)
+			// a = pending cross-shard txs forcing the skip.
+			n.trace(metrics.EvSkip, r, uint64(len(n.pendingCross)), 0)
 			return
 		}
 		for _, tx := range singles {
 			tx.Promote()
 			blk.CrossTxs = append(blk.CrossTxs, tx)
 		}
-		n.bump(func(s *Stats) { s.ConvertedToCross += uint64(len(singles)) })
+		n.nm.convertedToCross.Add(uint64(len(singles)))
 		return
 	}
 	if len(singles) == 0 {
@@ -263,7 +268,7 @@ func (n *Node) fillBlock(blk *types.Block, r types.Round) {
 	res := n.preplayer.preplay(n.specRead, singles)
 	blk.SingleTxs = res.Schedule
 	blk.Results = res.Results
-	n.bump(func(s *Stats) { s.Reexecutions += uint64(res.Reexecutions) })
+	n.nm.reexecutions.Add(uint64(res.Reexecutions))
 	// Fold the preplay outcome into the speculative view so the next
 	// round's batch builds on it.
 	var writes []types.RWRecord
@@ -348,7 +353,7 @@ func (n *Node) drainQueue() (singles, cross []*types.Transaction) {
 			// callback and wire — so the client layer re-routes
 			// immediately.
 			delete(n.seen, tx.ID())
-			n.bump(func(s *Stats) { s.DroppedAtReconfig++ })
+			n.nm.droppedAtReconfig.Add(1)
 			n.nackPending(tx, gateway.NackMisroute)
 			if n.cfg.OnRejectTx != nil {
 				n.cfg.OnRejectTx(tx)
@@ -359,6 +364,6 @@ func (n *Node) drainQueue() (singles, cross []*types.Transaction) {
 	// Adaptive sizing input: a backlog still deeper than the batch just
 	// taken means the proposer is underbatching for the offered load.
 	n.batch.ObserveQueue(len(rest))
-	n.bump(func(s *Stats) { s.BatchSize = uint64(n.batch.Size()) })
+	n.nm.batchSize.Set(int64(n.batch.Size()))
 	return singles, cross
 }

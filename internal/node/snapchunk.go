@@ -109,7 +109,7 @@ func (n *Node) startChunkFetch(snap *types.Snapshot, servers []types.ReplicaID) 
 			}
 		}
 		if skipped > 0 {
-			n.bump(func(s *Stats) { s.SnapChunksSkipped += skipped })
+			n.nm.snapChunksSkipped.Add(skipped)
 		}
 	}
 	if f.pending == 0 {
@@ -136,7 +136,7 @@ func (n *Node) pumpChunkFetch() {
 		}
 		if time.Since(st.at) >= timeout {
 			delete(f.inflight, i)
-			n.bump(func(s *Stats) { s.SnapChunkRetries++ })
+			n.nm.snapChunkRetries.Add(1)
 		}
 	}
 	for i := range f.done {
@@ -176,7 +176,7 @@ func (n *Node) handleSnapChunk(_ types.ReplicaID, c *snapChunk) {
 		// retry. The rotation in pumpChunkFetch naturally asks a
 		// different server next.
 		delete(f.inflight, i)
-		n.bump(func(s *Stats) { s.SnapChunkRetries++ })
+		n.nm.snapChunkRetries.Add(1)
 		n.pumpChunkFetch()
 		return
 	}
@@ -187,7 +187,7 @@ func (n *Node) handleSnapChunk(_ types.ReplicaID, c *snapChunk) {
 	f.done[i] = true
 	f.pending--
 	delete(f.inflight, i)
-	n.bump(func(s *Stats) { s.SnapChunksFetched++ })
+	n.nm.snapChunksFetched.Add(1)
 	if f.pending == 0 {
 		n.finishChunkFetch(f)
 		return
@@ -227,5 +227,5 @@ func (n *Node) handleSnapChunkReq(from types.ReplicaID, r *snapChunkReq) {
 	n.chunkBudget--
 	msg := (&snapChunk{Snap: r.Snap, Index: r.Index, Payload: n.snapChunks[i]}).marshal()
 	n.sendNow(from, MsgSnapChunk, msg)
-	n.bump(func(s *Stats) { s.SnapChunksServed++ })
+	n.nm.snapChunksServed.Add(1)
 }

@@ -6,6 +6,7 @@ import (
 
 	"thunderbolt/internal/dag"
 	"thunderbolt/internal/gateway"
+	"thunderbolt/internal/metrics"
 	"thunderbolt/internal/tusk"
 	"thunderbolt/internal/types"
 )
@@ -83,7 +84,8 @@ func (n *Node) maybeCaptureMidEpoch(leaderRound types.Round) {
 	}
 	n.lastSnapAt = leaderRound
 	n.capture(n.epoch)
-	n.bump(func(s *Stats) { s.MidEpochCaptures++ })
+	n.nm.midEpochCaptures.Add(1)
+	n.trace(metrics.EvSnapCapture, leaderRound, 0, 0)
 }
 
 // capture builds the snapshot at the current committed position,
@@ -232,7 +234,7 @@ func (n *Node) serveSnapshot(to types.ReplicaID, reqEpoch types.Epoch, reqRound 
 		}
 		n.sendNow(to, MsgSnapManifest, n.lastManifestMsg)
 	}
-	n.bump(func(s *Stats) { s.SnapshotsServed++ })
+	n.nm.snapshotsServed.Add(1)
 }
 
 func (n *Node) handleSnapshotReq(from types.ReplicaID, r *snapshotReq) {
@@ -393,15 +395,18 @@ func (n *Node) installSnapshot(snap *types.Snapshot, writes []types.RWRecord, ch
 	n.snapChunks = chunks
 	n.lastSnapMsg = nil
 	n.lastManifestMsg = nil
-	n.bump(func(s *Stats) {
-		if crossEpoch {
-			s.EpochJumps++
-		}
-		if snap.Epoch == snap.PrevEpoch {
-			s.MidEpochInstalls++
-		}
-		s.CommittedTxs = snap.Commits
-	})
+	if crossEpoch {
+		n.nm.epochJumps.Add(1)
+		// a = the epoch jumped into.
+		n.trace(metrics.EvEpochJump, snap.EndRound, uint64(snap.Epoch), 0)
+	}
+	if snap.Epoch == snap.PrevEpoch {
+		n.nm.midEpochInstalls.Add(1)
+	}
+	// Absolute set: the committed position jumps to the snapshot's.
+	n.nm.committedTxs.Store(snap.Commits)
+	// a = snapshot epoch, b = its committed-transaction position.
+	n.trace(metrics.EvSnapInstall, snap.EndRound, uint64(snap.Epoch), snap.Commits)
 	if snap.Epoch == snap.PrevEpoch {
 		n.resumeMidEpoch(snap)
 	} else {
@@ -485,9 +490,9 @@ func (n *Node) resumeMidEpoch(snap *types.Snapshot) {
 				n.cfg.OnRejectTx(tx)
 			}
 		}
-		n.bump(func(s *Stats) { s.DroppedAtReconfig += dropped })
+		n.nm.droppedAtReconfig.Add(dropped)
 	}
-	n.bump(func(s *Stats) { s.Epoch = n.epoch })
+	n.nm.epoch.Set(int64(n.epoch))
 	// Replay messages that arrived early, then rejoin: the first
 	// proposal at the base needs no parents (the store waives them
 	// there), and normal catch-up — round pulls, orphan backfill,

@@ -63,7 +63,7 @@ func applyTestCommits(n *Node, balance int64, txs ...*types.Transaction) {
 	for _, tx := range txs {
 		n.dedup.Mark(tx)
 	}
-	n.bump(func(s *Stats) { s.CommittedTxs += uint64(len(txs)) })
+	n.nm.committedTxs.Add(uint64(len(txs)))
 }
 
 // legacyTx builds a nonce-less transaction with a distinct identity.

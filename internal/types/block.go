@@ -1,5 +1,7 @@
 package types
 
+import "time"
+
 // BlockKind tags the role a DAG vertex plays.
 type BlockKind uint8
 
@@ -57,6 +59,14 @@ type Block struct {
 	// part of the digest (a block is a unique proposal event).
 	ProposedUnixNano int64
 
+	// Stamps carries this replica's local pipeline timestamps, set as
+	// the block moves propose→certify→commit; the per-stage commit-path
+	// histograms read them at execution. Purely local observability
+	// state: like the digest cache below it is invisible to the codec
+	// and the digest, reset on decode, and never crosses the wire — two
+	// replicas hold independent stamps for the same block.
+	Stamps BlockStamps
+
 	// dig caches the content digest. Blocks are immutable once built
 	// (propose fills them before the first Digest call; decode resets
 	// the cache) and owned by one goroutine at a time, so the cache is
@@ -65,6 +75,17 @@ type Block struct {
 	// compare blocks by Digest or marshalled bytes, not reflection.
 	dig   Digest
 	digOK bool
+}
+
+// BlockStamps are one replica's local stage timestamps for a block:
+// Seen is when the replica first tracked it (its own propose time, or
+// first receipt off the wire — both happen within the broadcast the
+// proposer fires at creation), Certified when the certified vertex
+// entered the local DAG. Both read from the same local clock, so stage
+// durations never mix clocks across machines.
+type BlockStamps struct {
+	Seen      time.Time
+	Certified time.Time
 }
 
 // Digest returns the canonical content address of the block, computed
@@ -146,6 +167,7 @@ func (b *Block) UnmarshalBinaryOwned(data []byte) error {
 
 func (b *Block) unmarshalFrom(data []byte) error {
 	b.digOK = false
+	b.Stamps = BlockStamps{}
 	d := NewSharedDecoder(data)
 	b.Epoch = Epoch(d.U64())
 	b.Round = Round(d.U64())
