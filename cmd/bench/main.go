@@ -30,9 +30,13 @@ func main() {
 		seed     = flag.Int64("seed", 42, "experiment seed")
 		out      = flag.String("out", "", "also write the tables to this file")
 		baseline = flag.String("baseline", "", "run the baseline scenario matrix and write BENCH JSON to this path")
+		spec     = flag.Bool("spec", true, "speculative execution of certified blocks in cluster scenarios (-spec=false is the escape hatch)")
 	)
 	flag.Parse()
 	opt := bench.Options{Quick: *quick, Seed: *seed}
+	if !*spec {
+		opt.SpecExecDepth = -1
+	}
 
 	if *baseline != "" {
 		rep, err := bench.RunBaseline(opt, bench.BaselineVersion(*baseline))

@@ -49,6 +49,19 @@ type BaselineRow struct {
 	// across replicas. Quantiles are log₂-bucket upper bounds, so each
 	// overestimates its true quantile by at most 2×.
 	Stages map[string]StageSummary `json:"stages,omitempty"`
+	// Spec is the speculative-execution outcome (cluster scenarios
+	// only), summed across replicas: how often the certified-block
+	// predictions held (results installed off the critical path) versus
+	// rolled back. Serial mode and -spec=false runs report zeros.
+	Spec *SpecSummary `json:"spec,omitempty"`
+}
+
+// SpecSummary is a cluster scenario's speculation outcome.
+type SpecSummary struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// HitRate is hits/(hits+misses); 0 when speculation never engaged.
+	HitRate float64 `json:"hit_rate"`
 }
 
 // StageSummary is one pipeline stage's latency reduction.
@@ -146,33 +159,80 @@ func FormatBaseline(r BaselineReport) string {
 				fmt.Fprintf(&b, "  %-28s n=%-8d p50≤%.3fms p99≤%.3fms\n", name, s.Count, s.P50MS, s.P99MS)
 			}
 		}
+		if row.Spec != nil {
+			fmt.Fprintf(&b, "  %-28s hits=%-6d misses=%-6d hit_rate=%.3f\n",
+				"speculation", row.Spec.Hits, row.Spec.Misses, row.Spec.HitRate)
+		}
 	}
 	return b.String()
 }
 
 // memProbe samples allocation counters around a run window. Both
 // edges run a full GC first so dead state from earlier scenarios
-// cannot bleed into this one's numbers.
-type memProbe struct{ start runtime.MemStats }
+// cannot bleed into this one's numbers. Growth is measured on post-GC
+// HeapAlloc (live object bytes), not HeapInuse: span accounting keeps
+// fragmentation from earlier scenarios' churn, which inflated the
+// start edge past a small scenario's whole live set and zeroed its
+// growth (the old cluster-wan-n4-ce failure mode).
+type memProbe struct {
+	start runtime.MemStats
+	// peak is the largest post-GC live heap any mid-window sample()
+	// observed. finish() reports growth against the max of peak and
+	// its own end-of-window reading, so scenarios whose live state is
+	// released before the window closes (a cluster quiescing after
+	// load, snapshot chunks dropped between passes) still report the
+	// footprint they actually held, not the zero left after teardown.
+	peak uint64
+}
+
+// gcSettle runs two back-to-back collections: sync.Pool contents (the
+// codec's pooled encoders among them) survive one GC in a victim
+// cache, so a single collection leaves the previous scenario's pools
+// counted as live — inflating a probe's start edge by more than a
+// small scenario's whole footprint.
+func gcSettle() {
+	runtime.GC()
+	runtime.GC()
+}
 
 func startProbe() *memProbe {
-	runtime.GC()
+	gcSettle()
 	p := &memProbe{}
 	runtime.ReadMemStats(&p.start)
 	return p
 }
 
+// sample records a post-GC live-heap reading while the scenario's
+// state is still retained. Call it at the scenario's steady-state
+// point — for cluster rows at load-end and commit-quiesce, for
+// snapshot rows while a capture's chunks are live — and outside any
+// timed region (the forced GC would otherwise pollute the latency
+// window).
+func (p *memProbe) sample() {
+	gcSettle()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	if m.HeapAlloc > p.peak {
+		p.peak = m.HeapAlloc
+	}
+}
+
 // finish returns allocations since start divided by committed, and
-// the post-GC live-heap growth since start.
+// the post-GC live-heap growth since start (using the largest of the
+// end-of-window and mid-window samples).
 func (p *memProbe) finish(committed uint64) (allocsPerTx float64, heapGrowth uint64) {
-	runtime.GC()
+	gcSettle()
 	var end runtime.MemStats
 	runtime.ReadMemStats(&end)
 	if committed > 0 {
 		allocsPerTx = float64(end.Mallocs-p.start.Mallocs) / float64(committed)
 	}
-	if end.HeapInuse > p.start.HeapInuse {
-		heapGrowth = end.HeapInuse - p.start.HeapInuse
+	live := end.HeapAlloc
+	if p.peak > live {
+		live = p.peak
+	}
+	if live > p.start.HeapAlloc {
+		heapGrowth = live - p.start.HeapAlloc
 	}
 	return allocsPerTx, heapGrowth
 }
@@ -273,14 +333,41 @@ func baselineCluster(name string, cfg cluster.Config, lc cluster.LoadConfig) (Ba
 	c.Start()
 	probe := startProbe()
 	rep := c.RunLoad(lc)
+	// Sample the live heap twice and keep the max. At load-end the
+	// in-flight state is at its peak — WAN rows hold seconds of queued
+	// messages here that are fully drained by quiesce. At
+	// commit-quiesce every replica has caught up to the same commit
+	// count, so the DAG, dedup windows, commit logs, and store deltas
+	// the run accumulated are all still retained. Sampling only after
+	// Stop (as finish() alone would) reads the heap after teardown
+	// released most of that state, which is how WAN rows — whose
+	// replicas lag the load window's end — used to report
+	// heap_inuse_bytes: 0.
+	probe.sample()
+	_ = c.WaitCommitCountsEqual(10 * time.Second)
+	probe.sample()
 	allocs, heap := probe.finish(rep.Committed)
 	var reexec float64
+	// Speculation counters are read post-quiesce from the live nodes —
+	// waves committed after the load window closed still count.
+	var specHits, specMisses uint64
+	for i := 0; i < c.N(); i++ {
+		if n := c.Node(i); n != nil {
+			st := n.Stats()
+			specHits += st.SpecHits
+			specMisses += st.SpecMisses
+		}
+	}
 	if rep.Committed > 0 {
 		var re uint64
 		for _, st := range rep.NodeStats {
 			re += st.Reexecutions
 		}
 		reexec = float64(re) / float64(rep.Committed)
+	}
+	spec := &SpecSummary{Hits: specHits, Misses: specMisses}
+	if total := specHits + specMisses; total > 0 {
+		spec.HitRate = float64(specHits) / float64(total)
 	}
 	// Per-stage breakdown, merged across live replicas — read before
 	// Stop tears the nodes down.
@@ -302,7 +389,7 @@ func baselineCluster(name string, cfg cluster.Config, lc cluster.LoadConfig) (Ba
 		LatencyMS:   rep.Latency.Mean.Seconds() * 1000,
 		ReexecPerTx: reexec, AllocsPerTx: allocs,
 		HeapInuseBytes: heap, Committed: rep.Committed,
-		Stages: stages,
+		Stages: stages, Spec: spec,
 	}, nil
 }
 
@@ -377,20 +464,34 @@ func baselineSnapshotCapture(name string, opt Options) (BaselineRow, error) {
 	probe := startProbe()
 	start := time.Now()
 	var records uint64
+	// live holds the final pass's chunk payloads so the probe can
+	// sample the heap while a capture's output is still in flight —
+	// the footprint a replica actually carries between cutting a
+	// snapshot and serving it. Without it every pass's chunks die
+	// before finish() GCs, and the row reported heap_inuse_bytes: 0.
+	var live [][]byte
 	for p := 0; p < passes; p++ {
 		cb := types.NewChunkBuilder(types.DefaultChunkRecords, -1)
 		st.Ascend(func(r types.RWRecord) bool {
 			cb.Add(r.Key, r.Value)
 			return true
 		})
-		_, digests, _, count := cb.Finish()
+		chunks, digests, _, count := cb.Finish()
 		if len(digests) == 0 || count == 0 {
 			return BaselineRow{}, fmt.Errorf("bench: %s produced an empty manifest", name)
 		}
 		_ = types.MerkleFold(digests)
 		records += uint64(count)
+		live = chunks
 	}
 	elapsed := time.Since(start)
+	// Sample outside the timed window with the capture's output still
+	// live. The ledger needs pinning too: after the final Ascend the
+	// store is otherwise unreachable, and the sample's GC would count
+	// its collection as *negative* growth, hiding the chunks.
+	probe.sample()
+	runtime.KeepAlive(live)
+	runtime.KeepAlive(st)
 	allocs, heap := probe.finish(records)
 	return BaselineRow{
 		Scenario:    name,
@@ -514,6 +615,7 @@ func RunBaseline(opt Options, version int) (BaselineReport, error) {
 		s.cfg.BatchSize = 500
 		s.cfg.Executors = 16
 		s.cfg.Validators = 16
+		s.cfg.SpecExecDepth = opt.SpecExecDepth
 		s.lc.Duration = dur
 		s.lc.Clients = 32
 		s.lc.RetryEvery = 2 * time.Second

@@ -1,0 +1,85 @@
+package ce
+
+import "thunderbolt/internal/types"
+
+// SpecOverlay is the speculative state layer for certified-but-
+// uncommitted waves: the write sets of every speculatively executed
+// wave, stacked over the committed tip. The commit path reads through
+// it (overlay first, committed store second) while predicting, then
+// either confirms a wave — its writes just became the committed tip,
+// so the overlay entries it last wrote are dropped and reads fall
+// through to the store, seeing the same bytes — or rolls the whole
+// layer back on a misprediction.
+//
+// Entries are wave-stamped so Confirm only drops values the installed
+// wave was the last writer of; a later pending wave's overwrite stays
+// speculative. Rollback is the speculation-generation reset: O(live
+// entries), no rebuild, and the generation counter lets holders of a
+// read-through view detect that their base shifted underneath them.
+//
+// The overlay is owned by the node's event-loop goroutine; it is not
+// safe for concurrent use.
+type SpecOverlay struct {
+	entries map[types.Key]specSlot
+	wave    uint64
+	gen     uint64
+}
+
+type specSlot struct {
+	val  types.Value
+	wave uint64
+}
+
+// NewSpecOverlay returns an empty overlay at generation 0.
+func NewSpecOverlay() *SpecOverlay {
+	return &SpecOverlay{entries: make(map[types.Key]specSlot)}
+}
+
+// BeginWave opens a new speculative wave and returns its id. Wave ids
+// are strictly increasing for the life of the overlay (they survive
+// rollbacks, so a stale id can never alias a fresh wave).
+func (o *SpecOverlay) BeginWave() uint64 {
+	o.wave++
+	return o.wave
+}
+
+// Set records one speculative write attributed to wave, superseding
+// any earlier wave's value for the key.
+func (o *SpecOverlay) Set(k types.Key, v types.Value, wave uint64) {
+	o.entries[k] = specSlot{val: v, wave: wave}
+}
+
+// Get returns the speculative value for k, if any wave wrote it.
+func (o *SpecOverlay) Get(k types.Key) (types.Value, bool) {
+	s, ok := o.entries[k]
+	if !ok {
+		return nil, false
+	}
+	return s.val, true
+}
+
+// Confirm retires an installed wave: entries it last wrote are now in
+// the committed store verbatim, so they leave the overlay; entries a
+// later pending wave overwrote stay speculative.
+func (o *SpecOverlay) Confirm(wave uint64) {
+	for k, s := range o.entries {
+		if s.wave == wave {
+			delete(o.entries, k)
+		}
+	}
+}
+
+// Rollback discards every speculative value and bumps the generation
+// — the misprediction reset. Cost is O(live entries); the arena (one
+// map) is retained.
+func (o *SpecOverlay) Rollback() {
+	o.gen++
+	clear(o.entries)
+}
+
+// Generation counts rollbacks; a reader holding a view across event-
+// loop iterations compares generations to detect a reset.
+func (o *SpecOverlay) Generation() uint64 { return o.gen }
+
+// Len reports live speculative entries (observability + leak tests).
+func (o *SpecOverlay) Len() int { return len(o.entries) }

@@ -1,0 +1,71 @@
+package ce
+
+import (
+	"fmt"
+	"testing"
+
+	"thunderbolt/internal/types"
+)
+
+func kv(i int) (types.Key, types.Value) {
+	return types.Key(fmt.Sprintf("k%d", i)), types.Value(fmt.Sprintf("v%d", i))
+}
+
+func TestSpecOverlayConfirmDropsOnlyLastWriter(t *testing.T) {
+	o := NewSpecOverlay()
+	w1 := o.BeginWave()
+	w2 := o.BeginWave()
+	if w2 <= w1 {
+		t.Fatal("wave ids must increase")
+	}
+	kA, vA := kv(1)
+	kB, _ := kv(2)
+	o.Set(kA, vA, w1)
+	o.Set(kB, types.Value("w1"), w1)
+	o.Set(kB, types.Value("w2"), w2) // w2 supersedes w1 on kB
+
+	o.Confirm(w1)
+	if _, ok := o.Get(kA); ok {
+		t.Fatal("confirmed wave's entry should fall through to the store")
+	}
+	got, ok := o.Get(kB)
+	if !ok || string(got) != "w2" {
+		t.Fatalf("later wave's overwrite must stay speculative, got %q ok=%v", got, ok)
+	}
+	if o.Len() != 1 {
+		t.Fatalf("live entries = %d, want 1", o.Len())
+	}
+}
+
+func TestSpecOverlayRollback(t *testing.T) {
+	o := NewSpecOverlay()
+	w := o.BeginWave()
+	for i := 0; i < 16; i++ {
+		k, v := kv(i)
+		o.Set(k, v, w)
+	}
+	g := o.Generation()
+	o.Rollback()
+	if o.Len() != 0 {
+		t.Fatalf("rollback left %d live entries", o.Len())
+	}
+	if o.Generation() != g+1 {
+		t.Fatalf("generation %d, want %d", o.Generation(), g+1)
+	}
+	// Wave ids keep increasing across rollbacks: a stale id can never
+	// alias a fresh wave.
+	if next := o.BeginWave(); next <= w {
+		t.Fatalf("wave id reused after rollback: %d <= %d", next, w)
+	}
+}
+
+func TestSpecOverlayConfirmOutOfScopeWaveIsNoop(t *testing.T) {
+	o := NewSpecOverlay()
+	w := o.BeginWave()
+	k, v := kv(0)
+	o.Set(k, v, w)
+	o.Confirm(w + 100)
+	if o.Len() != 1 {
+		t.Fatal("confirming an unknown wave must not drop entries")
+	}
+}

@@ -32,6 +32,9 @@ const (
 	EvSendErr
 	EvReconfig
 	EvFastForward
+	EvSpecStart
+	EvSpecConfirm
+	EvSpecRollback
 )
 
 func (k EventKind) String() string {
@@ -62,6 +65,12 @@ func (k EventKind) String() string {
 		return "reconfig"
 	case EvFastForward:
 		return "fast-forward"
+	case EvSpecStart:
+		return "spec-start"
+	case EvSpecConfirm:
+		return "spec-confirm"
+	case EvSpecRollback:
+		return "spec-rollback"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -40,7 +40,12 @@ func (n *Node) drainExec() {
 	for i := 0; i < len(n.execQ); i++ {
 		it := n.execQ[i]
 		n.execQ[i] = execItem{} // release the vertex references
-		n.executeWave(it.wave, it.committedAt)
+		// Speculation fast path: if this wave was predicted, executed
+		// ahead of commit, and the prediction held, install the
+		// precomputed results instead of executing on the critical path.
+		if !n.trySpecInstall(it.wave, it.committedAt) {
+			n.executeWave(it.wave, it.committedAt)
+		}
 		if len(n.committedShift) >= crypto.QuorumSize(n.n) {
 			n.reconfigure()
 			n.flushOutbox()

@@ -40,6 +40,13 @@ const (
 	mQueueLen           = "queue_len"
 	mBatchSize          = "batch_size"
 
+	// Speculative-execution counters: hits install precomputed results
+	// at commit time, misses fall back to cold execution, wasted counts
+	// the speculatively executed transactions a rollback discarded.
+	mSpecHits      = "spec_hits"
+	mSpecMisses    = "spec_misses"
+	mSpecWastedTxs = "spec_wasted_txs"
+
 	// Pipeline-depth gauges: how much work each stage of the pipelined
 	// commit path is holding right now.
 	mRoundsInFlight    = "rounds_in_flight"    // proposed rounds past the last committed leader round
@@ -79,6 +86,9 @@ type nodeMetrics struct {
 	snapChunksFetched  *metrics.Counter
 	snapChunksSkipped  *metrics.Counter
 	snapChunkRetries   *metrics.Counter
+	specHits           *metrics.Counter
+	specMisses         *metrics.Counter
+	specWastedTxs      *metrics.Counter
 	sendErrors         [numSendClasses]*metrics.Counter
 
 	epoch             *metrics.Gauge
@@ -91,10 +101,11 @@ type nodeMetrics struct {
 	outboxFlushBytes  *metrics.Gauge
 	outboxFlushFrames *metrics.Gauge
 
-	stageProposeCertify *metrics.Histogram
-	stageCertifyCommit  *metrics.Histogram
-	stageCommitExecute  *metrics.Histogram
-	stageSubmitAck      *metrics.Histogram
+	stageProposeCertify  *metrics.Histogram
+	stageCertifyCommit   *metrics.Histogram
+	stageCertifySpecDone *metrics.Histogram
+	stageCommitExecute   *metrics.Histogram
+	stageSubmitAck       *metrics.Histogram
 }
 
 func newNodeMetrics(id types.ReplicaID) *nodeMetrics {
@@ -125,6 +136,9 @@ func newNodeMetrics(id types.ReplicaID) *nodeMetrics {
 		snapChunksFetched:  reg.Counter(mSnapChunksFetched),
 		snapChunksSkipped:  reg.Counter(mSnapChunksSkipped),
 		snapChunkRetries:   reg.Counter(mSnapChunkRetries),
+		specHits:           reg.Counter(mSpecHits),
+		specMisses:         reg.Counter(mSpecMisses),
+		specWastedTxs:      reg.Counter(mSpecWastedTxs),
 
 		epoch:             reg.Gauge(mEpoch),
 		round:             reg.Gauge(mRound),
@@ -136,10 +150,11 @@ func newNodeMetrics(id types.ReplicaID) *nodeMetrics {
 		outboxFlushBytes:  reg.Gauge(mOutboxFlushBytes),
 		outboxFlushFrames: reg.Gauge(mOutboxFlushFrames),
 
-		stageProposeCertify: reg.Histogram(metrics.StageProposeCertify),
-		stageCertifyCommit:  reg.Histogram(metrics.StageCertifyCommit),
-		stageCommitExecute:  reg.Histogram(metrics.StageCommitExecute),
-		stageSubmitAck:      reg.Histogram(metrics.StageSubmitAck),
+		stageProposeCertify:  reg.Histogram(metrics.StageProposeCertify),
+		stageCertifyCommit:   reg.Histogram(metrics.StageCertifyCommit),
+		stageCertifySpecDone: reg.Histogram(metrics.StageCertifySpecDone),
+		stageCommitExecute:   reg.Histogram(metrics.StageCommitExecute),
+		stageSubmitAck:       reg.Histogram(metrics.StageSubmitAck),
 	}
 	for class := 0; class < numSendClasses; class++ {
 		m.sendErrors[class] = reg.Counter("send_errors_" + sendClassName[class])
@@ -192,6 +207,9 @@ func (n *Node) Stats() Stats {
 		SnapChunksFetched:  m.snapChunksFetched.Value(),
 		SnapChunksSkipped:  m.snapChunksSkipped.Value(),
 		SnapChunkRetries:   m.snapChunkRetries.Value(),
+		SpecHits:           m.specHits.Value(),
+		SpecMisses:         m.specMisses.Value(),
+		SpecWastedTxs:      m.specWastedTxs.Value(),
 		PendingCross:       uint64(m.pendingCross.Value()),
 		QueueLen:           uint64(m.queueLen.Value()),
 		BatchSize:          uint64(m.batchSize.Value()),

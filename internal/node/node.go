@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"thunderbolt/internal/ce"
 	"thunderbolt/internal/contract"
 	"thunderbolt/internal/crypto"
 	"thunderbolt/internal/dag"
@@ -184,6 +185,22 @@ type Config struct {
 	// gaps in fewer round-trips at the cost of burstier reply traffic.
 	RecoverySyncRounds int
 
+	// SpecExecDepth bounds the speculative-execution pipeline: how
+	// many certified-but-uncommitted commit waves may be predicted
+	// from the anchor chain and executed ahead of the Tusk commit
+	// (spec.go), filling the certify→commit wait with execution work
+	// that a matching commit installs in O(writes). 0 selects the
+	// default (4); negative disables speculation. Ignored in
+	// ModeSerial (serial blocks are executed only at commit).
+	SpecExecDepth int
+	// SpecVerify re-derives every speculative hit cold at install
+	// time — same wave, committed store, live dedup — and demotes the
+	// hit to a miss unless the outcomes are bit-identical. The
+	// runtime differential check behind the speculation contract;
+	// chaos scenarios enable it, production keeps it off (it spends
+	// the exact execution the hit saved).
+	SpecVerify bool
+
 	// TickInterval paces housekeeping (block re-requests); default 25ms.
 	TickInterval time.Duration
 	// MinRoundInterval throttles round advancement (a batch timer):
@@ -233,6 +250,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MinRoundInterval <= 0 {
 		c.MinRoundInterval = time.Millisecond
+	}
+	if c.SpecExecDepth == 0 {
+		c.SpecExecDepth = defaultSpecExecDepth
 	}
 	switch {
 	case c.GCHorizon == 0:
@@ -303,6 +323,14 @@ const (
 	// tick (~64 × 4096 records ≈ a quarter-million records per tick
 	// per server at the default chunk size).
 	defaultChunkServeBudget = 64
+	// defaultSpecExecDepth is the speculative-execution pipeline
+	// depth: up to this many predicted commit waves executed ahead of
+	// the Tusk commit. Two covers the certify→commit wait at LAN
+	// latencies (one leader round in flight plus slack) at ~0.90 hit
+	// rate; deeper pipelines predict across more unsettled anchors,
+	// and the extra misses cost more re-execution than the extra
+	// overlap saves.
+	defaultSpecExecDepth = 2
 )
 
 // Stats is a point-in-time snapshot of a node's counters.
@@ -359,6 +387,14 @@ type Stats struct {
 	// BatchSize is the adaptive proposer batch size currently in
 	// effect (between Config.BatchSize and its cap).
 	BatchSize uint64
+	// Speculative execution (spec.go): SpecHits counts commit waves
+	// installed from precomputed results, SpecMisses counts predicted
+	// waves discarded on an anchor-order misprediction, and
+	// SpecWastedTxs the speculatively executed transactions those
+	// rollbacks threw away.
+	SpecHits      uint64
+	SpecMisses    uint64
+	SpecWastedTxs uint64
 }
 
 // TotalSendErrors sums SendErrors across classes.
@@ -463,6 +499,24 @@ type Node struct {
 	// entry carries its commit time — the certify→commit /
 	// commit→execute stage boundary.
 	execQ []execItem
+
+	// Speculative execution (spec.go): specQ holds commit waves
+	// predicted from the anchor chain in predicted commit order,
+	// executed ahead of the Tusk commit during the certify→commit
+	// wait; specOverlay layers their write sets over the committed
+	// tip; specResolved claims the transaction identities pending
+	// spec waves resolved (the dedup view later spec waves execute
+	// under); specVerts claims their vertex digests (the committed
+	// filter stacked predictions linearize against). specDepth caps
+	// the queue (Config.SpecExecDepth; 0 = speculation off).
+	specDepth    int
+	specQ        []specWave
+	specOverlay  *ce.SpecOverlay
+	specResolved map[types.Digest]bool
+	specVerts    map[types.Digest]bool
+	// specReader and specClaimFn are bound once like baseReader.
+	specReader  validate.BaseReader
+	specClaimFn func(types.Digest) bool
 
 	// baseReader is n.baseRead bound once: the commit path passes it to
 	// validation/execution for every wave, and a method-value conversion
@@ -602,6 +656,11 @@ func New(cfg Config) (*Node, error) {
 		done:     make(chan struct{}),
 	}
 	n.baseReader = n.baseRead
+	n.specReader = n.specBaseRead
+	n.specClaimFn = n.specVertClaimed
+	if cfg.SpecExecDepth > 0 && cfg.Mode != ModeSerial {
+		n.specDepth = cfg.SpecExecDepth
+	}
 	n.nm = newNodeMetrics(cfg.ID)
 	n.dedup = gateway.NewDedup(cfg.NonceWindow, cfg.LegacyDedupWindow)
 	startEpoch := types.Epoch(0)
@@ -676,6 +735,7 @@ func (n *Node) resetEpochState(epoch types.Epoch) {
 	n.lastBlockRaw = nil
 	n.lastBlockVotes = 0
 	n.execQ = nil // waves of a dying epoch never execute
+	n.resetSpec() // predictions bind to the dying epoch's DAG
 	n.loadedRound = 0
 	n.snapFrom = make(map[types.ReplicaID]*types.Snapshot)
 	n.snapServed = make(map[types.ReplicaID]time.Time)
@@ -956,9 +1016,14 @@ func (n *Node) run() {
 		// collected commit waves without executing them; execute now,
 		// re-draining the inbox between waves so vote and certificate
 		// handling for newer rounds is never blocked behind execution
-		// of older ones. One coalesced flush per pass sends everything
+		// of older ones. Then spend the certify→commit wait: predict
+		// and speculatively execute certified waves the commit rule
+		// has not released yet (drainSpec), so the next commit can
+		// install precomputed results instead of executing on the
+		// critical path. One coalesced flush per pass sends everything
 		// the pass produced.
 		n.drainExec()
+		n.drainSpec()
 		n.flushOutbox()
 	}
 }

@@ -262,15 +262,27 @@ func (n *SimNetwork) dispatch() {
 		spin:
 			for i := 1; ; i++ {
 				runtime.Gosched()
+				// Single-case receive with default compiles to a
+				// non-blocking runtime recv, not selectgo; the combined
+				// three-way select here was the spin's hottest row.
 				select {
 				case <-n.wake: // an earlier message may have been enqueued
 					break spin
-				case <-n.ddone:
-					return
 				default:
 				}
-				if i&3 == 0 && !time.Now().Before(deadline) {
-					break spin
+				if i&7 == 0 {
+					// Every 8th yield: at GOMAXPROCS=1 each Gosched runs
+					// whatever work is runnable, so polling the clock more
+					// often than this buys no delivery accuracy — it only
+					// made time.Now a top row of the cluster profile.
+					if !time.Now().Before(deadline) {
+						break spin
+					}
+					select {
+					case <-n.ddone: // shutdown: rare, so poll with the clock
+						return
+					default:
+					}
 				}
 			}
 		}
@@ -570,6 +582,13 @@ func (e *simEndpoint) SetHandler(h Handler) {
 }
 
 func (e *simEndpoint) Send(to types.ReplicaID, mt MsgType, payload []byte) error {
+	return e.send(to, mt, payload, false)
+}
+
+// send enqueues one message. owned=true means the payload is already a
+// clone the network may keep (Broadcast's shared copy); owned=false
+// means the caller retains the buffer, so clone before enqueueing.
+func (e *simEndpoint) send(to types.ReplicaID, mt MsgType, payload []byte, owned bool) error {
 	select {
 	case <-e.done:
 		return ErrClosed
@@ -587,16 +606,21 @@ func (e *simEndpoint) Send(to types.ReplicaID, mt MsgType, payload []byte) error
 		if !ok {
 			return nil // intercepted and dropped
 		}
+		// The interceptor may have returned (or rewritten into) a buffer
+		// that aliases a shared broadcast clone; re-clone for this link.
 		payload = out
+		owned = false
 	}
-	cloned := append([]byte(nil), payload...)
-	if err := e.net.enqueue(e, to, mt, cloned, e.net.cfg.Latency(e.id, to)+extra); err != nil {
+	if !owned {
+		payload = append([]byte(nil), payload...)
+	}
+	if err := e.net.enqueue(e, to, mt, payload, e.net.cfg.Latency(e.id, to)+extra); err != nil {
 		return err
 	}
 	if dup {
 		// The duplicate shares the clone (read-only on delivery) but
 		// draws its own delay, like the old per-link pumps.
-		if err := e.net.enqueue(e, to, mt, cloned, e.net.cfg.Latency(e.id, to)+extra); err != nil {
+		if err := e.net.enqueue(e, to, mt, payload, e.net.cfg.Latency(e.id, to)+extra); err != nil {
 			return err
 		}
 	}
@@ -604,8 +628,14 @@ func (e *simEndpoint) Send(to types.ReplicaID, mt MsgType, payload []byte) error
 }
 
 func (e *simEndpoint) Broadcast(mt MsgType, payload []byte) error {
+	// One clone shared by every recipient: delivery is read-only by
+	// contract (the fault-plan duplicate above already leans on that),
+	// so per-recipient clones only multiplied allocator and GC load —
+	// broadcast payloads were the single largest allocation site in the
+	// whole-cluster profile.
+	cloned := append([]byte(nil), payload...)
 	for i := 0; i < e.net.cfg.Committee; i++ {
-		if err := e.Send(types.ReplicaID(i), mt, payload); err != nil {
+		if err := e.send(types.ReplicaID(i), mt, cloned, true); err != nil {
 			return err
 		}
 	}

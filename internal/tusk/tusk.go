@@ -155,6 +155,21 @@ func (c *Committer) Advance() []CommitWave {
 	return waves
 }
 
+// PredictWave linearizes what commitLeader would commit for leader if
+// it were the next anchor, treating digests accepted by claimed as
+// already committed, without marking anything — the speculative
+// execution prediction. The caller supplies claimed to cover waves it
+// has predicted but not yet committed, so stacked predictions compose
+// exactly like consecutive commits. Linearize is stable once a vertex
+// is in the store (ancestors insert first), so the prediction for a
+// leader can only be wrong when the anchor-chain walk later routes an
+// intervening leader in front of it — the misprediction case the
+// speculation layer detects by comparing vertex lists at commit time.
+func (c *Committer) PredictWave(leader *dag.Vertex, claimed func(types.Digest) bool) CommitWave {
+	vs := c.store.Linearize(leader, func(d types.Digest) bool { return c.committed[d] || claimed(d) })
+	return CommitWave{Leader: leader, Vertices: vs}
+}
+
 // commitLeader linearizes one leader's uncommitted causal history.
 func (c *Committer) commitLeader(leader *dag.Vertex) CommitWave {
 	vs := c.store.Linearize(leader, func(d types.Digest) bool { return c.committed[d] })

@@ -201,6 +201,56 @@ func TestCommitterSeededAt(t *testing.T) {
 	}
 }
 
+func TestPredictWaveMatchesCommit(t *testing.T) {
+	c := dagtest.NewCommittee(4)
+	b := dagtest.NewBuilder(c, 0)
+	cm := NewCommitter(b.Store, 4)
+	none := func(types.Digest) bool { return false }
+
+	b.NextRound(nil, nil) // 1
+	b.NextRound(nil, nil) // 2
+	l1, ok := b.Store.Get(1, LeaderOf(0, 1, 4))
+	if !ok {
+		t.Fatal("leader 1 missing")
+	}
+	p1 := cm.PredictWave(l1, none)
+	if cm.CommittedLen() != 0 {
+		t.Fatal("PredictWave must not mark anything committed")
+	}
+	b.NextRound(nil, nil) // 3
+	l3, ok := b.Store.Get(3, LeaderOf(0, 3, 4))
+	if !ok {
+		t.Fatal("leader 3 missing")
+	}
+	// Stacked prediction: leader 3's wave on top of the claimed (but
+	// uncommitted) wave 1.
+	claimed := map[types.Digest]bool{}
+	for _, v := range p1.Vertices {
+		claimed[v.Cert.Digest()] = true
+	}
+	p3 := cm.PredictWave(l3, func(d types.Digest) bool { return claimed[d] })
+
+	b.NextRound(nil, nil) // 4 gives leader 3 support
+	waves := cm.Advance()
+	if len(waves) != 2 {
+		t.Fatalf("waves=%d want 2", len(waves))
+	}
+	for wi, pair := range [][2]CommitWave{{p1, waves[0]}, {p3, waves[1]}} {
+		pred, got := pair[0], pair[1]
+		if pred.Leader != got.Leader {
+			t.Fatalf("wave %d: predicted leader differs", wi)
+		}
+		if len(pred.Vertices) != len(got.Vertices) {
+			t.Fatalf("wave %d: predicted %d vertices, committed %d", wi, len(pred.Vertices), len(got.Vertices))
+		}
+		for i := range pred.Vertices {
+			if pred.Vertices[i] != got.Vertices[i] {
+				t.Fatalf("wave %d: vertex order diverged at %d", wi, i)
+			}
+		}
+	}
+}
+
 func TestAdvanceIdempotent(t *testing.T) {
 	c := dagtest.NewCommittee(4)
 	b := dagtest.NewBuilder(c, 0)
